@@ -1,0 +1,174 @@
+// Package ppaclust's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as a testing.B benchmark. Each benchmark
+// runs the corresponding experiment end to end and reports headline numbers
+// as custom metrics, so `go test -bench=. -benchmem` reproduces the paper's
+// evaluation section in one command.
+//
+// The benchmarks default to the fast suite (shrunken designs) so the whole
+// set completes in minutes; set PPACLUST_FULL=1 to run the full-size
+// benchmark designs as `cmd/ppabench` does.
+package ppaclust
+
+import (
+	"os"
+	"testing"
+
+	"ppaclust/internal/experiments"
+)
+
+func newSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	fast := os.Getenv("PPACLUST_FULL") == ""
+	return experiments.NewSuite(fast, 1)
+}
+
+// BenchmarkTable1Stats regenerates Table 1 (benchmark statistics).
+func BenchmarkTable1Stats(b *testing.B) {
+	s := newSuite(b)
+	var insts int
+	for i := 0; i < b.N; i++ {
+		rows := s.Table1()
+		insts = 0
+		for _, r := range rows {
+			insts += r.Insts
+		}
+	}
+	b.ReportMetric(float64(insts), "total-insts")
+}
+
+// BenchmarkTable2PostPlace regenerates Table 2 (post-place HPWL and CPU vs
+// blob placement [9] and the default flow, OpenROAD mode).
+func BenchmarkTable2PostPlace(b *testing.B) {
+	s := newSuite(b)
+	var avgCPU, avgHPWL float64
+	for i := 0; i < b.N; i++ {
+		rows := s.Table2()
+		avgCPU, avgHPWL = 0, 0
+		for _, r := range rows {
+			avgCPU += r.OursCPU
+			avgHPWL += r.OursHPWL
+		}
+		avgCPU /= float64(len(rows))
+		avgHPWL /= float64(len(rows))
+	}
+	b.ReportMetric(avgCPU, "ours-cpu-ratio")
+	b.ReportMetric(avgHPWL, "ours-hpwl-ratio")
+}
+
+// BenchmarkTable3PostRouteOR regenerates Table 3 (post-route PPA, OpenROAD).
+func BenchmarkTable3PostRouteOR(b *testing.B) {
+	s := newSuite(b)
+	var tnsGain float64
+	for i := 0; i < b.N; i++ {
+		tnsGain = tnsImprovement(s.Table3())
+	}
+	b.ReportMetric(tnsGain, "tns-improvement-ns")
+}
+
+// BenchmarkTable4PostRouteInv regenerates Table 4 (post-route PPA, Innovus
+// mode with region constraints).
+func BenchmarkTable4PostRouteInv(b *testing.B) {
+	s := newSuite(b)
+	var tnsGain float64
+	for i := 0; i < b.N; i++ {
+		tnsGain = tnsImprovement(s.Table4())
+	}
+	b.ReportMetric(tnsGain, "tns-improvement-ns")
+}
+
+// BenchmarkTable5ClusterAblation regenerates Table 5 (Leiden vs MFC vs
+// PPA-aware clustering inside the same flow).
+func BenchmarkTable5ClusterAblation(b *testing.B) {
+	s := newSuite(b)
+	var oursTNS, mfcTNS float64
+	for i := 0; i < b.N; i++ {
+		oursTNS, mfcTNS = 0, 0
+		for _, r := range s.Table5() {
+			switch r.Flow {
+			case "Ours":
+				oursTNS += r.TNSns
+			case "MFC":
+				mfcTNS += r.TNSns
+			}
+		}
+	}
+	b.ReportMetric(oursTNS-mfcTNS, "ours-minus-mfc-tns-ns")
+}
+
+// BenchmarkTable6ShapeAblation regenerates Table 6 (Random vs Uniform vs
+// ML-accelerated V-P&R cluster shapes, Innovus mode).
+func BenchmarkTable6ShapeAblation(b *testing.B) {
+	s := newSuite(b)
+	var mlTNS, uniTNS float64
+	for i := 0; i < b.N; i++ {
+		mlTNS, uniTNS = 0, 0
+		for _, r := range s.Table6() {
+			switch r.Flow {
+			case "V-P&R_ML":
+				mlTNS += r.TNSns
+			case "Uniform":
+				uniTNS += r.TNSns
+			}
+		}
+	}
+	b.ReportMetric(mlTNS-uniTNS, "ml-minus-uniform-tns-ns")
+}
+
+// BenchmarkGNNModelQuality regenerates the Section 4.4 model-quality study:
+// V-P&R dataset generation, training, MAE/R2 on the three splits.
+func BenchmarkGNNModelQuality(b *testing.B) {
+	var mae, r2 float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(os.Getenv("PPACLUST_FULL") == "", int64(1+i))
+		rep := s.GNNMetrics()
+		mae, r2 = rep.Test.MAE, rep.Test.R2
+	}
+	b.ReportMetric(mae, "test-mae")
+	b.ReportMetric(r2, "test-r2")
+}
+
+// BenchmarkFigure5Hyperparams regenerates the Figure 5 sweep (alpha, beta,
+// gamma, mu multipliers vs normalized post-place HPWL).
+func BenchmarkFigure5Hyperparams(b *testing.B) {
+	s := newSuite(b)
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, p := range s.Figure5() {
+			if p.Score > worst {
+				worst = p.Score
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-norm-hpwl")
+}
+
+func tnsImprovement(rows []experiments.PPARow) float64 {
+	var def, ours float64
+	for _, r := range rows {
+		switch r.Flow {
+		case "Default":
+			def += r.TNSns
+		case "Ours":
+			ours += r.TNSns
+		}
+	}
+	return ours - def // positive = ours is better (less negative TNS)
+}
+
+// BenchmarkAblationClusterTerms runs the extension ablation: each arm
+// disables one ingredient of the PPA-aware rating (hierarchy constraints,
+// timing costs, switching costs).
+func BenchmarkAblationClusterTerms(b *testing.B) {
+	s := newSuite(b)
+	var fullTNS float64
+	for i := 0; i < b.N; i++ {
+		fullTNS = 0
+		for _, r := range s.AblationClusterTerms() {
+			if r.Arm == "full" {
+				fullTNS += r.TNSns
+			}
+		}
+	}
+	b.ReportMetric(fullTNS, "full-arm-tns-ns")
+}

@@ -1,0 +1,143 @@
+// Command ppaflow runs the clustered placement flow (Algorithm 1) — or the
+// flat default flow — on one of the built-in benchmark designs and prints
+// the PPA metrics the paper reports.
+//
+// Usage:
+//
+//	ppaflow -design ariane -tool openroad -method ppa -shapes uniform
+//	ppaflow -design aes -default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppaclust/internal/def"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/flow"
+	"ppaclust/internal/sta"
+	"ppaclust/internal/viz"
+)
+
+func main() {
+	design := flag.String("design", "aes", "benchmark: aes|jpeg|ariane|bp|mb|mpg")
+	tool := flag.String("tool", "openroad", "seeded placement recipe: openroad|innovus")
+	method := flag.String("method", "ppa", "clustering: ppa|mfc|leiden|louvain")
+	shapes := flag.String("shapes", "uniform", "cluster shapes: uniform|random|vpr")
+	seed := flag.Int64("seed", 1, "random seed")
+	runDefault := flag.Bool("default", false, "run the flat default flow instead")
+	skipRoute := flag.Bool("skip-route", false, "stop after placement (HPWL only)")
+	repair := flag.Bool("repair", false, "insert buffers on long/high-fanout nets after placement")
+	writeDEF := flag.String("write-def", "", "write the final placement to this DEF file")
+	writeSVG := flag.String("svg", "", "write a placement visualization to this SVG file")
+	report := flag.Int("report", 0, "print a report_checks-style timing report for the N worst paths")
+	flag.Parse()
+
+	spec, ok := designs.Named(*design)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ppaflow: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	fmt.Printf("generating %s (%s)...\n", *design, designs.PaperNames[*design])
+	b := designs.Generate(spec)
+	st := b.Design.Stats()
+	fmt.Printf("  %d instances, %d nets, %d ports, TCP %.2f ns\n",
+		st.Insts, st.Nets, st.Ports, spec.ClockPeriod*1e9)
+
+	opt := flow.Options{Seed: *seed, SkipRoute: *skipRoute, RepairBuffers: *repair}
+	switch strings.ToLower(*tool) {
+	case "innovus":
+		opt.Tool = flow.ToolInnovus
+	default:
+		opt.Tool = flow.ToolOpenROAD
+	}
+	switch strings.ToLower(*method) {
+	case "mfc":
+		opt.Method = flow.MethodMFC
+	case "leiden":
+		opt.Method = flow.MethodLeiden
+	case "louvain":
+		opt.Method = flow.MethodLouvain
+	default:
+		opt.Method = flow.MethodPPAAware
+	}
+	switch strings.ToLower(*shapes) {
+	case "random":
+		opt.Shapes = flow.ShapeRandom
+	case "vpr":
+		opt.Shapes = flow.ShapeVPR
+	default:
+		opt.Shapes = flow.ShapeUniform
+	}
+
+	var res *flow.Result
+	var err error
+	if *runDefault {
+		fmt.Println("running default (flat) flow...")
+		res, err = flow.RunDefault(b, opt)
+	} else {
+		fmt.Printf("running clustered flow: tool=%v method=%v shapes=%v...\n",
+			opt.Tool, opt.Method, opt.Shapes)
+		res, err = flow.Run(b, opt)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nresults:\n")
+	if !*runDefault {
+		fmt.Printf("  clusters        %d (%d shaped by V-P&R)\n", res.Clusters, res.ShapedVPR)
+		fmt.Printf("  cluster time    %v\n", res.ClusterTime)
+		fmt.Printf("  shape time      %v\n", res.ShapeTime)
+		fmt.Printf("  seed place      %v\n", res.SeedPlaceTime)
+		fmt.Printf("  incr place      %v\n", res.IncrPlaceTime)
+	}
+	fmt.Printf("  place time      %v\n", res.PlaceTime)
+	fmt.Printf("  HPWL            %.1f um\n", res.HPWL)
+	if !*skipRoute {
+		fmt.Printf("  routed WL       %.1f um (clock %.1f um)\n", res.RoutedWL, res.ClockWL)
+		fmt.Printf("  WNS             %.1f ps\n", res.WNS*1e12)
+		fmt.Printf("  TNS             %.2f ns\n", res.TNS*1e9)
+		fmt.Printf("  hold WNS/TNS    %.1f ps / %.3f ns\n", res.HoldWNS*1e12, res.HoldTNS*1e9)
+		fmt.Printf("  power           %.4f W (switching %.4f, internal %.4f, leakage %.4g)\n",
+			res.Power, res.PowerRep.Switching, res.PowerRep.Internal, res.PowerRep.Leakage)
+		fmt.Printf("  route overflow  %d\n", res.Overflow)
+		fmt.Printf("  DRV             %d max-cap, %d max-slew\n", res.DRVCap, res.DRVSlew)
+	}
+	if *report > 0 {
+		an := sta.New(res.Placed, b.Cons)
+		fmt.Println()
+		if err := an.WriteReport(os.Stdout, *report); err != nil {
+			fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *writeSVG != "" {
+		f, err := os.Create(*writeSVG)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+			os.Exit(1)
+		}
+		if err := viz.WritePlacement(f, res.Placed, viz.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote placement SVG to %s\n", *writeSVG)
+	}
+	if *writeDEF != "" {
+		f, err := os.Create(*writeDEF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+			os.Exit(1)
+		}
+		if err := def.Write(f, res.Placed); err != nil {
+			fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote placement to %s\n", *writeDEF)
+	}
+}

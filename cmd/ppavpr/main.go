@@ -1,0 +1,72 @@
+// Command ppavpr demonstrates the virtualized P&R framework: it clusters a
+// benchmark, induces the sub-netlist of each large cluster, sweeps the 20
+// candidate shapes with exact V-P&R, and prints the per-shape costs plus the
+// selected winner (Figure 3 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppaclust/internal/cluster"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/vpr"
+)
+
+func main() {
+	design := flag.String("design", "aes", "benchmark: aes|jpeg|ariane|bp|mb|mpg")
+	seed := flag.Int64("seed", 1, "random seed")
+	minInsts := flag.Int("min", 50, "minimum cluster size for shape selection")
+	maxClusters := flag.Int("max-clusters", 4, "stop after this many shaped clusters")
+	verbose := flag.Bool("v", false, "print every candidate's cost")
+	flag.Parse()
+
+	spec, ok := designs.Named(*design)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ppavpr: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	b := designs.Generate(spec)
+	view := b.Design.ToHypergraph()
+	res := cluster.MultilevelFC(view.H, cluster.Options{Seed: *seed})
+	fmt.Printf("%s: %d clusters\n", *design, res.NumClusters)
+
+	members := make([][]int, res.NumClusters)
+	for v, c := range res.Assign {
+		members[c] = append(members[c], v)
+	}
+	shaped := 0
+	for c := 0; c < res.NumClusters && shaped < *maxClusters; c++ {
+		if len(members[c]) < *minInsts {
+			continue
+		}
+		sub, err := vpr.InduceSubNetlist(b.Design, members[c])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppavpr: %v\n", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		best, evals := vpr.BestShape(sub, vpr.Runner{Opt: vpr.Options{Seed: *seed}})
+		dt := time.Since(t0)
+		fmt.Printf("\ncluster %d: %d cells, %d nets, %d boundary ports (%v for 20 shapes)\n",
+			c, len(sub.Insts), len(sub.Nets), len(sub.Ports), dt)
+		if *verbose {
+			for _, ev := range evals {
+				marker := " "
+				if ev.Shape == best {
+					marker = "*"
+				}
+				fmt.Printf("  %s AR=%.2f util=%.2f  costHPWL=%.4f costCong=%.4f total=%.4f\n",
+					marker, ev.Shape.AspectRatio, ev.Shape.Utilization,
+					ev.CostHPWL, ev.CostCong, ev.TotalCost)
+			}
+		}
+		fmt.Printf("  best shape: AR=%.2f util=%.2f\n", best.AspectRatio, best.Utilization)
+		shaped++
+	}
+	if shaped == 0 {
+		fmt.Printf("no cluster above %d instances; try -min with a smaller value\n", *minInsts)
+	}
+}

@@ -1,0 +1,48 @@
+// Clustering comparison: run the same overall flow while swapping the
+// clustering engine — Leiden communities, plain multilevel FC (TritonPart's
+// default), and the paper's PPA-aware multilevel FC — and report post-route
+// PPA, mirroring Table 5 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/flow"
+)
+
+func main() {
+	spec, _ := designs.Named("jpeg")
+	b := designs.Generate(spec)
+	fmt.Printf("design %s: %d instances\n\n", b.Design.Name, len(b.Design.Insts))
+
+	def, err := flow.RunDefault(b, flow.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arms := []struct {
+		name   string
+		method flow.Method
+	}{
+		{"Leiden", flow.MethodLeiden},
+		{"MFC", flow.MethodMFC},
+		{"PPA-aware", flow.MethodPPAAware},
+	}
+	fmt.Printf("%-10s %9s %9s %9s %9s %9s\n", "method", "clusters", "rWL", "WNS(ps)", "TNS(ns)", "power(W)")
+	for _, arm := range arms {
+		r, err := flow.Run(b, flow.Options{
+			Seed:   1,
+			Method: arm.method,
+			Shapes: flow.ShapeUniform,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %9d %9.3f %9.1f %9.2f %9.4f\n",
+			arm.name, r.Clusters, r.RoutedWL/def.RoutedWL, r.WNS*1e12, r.TNS*1e9, r.Power)
+	}
+	fmt.Println("\n(rWL normalized to the default flat flow; lower is better everywhere,")
+	fmt.Println(" except WNS/TNS where closer to zero is better)")
+}

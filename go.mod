@@ -1,0 +1,3 @@
+module ppaclust
+
+go 1.22

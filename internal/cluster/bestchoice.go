@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"container/heap"
+
+	"ppaclust/internal/hypergraph"
+)
+
+// BestChoice implements the Best-Choice clustering of Alpert et al. [1]:
+// instead of first-choice's per-vertex greedy matching, a global priority
+// queue always merges the best-rated pair in the whole netlist, with lazy
+// rating updates. It serves as an additional baseline to multilevel FC (the
+// paper discusses BC in related work and notes its scaling limits — visible
+// here as the O(V log V) heap churn with full neighborhood rescans).
+//
+// The rating function is the same Eq. 3 heavy-edge rating as MultilevelFC,
+// including the optional PPA terms.
+func BestChoice(h *hypergraph.Hypergraph, opt Options) Result {
+	opt = opt.withDefaults(h)
+	n := h.NumVertices()
+
+	parent := make([]int, n)
+	weight := make([]float64, n)
+	for v := 0; v < n; v++ {
+		parent[v] = v
+		weight[v] = h.VertexWeight(v)
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	maxW := opt.MaxClusterFactor * h.TotalVertexWeight() / float64(opt.TargetClusters)
+
+	// bestPair computes v's best merge partner and rating among current
+	// cluster representatives.
+	rating := map[int]float64{}
+	bestPair := func(v int) (int, float64) {
+		for k := range rating {
+			delete(rating, k)
+		}
+		rv := find(v)
+		for _, e := range h.Incident(v) {
+			verts := h.Edge(e)
+			if len(verts) < 2 || len(verts) > opt.MaxEdgeSize {
+				continue
+			}
+			num := opt.Alpha * h.EdgeWeight(e)
+			if opt.EdgeTimingCost != nil {
+				num += opt.Beta * opt.EdgeTimingCost[e]
+			}
+			if opt.EdgeSwitchCost != nil {
+				num += opt.Gamma * opt.EdgeSwitchCost[e]
+			}
+			r := num / float64(len(verts)-1)
+			for _, u := range verts {
+				ru := find(u)
+				if ru != rv {
+					rating[ru] += r
+				}
+			}
+		}
+		bu, br := -1, 0.0
+		for ru, r := range rating {
+			if weight[rv]+weight[ru] > maxW {
+				continue
+			}
+			if r > br+1e-15 || (r > br-1e-15 && br > 0 && ru < bu) {
+				bu, br = ru, r
+			}
+		}
+		return bu, br
+	}
+
+	pq := &pairHeap{}
+	heap.Init(pq)
+	for v := 0; v < n; v++ {
+		if u, r := bestPair(v); u >= 0 {
+			heap.Push(pq, &pair{v: v, u: u, rating: r})
+		}
+	}
+
+	clusters := n
+	merged := 0
+	for clusters > opt.TargetClusters && pq.Len() > 0 {
+		p := heap.Pop(pq).(*pair)
+		rv, ru := find(p.v), find(p.u)
+		if rv == ru {
+			continue
+		}
+		// Lazy validation: recompute v's current best; if it changed, requeue.
+		u2, r2 := bestPair(p.v)
+		if u2 < 0 {
+			continue
+		}
+		if u2 != ru || r2 < p.rating-1e-12 {
+			heap.Push(pq, &pair{v: p.v, u: u2, rating: r2})
+			continue
+		}
+		if weight[rv]+weight[ru] > maxW {
+			continue
+		}
+		parent[rv] = ru
+		weight[ru] += weight[rv]
+		clusters--
+		merged++
+		// Requeue the merged representative with its new best partner.
+		if u3, r3 := bestPair(p.u); u3 >= 0 {
+			heap.Push(pq, &pair{v: p.u, u: u3, rating: r3})
+		}
+	}
+
+	assign := make([]int, n)
+	for v := 0; v < n; v++ {
+		assign[v] = find(v)
+	}
+	dense, k := densify(assign)
+	res := Result{Assign: dense, NumClusters: k, Levels: merged}
+	count := make([]int, k)
+	for _, c := range dense {
+		count[c]++
+	}
+	for _, c := range count {
+		if c == 1 {
+			res.Singletons++
+		}
+	}
+	return res
+}
+
+type pair struct {
+	v, u   int
+	rating float64
+}
+
+type pairHeap []*pair
+
+func (h pairHeap) Len() int      { return len(h) }
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].rating != h[j].rating {
+		return h[i].rating > h[j].rating
+	}
+	return h[i].v < h[j].v
+}
+
+func (h *pairHeap) Push(x any) { *h = append(*h, x.(*pair)) }
+
+func (h *pairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

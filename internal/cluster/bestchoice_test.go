@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestBestChoiceFindsBlocks(t *testing.T) {
+	h := blocks(4, 8)
+	res := BestChoice(h, Options{TargetClusters: 4, Seed: 1})
+	if res.NumClusters != 4 {
+		t.Fatalf("clusters=%d want 4", res.NumClusters)
+	}
+	if cut := h.CutSize(res.Assign); cut > 1.0 {
+		t.Fatalf("cut=%v", cut)
+	}
+}
+
+func TestBestChoiceRespectsTarget(t *testing.T) {
+	h := blocks(6, 5)
+	res := BestChoice(h, Options{TargetClusters: 6, Seed: 2})
+	if res.NumClusters < 6 {
+		t.Fatalf("overshot target: %d", res.NumClusters)
+	}
+}
+
+func TestBestChoiceSizeCap(t *testing.T) {
+	h := blocks(1, 24)
+	res := BestChoice(h, Options{TargetClusters: 3, MaxClusterFactor: 1.0})
+	maxW := h.TotalVertexWeight() / 3.0
+	for _, s := range Sizes(res.Assign, res.NumClusters) {
+		if float64(s) > maxW+1e-9 {
+			t.Fatalf("cluster size %d exceeds cap %v", s, maxW)
+		}
+	}
+}
+
+func TestBestChoiceQualityVsFC(t *testing.T) {
+	// On clean block structure, BC should match FC's cut quality.
+	h := blocks(5, 6)
+	bc := BestChoice(h, Options{TargetClusters: 5})
+	fc := MultilevelFC(h, Options{TargetClusters: 5, Seed: 3})
+	if h.CutSize(bc.Assign) > h.CutSize(fc.Assign)+1 {
+		t.Fatalf("BC cut %v much worse than FC %v", h.CutSize(bc.Assign), h.CutSize(fc.Assign))
+	}
+}
+
+func TestBestChoicePPATerms(t *testing.T) {
+	// Timing cost steers the first merge, as in the FC variant.
+	h := blocks(2, 3)
+	e := h.AddEdge([]int{2, 3}, 1) // bridge
+	tc := make([]float64, h.NumEdges())
+	tc[e] = 5
+	res := BestChoice(h, Options{Alpha: 1, Beta: 10, TargetClusters: 5, EdgeTimingCost: tc})
+	if res.Assign[2] != res.Assign[3] {
+		t.Fatal("critical bridge should merge under BC with timing cost")
+	}
+}
+
+func TestBestChoiceEmpty(t *testing.T) {
+	h := blocks(1, 2)
+	res := BestChoice(h, Options{TargetClusters: 8})
+	if len(res.Assign) != 2 {
+		t.Fatal("assign length")
+	}
+}

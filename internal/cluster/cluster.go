@@ -1,0 +1,421 @@
+// Package cluster implements the paper's PPA-aware multilevel clustering: a
+// First-Choice (FC) coarsening framework (after TritonPart [29]) whose
+// heavy-edge rating is extended (Eq. 3) with per-hyperedge timing costs t_e
+// (from critical-path slacks, as in [5]) and switching costs s_e (Eq. 2),
+// subject to hierarchy-derived grouping constraints.
+//
+// Running with Beta=Gamma=0 and no groups reproduces the plain multilevel FC
+// baseline the paper calls MFC (Table 5).
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ppaclust/internal/hypergraph"
+)
+
+// Options configures multilevel FC clustering.
+type Options struct {
+	// Alpha, Beta, Gamma scale connectivity, timing and switching terms of
+	// the rating function (Eq. 3). Defaults: 1, 1, 1.
+	Alpha, Beta, Gamma float64
+	// TargetClusters stops coarsening once the vertex count reaches it.
+	TargetClusters int
+	// MaxClusterFactor caps cluster weight at factor * totalWeight/target.
+	// Default 4.
+	MaxClusterFactor float64
+	// MaxEdgeSize skips hyperedges larger than this during rating (huge nets
+	// carry no locality information). Default 300.
+	MaxEdgeSize int
+	// Seed drives the vertex visit order.
+	Seed int64
+	// Groups holds per-vertex grouping constraints (-1 = unconstrained).
+	// During the guided phase, vertices in different groups are never
+	// merged; an unconstrained vertex adopts the group of whatever it
+	// merges with. Once within-group coarsening exhausts while the vertex
+	// count is still above target, the constraints relax and whole groups
+	// may merge (the "guides, not walls" reading of [5]) — unless
+	// StrictGroups is set.
+	Groups []int
+	// StrictGroups keeps grouping constraints hard for the entire run.
+	StrictGroups bool
+	// EdgeTimingCost is t_e per hyperedge (0 when absent).
+	EdgeTimingCost []float64
+	// EdgeSwitchCost is s_e per hyperedge (0 when absent; note Eq. 2 yields
+	// values >= 1 for driven nets).
+	EdgeSwitchCost []float64
+	// MaxLevels bounds the number of coarsening levels. Default 20.
+	MaxLevels int
+}
+
+func (o Options) withDefaults(h *hypergraph.Hypergraph) Options {
+	if o.Alpha == 0 && o.Beta == 0 && o.Gamma == 0 {
+		o.Alpha = 1
+	}
+	if o.TargetClusters <= 0 {
+		o.TargetClusters = defaultTarget(h.NumVertices())
+	}
+	if o.MaxClusterFactor <= 0 {
+		o.MaxClusterFactor = 4
+	}
+	if o.MaxEdgeSize <= 0 {
+		o.MaxEdgeSize = 300
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 20
+	}
+	return o
+}
+
+// defaultTarget picks a cluster count that shrinks the placement problem by
+// roughly 400x, bounded to stay meaningful on tiny and huge designs. The
+// paper's seed placement works on a few tens to hundreds of blob-scale
+// clusters; coarse seeds both keep the clustered-placement runtime win and
+// give the incremental placer freedom to recover detail.
+func defaultTarget(n int) int {
+	t := n / 400
+	if t < 8 {
+		t = 8
+	}
+	if t > 2000 {
+		t = 2000
+	}
+	return t
+}
+
+// Result is the outcome of multilevel clustering.
+type Result struct {
+	// Assign maps each fine vertex to a dense cluster label.
+	Assign []int
+	// NumClusters is the number of distinct clusters.
+	NumClusters int
+	// Levels is the number of coarsening levels performed.
+	Levels int
+	// Singletons counts clusters of size one. Per the paper (footnote 2)
+	// they are deliberately NOT merged together.
+	Singletons int
+}
+
+// MultilevelFC coarsens h level by level using first-choice matching under
+// the (optionally PPA-aware) rating of Eq. 3, and returns the fine-level
+// cluster assignment.
+func MultilevelFC(h *hypergraph.Hypergraph, opt Options) Result {
+	opt = opt.withDefaults(h)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	n := h.NumVertices()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i
+	}
+	cur := h
+	groups := opt.Groups
+	tCost := opt.EdgeTimingCost
+	sCost := opt.EdgeSwitchCost
+	maxW := opt.MaxClusterFactor * h.TotalVertexWeight() / float64(opt.TargetClusters)
+
+	levels := 0
+	for cur.NumVertices() > opt.TargetClusters && levels < opt.MaxLevels {
+		// Far from the target, run unrestricted FC passes; near it, spend
+		// the remaining merge budget on the highest-rated pairs so the
+		// result lands at the target instead of overshooting.
+		budget := cur.NumVertices() - opt.TargetClusters
+		if budget >= cur.NumVertices()/2 {
+			budget = 0 // far from target: unrestricted pass
+		}
+		merge := fcPass(cur, groups, tCost, sCost, opt, maxW, budget, rng)
+		con, err := cur.Contract(merge)
+		if err != nil {
+			break
+		}
+		if con.Coarse.NumVertices() >= cur.NumVertices() {
+			if groups != nil && !opt.StrictGroups {
+				// No merge was possible under the guides: relax them so
+				// whole hierarchy groups can merge toward the target.
+				groups = nil
+				continue
+			}
+			break // no progress
+		}
+		// Thread fine-level assignment through the new level.
+		for i := range assign {
+			assign[i] = con.VertexMap[assign[i]]
+		}
+		// Propagate groups and edge costs to the coarse level.
+		if groups != nil {
+			ng := make([]int, con.Coarse.NumVertices())
+			for i := range ng {
+				ng[i] = -1
+			}
+			for v, g := range groups {
+				if g >= 0 {
+					ng[con.VertexMap[v]] = g
+				}
+			}
+			groups = ng
+		}
+		tCost = mapEdgeCost(tCost, con, cur.NumEdges())
+		sCost = mapEdgeCost(sCost, con, cur.NumEdges())
+		stalled := float64(con.Coarse.NumVertices()) > 0.98*float64(len(con.VertexMap))
+		cur = con.Coarse
+		levels++
+		if stalled {
+			if groups != nil && !opt.StrictGroups {
+				// Within-group coarsening is exhausted: relax the guides so
+				// whole hierarchy groups can merge toward the target.
+				groups = nil
+				continue
+			}
+			break
+		}
+	}
+
+	dense, k := densify(assign)
+	res := Result{Assign: dense, NumClusters: k, Levels: levels}
+	count := make([]int, k)
+	for _, c := range dense {
+		count[c]++
+	}
+	for _, c := range count {
+		if c == 1 {
+			res.Singletons++
+		}
+	}
+	return res
+}
+
+// mapEdgeCost carries a per-edge cost array through a contraction, taking
+// the max over fine edges that merge into one coarse edge.
+func mapEdgeCost(cost []float64, con *hypergraph.Contraction, fineEdges int) []float64 {
+	if cost == nil {
+		return nil
+	}
+	out := make([]float64, con.Coarse.NumEdges())
+	for e := 0; e < fineEdges; e++ {
+		ce := con.EdgeMap[e]
+		if ce >= 0 && cost[e] > out[ce] {
+			out[ce] = cost[e]
+		}
+	}
+	return out
+}
+
+// fcPass performs one first-choice matching pass and returns the merge map
+// (vertex -> representative label).
+func fcPass(h *hypergraph.Hypergraph, groups []int, tCost, sCost []float64,
+	opt Options, maxW float64, budget int, rng *rand.Rand) []int {
+
+	n := h.NumVertices()
+	parent := make([]int, n)
+	weight := make([]float64, n)
+	grp := make([]int, n)
+	for v := 0; v < n; v++ {
+		parent[v] = v
+		weight[v] = h.VertexWeight(v)
+		if groups != nil {
+			grp[v] = groups[v]
+		} else {
+			grp[v] = -1
+		}
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	if budget > 0 {
+		// Priority pass: visit vertices in descending order of their best
+		// candidate rating so the limited budget buys the best merges.
+		score := make([]float64, n)
+		for v := 0; v < n; v++ {
+			for _, e := range h.Incident(v) {
+				verts := h.Edge(e)
+				if len(verts) < 2 || len(verts) > opt.MaxEdgeSize {
+					continue
+				}
+				num := opt.Alpha * h.EdgeWeight(e)
+				if tCost != nil {
+					num += opt.Beta * tCost[e]
+				}
+				if sCost != nil {
+					num += opt.Gamma * sCost[e]
+				}
+				score[v] += num / float64(len(verts)-1)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if score[order[a]] != score[order[b]] {
+				return score[order[a]] > score[order[b]]
+			}
+			return order[a] < order[b]
+		})
+	}
+
+	rating := map[int]float64{}
+	for _, v := range order {
+		rv := find(v)
+		if rv != v {
+			continue // already absorbed this pass
+		}
+		for k := range rating {
+			delete(rating, k)
+		}
+		for _, e := range h.Incident(v) {
+			verts := h.Edge(e)
+			if len(verts) < 2 || len(verts) > opt.MaxEdgeSize {
+				continue
+			}
+			num := opt.Alpha * h.EdgeWeight(e)
+			if tCost != nil {
+				num += opt.Beta * tCost[e]
+			}
+			if sCost != nil {
+				num += opt.Gamma * sCost[e]
+			}
+			r := num / float64(len(verts)-1)
+			for _, u := range verts {
+				ru := find(u)
+				if ru == rv {
+					continue
+				}
+				rating[ru] += r
+			}
+		}
+		// Pick the best admissible candidate.
+		bestU, bestR := -1, 0.0
+		for ru, r := range rating {
+			if r <= 0 {
+				continue
+			}
+			if grp[rv] >= 0 && grp[ru] >= 0 && grp[rv] != grp[ru] {
+				continue // grouping constraint
+			}
+			if weight[rv]+weight[ru] > maxW {
+				continue // size cap
+			}
+			if r > bestR+1e-15 || (r > bestR-1e-15 && bestR > 0 && ru < bestU) {
+				bestU, bestR = ru, r
+			}
+		}
+		if bestU < 0 {
+			continue
+		}
+		// Union: attach rv under bestU.
+		parent[rv] = bestU
+		weight[bestU] += weight[rv]
+		if grp[bestU] < 0 {
+			grp[bestU] = grp[rv]
+		}
+		if budget > 0 {
+			budget--
+			if budget == 0 {
+				break // don't coarsen past the target
+			}
+		}
+	}
+	merge := make([]int, n)
+	for v := 0; v < n; v++ {
+		merge[v] = find(v)
+	}
+	return merge
+}
+
+func densify(assign []int) ([]int, int) {
+	dense := map[int]int{}
+	out := make([]int, len(assign))
+	for i, c := range assign {
+		id, ok := dense[c]
+		if !ok {
+			id = len(dense)
+			dense[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(dense)
+}
+
+// TimingCosts converts top-path slacks into per-hyperedge timing costs t_e,
+// following the criticality weighting of [5]: each path p carries
+// t_p = (1 - slack_p/T)^2 (clamped at 0), a hyperedge takes the worst
+// criticality over the paths traversing it, and the result is normalized to
+// max 1. Taking the max rather than the sum keeps t_e a *criticality*
+// measure instead of a traversal-popularity measure.
+//
+// pathNets lists, per path, the hyperedge IDs the path traverses; slacks is
+// aligned with pathNets; numEdges sizes the result.
+func TimingCosts(pathNets [][]int, slacks []float64, clockPeriod float64, numEdges int) []float64 {
+	t := make([]float64, numEdges)
+	if clockPeriod <= 0 {
+		return t
+	}
+	for i, nets := range pathNets {
+		crit := 1 - slacks[i]/clockPeriod
+		if crit <= 0 {
+			continue
+		}
+		tp := crit * crit
+		for _, e := range nets {
+			if e >= 0 && e < numEdges && tp > t[e] {
+				t[e] = tp
+			}
+		}
+	}
+	var max float64
+	for _, v := range t {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range t {
+			t[i] /= max
+		}
+	}
+	return t
+}
+
+// SwitchCosts computes per-hyperedge switching costs s_e per Eq. 2:
+//
+//	s_e = (1 + θ_e / Σθ)^μ
+//
+// where θ_e is the switching activity of edge e.
+func SwitchCosts(activity []float64, mu float64) []float64 {
+	if mu == 0 {
+		mu = 2
+	}
+	var total float64
+	for _, a := range activity {
+		total += a
+	}
+	out := make([]float64, len(activity))
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	for i, a := range activity {
+		out[i] = math.Pow(1+a/total, mu)
+	}
+	return out
+}
+
+// Sizes returns the size of each cluster in a dense assignment.
+func Sizes(assign []int, k int) []int {
+	out := make([]int, k)
+	for _, c := range assign {
+		out[c]++
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppaclust/internal/hypergraph"
+)
+
+func plantedGraph(n, groups int, seed int64) *hypergraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := hypergraph.NewGraph(n)
+	per := n / groups
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := 0.002
+			if i/per == j/per {
+				p = 0.08
+			}
+			if rng.Float64() < p {
+				g.AddEdge(i, j, 1)
+			}
+		}
+	}
+	g.Finish()
+	return g
+}
+
+// BenchmarkLouvain measures Louvain on a 2000-vertex planted partition.
+func BenchmarkLouvain(b *testing.B) {
+	g := plantedGraph(2000, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Louvain(g, Options{Seed: int64(i)})
+	}
+}
+
+// BenchmarkLeiden measures Leiden on the same graph.
+func BenchmarkLeiden(b *testing.B) {
+	g := plantedGraph(2000, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Leiden(g, Options{Seed: int64(i)})
+	}
+}

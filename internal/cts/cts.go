@@ -1,0 +1,277 @@
+// Package cts synthesizes a clock tree over the clock sinks of a placed
+// design, the reproduction's stand-in for TritonCTS / Innovus CCOpt. It
+// builds a balanced binary tree by recursive geometric bisection, sizes the
+// levels with a library clock buffer, and reports per-sink insertion delays
+// (fed to the STA as propagated clock arrivals), skew, buffer count and
+// clock wirelength. The host netlist is not mutated; the tree is virtual,
+// which is sufficient for post-route WNS/TNS/power evaluation.
+package cts
+
+import (
+	"math"
+	"sort"
+
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/sta"
+)
+
+// Options configures clock tree synthesis.
+type Options struct {
+	// MaxFanout is the maximum sinks driven by one leaf buffer. Default 16.
+	MaxFanout int
+	// BufMaster is the clock buffer cell. Required.
+	BufMaster *netlist.Master
+	// InputSlew is the slew assumed at each buffer input. Default 20ps.
+	InputSlew float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = 16
+	}
+	if o.InputSlew <= 0 {
+		o.InputSlew = 20e-12
+	}
+	return o
+}
+
+// Result reports the synthesized clock tree.
+type Result struct {
+	// Arrivals maps each clock sink pin to its insertion delay.
+	Arrivals map[sta.PinID]float64
+	// Buffers is the number of (virtual) clock buffers inserted.
+	Buffers int
+	// WirelengthUM is the total clock-tree wirelength.
+	WirelengthUM float64
+	// MaxInsertion and MinInsertion bound the sink insertion delays.
+	MaxInsertion float64
+	MinInsertion float64
+	// Levels is the tree depth (buffer levels).
+	Levels int
+	// Power is the estimated clock-tree dynamic power adder (W) at the
+	// analyzer's clock frequency, filled by EstimatePower.
+	Power float64
+}
+
+// Skew returns max - min insertion delay.
+func (r *Result) Skew() float64 { return r.MaxInsertion - r.MinInsertion }
+
+type sink struct {
+	pin  sta.PinID
+	x, y float64
+	cap  float64
+}
+
+type node struct {
+	x, y     float64
+	children []*node
+	sinks    []sink // leaf nodes only
+	loadCap  float64
+	wireLen  float64 // wire from this node to children/sinks
+}
+
+// Synthesize builds the clock tree for the given clock net.
+func Synthesize(d *netlist.Design, clockNet *netlist.Net, opt Options) *Result {
+	opt = opt.withDefaults()
+	var sinks []sink
+	var rootX, rootY float64
+	haveRoot := false
+	for _, pr := range clockNet.Pins {
+		if pr.IsPort() {
+			p := d.Port(pr.Pin)
+			if p != nil && p.Dir == netlist.DirInput {
+				rootX, rootY = p.X, p.Y
+				haveRoot = true
+			}
+			continue
+		}
+		mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
+		if mp == nil || mp.Dir != netlist.DirInput {
+			continue
+		}
+		x, y := d.PinPos(pr)
+		sinks = append(sinks, sink{pin: sta.PinID{Inst: pr.Inst, Pin: pr.Pin}, x: x, y: y, cap: mp.Cap})
+	}
+	res := &Result{Arrivals: make(map[sta.PinID]float64, len(sinks))}
+	if len(sinks) == 0 {
+		return res
+	}
+	if !haveRoot {
+		rootX, rootY = centroid(sinks)
+	}
+
+	tree := build(sinks, opt.MaxFanout)
+	res.Levels = depth(tree)
+
+	// Root wire from the clock source to the tree root.
+	rootWire := math.Abs(tree.x-rootX) + math.Abs(tree.y-rootY)
+	res.WirelengthUM += rootWire
+	annotate(tree, opt, res, wireDelay(rootWire, nodeCap(tree, opt)), 0)
+	return res
+}
+
+func centroid(sinks []sink) (float64, float64) {
+	var sx, sy float64
+	for _, s := range sinks {
+		sx += s.x
+		sy += s.y
+	}
+	n := float64(len(sinks))
+	return sx / n, sy / n
+}
+
+// build recursively bisects the sink set along its wider spread dimension.
+func build(sinks []sink, maxFanout int) *node {
+	cx, cy := centroid(sinks)
+	n := &node{x: cx, y: cy}
+	if len(sinks) <= maxFanout {
+		n.sinks = sinks
+		return n
+	}
+	minX, maxX := sinks[0].x, sinks[0].x
+	minY, maxY := sinks[0].y, sinks[0].y
+	for _, s := range sinks {
+		minX = math.Min(minX, s.x)
+		maxX = math.Max(maxX, s.x)
+		minY = math.Min(minY, s.y)
+		maxY = math.Max(maxY, s.y)
+	}
+	byX := maxX-minX >= maxY-minY
+	sorted := make([]sink, len(sinks))
+	copy(sorted, sinks)
+	sort.Slice(sorted, func(i, j int) bool {
+		if byX {
+			if sorted[i].x != sorted[j].x {
+				return sorted[i].x < sorted[j].x
+			}
+		} else {
+			if sorted[i].y != sorted[j].y {
+				return sorted[i].y < sorted[j].y
+			}
+		}
+		return sorted[i].pin.Inst < sorted[j].pin.Inst
+	})
+	mid := len(sorted) / 2
+	n.children = []*node{build(sorted[:mid], maxFanout), build(sorted[mid:], maxFanout)}
+	return n
+}
+
+func depth(n *node) int {
+	if len(n.children) == 0 {
+		return 1
+	}
+	d := 0
+	for _, c := range n.children {
+		if cd := depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// nodeCap returns the input load a node presents to its parent: the buffer
+// input cap (every internal and leaf node hosts a buffer).
+func nodeCap(n *node, opt Options) float64 {
+	for pi := range opt.BufMaster.Pins {
+		mp := &opt.BufMaster.Pins[pi]
+		if mp.Dir == netlist.DirInput {
+			return mp.Cap
+		}
+	}
+	return 1e-15
+}
+
+func wireDelay(length, loadCap float64) float64 {
+	return sta.WireResPerMicron * length * (sta.WireCapPerMicron*length/2 + loadCap)
+}
+
+// annotate walks the tree computing insertion delays.
+func annotate(n *node, opt Options, res *Result, at float64, level int) {
+	res.Buffers++
+	// Load seen by this node's buffer: wires + child buffer inputs or sinks.
+	var load, wl float64
+	if len(n.children) > 0 {
+		for _, c := range n.children {
+			l := math.Abs(c.x-n.x) + math.Abs(c.y-n.y)
+			wl += l
+			load += sta.WireCapPerMicron*l + nodeCap(c, opt)
+		}
+	} else {
+		for _, s := range n.sinks {
+			l := math.Abs(s.x-n.x) + math.Abs(s.y-n.y)
+			wl += l
+			load += sta.WireCapPerMicron*l + s.cap
+		}
+	}
+	n.loadCap = load
+	n.wireLen = wl
+	res.WirelengthUM += wl
+
+	bufDelay := bufferDelay(opt, load)
+	out := at + bufDelay
+	if len(n.children) > 0 {
+		for _, c := range n.children {
+			l := math.Abs(c.x-n.x) + math.Abs(c.y-n.y)
+			annotate(c, opt, res, out+wireDelay(l, nodeCap(c, opt)), level+1)
+		}
+		return
+	}
+	for _, s := range n.sinks {
+		l := math.Abs(s.x-n.x) + math.Abs(s.y-n.y)
+		ins := out + wireDelay(l, s.cap)
+		res.Arrivals[s.pin] = ins
+		if ins > res.MaxInsertion {
+			res.MaxInsertion = ins
+		}
+		if res.MinInsertion == 0 || ins < res.MinInsertion {
+			res.MinInsertion = ins
+		}
+	}
+}
+
+func bufferDelay(opt Options, load float64) float64 {
+	for pi := range opt.BufMaster.Pins {
+		mp := &opt.BufMaster.Pins[pi]
+		if mp.Dir != netlist.DirOutput {
+			continue
+		}
+		for ai := range mp.Arcs {
+			arc := &mp.Arcs[ai]
+			if arc.Kind == netlist.ArcComb {
+				return arc.Delay.Lookup(opt.InputSlew, load)
+			}
+		}
+	}
+	return 25e-12
+}
+
+// EstimatePower fills in the clock-tree dynamic power adder: every buffer
+// output and tree wire toggles at the clock activity (2 transitions/cycle).
+func (r *Result) EstimatePower(opt Options, clockPeriod, vdd float64) {
+	if clockPeriod <= 0 {
+		return
+	}
+	opt = opt.withDefaults()
+	freq := 1 / clockPeriod
+	wireCap := sta.WireCapPerMicron * r.WirelengthUM
+	bufCap := float64(r.Buffers) * nodeCapMaster(opt)
+	var energy float64
+	for pi := range opt.BufMaster.Pins {
+		mp := &opt.BufMaster.Pins[pi]
+		for ai := range mp.Arcs {
+			energy += mp.Arcs[ai].Energy
+		}
+	}
+	// Activity 2 toggles/cycle on every clock node.
+	r.Power = (0.5*(wireCap+bufCap)*vdd*vdd)*2*freq + float64(r.Buffers)*energy*2*freq
+}
+
+func nodeCapMaster(opt Options) float64 {
+	for pi := range opt.BufMaster.Pins {
+		mp := &opt.BufMaster.Pins[pi]
+		if mp.Dir == netlist.DirInput {
+			return mp.Cap
+		}
+	}
+	return 1e-15
+}

@@ -1,0 +1,294 @@
+// Package def reads and writes the DEF subset carrying the floorplan view:
+// die area, placed/fixed components, pin locations, and net connectivity.
+// Coordinates are stored in DEF database units (microns x 1000).
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ppaclust/internal/netlist"
+)
+
+const dbu = 1000.0 // database units per micron
+
+// Write emits the design's floorplan and netlist as DEF.
+func Write(w io.Writer, d *netlist.Design) error {
+	fmt.Fprintf(w, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", d.Name, int(dbu))
+	fmt.Fprintf(w, "DIEAREA ( %d %d ) ( %d %d ) ;\n",
+		du(d.Die.X0), du(d.Die.Y0), du(d.Die.X1), du(d.Die.Y1))
+	// A single summary ROW carries the core box and site geometry.
+	if d.Core.Area() > 0 && d.RowHeight > 0 && d.SiteWidth > 0 {
+		nSites := int(d.Core.W() / d.SiteWidth)
+		nRows := int(d.Core.H() / d.RowHeight)
+		fmt.Fprintf(w, "ROW CORE_AREA coresite %d %d N DO %d BY %d STEP %d %d ;\n",
+			du(d.Core.X0), du(d.Core.Y0), nSites, nRows, du(d.SiteWidth), du(d.RowHeight))
+	}
+	fmt.Fprintf(w, "COMPONENTS %d ;\n", len(d.Insts))
+	for _, inst := range d.Insts {
+		state := "UNPLACED"
+		loc := ""
+		if inst.Fixed {
+			state = "FIXED"
+		} else if inst.Placed {
+			state = "PLACED"
+		}
+		if inst.Placed || inst.Fixed {
+			loc = fmt.Sprintf(" ( %d %d ) N", du(inst.X), du(inst.Y))
+		}
+		fmt.Fprintf(w, "- %s %s + %s%s ;\n", escape(inst.Name), inst.Master.Name, state, loc)
+	}
+	fmt.Fprintln(w, "END COMPONENTS")
+	fmt.Fprintf(w, "PINS %d ;\n", len(d.Ports))
+	for _, p := range d.Ports {
+		dir := "INPUT"
+		switch p.Dir {
+		case netlist.DirOutput:
+			dir = "OUTPUT"
+		case netlist.DirInout:
+			dir = "INOUT"
+		}
+		loc := ""
+		if p.Placed {
+			loc = fmt.Sprintf(" + PLACED ( %d %d ) N", du(p.X), du(p.Y))
+		}
+		fmt.Fprintf(w, "- %s + NET %s + DIRECTION %s%s ;\n", escape(p.Name), escape(p.Name), dir, loc)
+	}
+	fmt.Fprintln(w, "END PINS")
+	fmt.Fprintf(w, "NETS %d ;\n", len(d.Nets))
+	for _, n := range d.Nets {
+		fmt.Fprintf(w, "- %s", escape(n.Name))
+		for _, pr := range n.Pins {
+			if pr.IsPort() {
+				fmt.Fprintf(w, " ( PIN %s )", escape(pr.Pin))
+			} else {
+				fmt.Fprintf(w, " ( %s %s )", escape(d.Insts[pr.Inst].Name), pr.Pin)
+			}
+		}
+		if n.Weight != 1 {
+			fmt.Fprintf(w, " + WEIGHT %d", int(n.Weight))
+		}
+		if n.Clock {
+			fmt.Fprintf(w, " + USE CLOCK")
+		}
+		fmt.Fprintln(w, " ;")
+	}
+	fmt.Fprintln(w, "END NETS")
+	_, err := fmt.Fprintln(w, "END DESIGN")
+	return err
+}
+
+func du(v float64) int { return int(v*dbu + 0.5) }
+
+// escape replaces characters DEF treats as separators inside names.
+func escape(s string) string { return strings.ReplaceAll(s, " ", "_") }
+
+// Parse reads DEF into a new design bound to lib.
+func Parse(r io.Reader, lib *netlist.Library) (*netlist.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4*1024*1024), 4*1024*1024)
+	var d *netlist.Design
+	section := ""
+	units := dbu
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		switch {
+		case f[0] == "DESIGN" && len(f) >= 2 && section == "":
+			d = netlist.NewDesign(f[1], lib)
+		case f[0] == "UNITS" && len(f) >= 4:
+			if v, err := strconv.ParseFloat(f[3], 64); err == nil && v > 0 {
+				units = v
+			}
+		case f[0] == "DIEAREA":
+			if d == nil {
+				return nil, fmt.Errorf("def: line %d: DIEAREA before DESIGN", lineNo)
+			}
+			nums := numbers(f)
+			if len(nums) >= 4 {
+				d.Die = netlist.Rect{X0: nums[0] / units, Y0: nums[1] / units,
+					X1: nums[2] / units, Y1: nums[3] / units}
+				d.Core = d.Die
+			}
+		case f[0] == "ROW" && len(f) >= 12:
+			if d == nil {
+				return nil, fmt.Errorf("def: line %d: ROW before DESIGN", lineNo)
+			}
+			x0, _ := strconv.ParseFloat(f[3], 64)
+			y0, _ := strconv.ParseFloat(f[4], 64)
+			nx, _ := strconv.Atoi(f[7])
+			ny, _ := strconv.Atoi(f[9])
+			sw, _ := strconv.ParseFloat(f[11], 64)
+			rh, _ := strconv.ParseFloat(f[12], 64)
+			d.SiteWidth = sw / units
+			d.RowHeight = rh / units
+			d.Core = netlist.Rect{
+				X0: x0 / units, Y0: y0 / units,
+				X1: x0/units + float64(nx)*d.SiteWidth,
+				Y1: y0/units + float64(ny)*d.RowHeight,
+			}
+		case f[0] == "COMPONENTS":
+			section = "COMPONENTS"
+		case f[0] == "PINS":
+			section = "PINS"
+		case f[0] == "NETS":
+			section = "NETS"
+		case f[0] == "END":
+			if len(f) >= 2 && f[1] == section {
+				section = ""
+			}
+		case f[0] == "-":
+			if d == nil {
+				return nil, fmt.Errorf("def: line %d: item before DESIGN", lineNo)
+			}
+			switch section {
+			case "COMPONENTS":
+				if err := parseComponent(d, lib, f, units, lineNo); err != nil {
+					return nil, err
+				}
+			case "PINS":
+				if err := parsePin(d, f, units, lineNo); err != nil {
+					return nil, err
+				}
+			case "NETS":
+				if err := parseNet(d, f, lineNo); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if d == nil {
+		return nil, fmt.Errorf("def: no DESIGN statement")
+	}
+	return d, sc.Err()
+}
+
+func numbers(f []string) []float64 {
+	var out []float64
+	for _, tok := range f {
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func parseComponent(d *netlist.Design, lib *netlist.Library, f []string, units float64, lineNo int) error {
+	if len(f) < 3 {
+		return fmt.Errorf("def: line %d: bad component", lineNo)
+	}
+	m := lib.Master(f[2])
+	if m == nil {
+		return fmt.Errorf("def: line %d: unknown master %q", lineNo, f[2])
+	}
+	inst, err := d.AddInstance(f[1], m)
+	if err != nil {
+		return err
+	}
+	for i := 3; i < len(f); i++ {
+		switch f[i] {
+		case "PLACED", "FIXED":
+			inst.Placed = true
+			inst.Fixed = f[i] == "FIXED"
+		}
+	}
+	nums := numbers(f[3:])
+	if len(nums) >= 2 {
+		inst.X, inst.Y = nums[0]/units, nums[1]/units
+	}
+	return nil
+}
+
+func parsePin(d *netlist.Design, f []string, units float64, lineNo int) error {
+	if len(f) < 2 {
+		return fmt.Errorf("def: line %d: bad pin", lineNo)
+	}
+	dir := netlist.DirInput
+	for i := range f {
+		if f[i] == "DIRECTION" && i+1 < len(f) {
+			switch f[i+1] {
+			case "OUTPUT":
+				dir = netlist.DirOutput
+			case "INOUT":
+				dir = netlist.DirInout
+			}
+		}
+	}
+	p, err := d.AddPort(f[1], dir)
+	if err != nil {
+		return err
+	}
+	for i := range f {
+		if f[i] == "PLACED" {
+			nums := numbers(f[i:])
+			if len(nums) >= 2 {
+				p.X, p.Y, p.Placed = nums[0]/units, nums[1]/units, true
+			}
+		}
+	}
+	return nil
+}
+
+func parseNet(d *netlist.Design, f []string, lineNo int) error {
+	if len(f) < 2 {
+		return fmt.Errorf("def: line %d: bad net", lineNo)
+	}
+	n, err := d.AddNet(f[1])
+	if err != nil {
+		return err
+	}
+	i := 2
+	for i < len(f) {
+		switch f[i] {
+		case "(":
+			if i+2 >= len(f) {
+				return fmt.Errorf("def: line %d: truncated net connection", lineNo)
+			}
+			a, b := f[i+1], f[i+2]
+			if a == "PIN" {
+				d.Connect(n, netlist.PinRef{Inst: -1, Pin: b})
+			} else {
+				inst := d.Instance(a)
+				if inst == nil {
+					return fmt.Errorf("def: line %d: unknown instance %q", lineNo, a)
+				}
+				d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: b})
+			}
+			i += 3
+			if i < len(f) && f[i] == ")" {
+				i++
+			}
+		case "+":
+			if i+1 < len(f) {
+				switch f[i+1] {
+				case "WEIGHT":
+					if i+2 < len(f) {
+						if v, err := strconv.ParseFloat(f[i+2], 64); err == nil {
+							n.Weight = v
+						}
+					}
+					i += 3
+					continue
+				case "USE":
+					if i+2 < len(f) && f[i+2] == "CLOCK" {
+						n.Clock = true
+					}
+					i += 3
+					continue
+				}
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	return nil
+}

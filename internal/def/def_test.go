@@ -1,0 +1,110 @@
+package def
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/place"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(111))
+	place.Global(b.Design, place.Options{Seed: 1, Legalize: true})
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Design); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()), b.Design.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Insts) != len(b.Design.Insts) || len(got.Nets) != len(b.Design.Nets) ||
+		len(got.Ports) != len(b.Design.Ports) {
+		t.Fatal("counts changed in round trip")
+	}
+	// Placement coordinates survive within DBU rounding.
+	for _, inst := range b.Design.Insts {
+		ri := got.Instance(inst.Name)
+		if ri == nil {
+			t.Fatalf("instance %q lost", inst.Name)
+		}
+		if math.Abs(ri.X-inst.X) > 1e-3 || math.Abs(ri.Y-inst.Y) > 1e-3 {
+			t.Fatalf("%s moved: (%v,%v) vs (%v,%v)", inst.Name, ri.X, ri.Y, inst.X, inst.Y)
+		}
+		if ri.Placed != inst.Placed || ri.Fixed != inst.Fixed {
+			t.Fatalf("%s placement state changed", inst.Name)
+		}
+	}
+	// Die area survives.
+	if math.Abs(got.Die.X1-b.Design.Die.X1) > 1e-3 {
+		t.Fatal("die area changed")
+	}
+	// Net weights and clock flags survive.
+	clk := got.Net("clk")
+	if clk == nil || !clk.Clock {
+		t.Fatal("clock flag lost")
+	}
+	// HPWL nearly identical (pins snap to DBU).
+	if math.Abs(got.HPWL()-b.Design.HPWL()) > 1.0 {
+		t.Fatalf("HPWL %v vs %v", got.HPWL(), b.Design.HPWL())
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(112))
+	b.Design.Nets[3].Weight = 4
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Design); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()), b.Design.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nets[3].Weight != 4 {
+		t.Fatalf("weight=%v", got.Nets[3].Weight)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	lib := designs.Lib()
+	cases := []string{
+		"",
+		"DESIGN top ;\nCOMPONENTS 1 ;\n- u1 NOPE + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN",
+		"DESIGN top ;\nNETS 1 ;\n- n1 ( ghost A ) ;\nEND NETS\nEND DESIGN",
+		"DIEAREA ( 0 0 ) ( 1 1 ) ;",
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src), lib); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestUnitsScaling(t *testing.T) {
+	lib := designs.Lib()
+	src := `DESIGN t ;
+UNITS DISTANCE MICRONS 2000 ;
+DIEAREA ( 0 0 ) ( 20000 20000 ) ;
+COMPONENTS 1 ;
+- u1 INV_X1 + PLACED ( 2000 4000 ) N ;
+END COMPONENTS
+END DESIGN`
+	d, err := Parse(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Die.X1 != 10 {
+		t.Fatalf("die X1=%v want 10", d.Die.X1)
+	}
+	u1 := d.Instance("u1")
+	if u1.X != 1 || u1.Y != 2 {
+		t.Fatalf("u1 at (%v,%v)", u1.X, u1.Y)
+	}
+}

@@ -1,0 +1,11 @@
+package designs
+
+import "testing"
+
+// BenchmarkGenerateAriane measures synthetic benchmark generation.
+func BenchmarkGenerateAriane(b *testing.B) {
+	spec, _ := Named("ariane")
+	for i := 0; i < b.N; i++ {
+		Generate(spec)
+	}
+}

@@ -1,0 +1,455 @@
+package designs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/sta"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name        string
+	TargetInsts int     // approximate instance count
+	Depth       int     // logical hierarchy depth (>=1)
+	Branch      int     // children per hierarchy node
+	SeqRatio    float64 // fraction of leaf cells that are registers
+	CrossFrac   float64 // fraction of sinks wired across leaf modules
+	SiblingBias float64 // of cross wires, fraction kept under the same parent
+	// BroadcastFrac is the fraction of gate inputs tied to global control
+	// signals (enables/selects): high-fanout, design-wide nets that mislead
+	// connectivity-only clustering but are not timing-critical. Default 0.03.
+	BroadcastFrac float64
+	IOs           int     // primary data IO count (split between in/out)
+	Macros        int     // preplaced RAM macros
+	ClockPeriod   float64 // target clock period (s)
+	Utilization   float64 // floorplan utilization target
+	LogicDepth    int     // max combinational depth between registers (default 16)
+	Seed          int64
+}
+
+// Benchmark bundles a generated design with its timing constraints.
+type Benchmark struct {
+	Design *netlist.Design
+	Cons   sta.Constraints
+	Spec   Spec
+}
+
+// specs are the six paper benchmarks, scaled ~40-100x down with ordering and
+// relative character preserved (aes: small flat crypto core; MemPool Group:
+// huge, deeply hierarchical, many macros). Clock periods follow Table 1's
+// TCP_OR column (in ns there; here the generator's gate depth is tuned so
+// those periods yield mildly violating paths, as in the paper's Tables 3-4).
+var specs = []Spec{
+	{Name: "aes", TargetInsts: 1500, Depth: 2, Branch: 4, SeqRatio: 0.18, CrossFrac: 0.10, SiblingBias: 0.7, IOs: 64, Macros: 0, ClockPeriod: 0.55e-9, Utilization: 0.55, LogicDepth: 10, Seed: 1001},
+	{Name: "jpeg", TargetInsts: 3200, Depth: 2, Branch: 5, SeqRatio: 0.16, CrossFrac: 0.08, SiblingBias: 0.7, IOs: 48, Macros: 0, ClockPeriod: 0.80e-9, Utilization: 0.55, LogicDepth: 14, Seed: 1002},
+	{Name: "ariane", TargetInsts: 6500, Depth: 3, Branch: 4, SeqRatio: 0.20, CrossFrac: 0.09, SiblingBias: 0.75, IOs: 96, Macros: 4, ClockPeriod: 1.05e-9, Utilization: 0.52, LogicDepth: 18, Seed: 1003},
+	{Name: "bp", TargetInsts: 13000, Depth: 3, Branch: 5, SeqRatio: 0.22, CrossFrac: 0.08, SiblingBias: 0.8, IOs: 128, Macros: 8, ClockPeriod: 1.25e-9, Utilization: 0.50, LogicDepth: 20, Seed: 1004},
+	{Name: "mb", TargetInsts: 19000, Depth: 4, Branch: 4, SeqRatio: 0.22, CrossFrac: 0.07, SiblingBias: 0.8, IOs: 128, Macros: 12, ClockPeriod: 1.35e-9, Utilization: 0.50, LogicDepth: 22, Seed: 1005},
+	{Name: "mpg", TargetInsts: 27000, Depth: 4, Branch: 5, SeqRatio: 0.24, CrossFrac: 0.06, SiblingBias: 0.85, IOs: 160, Macros: 16, ClockPeriod: 1.50e-9, Utilization: 0.48, LogicDepth: 24, Seed: 1006},
+}
+
+// PaperNames maps our short names to the paper's design names.
+var PaperNames = map[string]string{
+	"aes": "aes", "jpeg": "jpeg", "ariane": "ariane",
+	"bp": "BlackParrot", "mb": "MegaBoom", "mpg": "MemPool Group",
+}
+
+// Named returns the spec for one of the six benchmark names.
+func Named(name string) (Spec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// AllSpecs returns the six benchmark specs in paper order.
+func AllSpecs() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// TinySpec returns a fast, small spec for unit/integration tests.
+func TinySpec(seed int64) Spec {
+	return Spec{
+		Name: "tiny", TargetInsts: 320, Depth: 2, Branch: 3, SeqRatio: 0.2,
+		CrossFrac: 0.1, SiblingBias: 0.7, IOs: 16, Macros: 0,
+		ClockPeriod: 0.6e-9, Utilization: 0.5, LogicDepth: 10, Seed: seed,
+	}
+}
+
+// driver is an available signal source during generation.
+type driver struct {
+	ref   netlist.PinRef
+	net   *netlist.Net // nil until first sink connects
+	leaf  int          // producing leaf module index, -1 for primary inputs
+	depth int          // combinational depth since the last register stage
+}
+
+type generator struct {
+	rng   *rand.Rand
+	d     *netlist.Design
+	lib   *netlist.Library
+	spec  Spec
+	gates []string // comb master names, sampled by weight
+
+	clockNet  *netlist.Net
+	netCount  int
+	instCount int
+
+	// exported drivers per leaf, available to later leaves for cross wiring
+	exports    [][]driver
+	leafParent []int
+	broadcast  []driver // global control signals (register outputs)
+}
+
+// Generate builds the benchmark for a spec. The same spec always yields the
+// identical design (deterministic RNG; no map iteration in generation).
+func Generate(spec Spec) *Benchmark {
+	g := &generator{
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		lib:  Lib(),
+		spec: spec,
+	}
+	g.d = netlist.NewDesign(spec.Name, g.lib)
+	g.gates = []string{
+		"INV_X1", "INV_X1", "INV_X2", "BUF_X1",
+		"NAND2_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "OR2_X1",
+		"XOR2_X1", "AOI21_X1", "MUX2_X1",
+	}
+	if g.spec.LogicDepth <= 0 {
+		g.spec.LogicDepth = 16
+	}
+	if g.spec.BroadcastFrac == 0 {
+		g.spec.BroadcastFrac = 0.03
+	}
+	g.build()
+	cons := sta.DefaultConstraints(spec.ClockPeriod)
+	cons.ClockPorts = []string{"clk"}
+	return &Benchmark{Design: g.d, Cons: cons, Spec: spec}
+}
+
+func (g *generator) newNetFor(drv *driver) *netlist.Net {
+	if drv.net != nil {
+		return drv.net
+	}
+	n, err := g.d.AddNet(fmt.Sprintf("n%d", g.netCount))
+	if err != nil {
+		panic(err)
+	}
+	g.netCount++
+	g.d.Connect(n, drv.ref)
+	drv.net = n
+	return n
+}
+
+func (g *generator) addInst(path, master string) *netlist.Instance {
+	inst, err := g.d.AddInstance(fmt.Sprintf("%s/g%d", path, g.instCount), g.lib.Master(master))
+	if err != nil {
+		panic(err)
+	}
+	g.instCount++
+	return inst
+}
+
+// leafPaths enumerates the hierarchy tree's leaf module paths.
+func (g *generator) leafPaths() []string {
+	var out []string
+	g.leafParent = nil
+	parentOf := map[string]int{}
+	var rec func(prefix string, depth, parentIdx int)
+	rec = func(prefix string, depth, parentIdx int) {
+		if depth == g.spec.Depth {
+			out = append(out, prefix)
+			g.leafParent = append(g.leafParent, parentIdx)
+			return
+		}
+		idx := len(parentOf)
+		parentOf[prefix] = idx
+		for c := 0; c < g.spec.Branch; c++ {
+			rec(fmt.Sprintf("%s/m%d", prefix, c), depth+1, idx)
+		}
+	}
+	rec("top", 0, -1)
+	return out
+}
+
+func (g *generator) build() {
+	d := g.d
+	spec := g.spec
+
+	// Clock port and net.
+	clk, _ := d.AddPort("clk", netlist.DirInput)
+	g.clockNet, _ = d.AddNet("clk")
+	g.clockNet.Clock = true
+	d.Connect(g.clockNet, netlist.PinRef{Inst: -1, Pin: "clk"})
+	_ = clk
+
+	// Primary inputs.
+	nIn := spec.IOs / 2
+	if nIn < 4 {
+		nIn = 4
+	}
+	var primary []driver
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("in%d", i)
+		if _, err := d.AddPort(name, netlist.DirInput); err != nil {
+			panic(err)
+		}
+		primary = append(primary, driver{ref: netlist.PinRef{Inst: -1, Pin: name}, leaf: -1})
+	}
+
+	// Global control registers: their outputs broadcast across the design.
+	nCtrl := 3 + spec.TargetInsts/2500
+	for i := 0; i < nCtrl; i++ {
+		ff := g.addInst("top/ctrl", "DFF_X1")
+		d.Connect(g.clockNet, netlist.PinRef{Inst: ff.ID, Pin: "CK"})
+		// Control registers resample a primary input: a one-hop, timing-
+		// harmless path.
+		drv := &primary[g.rng.Intn(len(primary))]
+		n := g.newNetFor(drv)
+		d.Connect(n, netlist.PinRef{Inst: ff.ID, Pin: "D"})
+		g.broadcast = append(g.broadcast, driver{ref: netlist.PinRef{Inst: ff.ID, Pin: "Q"}, leaf: -1})
+	}
+
+	leaves := g.leafPaths()
+	perLeaf := spec.TargetInsts / len(leaves)
+	if perLeaf < 12 {
+		perLeaf = 12
+	}
+	g.exports = make([][]driver, 0, len(leaves))
+
+	for li, path := range leaves {
+		g.exports = append(g.exports, nil)
+		g.buildLeaf(li, path, perLeaf, primary)
+	}
+
+	// Macros: attach each to a leaf's exported signals.
+	for mi := 0; mi < spec.Macros; mi++ {
+		li := g.rng.Intn(len(leaves))
+		g.addMacro(mi, li, leaves[li])
+	}
+
+	// Primary outputs: tap exported drivers from random leaves.
+	nOut := spec.IOs - nIn
+	if nOut < 4 {
+		nOut = 4
+	}
+	for i := 0; i < nOut; i++ {
+		name := fmt.Sprintf("out%d", i)
+		if _, err := d.AddPort(name, netlist.DirOutput); err != nil {
+			panic(err)
+		}
+		li := g.rng.Intn(len(g.exports))
+		if len(g.exports[li]) == 0 {
+			continue
+		}
+		drv := &g.exports[li][g.rng.Intn(len(g.exports[li]))]
+		n := g.newNetFor(drv)
+		d.Connect(n, netlist.PinRef{Inst: -1, Pin: name})
+	}
+
+	g.floorplan()
+}
+
+// pickDriver selects a signal source for a sink in leaf li, honoring the
+// cross-module fraction and sibling bias.
+func (g *generator) pickDriver(li int, local []driver, primary []driver) *driver {
+	r := g.rng.Float64()
+	// Global control broadcast (enable/select fanout).
+	if r < g.spec.BroadcastFrac && len(g.broadcast) > 0 {
+		return &g.broadcast[g.rng.Intn(len(g.broadcast))]
+	}
+	r = g.rng.Float64()
+	// Cross-module selection from earlier leaves.
+	if r < g.spec.CrossFrac && li > 0 {
+		// Prefer a sibling (same parent) leaf.
+		var candidates []int
+		if g.rng.Float64() < g.spec.SiblingBias {
+			for lj := 0; lj < li; lj++ {
+				if g.leafParent[lj] == g.leafParent[li] && len(g.exports[lj]) > 0 {
+					candidates = append(candidates, lj)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			for lj := 0; lj < li; lj++ {
+				if len(g.exports[lj]) > 0 {
+					candidates = append(candidates, lj)
+				}
+			}
+		}
+		if len(candidates) > 0 {
+			lj := candidates[g.rng.Intn(len(candidates))]
+			return &g.exports[lj][g.rng.Intn(len(g.exports[lj]))]
+		}
+	}
+	if len(local) == 0 || g.rng.Float64() < 0.04 {
+		return &primary[g.rng.Intn(len(primary))]
+	}
+	// Locality: geometric bias toward recent drivers; the depth cap bounds
+	// register-to-register combinational depth so the design's critical
+	// paths track the spec's target clock period.
+	for try := 0; try < 4; try++ {
+		idx := len(local) - 1 - geometric(g.rng, 0.25, len(local))
+		if local[idx].depth < g.spec.LogicDepth {
+			return &local[idx]
+		}
+	}
+	// Fall back to a shallow driver (register outputs live at the front).
+	lo := g.rng.Intn(len(local)/4 + 1)
+	return &local[lo]
+}
+
+func geometric(rng *rand.Rand, p float64, bound int) int {
+	k := 0
+	for rng.Float64() > p && k < bound-1 {
+		k++
+	}
+	return k
+}
+
+// buildLeaf generates one leaf module: registers seed local drivers, a
+// combinational cloud consumes and extends them, and register D inputs close
+// the loops.
+func (g *generator) buildLeaf(li int, path string, nCells int, primary []driver) {
+	d := g.d
+	nReg := int(float64(nCells) * g.spec.SeqRatio)
+	if nReg < 2 {
+		nReg = 2
+	}
+	nComb := nCells - nReg
+
+	var local []driver
+	regs := make([]*netlist.Instance, 0, nReg)
+	for i := 0; i < nReg; i++ {
+		ff := g.addInst(path, "DFF_X1")
+		regs = append(regs, ff)
+		d.Connect(g.clockNet, netlist.PinRef{Inst: ff.ID, Pin: "CK"})
+		local = append(local, driver{ref: netlist.PinRef{Inst: ff.ID, Pin: "Q"}, leaf: li})
+	}
+	for i := 0; i < nComb; i++ {
+		master := g.gates[g.rng.Intn(len(g.gates))]
+		inst := g.addInst(path, master)
+		m := inst.Master
+		maxDepth := 0
+		for pi := range m.Pins {
+			mp := &m.Pins[pi]
+			if mp.Dir != netlist.DirInput {
+				continue
+			}
+			drv := g.pickDriver(li, local, primary)
+			if drv.depth > maxDepth {
+				maxDepth = drv.depth
+			}
+			n := g.newNetFor(drv)
+			d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: mp.Name})
+		}
+		local = append(local, driver{
+			ref:   netlist.PinRef{Inst: inst.ID, Pin: "ZN"},
+			leaf:  li,
+			depth: maxDepth + 1,
+		})
+	}
+	// Close register D inputs from late drivers (deep paths).
+	for _, ff := range regs {
+		lo := len(local) * 3 / 4
+		drv := &local[lo+g.rng.Intn(len(local)-lo)]
+		n := g.newNetFor(drv)
+		d.Connect(n, netlist.PinRef{Inst: ff.ID, Pin: "D"})
+	}
+	// Export a sample of drivers for cross-module wiring.
+	nExp := len(local) / 8
+	if nExp < 4 {
+		nExp = 4
+	}
+	for i := 0; i < nExp; i++ {
+		g.exports[li] = append(g.exports[li], local[g.rng.Intn(len(local))])
+	}
+}
+
+// addMacro instantiates a RAM connected to leaf li's exports.
+func (g *generator) addMacro(mi, li int, path string) {
+	d := g.d
+	ram, err := d.AddInstance(fmt.Sprintf("%s/ram%d", path, mi), g.lib.Master("RAM32X32"))
+	if err != nil {
+		panic(err)
+	}
+	d.Connect(g.clockNet, netlist.PinRef{Inst: ram.ID, Pin: "CK"})
+	exp := g.exports[li]
+	for i := 0; i < 8 && len(exp) > 0; i++ {
+		drv := &exp[g.rng.Intn(len(exp))]
+		n := g.newNetFor(drv)
+		d.Connect(n, netlist.PinRef{Inst: ram.ID, Pin: "A" + itoa(i)})
+	}
+	// RAM outputs become new exported drivers.
+	for i := 0; i < 8; i++ {
+		g.exports[li] = append(g.exports[li],
+			driver{ref: netlist.PinRef{Inst: ram.ID, Pin: "Q" + itoa(i)}, leaf: li})
+	}
+}
+
+// floorplan sizes the die/core from total area and utilization, places ports
+// on the core boundary and preplaces macros along the left edge.
+func (g *generator) floorplan() {
+	d := g.d
+	area := d.TotalCellArea() / g.spec.Utilization
+	side := math.Sqrt(area)
+	// Snap to row grid.
+	rows := math.Ceil(side/RowHeight) + 1
+	side = rows * RowHeight
+	const margin = 10.0
+	d.Core = netlist.Rect{X0: margin, Y0: margin, X1: margin + side, Y1: margin + side}
+	d.Die = netlist.Rect{X0: 0, Y0: 0, X1: side + 2*margin, Y1: side + 2*margin}
+	d.RowHeight = RowHeight
+	d.SiteWidth = SiteWidth
+
+	// Ports around the core boundary, evenly spaced.
+	n := len(d.Ports)
+	perim := 4 * side
+	for i, p := range d.Ports {
+		t := perim * float64(i) / float64(n)
+		x, y := pointOnPerimeter(d.Core, t)
+		p.X, p.Y, p.Placed = x, y, true
+	}
+	// Macros along the left and right edges, fixed.
+	mi := 0
+	for _, inst := range d.Insts {
+		if inst.Master.Class != netlist.ClassMacro {
+			continue
+		}
+		col := mi % 2
+		row := mi / 2
+		if col == 0 {
+			inst.X = d.Core.X0 + 1
+		} else {
+			inst.X = d.Core.X1 - inst.Master.Width - 1
+		}
+		inst.Y = d.Core.Y0 + 1 + float64(row)*(inst.Master.Height+2)
+		if inst.Y+inst.Master.Height > d.Core.Y1 {
+			inst.Y = d.Core.Y1 - inst.Master.Height - 1
+		}
+		inst.Placed = true
+		inst.Fixed = true
+		mi++
+	}
+}
+
+func pointOnPerimeter(r netlist.Rect, t float64) (float64, float64) {
+	w, h := r.W(), r.H()
+	switch {
+	case t < w:
+		return r.X0 + t, r.Y0
+	case t < w+h:
+		return r.X1, r.Y0 + (t - w)
+	case t < 2*w+h:
+		return r.X1 - (t - w - h), r.Y1
+	default:
+		return r.X0, r.Y1 - (t - 2*w - h)
+	}
+}

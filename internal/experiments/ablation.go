@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"ppaclust/internal/designs"
+	"ppaclust/internal/flow"
+)
+
+// AblationRow is one arm of the PPA-awareness term ablation: which rating
+// terms were enabled and the resulting post-route PPA, normalized where
+// noted. This extends the paper's Table 5 (which only compares whole
+// methods) with a per-term breakdown — one of the "design choices" studies
+// DESIGN.md commits to.
+type AblationRow struct {
+	Design string
+	Arm    string // full | no-hierarchy | no-timing | no-switching | connectivity
+	RWL    float64
+	WNSps  float64
+	TNSns  float64
+	PowerW float64
+}
+
+// AblationClusterTerms runs the five-arm ablation on the small designs in
+// OpenROAD mode with uniform shapes (isolating the clustering terms).
+func (s *Suite) AblationClusterTerms() []AblationRow {
+	names := s.smallDesigns()
+	if s.Fast {
+		names = names[:1]
+	}
+	arms := []struct {
+		name string
+		opt  func(o *flow.Options)
+	}{
+		{"full", func(o *flow.Options) {}},
+		{"no-hierarchy", func(o *flow.Options) { o.NoHierarchy = true }},
+		{"no-timing", func(o *flow.Options) { o.Beta = -1 }},
+		{"no-switching", func(o *flow.Options) { o.Gamma = -1 }},
+		{"connectivity", func(o *flow.Options) { o.NoHierarchy = true; o.Beta = -1; o.Gamma = -1 }},
+	}
+	var rows []AblationRow
+	for _, name := range names {
+		b := s.Bench(name)
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed}))
+		for _, arm := range arms {
+			seeds := []int64{s.Seed, s.Seed + 1}
+			var rwl, wns, tns, pwr float64
+			for _, seed := range seeds {
+				o := flow.Options{Seed: seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeUniform}
+				arm.opt(&o)
+				r := must(flow.Run(b, o))
+				rwl += r.RoutedWL / def.RoutedWL / float64(len(seeds))
+				wns += r.WNS * 1e12 / float64(len(seeds))
+				tns += r.TNS * 1e9 / float64(len(seeds))
+				pwr += r.Power / float64(len(seeds))
+			}
+			rows = append(rows, AblationRow{
+				Design: designs.PaperNames[name], Arm: arm.name,
+				RWL: rwl, WNSps: wns, TNSns: tns, PowerW: pwr,
+			})
+		}
+	}
+	return rows
+}

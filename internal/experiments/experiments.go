@@ -1,0 +1,523 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the synthetic benchmark suite: Table 1
+// (benchmark statistics), Table 2 (post-place HPWL/CPU vs blob placement
+// [9] and the default flow), Table 3 (post-route PPA, OpenROAD), Table 4
+// (post-route PPA, Innovus), Table 5 (clustering ablation), Table 6 (shape
+// ablation), the Section 4.4 GNN MAE/R2 metrics, and Figure 5
+// (hyperparameter sweep).
+//
+// Absolute values cannot match the paper (the substrate is a simulator and
+// the designs are synthetic); the suite asserts and reports the paper's
+// relative *shape*: who wins, in which metric, by roughly what factor.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ppaclust/internal/cluster"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/features"
+	"ppaclust/internal/flow"
+	"ppaclust/internal/gnn"
+	"ppaclust/internal/vpr"
+)
+
+// Suite runs experiments with shared caches (generated designs, trained
+// model).
+type Suite struct {
+	// Fast restricts designs to small ones and shrinks the ML dataset; used
+	// by tests. The full ppabench run leaves it false.
+	Fast bool
+	// Seed drives all randomized stages.
+	Seed int64
+
+	benchCache map[string]*designs.Benchmark
+	model      *gnn.Model
+	modelStats GNNReport
+}
+
+// NewSuite returns an experiment suite.
+func NewSuite(fast bool, seed int64) *Suite {
+	return &Suite{Fast: fast, Seed: seed, benchCache: map[string]*designs.Benchmark{}}
+}
+
+// Bench returns the cached benchmark for a named spec.
+func (s *Suite) Bench(name string) *designs.Benchmark {
+	if b, ok := s.benchCache[name]; ok {
+		return b
+	}
+	spec, ok := designs.Named(name)
+	if !ok {
+		panic("experiments: unknown design " + name)
+	}
+	if s.Fast {
+		spec.TargetInsts /= 4
+		if spec.TargetInsts < 400 {
+			spec.TargetInsts = 400
+		}
+	}
+	b := designs.Generate(spec)
+	s.benchCache[name] = b
+	return b
+}
+
+func (s *Suite) smallDesigns() []string { return []string{"aes", "jpeg", "ariane"} }
+
+func (s *Suite) allDesigns() []string {
+	if s.Fast {
+		return []string{"aes", "jpeg"}
+	}
+	return []string{"aes", "jpeg", "ariane", "bp", "mb", "mpg"}
+}
+
+// ---- Table 1 ----
+
+// Table1Row mirrors the paper's benchmark statistics table.
+type Table1Row struct {
+	Design string
+	Insts  int
+	Nets   int
+	TCPns  float64
+}
+
+// Table1 generates the benchmark statistics.
+func (s *Suite) Table1() []Table1Row {
+	var rows []Table1Row
+	for _, name := range s.allDesigns() {
+		b := s.Bench(name)
+		rows = append(rows, Table1Row{
+			Design: designs.PaperNames[name],
+			Insts:  len(b.Design.Insts),
+			Nets:   len(b.Design.Nets),
+			TCPns:  b.Spec.ClockPeriod * 1e9,
+		})
+	}
+	return rows
+}
+
+// ---- Table 2 ----
+
+// Table2Row is one design's post-place comparison, normalized to the
+// default flow (HPWL and CPU of blob placement [9] and of our flow).
+type Table2Row struct {
+	Design   string
+	BlobHPWL float64
+	BlobCPU  float64
+	OursHPWL float64
+	OursCPU  float64
+}
+
+// Table2 compares post-place HPWL and placement CPU. Blob placement [9] is
+// Louvain clustering + seeded placement with IO-weighted nets; ours is
+// PPA-aware clustering + ML-accelerated V-P&R + seeded placement.
+func (s *Suite) Table2() []Table2Row {
+	model := s.Model()
+	var rows []Table2Row
+	for _, name := range s.allDesigns() {
+		b := s.Bench(name)
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true}))
+		blob := must(flow.Run(b, flow.Options{
+			Seed: s.Seed, Method: flow.MethodLouvain, Shapes: flow.ShapeUniform,
+			SkipRoute: true,
+		}))
+		ours := must(flow.Run(b, flow.Options{
+			Seed: s.Seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeVPRML,
+			Model: model, SkipRoute: true,
+		}))
+		// CPU follows the paper's Table 2 definition: "cumulative runtimes
+		// of clustering and seeded placement", normalized by the default
+		// flow's placement runtime. Shape selection is reported separately
+		// (its cost is the one-time-amortized ML path of Section 3.2).
+		rows = append(rows, Table2Row{
+			Design:   designs.PaperNames[name],
+			BlobHPWL: blob.HPWL / def.HPWL,
+			BlobCPU:  cpuRatio(blob.PlaceTime, def.PlaceTime),
+			OursHPWL: ours.HPWL / def.HPWL,
+			OursCPU:  cpuRatio(ours.PlaceTime, def.PlaceTime),
+		})
+	}
+	return rows
+}
+
+func cpuRatio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ---- Tables 3 and 4 ----
+
+// PPARow is one post-route PPA comparison row.
+type PPARow struct {
+	Design string
+	Flow   string
+	RWL    float64 // normalized to the design's default flow
+	WNSps  float64
+	TNSns  float64
+	PowerW float64
+}
+
+// Table3 is the OpenROAD post-route comparison (default vs ours) on the
+// four routable designs.
+func (s *Suite) Table3() []PPARow {
+	names := []string{"aes", "jpeg", "ariane", "bp"}
+	if s.Fast {
+		names = []string{"aes", "jpeg"}
+	}
+	return s.postRouteCompare(names, flow.ToolOpenROAD)
+}
+
+// Table4 is the Innovus-mode post-route comparison on all six designs.
+func (s *Suite) Table4() []PPARow {
+	return s.postRouteCompare(s.allDesigns(), flow.ToolInnovus)
+}
+
+func (s *Suite) postRouteCompare(names []string, tool flow.Tool) []PPARow {
+	model := s.Model()
+	var rows []PPARow
+	for _, name := range names {
+		b := s.Bench(name)
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Tool: tool}))
+		ours := must(flow.Run(b, flow.Options{
+			Seed: s.Seed, Tool: tool,
+			Method: flow.MethodPPAAware, Shapes: flow.ShapeVPRML, Model: model,
+		}))
+		rows = append(rows,
+			PPARow{Design: designs.PaperNames[name], Flow: "Default", RWL: 1.0,
+				WNSps: def.WNS * 1e12, TNSns: def.TNS * 1e9, PowerW: def.Power},
+			PPARow{Design: designs.PaperNames[name], Flow: "Ours", RWL: ours.RoutedWL / def.RoutedWL,
+				WNSps: ours.WNS * 1e12, TNSns: ours.TNS * 1e9, PowerW: ours.Power},
+		)
+	}
+	return rows
+}
+
+// ---- Table 5 ----
+
+// Table5 compares clustering methods (Leiden, MFC, ours) inside the same
+// overall flow on the three small designs, OpenROAD mode.
+func (s *Suite) Table5() []PPARow {
+	model := s.Model()
+	names := s.smallDesigns()
+	if s.Fast {
+		names = names[:2]
+	}
+	var rows []PPARow
+	for _, name := range names {
+		b := s.Bench(name)
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed}))
+		for _, m := range []struct {
+			label  string
+			method flow.Method
+		}{
+			{"Leiden", flow.MethodLeiden},
+			{"MFC", flow.MethodMFC},
+			{"Ours", flow.MethodPPAAware},
+		} {
+			r := must(flow.Run(b, flow.Options{
+				Seed: s.Seed, Method: m.method,
+				Shapes: flow.ShapeVPRML, Model: model,
+			}))
+			rows = append(rows, PPARow{
+				Design: designs.PaperNames[name], Flow: m.label,
+				RWL:   r.RoutedWL / def.RoutedWL,
+				WNSps: r.WNS * 1e12, TNSns: r.TNS * 1e9, PowerW: r.Power,
+			})
+		}
+	}
+	return rows
+}
+
+// ---- Table 6 ----
+
+// Table6 compares shape-assignment strategies (Random, Uniform, V-P&R_ML)
+// in Innovus mode; rWL is normalized to the Uniform arm per the paper.
+func (s *Suite) Table6() []PPARow {
+	model := s.Model()
+	names := []string{"ariane", "jpeg", "mb"}
+	if s.Fast {
+		names = []string{"aes", "jpeg"}
+	}
+	var rows []PPARow
+	for _, name := range names {
+		b := s.Bench(name)
+		arms := []struct {
+			label string
+			mode  flow.ShapeMode
+		}{
+			{"Random", flow.ShapeRandom},
+			{"Uniform", flow.ShapeUniform},
+			{"V-P&R_ML", flow.ShapeVPRML},
+		}
+		// Average each arm over a few seeds: at reproduction scale the
+		// shape-selection effect is second-order, so single runs are noisy.
+		seeds := []int64{s.Seed, s.Seed + 1}
+		type acc struct{ rwl, wns, tns, pwr float64 }
+		results := make([]acc, len(arms))
+		for i, a := range arms {
+			for _, seed := range seeds {
+				r := must(flow.Run(b, flow.Options{
+					Seed: seed, Tool: flow.ToolInnovus,
+					Method: flow.MethodPPAAware, Shapes: a.mode, Model: model,
+				}))
+				results[i].rwl += r.RoutedWL / float64(len(seeds))
+				results[i].wns += r.WNS * 1e12 / float64(len(seeds))
+				results[i].tns += r.TNS * 1e9 / float64(len(seeds))
+				results[i].pwr += r.Power / float64(len(seeds))
+			}
+		}
+		uniform := results[1]
+		for i, a := range arms {
+			rows = append(rows, PPARow{
+				Design: designs.PaperNames[name], Flow: a.label,
+				RWL:   results[i].rwl / uniform.rwl,
+				WNSps: results[i].wns, TNSns: results[i].tns,
+				PowerW: results[i].pwr,
+			})
+		}
+	}
+	return rows
+}
+
+// ---- Figure 5 ----
+
+// Figure5Point is one sweep point: a hyperparameter multiplier and the mean
+// normalized post-place HPWL over the sweep designs (1.0 = default).
+type Figure5Point struct {
+	Param      string
+	Multiplier float64
+	Score      float64
+}
+
+// Figure5 sweeps multipliers 1..6 on each of alpha, beta, gamma, mu,
+// normalizing post-place HPWL to the default-multiplier run per design.
+func (s *Suite) Figure5() []Figure5Point {
+	names := s.smallDesigns()
+	mults := []float64{1, 2, 3, 4, 5, 6}
+	if s.Fast {
+		names = names[:1]
+		mults = []float64{1, 2, 3}
+	}
+	base := map[string]float64{}
+	for _, name := range names {
+		b := s.Bench(name)
+		r := must(flow.Run(b, flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform, SkipRoute: true}))
+		base[name] = r.HPWL
+	}
+	var pts []Figure5Point
+	for _, param := range []string{"alpha", "beta", "gamma", "mu"} {
+		for _, m := range mults {
+			var sum float64
+			for _, name := range names {
+				b := s.Bench(name)
+				opt := flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform, SkipRoute: true}
+				switch param {
+				case "alpha":
+					opt.Alpha = m
+				case "beta":
+					opt.Beta = m
+				case "gamma":
+					opt.Gamma = m
+				case "mu":
+					opt.Mu = 2 * m
+				}
+				r := must(flow.Run(b, opt))
+				sum += r.HPWL / base[name]
+			}
+			pts = append(pts, Figure5Point{Param: param, Multiplier: m, Score: sum / float64(len(names))})
+		}
+	}
+	return pts
+}
+
+// ---- Section 4.4: GNN model quality ----
+
+// GNNReport carries the model-quality metrics of Section 4.4.
+type GNNReport struct {
+	Train, Val, Test gnn.Metrics
+	LabelMin         float64
+	LabelMax         float64
+	LabelMean        float64
+	Samples          int
+	TrainTime        time.Duration
+	SpeedupX         float64 // exact V-P&R time / ML inference time per shape
+}
+
+// Model returns the trained Total Cost predictor, training it on first use.
+func (s *Suite) Model() *gnn.Model {
+	if s.model == nil {
+		s.model, s.modelStats = s.trainModel()
+	}
+	return s.model
+}
+
+// GNNMetrics returns the Section 4.4 quality report (training on demand).
+func (s *Suite) GNNMetrics() GNNReport {
+	s.Model()
+	return s.modelStats
+}
+
+// trainModel builds the V-P&R dataset by perturbing clustering seeds on the
+// small designs (the paper perturbs seed/coarsening hyperparameters), labels
+// every (cluster, shape) pair with exact V-P&R, and fits the GNN.
+func (s *Suite) trainModel() (*gnn.Model, GNNReport) {
+	nSeeds := 4
+	minClusterInsts := 25
+	if s.Fast {
+		nSeeds = 1
+	}
+	var samples []gnn.Sample
+	var exactTime time.Duration
+	names := s.smallDesigns()
+	if s.Fast {
+		names = names[:1]
+	}
+	for _, name := range names {
+		b := s.Bench(name)
+		view := b.Design.ToHypergraph()
+		for k := 0; k < nSeeds; k++ {
+			res := cluster.MultilevelFC(view.H, cluster.Options{
+				Seed:           s.Seed + int64(100*k),
+				TargetClusters: 10 + 6*k,
+			})
+			members := make([][]int, res.NumClusters)
+			for v, c := range res.Assign {
+				members[c] = append(members[c], v)
+			}
+			for c := range members {
+				if len(members[c]) < minClusterInsts || len(members[c]) > 400 {
+					continue
+				}
+				sub, err := vpr.InduceSubNetlist(b.Design, members[c])
+				if err != nil {
+					continue
+				}
+				g := gnn.BuildGraphInput(sub, features.Options{Seed: s.Seed})
+				runner := vpr.Runner{Opt: vpr.Options{Seed: s.Seed}}
+				t0 := time.Now()
+				for _, shape := range vpr.ShapeCandidates() {
+					label := runner.Evaluate(sub, shape).TotalCost
+					samples = append(samples, gnn.Sample{Graph: g, Shape: shape, Label: label})
+				}
+				exactTime += time.Since(t0)
+			}
+		}
+	}
+	// Deterministic split 70/15/15 by sample index stride.
+	var train, val, test []gnn.Sample
+	for i, smp := range samples {
+		switch i % 20 {
+		case 17, 18:
+			val = append(val, smp)
+		case 19, 16:
+			test = append(test, smp)
+		default:
+			train = append(train, smp)
+		}
+	}
+	model := gnn.NewModel(s.Seed)
+	epochs := 10
+	if s.Fast {
+		epochs = 3
+	}
+	t0 := time.Now()
+	model.Fit(train, gnn.TrainOptions{Epochs: epochs, LR: 1.5e-3, Seed: s.Seed})
+	trainTime := time.Since(t0)
+
+	rep := GNNReport{
+		Train:     model.Evaluate(train),
+		Val:       model.Evaluate(val),
+		Test:      model.Evaluate(test),
+		Samples:   len(samples),
+		TrainTime: trainTime,
+	}
+	rep.LabelMin, rep.LabelMax, rep.LabelMean = labelStats(samples)
+	// Inference speedup: time 20 predictions vs the recorded exact V-P&R.
+	if len(samples) > 0 && exactTime > 0 {
+		t0 = time.Now()
+		n := 0
+		for _, shape := range vpr.ShapeCandidates() {
+			model.Predict(samples[0].Graph, shape)
+			n++
+		}
+		perPredict := time.Since(t0) / time.Duration(n)
+		perExact := exactTime / time.Duration(len(samples))
+		if perPredict > 0 {
+			rep.SpeedupX = float64(perExact) / float64(perPredict)
+		}
+	}
+	return model, rep
+}
+
+func labelStats(samples []gnn.Sample) (min, max, mean float64) {
+	if len(samples) == 0 {
+		return
+	}
+	min, max = samples[0].Label, samples[0].Label
+	var sum float64
+	for _, s := range samples {
+		if s.Label < min {
+			min = s.Label
+		}
+		if s.Label > max {
+			max = s.Label
+		}
+		sum += s.Label
+	}
+	return min, max, sum / float64(len(samples))
+}
+
+func must(r *flow.Result, err error) *flow.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ---- rendering ----
+
+// FprintTable renders rows of any table type as an aligned text table.
+func FprintTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// SortPPARows orders rows by design then flow for stable output.
+func SortPPARows(rows []PPARow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Design != rows[j].Design {
+			return rows[i].Design < rows[j].Design
+		}
+		return rows[i].Flow < rows[j].Flow
+	})
+}

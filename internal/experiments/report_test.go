@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReportFast(t *testing.T) {
+	s := NewSuite(true, 11)
+	var sb strings.Builder
+	claims := s.WriteReport(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+		"Section 4.4", "Figure 5", "Reproduction shape checks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing section %q", want)
+		}
+	}
+	if len(claims) < 8 {
+		t.Fatalf("claims=%d", len(claims))
+	}
+	// Paper reference values must appear alongside measured ones.
+	if !strings.Contains(out, "0.131") || !strings.Contains(out, "15547") {
+		t.Fatal("paper reference values missing")
+	}
+}

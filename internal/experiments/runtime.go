@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"time"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/flow"
+)
+
+// RuntimeRow is the runtime breakdown of the clustered flow on one design —
+// the supplementary data the paper defers to its repository ("We separately
+// give the runtime breakdown of our approach in [22]").
+type RuntimeRow struct {
+	Design       string
+	Cluster      time.Duration
+	Shape        time.Duration
+	SeedPlace    time.Duration
+	IncrPlace    time.Duration
+	Total        time.Duration // cluster + seed + incremental
+	DefaultPlace time.Duration // flat-flow placement for reference
+}
+
+// RuntimeBreakdown measures per-stage runtimes of the full method
+// (PPA-aware clustering + ML-accelerated V-P&R) on every benchmark.
+func (s *Suite) RuntimeBreakdown() []RuntimeRow {
+	model := s.Model()
+	var rows []RuntimeRow
+	for _, name := range s.allDesigns() {
+		b := s.Bench(name)
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true}))
+		r := must(flow.Run(b, flow.Options{
+			Seed: s.Seed, Method: flow.MethodPPAAware,
+			Shapes: flow.ShapeVPRML, Model: model, SkipRoute: true,
+		}))
+		rows = append(rows, RuntimeRow{
+			Design:       designs.PaperNames[name],
+			Cluster:      r.ClusterTime,
+			Shape:        r.ShapeTime,
+			SeedPlace:    r.SeedPlaceTime,
+			IncrPlace:    r.IncrPlaceTime,
+			Total:        r.PlaceTime,
+			DefaultPlace: def.PlaceTime,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,86 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/vpr"
+)
+
+func TestClusterMasterAreasMatchShape(t *testing.T) {
+	spec := designs.TinySpec(601)
+	spec.Macros = 1
+	b := designs.Generate(spec)
+	d := b.Design.Clone()
+	assign := make([]int, len(d.Insts))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	shapes := map[int]vpr.Shape{
+		0: {AspectRatio: 1.0, Utilization: 0.8},
+		1: {AspectRatio: 1.5, Utilization: 0.75},
+		2: {AspectRatio: 0.75, Utilization: 0.9},
+	}
+	cd, clusterInsts := BuildClusteredDesign(d, assign, 3, shapes)
+	// Movable member area per cluster.
+	area := make([]float64, 3)
+	for i, inst := range d.Insts {
+		if !inst.Fixed {
+			area[assign[i]] += inst.Master.Area()
+		}
+	}
+	for c := 0; c < 3; c++ {
+		m := cd.Insts[clusterInsts[c]].Master
+		wantArea := area[c] / shapes[c].Utilization
+		if math.Abs(m.Area()-wantArea)/wantArea > 0.01 {
+			t.Fatalf("cluster %d area %v want %v", c, m.Area(), wantArea)
+		}
+		gotAR := m.Height / m.Width
+		if math.Abs(gotAR-shapes[c].AspectRatio) > 0.01 {
+			t.Fatalf("cluster %d AR %v want %v", c, gotAR, shapes[c].AspectRatio)
+		}
+	}
+}
+
+func TestClusteredNetWeightAccumulates(t *testing.T) {
+	lib := designs.Lib()
+	d := netlist.NewDesign("w", lib)
+	d.Core = netlist.Rect{X0: 0, Y0: 0, X1: 50, Y1: 50}
+	inv := lib.Master("INV_X1")
+	for i := 0; i < 4; i++ {
+		if _, err := d.AddInstance("g"+string(rune('0'+i)), inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two parallel nets between the same cluster pair.
+	n1, _ := d.AddNet("n1")
+	d.Connect(n1, netlist.PinRef{Inst: 0, Pin: "ZN"})
+	d.Connect(n1, netlist.PinRef{Inst: 2, Pin: "A"})
+	n2, _ := d.AddNet("n2")
+	n2.Weight = 3
+	d.Connect(n2, netlist.PinRef{Inst: 1, Pin: "ZN"})
+	d.Connect(n2, netlist.PinRef{Inst: 3, Pin: "A"})
+	assign := []int{0, 0, 1, 1}
+	cd, _ := BuildClusteredDesign(d, assign, 2, nil)
+	if len(cd.Nets) != 1 {
+		t.Fatalf("nets=%d want 1 (parallel merge)", len(cd.Nets))
+	}
+	if cd.Nets[0].Weight != 4 {
+		t.Fatalf("merged weight=%v want 4", cd.Nets[0].Weight)
+	}
+}
+
+func TestClusteredDesignKeepsFloorplan(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(602))
+	d := b.Design.Clone()
+	assign := make([]int, len(d.Insts))
+	cd, _ := BuildClusteredDesign(d, assign, 1, nil)
+	if cd.Core != d.Core || cd.Die != d.Die {
+		t.Fatal("floorplan not carried over")
+	}
+	if cd.RowHeight != d.RowHeight || cd.SiteWidth != d.SiteWidth {
+		t.Fatal("row/site geometry lost")
+	}
+}

@@ -1,0 +1,115 @@
+package flow
+
+import (
+	"fmt"
+	"os"
+
+	"ppaclust/internal/def"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/lef"
+	"ppaclust/internal/liberty"
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/sdc"
+	"ppaclust/internal/verilog"
+)
+
+// Files names the input file set of Algorithm 1 (.v, .lib, .lef, .def, .sdc).
+type Files struct {
+	Verilog string
+	Liberty string
+	LEF     string
+	DEF     string
+	SDC     string
+}
+
+// LoadBenchmark assembles a runnable benchmark from the standard file set:
+// the Liberty file provides the electrical library, LEF merges in geometry,
+// Verilog provides the netlist, the DEF provides floorplan plus port and
+// macro preplacement (its nets are ignored in favor of the Verilog
+// connectivity), and the SDC provides constraints.
+func LoadBenchmark(f Files) (*designs.Benchmark, error) {
+	lbf, err := os.Open(f.Liberty)
+	if err != nil {
+		return nil, fmt.Errorf("flow: liberty: %w", err)
+	}
+	lib, err := liberty.Parse(lbf)
+	lbf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("flow: liberty: %w", err)
+	}
+	if f.LEF != "" {
+		lf, err := os.Open(f.LEF)
+		if err != nil {
+			return nil, fmt.Errorf("flow: lef: %w", err)
+		}
+		_, err = lef.Parse(lf, lib)
+		lf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("flow: lef: %w", err)
+		}
+	}
+	vf, err := os.Open(f.Verilog)
+	if err != nil {
+		return nil, fmt.Errorf("flow: verilog: %w", err)
+	}
+	d, err := verilog.Parse(vf, lib)
+	vf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("flow: verilog: %w", err)
+	}
+	if f.DEF != "" {
+		df, err := os.Open(f.DEF)
+		if err != nil {
+			return nil, fmt.Errorf("flow: def: %w", err)
+		}
+		fp, err := def.Parse(df, lib)
+		df.Close()
+		if err != nil {
+			return nil, fmt.Errorf("flow: def: %w", err)
+		}
+		mergeFloorplan(d, fp)
+	}
+	sf, err := os.Open(f.SDC)
+	if err != nil {
+		return nil, fmt.Errorf("flow: sdc: %w", err)
+	}
+	cons, err := sdc.Parse(sf)
+	sf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("flow: sdc: %w", err)
+	}
+	// Mark clock nets from the SDC clock roots.
+	for _, clkPort := range cons.ClockPorts {
+		for _, n := range d.Nets {
+			for _, pr := range n.Pins {
+				if pr.IsPort() && pr.Pin == clkPort {
+					n.Clock = true
+				}
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: loaded design invalid: %w", err)
+	}
+	return &designs.Benchmark{Design: d, Cons: cons}, nil
+}
+
+// mergeFloorplan copies geometry from a DEF-parsed design into the
+// Verilog-parsed design by name: die/core/rows, port placement, instance
+// placement and fixed status.
+func mergeFloorplan(d, fp *netlist.Design) {
+	d.Die, d.Core = fp.Die, fp.Core
+	d.RowHeight, d.SiteWidth = fp.RowHeight, fp.SiteWidth
+	for _, p := range fp.Ports {
+		if dp := d.Port(p.Name); dp != nil && p.Placed {
+			dp.X, dp.Y, dp.Placed = p.X, p.Y, true
+		}
+	}
+	for _, inst := range fp.Insts {
+		if di := d.Instance(inst.Name); di != nil && (inst.Placed || inst.Fixed) {
+			di.X, di.Y = inst.X, inst.Y
+			di.Placed = inst.Placed
+			di.Fixed = inst.Fixed
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppaclust/internal/def"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/lef"
+	"ppaclust/internal/liberty"
+	"ppaclust/internal/sdc"
+	"ppaclust/internal/verilog"
+)
+
+// TestLoadBenchmarkRoundTrip writes a benchmark out as the five standard
+// files, loads it back, and runs the full flow on the file-loaded design —
+// the complete Algorithm 1 input path.
+func TestLoadBenchmarkRoundTrip(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(201))
+	dir := t.TempDir()
+	write := func(name string, fn func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	files := Files{
+		Verilog: write("t.v", func(f *os.File) error { return verilog.Write(f, b.Design) }),
+		DEF:     write("t.def", func(f *os.File) error { return def.Write(f, b.Design) }),
+		SDC:     write("t.sdc", func(f *os.File) error { return sdc.Write(f, b.Cons) }),
+		Liberty: write("t.lib", func(f *os.File) error { return liberty.Write(f, b.Design.Lib) }),
+		LEF:     write("t.lef", func(f *os.File) error { return lef.Write(f, b.Design.Lib) }),
+	}
+	loaded, err := LoadBenchmark(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Design.Insts) != len(b.Design.Insts) {
+		t.Fatalf("insts %d != %d", len(loaded.Design.Insts), len(b.Design.Insts))
+	}
+	if math.Abs(loaded.Cons.ClockPeriod-b.Cons.ClockPeriod) > 1e-15 {
+		t.Fatalf("clock period %v != %v", loaded.Cons.ClockPeriod, b.Cons.ClockPeriod)
+	}
+	if len(loaded.Cons.ClockPorts) != 1 || loaded.Cons.ClockPorts[0] != "clk" {
+		t.Fatalf("clock ports %v", loaded.Cons.ClockPorts)
+	}
+	// Floorplan must have merged.
+	if math.Abs(loaded.Design.Core.W()-b.Design.Core.W()) > 1.5 {
+		t.Fatalf("core %v != %v", loaded.Design.Core, b.Design.Core)
+	}
+	if loaded.Design.RowHeight == 0 || loaded.Design.SiteWidth == 0 {
+		t.Fatal("row/site geometry lost")
+	}
+	// Clock net flagged from SDC.
+	clk := loaded.Design.Net("clk")
+	if clk == nil || !clk.Clock {
+		t.Fatal("clock net not marked")
+	}
+	// The full flow must run on the loaded benchmark.
+	res, err := Run(loaded, Options{Seed: 1, Shapes: ShapeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoutedWL <= 0 || res.TNS > 0 {
+		t.Fatalf("bad metrics from file-loaded flow: %+v", res)
+	}
+	// And should be in the same ballpark as the in-memory flow.
+	ref, err := Run(b, Options{Seed: 1, Shapes: ShapeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL < 0.5*ref.HPWL || res.HPWL > 2.0*ref.HPWL {
+		t.Fatalf("file-loaded HPWL %v vs in-memory %v", res.HPWL, ref.HPWL)
+	}
+}
+
+func TestLoadBenchmarkMissingFiles(t *testing.T) {
+	if _, err := LoadBenchmark(Files{Verilog: "/nonexistent.v", Liberty: "/nonexistent.lib", SDC: "/nonexistent.sdc"}); err == nil {
+		t.Fatal("expected error")
+	}
+}

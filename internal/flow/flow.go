@@ -1,0 +1,535 @@
+// Package flow orchestrates the paper's Algorithm 1: PPA-aware clustering of
+// the input netlist, ML-accelerated (or exact) V-P&R cluster shaping, seeded
+// placement in either the OpenROAD or the Innovus style, and post-route PPA
+// evaluation (HPWL, routed wirelength, WNS, TNS, power).
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ppaclust/internal/cluster"
+	"ppaclust/internal/community"
+	"ppaclust/internal/cts"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/gnn"
+	"ppaclust/internal/hier"
+	"ppaclust/internal/netlist"
+	netopt "ppaclust/internal/opt"
+	"ppaclust/internal/place"
+	"ppaclust/internal/power"
+	"ppaclust/internal/route"
+	"ppaclust/internal/sta"
+	"ppaclust/internal/vpr"
+)
+
+// Tool selects the seeded-placement recipe of Algorithm 1 lines 15-25.
+type Tool int
+
+// Tools.
+const (
+	// ToolOpenROAD scales IO net weights by 4 and runs incremental global
+	// placement without region constraints (lines 22-25).
+	ToolOpenROAD Tool = iota
+	// ToolInnovus builds region constraints from the shaped clusters before
+	// incremental placement (lines 16-20).
+	ToolInnovus
+)
+
+func (t Tool) String() string {
+	if t == ToolInnovus {
+		return "innovus"
+	}
+	return "openroad"
+}
+
+// Method selects the clustering algorithm.
+type Method int
+
+// Clustering methods.
+const (
+	// MethodPPAAware is the paper's contribution: hierarchy grouping
+	// constraints + timing costs + switching costs in multilevel FC.
+	MethodPPAAware Method = iota
+	// MethodMFC is TritonPart's default multilevel FC (connectivity only).
+	MethodMFC
+	// MethodLeiden uses Leiden community detection (Table 5 baseline).
+	MethodLeiden
+	// MethodLouvain uses Louvain communities (the blob placement of [9]).
+	MethodLouvain
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodMFC:
+		return "mfc"
+	case MethodLeiden:
+		return "leiden"
+	case MethodLouvain:
+		return "louvain"
+	default:
+		return "ppa-aware"
+	}
+}
+
+// ShapeMode selects how cluster shapes are assigned (Table 6 ablation).
+type ShapeMode int
+
+// Shape modes.
+const (
+	// ShapeVPRML predicts shapes with the trained GNN (requires Model).
+	ShapeVPRML ShapeMode = iota
+	// ShapeVPR runs the exact 20-candidate V-P&R sweep.
+	ShapeVPR
+	// ShapeUniform assigns utilization 0.9, aspect ratio 1.0 everywhere.
+	ShapeUniform
+	// ShapeRandom assigns a random candidate shape per cluster.
+	ShapeRandom
+)
+
+func (s ShapeMode) String() string {
+	switch s {
+	case ShapeVPR:
+		return "vpr"
+	case ShapeUniform:
+		return "uniform"
+	case ShapeRandom:
+		return "random"
+	default:
+		return "vpr-ml"
+	}
+}
+
+// Options configures one flow run.
+type Options struct {
+	Tool           Tool
+	Method         Method
+	Shapes         ShapeMode
+	Model          *gnn.Model // required for ShapeVPRML
+	NumPaths       int        // |P|, default 100000
+	Alpha          float64    // Eq. 3 connectivity weight, default 1
+	Beta           float64    // Eq. 3 timing weight, default 1; negative = disabled (0)
+	Gamma          float64    // Eq. 3 switching weight, default 1; negative = disabled (0)
+	Mu             float64    // Eq. 2 exponent, default 2
+	NoHierarchy    bool       // drop the hierarchy grouping constraints (ablation)
+	TargetClusters int        // 0 = auto (~N/400, see cluster.Options)
+	VPRMinInsts    int        // shape-selection gate; default 50 (paper: 200)
+	IOWeightScale  float64    // OpenROAD IO net weight scale, default 4
+	Seed           int64
+	SkipRoute      bool // post-place evaluation only (hyperparameter study)
+	// RepairBuffers runs post-placement buffer insertion on long and
+	// high-fanout nets before evaluation (the opt_design analogue). Applied
+	// identically by Run and RunDefault so comparisons stay fair.
+	RepairBuffers bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumPaths <= 0 {
+		o.NumPaths = 100000
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	if o.Beta == 0 {
+		o.Beta = 1
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 1
+	}
+	if o.Mu == 0 {
+		o.Mu = 2
+	}
+	if o.VPRMinInsts <= 0 {
+		o.VPRMinInsts = 50
+	}
+	if o.IOWeightScale <= 0 {
+		o.IOWeightScale = 4
+	}
+	return o
+}
+
+// Result carries every metric Algorithm 1 returns plus runtime breakdown.
+type Result struct {
+	HPWL     float64
+	RoutedWL float64 // microns, signal + clock tree
+	WNS      float64 // seconds (<= 0)
+	TNS      float64 // seconds (<= 0)
+	HoldWNS  float64 // worst hold slack (seconds, <= 0 when violating)
+	HoldTNS  float64 // total negative hold slack (seconds)
+	DRVCap   int     // max-capacitance violations
+	DRVSlew  int     // max-transition violations
+	Power    float64 // watts, including clock tree
+	PowerRep power.Report
+	ClockWL  float64
+	Overflow int
+
+	Clusters   int
+	Singletons int
+	ShapedVPR  int // clusters that went through shape selection
+
+	// Placed is the final placed-and-evaluated design (a clone of the
+	// input benchmark's design), for DEF export or inspection.
+	Placed *netlist.Design
+
+	ClusterTime   time.Duration
+	ShapeTime     time.Duration
+	SeedPlaceTime time.Duration
+	IncrPlaceTime time.Duration
+	RouteTime     time.Duration
+	// PlaceTime is the clustering-flow placement cost compared against the
+	// default flow in Table 2: clustering + seed + incremental placement.
+	PlaceTime time.Duration
+}
+
+// Run executes the clustered flow on a copy of the benchmark design and
+// returns the metrics. The benchmark's design is not mutated.
+func Run(b *designs.Benchmark, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	d := b.Design.Clone()
+	res := &Result{}
+
+	// ---- Clustering (Algorithm 1 lines 2-10) ----
+	t0 := time.Now()
+	assign, nClusters, err := clusterNetlist(d, b.Cons, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Clusters = nClusters
+	res.ClusterTime = time.Since(t0)
+
+	// ---- Cluster shapes (lines 12-13) ----
+	t0 = time.Now()
+	shapes, shaped, err := selectShapes(d, assign, nClusters, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.ShapedVPR = len(shaped)
+	res.ShapeTime = time.Since(t0)
+
+	// ---- Seed placement of the clustered netlist (lines 15-25) ----
+	t0 = time.Now()
+	cd, clusterInsts := BuildClusteredDesign(d, assign, nClusters, shapes)
+	if opt.Tool == ToolOpenROAD {
+		scaleIONets(cd, opt.IOWeightScale)
+	}
+	place.Global(cd, place.Options{Seed: opt.Seed})
+	// Cluster cells are macro-sized; remove overlaps so cluster footprints
+	// (and the region constraints derived from them) are disjoint.
+	place.RemoveOverlaps(cd)
+	res.SeedPlaceTime = time.Since(t0)
+
+	// Place instances at their cluster centers.
+	t0 = time.Now()
+	for instID, c := range assign {
+		inst := d.Insts[instID]
+		if inst.Fixed {
+			continue
+		}
+		ci := cd.Insts[clusterInsts[c]]
+		inst.X = ci.CenterX() - inst.Master.Width/2
+		inst.Y = ci.CenterY() - inst.Master.Height/2
+		inst.Placed = true
+	}
+	// Incremental flat placement.
+	popt := place.Options{Seed: opt.Seed, Incremental: true, Legalize: true, AnchorWeight: 0.1}
+	if opt.Tool == ToolInnovus {
+		// Region constraints guide the incremental placement and are then
+		// removed (Algorithm 1 lines 18-20): soft regions.
+		popt.Regions = buildRegions(d, assign, shaped, cd, clusterInsts)
+		popt.SoftRegions = true
+		popt.RegionIterations = 2
+	}
+	place.Global(d, popt)
+	place.Detailed(d, place.DetailedOptions{Seed: opt.Seed})
+	res.IncrPlaceTime = time.Since(t0)
+	res.PlaceTime = res.ClusterTime + res.SeedPlaceTime + res.IncrPlaceTime
+
+	if err := maybeRepair(d, opt); err != nil {
+		return nil, err
+	}
+	// ---- Evaluation (lines 27-30) ----
+	evaluate(d, b.Cons, opt, res)
+	res.Placed = d
+	return res, nil
+}
+
+// maybeRepair runs optional buffer insertion followed by re-legalization.
+func maybeRepair(d *netlist.Design, o Options) error {
+	if !o.RepairBuffers {
+		return nil
+	}
+	buf := d.Lib.Master("BUF_X4")
+	if buf == nil {
+		return fmt.Errorf("flow: RepairBuffers needs BUF_X4 in the library")
+	}
+	if _, err := netopt.InsertBuffers(d, netopt.BufferOptions{BufMaster: buf}); err != nil {
+		return err
+	}
+	place.Legalize(d)
+	return nil
+}
+
+// RunDefault executes the flat (no clustering, no V-P&R) baseline flow.
+func RunDefault(b *designs.Benchmark, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	d := b.Design.Clone()
+	res := &Result{}
+	t0 := time.Now()
+	place.Global(d, place.Options{Seed: opt.Seed, Legalize: true})
+	place.Detailed(d, place.DetailedOptions{Seed: opt.Seed})
+	res.IncrPlaceTime = time.Since(t0)
+	res.PlaceTime = res.IncrPlaceTime
+	if err := maybeRepair(d, opt); err != nil {
+		return nil, err
+	}
+	evaluate(d, b.Cons, opt, res)
+	res.Placed = d
+	return res, nil
+}
+
+// clusterNetlist runs the selected clustering method and returns a dense
+// instance->cluster assignment.
+func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int, int, error) {
+	view := d.ToHypergraph()
+	switch opt.Method {
+	case MethodLeiden, MethodLouvain:
+		g := view.H.CliqueExpand()
+		var assign []int
+		if opt.Method == MethodLeiden {
+			assign = community.Leiden(g, community.Options{Seed: opt.Seed})
+		} else {
+			assign = community.Louvain(g, community.Options{Seed: opt.Seed})
+		}
+		return assign, community.NumCommunities(assign), nil
+	case MethodMFC:
+		res := cluster.MultilevelFC(view.H, cluster.Options{
+			Alpha: 1, TargetClusters: targetFor(opt, len(d.Insts)), Seed: opt.Seed,
+		})
+		return res.Assign, res.NumClusters, nil
+	case MethodPPAAware:
+		// Hierarchy-based grouping constraints (Algorithm 2).
+		var groups []int
+		if !opt.NoHierarchy {
+			if hres, ok := hier.Cluster(d, view.H); ok {
+				groups = hres.Assign
+			}
+		}
+		// Timing and switching info from the virtual STA. The netlist is
+		// unplaced at this point, so wire parasitics are ignored — timing
+		// criticality reflects logic depth, as in the paper's pre-placement
+		// OpenSTA extraction.
+		zc := cons
+		zc.ZeroWire = true
+		an := sta.New(d, zc)
+		paths := an.TopPaths(opt.NumPaths)
+		pathNets := make([][]int, len(paths))
+		slacks := make([]float64, len(paths))
+		for i, p := range paths {
+			slacks[i] = p.Slack
+			for _, netID := range p.Nets {
+				if e := view.EdgeOfNet[netID]; e >= 0 {
+					pathNets[i] = append(pathNets[i], e)
+				}
+			}
+		}
+		tCost := cluster.TimingCosts(pathNets, slacks, cons.ClockPeriod, view.H.NumEdges())
+		netAct := an.NetActivity()
+		edgeAct := make([]float64, view.H.NumEdges())
+		for e, netID := range view.NetOfEdge {
+			edgeAct[e] = netAct[netID]
+		}
+		sCost := cluster.SwitchCosts(edgeAct, opt.Mu)
+		res := cluster.MultilevelFC(view.H, cluster.Options{
+			Alpha: opt.Alpha, Beta: nonNegative(opt.Beta), Gamma: nonNegative(opt.Gamma),
+			TargetClusters: targetFor(opt, len(d.Insts)), Seed: opt.Seed,
+			Groups:         groups,
+			EdgeTimingCost: tCost,
+			EdgeSwitchCost: sCost,
+		})
+		return res.Assign, res.NumClusters, nil
+	}
+	return nil, 0, fmt.Errorf("flow: unknown clustering method %d", opt.Method)
+}
+
+// selectShapes assigns a shape to every cluster. Clusters above the VPR gate
+// go through the selected shape engine and are marked as shaped (they will
+// receive region constraints in Innovus mode, whatever the engine); the rest
+// use the uniform shape without a region.
+func selectShapes(d *netlist.Design, assign []int, nClusters int, opt Options) (map[int]vpr.Shape, map[int]bool, error) {
+	shapes := make(map[int]vpr.Shape, nClusters)
+	shaped := make(map[int]bool)
+	members := make([][]int, nClusters)
+	for inst, c := range assign {
+		members[c] = append(members[c], inst)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 5))
+	cands := vpr.ShapeCandidates()
+	for c := 0; c < nClusters; c++ {
+		shapes[c] = vpr.UniformShape
+		if len(members[c]) <= opt.VPRMinInsts {
+			continue
+		}
+		shaped[c] = true
+		switch opt.Shapes {
+		case ShapeUniform:
+			// keep uniform
+		case ShapeRandom:
+			shapes[c] = cands[rng.Intn(len(cands))]
+		case ShapeVPR:
+			sub, err := vpr.InduceSubNetlist(d, members[c])
+			if err != nil {
+				return nil, nil, err
+			}
+			best, _ := vpr.BestShape(sub, vpr.Runner{Opt: vpr.Options{Seed: opt.Seed}})
+			shapes[c] = best
+		case ShapeVPRML:
+			if opt.Model == nil {
+				return nil, nil, fmt.Errorf("flow: ShapeVPRML requires a trained model")
+			}
+			sub, err := vpr.InduceSubNetlist(d, members[c])
+			if err != nil {
+				return nil, nil, err
+			}
+			g := gnn.BuildGraphInput(sub, featOptions(opt.Seed))
+			shapes[c] = opt.Model.PredictBestShape(g)
+		}
+	}
+	return shapes, shaped, nil
+}
+
+// scaleIONets multiplies the weight of nets touching top-level ports by the
+// IO weight scale ([9]'s x4 rule, Algorithm 1 line 22).
+func scaleIONets(d *netlist.Design, scale float64) {
+	for _, n := range d.Nets {
+		for _, pr := range n.Pins {
+			if pr.IsPort() {
+				n.Weight *= scale
+				break
+			}
+		}
+	}
+}
+
+// regionUtil is the cell utilization every region is drawn at, regardless
+// of the cluster's V-P&R shape. Keeping region *area* shape-independent
+// means shape choice influences the flow through seed geometry and packing,
+// not through how much slack the region grants the incremental placer.
+const regionUtil = 0.55
+
+// buildRegions creates the per-instance region constraints of the Innovus
+// recipe: each shaped cluster's region is centered on its seed footprint,
+// carries the shape's aspect ratio, holds the cluster's cells at regionUtil,
+// and is clamped into the core.
+func buildRegions(d *netlist.Design, assign []int, shaped map[int]bool,
+	cd *netlist.Design, clusterInsts []int) map[int]netlist.Rect {
+
+	regions := make(map[int]netlist.Rect)
+	core := d.Core
+	// Cell area per cluster (movable cells only).
+	area := make([]float64, len(clusterInsts))
+	for inst, c := range assign {
+		if !d.Insts[inst].Fixed {
+			area[c] += d.Insts[inst].Master.Area()
+		}
+	}
+	rects := make([]netlist.Rect, len(clusterInsts))
+	for c, ii := range clusterInsts {
+		ci := cd.Insts[ii]
+		ar := ci.Master.Height / ci.Master.Width
+		if ar <= 0 {
+			ar = 1
+		}
+		ra := area[c] / regionUtil
+		w := mathSqrt(ra / ar)
+		h := w * ar
+		cx, cy := ci.CenterX(), ci.CenterY()
+		r := netlist.Rect{X0: cx - w/2, Y0: cy - h/2, X1: cx + w/2, Y1: cy + h/2}
+		if r.X0 < core.X0 {
+			r.X0 = core.X0
+		}
+		if r.Y0 < core.Y0 {
+			r.Y0 = core.Y0
+		}
+		if r.X1 > core.X1 {
+			r.X1 = core.X1
+		}
+		if r.Y1 > core.Y1 {
+			r.Y1 = core.Y1
+		}
+		rects[c] = r
+	}
+	for inst, c := range assign {
+		if d.Insts[inst].Fixed {
+			continue
+		}
+		if shaped[c] {
+			regions[inst] = rects[c]
+		}
+	}
+	return regions
+}
+
+// nonNegative maps the "negative = disabled" convention to a weight.
+func nonNegative(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// targetFor resolves the FC cluster-count target: the user's explicit value,
+// else the cluster package's size-scaled default.
+func targetFor(opt Options, n int) int {
+	return opt.TargetClusters
+}
+
+func mathSqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// evaluate fills HPWL and (unless SkipRoute) post-route PPA into res.
+func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result) {
+	res.HPWL = d.HPWL()
+	if opt.SkipRoute {
+		return
+	}
+	t0 := time.Now()
+	rres := route.GlobalRoute(d, route.Options{})
+	res.RouteTime = time.Since(t0)
+	res.Overflow = rres.Overflow
+
+	// CTS on the clock net (if any), then propagated-clock STA.
+	an := sta.New(d, cons)
+	var clockPower float64
+	for _, n := range d.Nets {
+		if !n.Clock {
+			continue
+		}
+		copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2")}
+		cres := cts.Synthesize(d, n, copt)
+		if len(cres.Arrivals) > 0 {
+			an.SetClockArrivals(cres.Arrivals)
+			cres.EstimatePower(copt, cons.ClockPeriod, power.DefaultVdd)
+			clockPower += cres.Power
+			res.ClockWL += cres.WirelengthUM
+		}
+		break // single clock domain in our benchmarks
+	}
+	res.RoutedWL = rres.WirelengthUM + res.ClockWL
+	sum := an.Timing()
+	res.WNS = sum.WNS
+	res.TNS = sum.TNS
+	hold := an.HoldTiming()
+	res.HoldWNS = hold.WHS
+	res.HoldTNS = hold.THS
+	drv := an.DRV()
+	res.DRVCap = drv.MaxCapViolations
+	res.DRVSlew = drv.MaxSlewViolations
+	res.PowerRep = power.Analyze(an, power.DefaultVdd)
+	res.Power = res.PowerRep.Total() + clockPower
+}

@@ -1,0 +1,42 @@
+package gnn
+
+import (
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/features"
+	"ppaclust/internal/vpr"
+)
+
+func benchGraph(b *testing.B) *GraphInput {
+	b.Helper()
+	bench := designs.Generate(designs.TinySpec(500))
+	return BuildGraphInput(bench.Design, features.Options{Seed: 1})
+}
+
+// BenchmarkPredict measures one forward pass of the 4-branch model.
+func BenchmarkPredict(b *testing.B) {
+	g := benchGraph(b)
+	m := NewModel(1)
+	shape := vpr.Shape{AspectRatio: 1.0, Utilization: 0.85}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(g, shape)
+	}
+}
+
+// BenchmarkTrainStep measures one forward+backward+Adam step.
+func BenchmarkTrainStep(b *testing.B) {
+	g := benchGraph(b)
+	m := NewModel(2)
+	adam := NewAdam(m.Params(), 1e-3)
+	shape := vpr.Shape{AspectRatio: 1.25, Utilization: 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCtx(true)
+		out := m.forward(c, g, shape)
+		c.MSE(out, 1.0)
+		c.Backward()
+		adam.Step()
+	}
+}

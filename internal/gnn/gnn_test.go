@@ -1,0 +1,298 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppaclust/internal/cluster"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/features"
+	"ppaclust/internal/vpr"
+)
+
+func TestMatMulForward(t *testing.T) {
+	a := NewTensor(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewTensor(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := NewCtx(false)
+	out := c.MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("matmul out=%v", out.Data)
+		}
+	}
+}
+
+// numericalGrad checks the analytic gradient of a scalar loss w.r.t. one
+// parameter element via central differences.
+func numericalGrad(t *testing.T, param *Tensor, idx int, loss func() float64, analytic float64) {
+	t.Helper()
+	const h = 1e-6
+	orig := param.Data[idx]
+	param.Data[idx] = orig + h
+	lp := loss()
+	param.Data[idx] = orig - h
+	lm := loss()
+	param.Data[idx] = orig
+	num := (lp - lm) / (2 * h)
+	if math.Abs(num-analytic) > 1e-4*(1+math.Abs(num)) {
+		t.Fatalf("grad mismatch: numeric %v analytic %v", num, analytic)
+	}
+}
+
+func TestGradientsMatMulBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewTensor(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	lin := NewLinear(4, 2, rng)
+	w2 := NewParam(2, 1, rng)
+	loss := func() float64 {
+		c := NewCtx(false)
+		h := lin.Forward(c, x)
+		h = c.ReLU(h)
+		out := c.MeanRows(h)
+		out = c.MatMul(out, w2)
+		return c.MSE(out, 0.7)
+	}
+	// Analytic.
+	c := NewCtx(false)
+	h := lin.Forward(c, x)
+	h = c.ReLU(h)
+	out := c.MeanRows(h)
+	out = c.MatMul(out, w2)
+	_ = c.MSE(out, 0.7)
+	c.Backward()
+	numericalGrad(t, lin.W, 3, loss, lin.W.Grad[3])
+	numericalGrad(t, lin.B, 1, loss, lin.B.Grad[1])
+	numericalGrad(t, w2, 0, loss, w2.Grad[0])
+}
+
+func TestGradientsBatchNormTrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := NewTensor(5, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64() * 2
+	}
+	// Fresh BN per loss call so running stats don't drift between probes.
+	mk := func() *BatchNorm { return NewBatchNorm(3) }
+	bn := mk()
+	g0 := bn.Gamma
+	w := NewParam(3, 1, rng)
+	forward := func(b *BatchNorm) (*Ctx, *Tensor) {
+		c := NewCtx(true)
+		h := b.Forward(c, x)
+		o := c.MeanRows(h)
+		return c, c.MatMul(o, w)
+	}
+	c, out := forward(bn)
+	_ = c.MSE(out, 0.3)
+	c.Backward()
+	analytic := g0.Grad[1]
+	loss := func() float64 {
+		b := mk()
+		b.Gamma.Data[1] = g0.Data[1]
+		c2, o := forward(b)
+		return c2.MSE(o, 0.3)
+	}
+	const h = 1e-6
+	orig := g0.Data[1]
+	g0.Data[1] = orig + h
+	lp := loss()
+	g0.Data[1] = orig - h
+	lm := loss()
+	g0.Data[1] = orig
+	num := (lp - lm) / (2 * h)
+	if math.Abs(num-analytic) > 1e-4*(1+math.Abs(num)) {
+		t.Fatalf("bn gamma grad: numeric %v analytic %v", num, analytic)
+	}
+}
+
+func TestGradientSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSparse(3)
+	s.Add(0, 1, 0.5)
+	s.Add(1, 0, 0.5)
+	s.Add(2, 2, 1.0)
+	s.Add(0, 0, 0.3)
+	x := NewParam(3, 2, rng)
+	loss := func() float64 {
+		c := NewCtx(false)
+		h := c.SpMM(s, x)
+		o := c.MeanRows(h)
+		o2 := NewTensor(1, 1)
+		o2.Data[0] = o.Data[0] + o.Data[1]
+		// use MatMul with ones to stay on tape
+		ones := NewTensor(2, 1)
+		ones.Data[0], ones.Data[1] = 1, 1
+		p := c.MatMul(o, ones)
+		return c.MSE(p, 0.1)
+	}
+	c := NewCtx(false)
+	h := c.SpMM(s, x)
+	o := c.MeanRows(h)
+	ones := NewTensor(2, 1)
+	ones.Data[0], ones.Data[1] = 1, 1
+	p := c.MatMul(o, ones)
+	_ = c.MSE(p, 0.1)
+	c.Backward()
+	numericalGrad(t, x, 2, loss, x.Grad[2])
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w - 3)^2 via the tape machinery.
+	rng := rand.New(rand.NewSource(4))
+	w := NewParam(1, 1, rng)
+	one := NewTensor(1, 1)
+	one.Data[0] = 1
+	adam := NewAdam([]*Tensor{w}, 0.1)
+	for i := 0; i < 200; i++ {
+		c := NewCtx(false)
+		out := c.MatMul(one, w)
+		c.MSE(out, 3.0)
+		c.Backward()
+		adam.Step()
+	}
+	if math.Abs(w.Data[0]-3) > 1e-2 {
+		t.Fatalf("w=%v want 3", w.Data[0])
+	}
+}
+
+// toyGraphs builds tiny synthetic cluster graphs whose cost depends on the
+// shape and a graph statistic, so the model has learnable signal.
+func toySamples(t *testing.T, n int, seed int64) []Sample {
+	t.Helper()
+	b := designs.Generate(designs.TinySpec(seed))
+	view := b.Design.ToHypergraph()
+	res := cluster.MultilevelFC(view.H, cluster.Options{Seed: seed, TargetClusters: 8})
+	var graphs []*GraphInput
+	for cID := 0; cID < res.NumClusters; cID++ {
+		var members []int
+		for v, c := range res.Assign {
+			if c == cID {
+				members = append(members, v)
+			}
+		}
+		if len(members) < 10 {
+			continue
+		}
+		sub, err := vpr.InduceSubNetlist(b.Design, members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, BuildGraphInput(sub, features.Options{Seed: seed}))
+	}
+	if len(graphs) == 0 {
+		t.Fatal("no usable clusters")
+	}
+	var out []Sample
+	i := 0
+	for len(out) < n {
+		g := graphs[i%len(graphs)]
+		for _, s := range vpr.ShapeCandidates() {
+			// Synthetic smooth label: depends on shape and graph size.
+			label := 0.5 + 0.8*math.Abs(s.AspectRatio-1.0) + 0.5*(s.Utilization-0.75) +
+				0.1*math.Log(float64(g.NumNodes()))
+			out = append(out, Sample{Graph: g, Shape: s, Label: label})
+			if len(out) >= n {
+				break
+			}
+		}
+		i++
+	}
+	return out
+}
+
+func TestFitReducesLoss(t *testing.T) {
+	samples := toySamples(t, 60, 71)
+	m := NewModel(5)
+	losses := m.Fit(samples, TrainOptions{Epochs: 6, LR: 2e-3, Seed: 1})
+	if len(losses) != 6 {
+		t.Fatalf("losses=%v", losses)
+	}
+	if !(losses[len(losses)-1] < losses[0]) {
+		t.Fatalf("training did not reduce loss: %v", losses)
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	samples := toySamples(t, 80, 72)
+	m := NewModel(6)
+	m.Fit(samples[:60], TrainOptions{Epochs: 25, LR: 3e-3, Seed: 2})
+	train := m.Evaluate(samples[:60])
+	test := m.Evaluate(samples[60:])
+	if train.N != 60 || test.N != 20 {
+		t.Fatalf("counts: %d %d", train.N, test.N)
+	}
+	if train.MAE <= 0 || test.MAE <= 0 {
+		t.Fatal("MAE should be positive")
+	}
+	// The synthetic label is smooth in the inputs; training must beat the
+	// trivial predictor on the train split (R2 > 0).
+	if train.R2 <= 0 {
+		t.Fatalf("train R2=%v", train.R2)
+	}
+}
+
+func TestPredictBestShapeAndCostModel(t *testing.T) {
+	samples := toySamples(t, 60, 73)
+	m := NewModel(7)
+	m.Fit(samples, TrainOptions{Epochs: 8, LR: 2e-3, Seed: 3})
+	g := samples[0].Graph
+	best := m.PredictBestShape(g)
+	// The synthetic label is minimized at AR=1.0, util=0.75.
+	if math.Abs(best.AspectRatio-1.0) > 0.26 {
+		t.Fatalf("predicted AR=%v, expected near 1.0", best.AspectRatio)
+	}
+	// CostModel wrapper consistency.
+	cm := m.CostModelFor(g)
+	s := vpr.Shape{AspectRatio: 1.0, Utilization: 0.8}
+	if cm.TotalCost(nil, s) != m.Predict(g, s) {
+		t.Fatal("cost model disagrees with Predict")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := NewModel(8)
+	if got := m.Evaluate(nil); got.N != 0 {
+		t.Fatalf("empty evaluate: %+v", got)
+	}
+	if m.Fit(nil, TrainOptions{}) != nil {
+		t.Fatal("fit on empty set should return nil")
+	}
+}
+
+func TestBuildGraphInputSelfLoops(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(74))
+	g := BuildGraphInput(b.Design, features.Options{})
+	if g.NumNodes() != len(b.Design.Insts) {
+		t.Fatal("node count mismatch")
+	}
+	// Every node must have at least the 0.5 self entry.
+	for i := 0; i < g.S.N; i++ {
+		found := false
+		for _, e := range g.S.rows[i] {
+			if e.col == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing self-loop", i)
+		}
+	}
+}
+
+func TestModelDeterministicPredict(t *testing.T) {
+	samples := toySamples(t, 40, 75)
+	m := NewModel(9)
+	m.Fit(samples, TrainOptions{Epochs: 3, Seed: 4})
+	p1 := m.Predict(samples[0].Graph, samples[0].Shape)
+	p2 := m.Predict(samples[0].Graph, samples[0].Shape)
+	if p1 != p2 {
+		t.Fatal("inference not deterministic")
+	}
+}

@@ -1,0 +1,180 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W *Tensor
+	B *Tensor
+}
+
+// NewLinear builds a Glorot-initialized linear layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{W: NewParam(in, out, rng), B: NewTensor(1, out)}
+	l.B.param = true
+	return l
+}
+
+// Forward applies the layer.
+func (l *Linear) Forward(c *Ctx, x *Tensor) *Tensor {
+	return c.AddBias(c.MatMul(x, l.W), l.B)
+}
+
+// Params returns the learnable tensors.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// BatchNorm normalizes each feature column over the rows of the batch
+// (the nodes of the graph), with learnable scale/shift and running
+// statistics for inference.
+type BatchNorm struct {
+	Gamma, Beta     *Tensor
+	RunMean, RunVar []float64
+	Momentum, Eps   float64
+	initialized     bool
+}
+
+// NewBatchNorm builds a batch-norm layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	bn := &BatchNorm{
+		Gamma:    NewTensor(1, dim),
+		Beta:     NewTensor(1, dim),
+		RunMean:  make([]float64, dim),
+		RunVar:   make([]float64, dim),
+		Momentum: 0.1,
+		Eps:      1e-5,
+	}
+	bn.Gamma.param = true
+	bn.Beta.param = true
+	for i := range bn.Gamma.Data {
+		bn.Gamma.Data[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Params returns the learnable tensors.
+func (bn *BatchNorm) Params() []*Tensor { return []*Tensor{bn.Gamma, bn.Beta} }
+
+// Forward normalizes x over the rows of the current graph whenever more
+// than one row is present — in both training and inference. Because each
+// "batch" is a single cluster graph, using the graph's own statistics at
+// inference keeps train/eval behavior identical (the GraphNorm convention);
+// running estimates are still tracked and used for 1-row inputs (the
+// prediction head), where batch statistics are undefined.
+func (bn *BatchNorm) Forward(c *Ctx, x *Tensor) *Tensor {
+	n, d := x.R, x.C
+	mean := make([]float64, d)
+	variance := make([]float64, d)
+	if n > 1 {
+		inv := 1 / float64(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				mean[j] += x.Data[i*d+j] * inv
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				dv := x.Data[i*d+j] - mean[j]
+				variance[j] += dv * dv * inv
+			}
+		}
+		if c.train {
+			m := bn.Momentum
+			if !bn.initialized {
+				m = 1
+				bn.initialized = true
+			}
+			for j := 0; j < d; j++ {
+				bn.RunMean[j] = (1-m)*bn.RunMean[j] + m*mean[j]
+				bn.RunVar[j] = (1-m)*bn.RunVar[j] + m*variance[j]
+			}
+		}
+	} else {
+		copy(mean, bn.RunMean)
+		copy(variance, bn.RunVar)
+	}
+	invStd := make([]float64, d)
+	for j := 0; j < d; j++ {
+		invStd[j] = 1 / math.Sqrt(variance[j]+bn.Eps)
+	}
+	xhat := make([]float64, n*d)
+	out := NewTensor(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			h := (x.Data[i*d+j] - mean[j]) * invStd[j]
+			xhat[i*d+j] = h
+			out.Data[i*d+j] = bn.Gamma.Data[j]*h + bn.Beta.Data[j]
+		}
+	}
+	useBatchStats := n > 1
+	c.push(func() {
+		if !useBatchStats {
+			// Running-stat normalization is a per-element affine map.
+			for i := 0; i < n; i++ {
+				for j := 0; j < d; j++ {
+					g := out.Grad[i*d+j]
+					bn.Gamma.Grad[j] += g * xhat[i*d+j]
+					bn.Beta.Grad[j] += g
+					x.Grad[i*d+j] += g * bn.Gamma.Data[j] * invStd[j]
+				}
+			}
+			return
+		}
+		// Full batch-norm backward.
+		invN := 1 / float64(n)
+		for j := 0; j < d; j++ {
+			var sumG, sumGH float64
+			for i := 0; i < n; i++ {
+				g := out.Grad[i*d+j]
+				sumG += g
+				sumGH += g * xhat[i*d+j]
+				bn.Gamma.Grad[j] += g * xhat[i*d+j]
+				bn.Beta.Grad[j] += g
+			}
+			for i := 0; i < n; i++ {
+				g := out.Grad[i*d+j]
+				x.Grad[i*d+j] += bn.Gamma.Data[j] * invStd[j] *
+					(g - sumG*invN - xhat[i*d+j]*sumGH*invN)
+			}
+		}
+	})
+	return out
+}
+
+// ConvBlock is one hypergraph-convolution block: propagate, transform,
+// normalize, activate, with a skip connection when dimensions match.
+type ConvBlock struct {
+	Lin  *Linear
+	BN   *BatchNorm
+	Skip bool
+}
+
+// NewConvBlock builds a block; skip connections activate when in == out
+// (as in the paper).
+func NewConvBlock(in, out int, rng *rand.Rand) *ConvBlock {
+	return &ConvBlock{
+		Lin:  NewLinear(in, out, rng),
+		BN:   NewBatchNorm(out),
+		Skip: in == out,
+	}
+}
+
+// Forward applies the block to node features x under propagation operator s.
+func (b *ConvBlock) Forward(c *Ctx, s *Sparse, x *Tensor) *Tensor {
+	h := c.SpMM(s, x)
+	h = b.Lin.Forward(c, h)
+	h = b.BN.Forward(c, h)
+	h = c.ReLU(h)
+	if b.Skip {
+		h = c.Add(h, x)
+	}
+	return h
+}
+
+// Params returns the learnable tensors.
+func (b *ConvBlock) Params() []*Tensor {
+	return append(b.Lin.Params(), b.BN.Params()...)
+}

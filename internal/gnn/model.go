@@ -1,0 +1,180 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"ppaclust/internal/features"
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/vpr"
+)
+
+// Architecture constants from the paper (Figure 4).
+const (
+	InputDim  = features.Dim // 35
+	HiddenDim = 64
+	EmbedDim  = 32
+	HeadDim   = 64
+	Branches  = 4
+)
+
+// Model is the Total Cost predictor: four convolution branches whose outputs
+// are accumulated, global mean pooling, then a two-layer head.
+type Model struct {
+	branches [Branches][3]*ConvBlock
+	head1    *Linear
+	headBN   *BatchNorm
+	head2    *Linear
+
+	// Input feature standardization (fit on the training set).
+	featMean []float64
+	featStd  []float64
+	// Label standardization.
+	labelMean, labelStd float64
+}
+
+// NewModel builds a freshly initialized model.
+func NewModel(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		head1:    NewLinear(EmbedDim, HeadDim, rng),
+		headBN:   NewBatchNorm(HeadDim),
+		head2:    NewLinear(HeadDim, 1, rng),
+		featMean: make([]float64, InputDim),
+		featStd:  onesVec(InputDim),
+		labelStd: 1,
+	}
+	for b := 0; b < Branches; b++ {
+		m.branches[b][0] = NewConvBlock(InputDim, HiddenDim, rng)
+		m.branches[b][1] = NewConvBlock(HiddenDim, HiddenDim, rng)
+		m.branches[b][2] = NewConvBlock(HiddenDim, EmbedDim, rng)
+	}
+	return m
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Params returns every learnable tensor.
+func (m *Model) Params() []*Tensor {
+	var out []*Tensor
+	for b := range m.branches {
+		for _, blk := range m.branches[b] {
+			out = append(out, blk.Params()...)
+		}
+	}
+	out = append(out, m.head1.Params()...)
+	out = append(out, m.headBN.Params()...)
+	out = append(out, m.head2.Params()...)
+	return out
+}
+
+// forward computes the standardized-cost prediction tensor for one graph.
+func (m *Model) forward(c *Ctx, g *GraphInput, shape vpr.Shape) *Tensor {
+	x := m.inputTensor(g, shape)
+	var acc *Tensor
+	for b := range m.branches {
+		h := x
+		for _, blk := range m.branches[b] {
+			h = blk.Forward(c, g.S, h)
+		}
+		if acc == nil {
+			acc = h
+		} else {
+			acc = c.Add(acc, h)
+		}
+	}
+	emb := c.MeanRows(acc)
+	h := m.head1.Forward(c, emb)
+	h = m.headBN.Forward(c, h)
+	h = c.ReLU(h)
+	return m.head2.Forward(c, h)
+}
+
+// inputTensor builds the standardized node-feature matrix.
+func (m *Model) inputTensor(g *GraphInput, shape vpr.Shape) *Tensor {
+	n := g.NumNodes()
+	x := NewTensor(n, InputDim)
+	row := make([]float64, InputDim)
+	for i := 0; i < n; i++ {
+		g.F.NodeVec(i, shape.AspectRatio, shape.Utilization, row)
+		for j := 0; j < InputDim; j++ {
+			x.Data[i*InputDim+j] = (row[j] - m.featMean[j]) / m.featStd[j]
+		}
+	}
+	return x
+}
+
+// Predict returns the predicted Total Cost for a cluster graph and shape.
+func (m *Model) Predict(g *GraphInput, shape vpr.Shape) float64 {
+	c := NewCtx(false)
+	out := m.forward(c, g, shape)
+	return out.Data[0]*m.labelStd + m.labelMean
+}
+
+// GraphInput is one cluster graph prepared for the model.
+type GraphInput struct {
+	S *Sparse
+	F *features.Features
+}
+
+// NumNodes returns the node count.
+func (g *GraphInput) NumNodes() int { return g.F.NumCells }
+
+// BuildGraphInput converts a cluster sub-netlist into the model's input:
+// extracted features plus the normalized hypergraph propagation operator
+//
+//	S = 1/2 I + 1/2 D_v^{-1/2} H D_e^{-1} H^T D_v^{-1/2}
+//
+// (clique-free hyperedge averaging with a self-connection for stability).
+func BuildGraphInput(sub *netlist.Design, fopt features.Options) *GraphInput {
+	f := features.Extract(sub, fopt)
+	n := len(sub.Insts)
+	s := NewSparse(n)
+	if n == 0 {
+		return &GraphInput{S: s, F: f}
+	}
+	// Hyperedges: nets with 2..64 instance pins.
+	var edges [][]int
+	deg := make([]float64, n)
+	for _, net := range sub.Nets {
+		var members []int
+		seen := map[int]bool{}
+		for _, pr := range net.Pins {
+			if !pr.IsPort() && !seen[pr.Inst] {
+				seen[pr.Inst] = true
+				members = append(members, pr.Inst)
+			}
+		}
+		if len(members) < 2 || len(members) > 64 {
+			continue
+		}
+		edges = append(edges, members)
+		for _, v := range members {
+			deg[v]++
+		}
+	}
+	invSqrt := make([]float64, n)
+	for i := range invSqrt {
+		if deg[i] > 0 {
+			invSqrt[i] = 1 / math.Sqrt(deg[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.Add(i, i, 0.5)
+	}
+	for _, members := range edges {
+		de := float64(len(members))
+		for _, u := range members {
+			for _, v := range members {
+				s.Add(u, v, 0.5*invSqrt[u]*invSqrt[v]/de)
+			}
+		}
+	}
+	return &GraphInput{S: s, F: f}
+}

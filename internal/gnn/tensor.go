@@ -1,0 +1,270 @@
+// Package gnn implements the paper's GNN-based Total Cost predictor in pure
+// Go: a small reverse-mode autograd over dense matrices, hypergraph
+// convolution blocks (Bai et al. [3]) with batch normalization and skip
+// connections, four accumulated convolution branches, global mean pooling
+// and a two-layer prediction head — the architecture of Figure 4 — trained
+// with Adam on labels produced by the exact V-P&R runner.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix participating in autograd.
+type Tensor struct {
+	R, C  int
+	Data  []float64
+	Grad  []float64
+	param bool
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(r, c int) *Tensor {
+	return &Tensor{R: r, C: c, Data: make([]float64, r*c), Grad: make([]float64, r*c)}
+}
+
+// NewParam allocates a parameter tensor with Glorot-uniform init.
+func NewParam(r, c int, rng *rand.Rand) *Tensor {
+	t := NewTensor(r, c)
+	t.param = true
+	limit := math.Sqrt(6 / float64(r+c))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return t
+}
+
+// At returns element (i,j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.C+j] }
+
+// Set assigns element (i,j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.C+j] = v }
+
+// ZeroGrad clears the gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+func (t *Tensor) String() string { return fmt.Sprintf("Tensor(%dx%d)", t.R, t.C) }
+
+// Ctx records the operation tape for one forward pass. Backward() replays
+// it in reverse. A Ctx is single-use.
+type Ctx struct {
+	tape  []func()
+	train bool
+}
+
+// NewCtx returns a fresh tape. train enables batch-norm batch statistics.
+func NewCtx(train bool) *Ctx { return &Ctx{train: train} }
+
+func (c *Ctx) push(back func()) {
+	c.tape = append(c.tape, back)
+}
+
+// Backward runs the tape in reverse. The caller must have seeded the output
+// gradient (e.g. via a loss op).
+func (c *Ctx) Backward() {
+	for i := len(c.tape) - 1; i >= 0; i-- {
+		c.tape[i]()
+	}
+}
+
+// MatMul returns a@b, recording the backward closure.
+func (c *Ctx) MatMul(a, b *Tensor) *Tensor {
+	if a.C != b.R {
+		panic(fmt.Sprintf("gnn: matmul shape mismatch %v x %v", a, b))
+	}
+	out := NewTensor(a.R, b.C)
+	matmul(a.Data, b.Data, out.Data, a.R, a.C, b.C, false, false)
+	c.push(func() {
+		// dA += dOut @ B^T ; dB += A^T @ dOut
+		matmulAcc(out.Grad, b.Data, a.Grad, a.R, b.C, a.C, false, true)
+		matmulAcc(a.Data, out.Grad, b.Grad, a.C, a.R, b.C, true, false)
+	})
+	return out
+}
+
+// matmul computes out = A@B with optional transposes (dims are of the
+// effective operation: out is m x n, inner k).
+func matmul(a, b, out []float64, m, k, n int, ta, tb bool) {
+	for i := range out {
+		out[i] = 0
+	}
+	matmulAcc(a, b, out, m, k, n, ta, tb)
+}
+
+// matmulAcc accumulates out += op(A)@op(B). For ta=false, A is m x k; for
+// ta=true, A is k x m. For tb=false, B is k x n; tb=true, B is n x k.
+func matmulAcc(a, b, out []float64, m, k, n int, ta, tb bool) {
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			var av float64
+			if ta {
+				av = a[p*m+i]
+			} else {
+				av = a[i*k+p]
+			}
+			if av == 0 {
+				continue
+			}
+			outRow := out[i*n : (i+1)*n]
+			if tb {
+				for j := 0; j < n; j++ {
+					outRow[j] += av * b[j*k+p]
+				}
+			} else {
+				bRow := b[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					outRow[j] += av * bRow[j]
+				}
+			}
+		}
+	}
+}
+
+// AddBias adds a row-vector bias to every row.
+func (c *Ctx) AddBias(x, b *Tensor) *Tensor {
+	if b.R != 1 || b.C != x.C {
+		panic("gnn: bias shape mismatch")
+	}
+	out := NewTensor(x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		for j := 0; j < x.C; j++ {
+			out.Data[i*x.C+j] = x.Data[i*x.C+j] + b.Data[j]
+		}
+	}
+	c.push(func() {
+		for i := 0; i < x.R; i++ {
+			for j := 0; j < x.C; j++ {
+				g := out.Grad[i*x.C+j]
+				x.Grad[i*x.C+j] += g
+				b.Grad[j] += g
+			}
+		}
+	})
+	return out
+}
+
+// Add returns x+y for equal shapes (used for skip connections and branch
+// accumulation).
+func (c *Ctx) Add(x, y *Tensor) *Tensor {
+	if x.R != y.R || x.C != y.C {
+		panic("gnn: add shape mismatch")
+	}
+	out := NewTensor(x.R, x.C)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] + y.Data[i]
+	}
+	c.push(func() {
+		for i := range out.Grad {
+			x.Grad[i] += out.Grad[i]
+			y.Grad[i] += out.Grad[i]
+		}
+	})
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func (c *Ctx) ReLU(x *Tensor) *Tensor {
+	out := NewTensor(x.R, x.C)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	c.push(func() {
+		for i := range out.Grad {
+			if x.Data[i] > 0 {
+				x.Grad[i] += out.Grad[i]
+			}
+		}
+	})
+	return out
+}
+
+// MeanRows performs global mean pooling over rows: [n x d] -> [1 x d].
+func (c *Ctx) MeanRows(x *Tensor) *Tensor {
+	out := NewTensor(1, x.C)
+	inv := 1 / float64(x.R)
+	for i := 0; i < x.R; i++ {
+		for j := 0; j < x.C; j++ {
+			out.Data[j] += x.Data[i*x.C+j] * inv
+		}
+	}
+	c.push(func() {
+		for i := 0; i < x.R; i++ {
+			for j := 0; j < x.C; j++ {
+				x.Grad[i*x.C+j] += out.Grad[j] * inv
+			}
+		}
+	})
+	return out
+}
+
+// Sparse is a fixed (non-learnable) sparse matrix in CSR-like row lists,
+// used for the hypergraph propagation operator.
+type Sparse struct {
+	N    int
+	rows [][]sparseEntry
+}
+
+type sparseEntry struct {
+	col int
+	val float64
+}
+
+// NewSparse allocates an empty n x n sparse matrix.
+func NewSparse(n int) *Sparse {
+	return &Sparse{N: n, rows: make([][]sparseEntry, n)}
+}
+
+// Add accumulates S[i][j] += v.
+func (s *Sparse) Add(i, j int, v float64) {
+	s.rows[i] = append(s.rows[i], sparseEntry{j, v})
+}
+
+// SpMM returns S @ x ([n x n] @ [n x d]). S carries no gradient; the
+// backward pass multiplies by S^T.
+func (c *Ctx) SpMM(s *Sparse, x *Tensor) *Tensor {
+	if s.N != x.R {
+		panic("gnn: spmm shape mismatch")
+	}
+	out := NewTensor(x.R, x.C)
+	d := x.C
+	for i, row := range s.rows {
+		for _, e := range row {
+			xv := x.Data[e.col*d : (e.col+1)*d]
+			ov := out.Data[i*d : (i+1)*d]
+			for j := 0; j < d; j++ {
+				ov[j] += e.val * xv[j]
+			}
+		}
+	}
+	c.push(func() {
+		for i, row := range s.rows {
+			for _, e := range row {
+				og := out.Grad[i*d : (i+1)*d]
+				xg := x.Grad[e.col*d : (e.col+1)*d]
+				for j := 0; j < d; j++ {
+					xg[j] += e.val * og[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MSE seeds the backward pass with the mean-squared-error gradient of a
+// [1x1] prediction against a scalar label, returning the loss value.
+func (c *Ctx) MSE(pred *Tensor, label float64) float64 {
+	if pred.R != 1 || pred.C != 1 {
+		panic("gnn: MSE expects 1x1 prediction")
+	}
+	diff := pred.Data[0] - label
+	pred.Grad[0] += 2 * diff
+	return diff * diff
+}

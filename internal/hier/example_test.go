@@ -1,0 +1,22 @@
+package hier_test
+
+import (
+	"fmt"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/hier"
+)
+
+// Algorithm 2 picks the dendrogram level minimizing the weighted Rent
+// exponent of Eq. 1.
+func ExampleCluster() {
+	b := designs.Generate(designs.TinySpec(7))
+	res, ok := hier.Cluster(b.Design, b.Design.ToHypergraph().H)
+	fmt.Println("ok:", ok)
+	fmt.Println("levels evaluated:", len(res.Scores))
+	fmt.Println("clusters at best level:", res.Clusters > 1)
+	// Output:
+	// ok: true
+	// levels evaluated: 2
+	// clusters at best level: true
+}

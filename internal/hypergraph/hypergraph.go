@@ -1,0 +1,380 @@
+// Package hypergraph provides a weighted hypergraph data structure with the
+// coarsening and cluster-quality primitives used by netlist clustering.
+//
+// Vertices are dense integer IDs in [0, NumVertices). Hyperedges are sets of
+// vertices with a positive weight. The structure is append-only; coarsening
+// produces a new Hypergraph plus the vertex mapping rather than mutating in
+// place, so multilevel algorithms can keep the whole hierarchy alive.
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hypergraph is a weighted hypergraph over dense vertex IDs.
+type Hypergraph struct {
+	vertexWeight []float64
+	edges        [][]int
+	edgeWeight   []float64
+	incident     [][]int // vertex -> incident edge IDs
+	pins         int
+}
+
+// New returns an empty hypergraph with n zero-weight vertices.
+func New(n int) *Hypergraph {
+	return &Hypergraph{
+		vertexWeight: make([]float64, n),
+		incident:     make([][]int, n),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (h *Hypergraph) NumVertices() int { return len(h.vertexWeight) }
+
+// NumEdges returns the number of hyperedges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// NumPins returns the total number of pins (vertex-edge incidences).
+func (h *Hypergraph) NumPins() int { return h.pins }
+
+// AddVertex appends a vertex with weight w and returns its ID.
+func (h *Hypergraph) AddVertex(w float64) int {
+	h.vertexWeight = append(h.vertexWeight, w)
+	h.incident = append(h.incident, nil)
+	return len(h.vertexWeight) - 1
+}
+
+// AddEdge appends a hyperedge over the given vertices and returns its ID.
+// Duplicate vertices within one edge are collapsed. Edges with fewer than
+// two distinct vertices are still stored (they occur in real netlists as
+// dangling nets) but carry no connectivity information.
+func (h *Hypergraph) AddEdge(vertices []int, w float64) int {
+	uniq := dedupe(vertices)
+	for _, v := range uniq {
+		if v < 0 || v >= len(h.vertexWeight) {
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, len(h.vertexWeight)))
+		}
+	}
+	id := len(h.edges)
+	h.edges = append(h.edges, uniq)
+	h.edgeWeight = append(h.edgeWeight, w)
+	for _, v := range uniq {
+		h.incident[v] = append(h.incident[v], id)
+	}
+	h.pins += len(uniq)
+	return id
+}
+
+// VertexWeight returns the weight of vertex v.
+func (h *Hypergraph) VertexWeight(v int) float64 { return h.vertexWeight[v] }
+
+// SetVertexWeight sets the weight of vertex v.
+func (h *Hypergraph) SetVertexWeight(v int, w float64) { h.vertexWeight[v] = w }
+
+// EdgeWeight returns the weight of edge e.
+func (h *Hypergraph) EdgeWeight(e int) float64 { return h.edgeWeight[e] }
+
+// SetEdgeWeight sets the weight of edge e.
+func (h *Hypergraph) SetEdgeWeight(e int, w float64) { h.edgeWeight[e] = w }
+
+// Edge returns the vertices of edge e. The returned slice must not be mutated.
+func (h *Hypergraph) Edge(e int) []int { return h.edges[e] }
+
+// Incident returns the IDs of edges incident to vertex v. The returned slice
+// must not be mutated.
+func (h *Hypergraph) Incident(v int) []int { return h.incident[v] }
+
+// Degree returns the number of edges incident to vertex v.
+func (h *Hypergraph) Degree(v int) int { return len(h.incident[v]) }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (h *Hypergraph) TotalVertexWeight() float64 {
+	var s float64
+	for _, w := range h.vertexWeight {
+		s += w
+	}
+	return s
+}
+
+// Neighbors returns the distinct vertices sharing at least one edge with v,
+// excluding v itself.
+func (h *Hypergraph) Neighbors(v int) []int {
+	seen := map[int]bool{v: true}
+	var out []int
+	for _, e := range h.incident[v] {
+		for _, u := range h.edges[e] {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedupe(vs []int) []int {
+	if len(vs) <= 1 {
+		out := make([]int, len(vs))
+		copy(out, vs)
+		return out
+	}
+	s := make([]int, len(vs))
+	copy(s, vs)
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Contraction is the result of contracting a hypergraph under a cluster map.
+type Contraction struct {
+	// Coarse is the contracted hypergraph.
+	Coarse *Hypergraph
+	// VertexMap maps each fine vertex to its coarse vertex.
+	VertexMap []int
+	// EdgeMap maps each fine edge to its coarse edge, or -1 if the edge
+	// became internal to a single coarse vertex (or degenerate).
+	EdgeMap []int
+}
+
+// Contract builds the coarse hypergraph induced by clusterOf, which maps each
+// vertex to a cluster label (labels need not be dense). Vertex weights are
+// summed per cluster. Parallel coarse edges are merged with weights summed;
+// edges fully inside one cluster are dropped.
+func (h *Hypergraph) Contract(clusterOf []int) (*Contraction, error) {
+	if len(clusterOf) != h.NumVertices() {
+		return nil, fmt.Errorf("hypergraph: cluster map has %d entries for %d vertices", len(clusterOf), h.NumVertices())
+	}
+	// Densify labels in first-seen order so results are deterministic.
+	dense := make(map[int]int)
+	vmap := make([]int, len(clusterOf))
+	for v, c := range clusterOf {
+		id, ok := dense[c]
+		if !ok {
+			id = len(dense)
+			dense[c] = id
+		}
+		vmap[v] = id
+	}
+	coarse := New(len(dense))
+	for v, cv := range vmap {
+		coarse.vertexWeight[cv] += h.vertexWeight[v]
+	}
+	// Merge parallel edges via a canonical key.
+	type coarseEdge struct {
+		id int
+	}
+	byKey := make(map[string]coarseEdge)
+	emap := make([]int, h.NumEdges())
+	var keyBuf []byte
+	for e, verts := range h.edges {
+		mapped := make([]int, 0, len(verts))
+		for _, v := range verts {
+			mapped = append(mapped, vmap[v])
+		}
+		mapped = dedupe(mapped)
+		if len(mapped) < 2 {
+			emap[e] = -1
+			continue
+		}
+		keyBuf = keyBuf[:0]
+		for _, v := range mapped {
+			keyBuf = appendInt(keyBuf, v)
+			keyBuf = append(keyBuf, ',')
+		}
+		k := string(keyBuf)
+		if ce, ok := byKey[k]; ok {
+			coarse.edgeWeight[ce.id] += h.edgeWeight[e]
+			emap[e] = ce.id
+			continue
+		}
+		id := coarse.AddEdge(mapped, h.edgeWeight[e])
+		byKey[k] = coarseEdge{id: id}
+		emap[e] = id
+	}
+	return &Contraction{Coarse: coarse, VertexMap: vmap, EdgeMap: emap}, nil
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// ClusterStats describes one cluster's connectivity, the inputs to the Rent
+// exponent criterion (Eq. 1 of the paper).
+type ClusterStats struct {
+	Size         int     // |c|: number of vertices
+	ExternalEdge int     // E(c): edges crossing the cluster boundary
+	ExternalPins int     // Ext(c): pins in c on external edges
+	InternalPins int     // Int(c): pins in c on internal edges
+	Weight       float64 // sum of vertex weights
+}
+
+// RentExponent returns the Rent exponent R_c of the cluster per Eq. 1:
+//
+//	R_c = ln(E(c) / (Int(c)+Ext(c))) / ln(|c|) + 1
+//
+// Degenerate clusters (size < 2 or no pins) return NaN; callers treat those
+// as "no information" and exclude them from weighted averages.
+func (s ClusterStats) RentExponent() float64 {
+	if s.Size < 2 || s.InternalPins+s.ExternalPins == 0 || s.ExternalEdge == 0 {
+		return math.NaN()
+	}
+	return math.Log(float64(s.ExternalEdge)/float64(s.InternalPins+s.ExternalPins))/math.Log(float64(s.Size)) + 1
+}
+
+// ClusterStatsFor computes per-cluster connectivity stats for the clustering
+// clusterOf (labels need not be dense). The returned map is keyed by label.
+func (h *Hypergraph) ClusterStatsFor(clusterOf []int) map[int]*ClusterStats {
+	stats := make(map[int]*ClusterStats)
+	get := func(c int) *ClusterStats {
+		s := stats[c]
+		if s == nil {
+			s = &ClusterStats{}
+			stats[c] = s
+		}
+		return s
+	}
+	for v, c := range clusterOf {
+		s := get(c)
+		s.Size++
+		s.Weight += h.vertexWeight[v]
+	}
+	for _, verts := range h.edges {
+		if len(verts) == 0 {
+			continue
+		}
+		// Count pins per cluster on this edge and whether it is external.
+		perCluster := make(map[int]int)
+		for _, v := range verts {
+			perCluster[clusterOf[v]]++
+		}
+		external := len(perCluster) > 1
+		for c, pins := range perCluster {
+			s := get(c)
+			if external {
+				s.ExternalEdge++
+				s.ExternalPins += pins
+			} else {
+				s.InternalPins += pins
+			}
+		}
+	}
+	return stats
+}
+
+// WeightedAvgRent computes R_avg per Eq. 1: the size-weighted average of the
+// per-cluster Rent exponents. Clusters whose exponent is NaN contribute a
+// neutral exponent of 1 (a singleton has no internal structure to reward).
+func (h *Hypergraph) WeightedAvgRent(clusterOf []int) float64 {
+	stats := h.ClusterStatsFor(clusterOf)
+	var num float64
+	total := 0
+	for _, s := range stats {
+		r := s.RentExponent()
+		if math.IsNaN(r) {
+			r = 1
+		}
+		num += r * float64(s.Size)
+		total += s.Size
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return num / float64(total)
+}
+
+// CutSize returns the total weight of edges spanning more than one cluster.
+func (h *Hypergraph) CutSize(clusterOf []int) float64 {
+	var cut float64
+	for e, verts := range h.edges {
+		if len(verts) < 2 {
+			continue
+		}
+		first := clusterOf[verts[0]]
+		for _, v := range verts[1:] {
+			if clusterOf[v] != first {
+				cut += h.edgeWeight[e]
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// Validate checks internal consistency and returns an error describing the
+// first violation found.
+func (h *Hypergraph) Validate() error {
+	pins := 0
+	for e, verts := range h.edges {
+		for i, v := range verts {
+			if v < 0 || v >= h.NumVertices() {
+				return fmt.Errorf("edge %d references vertex %d out of range", e, v)
+			}
+			if i > 0 && verts[i-1] >= v {
+				return fmt.Errorf("edge %d vertices not strictly sorted", e)
+			}
+		}
+		pins += len(verts)
+	}
+	if pins != h.pins {
+		return fmt.Errorf("pin count %d != recorded %d", pins, h.pins)
+	}
+	for v, inc := range h.incident {
+		for _, e := range inc {
+			if e < 0 || e >= h.NumEdges() {
+				return fmt.Errorf("vertex %d lists edge %d out of range", v, e)
+			}
+			found := false
+			for _, u := range h.edges[e] {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("vertex %d lists edge %d but edge does not contain it", v, e)
+			}
+		}
+	}
+	return nil
+}
+
+// CliqueExpand converts the hypergraph to a weighted undirected graph using
+// standard clique expansion: each hyperedge e contributes weight
+// w_e/(|e|-1) to every vertex pair it connects. The result is returned as an
+// adjacency list with accumulated weights; used for community detection and
+// for cluster-graph features.
+func (h *Hypergraph) CliqueExpand() *Graph {
+	g := NewGraph(h.NumVertices())
+	for e, verts := range h.edges {
+		k := len(verts)
+		if k < 2 {
+			continue
+		}
+		w := h.edgeWeight[e] / float64(k-1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.AddEdge(verts[i], verts[j], w)
+			}
+		}
+	}
+	g.Finish()
+	return g
+}

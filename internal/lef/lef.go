@@ -1,0 +1,156 @@
+// Package lef reads and writes the LEF subset that carries the physical
+// view the flow needs: macro class, size, and pin directions/offsets. It is
+// also used to emit the cluster .lef models that Algorithm 1 line 13
+// produces for seeded placement.
+package lef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ppaclust/internal/netlist"
+)
+
+// Write emits the physical view of every master in the library.
+func Write(w io.Writer, lib *netlist.Library) error {
+	fmt.Fprintf(w, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n")
+	for _, name := range lib.MasterNames() {
+		if err := WriteMacro(w, lib.Master(name)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "END LIBRARY")
+	return err
+}
+
+// WriteMacro emits one MACRO block.
+func WriteMacro(w io.Writer, m *netlist.Master) error {
+	class := "CORE"
+	switch m.Class {
+	case netlist.ClassMacro:
+		class = "BLOCK"
+	case netlist.ClassPad:
+		class = "PAD"
+	}
+	fmt.Fprintf(w, "MACRO %s\n  CLASS %s ;\n  SIZE %.4f BY %.4f ;\n", m.Name, class, m.Width, m.Height)
+	for i := range m.Pins {
+		p := &m.Pins[i]
+		dir := "INPUT"
+		switch p.Dir {
+		case netlist.DirOutput:
+			dir = "OUTPUT"
+		case netlist.DirInout:
+			dir = "INOUT"
+		}
+		fmt.Fprintf(w, "  PIN %s\n    DIRECTION %s ;\n", p.Name, dir)
+		if p.Clock {
+			fmt.Fprintf(w, "    USE CLOCK ;\n")
+		}
+		if p.OffsetX != 0 || p.OffsetY != 0 {
+			fmt.Fprintf(w, "    ORIGIN %.4f %.4f ;\n", p.OffsetX, p.OffsetY)
+		}
+		fmt.Fprintf(w, "  END %s\n", p.Name)
+	}
+	_, err := fmt.Fprintf(w, "END %s\n\n", m.Name)
+	return err
+}
+
+// Parse reads MACRO blocks into the given library, creating masters that do
+// not exist and updating geometry of those that do (the usual
+// liberty-then-lef load order). It returns the names of the macros read.
+func Parse(r io.Reader, lib *netlist.Library) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var names []string
+	var m *netlist.Master
+	var pin *netlist.MasterPin
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		f := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "MACRO":
+			if len(f) < 2 {
+				return nil, fmt.Errorf("lef: line %d: MACRO without name", lineNo)
+			}
+			if ex := lib.Master(f[1]); ex != nil {
+				m = ex
+			} else {
+				m = &netlist.Master{Name: f[1]}
+				if err := lib.AddMaster(m); err != nil {
+					return nil, err
+				}
+			}
+			names = append(names, f[1])
+			pin = nil
+		case "CLASS":
+			if m == nil {
+				return nil, fmt.Errorf("lef: line %d: CLASS outside MACRO", lineNo)
+			}
+			switch f[1] {
+			case "BLOCK":
+				m.Class = netlist.ClassMacro
+			case "PAD":
+				m.Class = netlist.ClassPad
+			default:
+				m.Class = netlist.ClassCore
+			}
+		case "SIZE":
+			if m == nil || len(f) < 4 {
+				return nil, fmt.Errorf("lef: line %d: bad SIZE", lineNo)
+			}
+			var err error
+			if m.Width, err = strconv.ParseFloat(f[1], 64); err != nil {
+				return nil, fmt.Errorf("lef: line %d: %v", lineNo, err)
+			}
+			if m.Height, err = strconv.ParseFloat(f[3], 64); err != nil {
+				return nil, fmt.Errorf("lef: line %d: %v", lineNo, err)
+			}
+		case "PIN":
+			if m == nil || len(f) < 2 {
+				return nil, fmt.Errorf("lef: line %d: bad PIN", lineNo)
+			}
+			if ex := m.Pin(f[1]); ex != nil {
+				pin = ex
+			} else {
+				pin = m.AddPin(netlist.MasterPin{Name: f[1]})
+			}
+		case "DIRECTION":
+			if pin == nil {
+				return nil, fmt.Errorf("lef: line %d: DIRECTION outside PIN", lineNo)
+			}
+			switch f[1] {
+			case "OUTPUT":
+				pin.Dir = netlist.DirOutput
+			case "INOUT":
+				pin.Dir = netlist.DirInout
+			default:
+				pin.Dir = netlist.DirInput
+			}
+		case "USE":
+			if pin != nil && f[1] == "CLOCK" {
+				pin.Clock = true
+			}
+		case "ORIGIN":
+			if pin == nil || len(f) < 3 {
+				return nil, fmt.Errorf("lef: line %d: bad ORIGIN", lineNo)
+			}
+			pin.OffsetX, _ = strconv.ParseFloat(f[1], 64)
+			pin.OffsetY, _ = strconv.ParseFloat(f[2], 64)
+		case "END":
+			if len(f) >= 2 && m != nil && f[1] == m.Name {
+				m = nil
+			}
+			if len(f) >= 2 && pin != nil && f[1] == pin.Name {
+				pin = nil
+			}
+		}
+	}
+	return names, sc.Err()
+}

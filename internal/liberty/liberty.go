@@ -1,0 +1,434 @@
+// Package liberty reads and writes the Liberty (.lib) subset that carries
+// the electrical view: cell area and leakage, pin direction/capacitance, and
+// NLDM delay/transition tables on timing arcs. File units follow the common
+// academic convention — time ns, capacitance pF, power nW, energy fJ — and
+// are converted to SI on parse.
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ppaclust/internal/netlist"
+)
+
+// Unit conversions between file and SI.
+const (
+	timeUnit   = 1e-9  // ns
+	capUnit    = 1e-12 // pF
+	leakUnit   = 1e-9  // nW
+	energyUnit = 1e-15 // fJ
+)
+
+// Write emits the library.
+func Write(w io.Writer, lib *netlist.Library) error {
+	fmt.Fprintf(w, "library (%s) {\n", lib.Name)
+	fmt.Fprintf(w, "  time_unit : \"1ns\";\n  capacitive_load_unit (1,pf);\n")
+	for _, name := range lib.MasterNames() {
+		m := lib.Master(name)
+		fmt.Fprintf(w, "  cell (%s) {\n", m.Name)
+		fmt.Fprintf(w, "    area : %.4f;\n", m.Area())
+		fmt.Fprintf(w, "    cell_leakage_power : %.4f;\n", m.Leakage/leakUnit)
+		if m.Class == netlist.ClassMacro {
+			fmt.Fprintf(w, "    is_macro_cell : true;\n")
+		}
+		for pi := range m.Pins {
+			writePin(w, &m.Pins[pi])
+		}
+		fmt.Fprintf(w, "  }\n")
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func writePin(w io.Writer, p *netlist.MasterPin) {
+	fmt.Fprintf(w, "    pin (%s) {\n", p.Name)
+	dir := "input"
+	switch p.Dir {
+	case netlist.DirOutput:
+		dir = "output"
+	case netlist.DirInout:
+		dir = "inout"
+	}
+	fmt.Fprintf(w, "      direction : %s;\n", dir)
+	if p.Cap > 0 {
+		fmt.Fprintf(w, "      capacitance : %.6f;\n", p.Cap/capUnit)
+	}
+	if p.MaxCap > 0 {
+		fmt.Fprintf(w, "      max_capacitance : %.6f;\n", p.MaxCap/capUnit)
+	}
+	if p.Clock {
+		fmt.Fprintf(w, "      clock : true;\n")
+	}
+	for ai := range p.Arcs {
+		writeArc(w, &p.Arcs[ai])
+	}
+	fmt.Fprintf(w, "    }\n")
+}
+
+func arcKindName(k netlist.ArcKind) string {
+	switch k {
+	case netlist.ArcClkToQ:
+		return "rising_edge"
+	case netlist.ArcSetup:
+		return "setup_rising"
+	case netlist.ArcHold:
+		return "hold_rising"
+	default:
+		return "combinational"
+	}
+}
+
+func writeArc(w io.Writer, a *netlist.TimingArc) {
+	fmt.Fprintf(w, "      timing () {\n")
+	fmt.Fprintf(w, "        related_pin : \"%s\";\n", a.From)
+	fmt.Fprintf(w, "        timing_type : %s;\n", arcKindName(a.Kind))
+	if a.Energy > 0 {
+		fmt.Fprintf(w, "        energy : %.6f;\n", a.Energy/energyUnit)
+	}
+	writeTable(w, "cell_rise", &a.Delay)
+	if len(a.Slew.Values) > 0 {
+		writeTable(w, "rise_transition", &a.Slew)
+	}
+	fmt.Fprintf(w, "      }\n")
+}
+
+func writeTable(w io.Writer, name string, t *netlist.Table) {
+	if len(t.Values) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "        %s () {\n", name)
+	fmt.Fprintf(w, "          index_1 (\"%s\");\n", joinScaled(t.Slews, timeUnit))
+	fmt.Fprintf(w, "          index_2 (\"%s\");\n", joinScaled(t.Loads, capUnit))
+	fmt.Fprintf(w, "          values ( \\\n")
+	for i, row := range t.Values {
+		sep := ", \\"
+		if i == len(t.Values)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(w, "            \"%s\"%s\n", joinScaled(row, timeUnit), sep)
+	}
+	fmt.Fprintf(w, "          );\n        }\n")
+}
+
+func joinScaled(vs []float64, unit float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v/unit, 'g', 8, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Parse reads a liberty file into a new library.
+func Parse(r io.Reader) (*netlist.Library, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks := tokenize(string(data))
+	p := &parser{toks: toks}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if g.name != "library" {
+		return nil, fmt.Errorf("liberty: top group is %q, want library", g.name)
+	}
+	libName := "lib"
+	if len(g.args) > 0 {
+		libName = g.args[0]
+	}
+	lib := netlist.NewLibrary(libName)
+	for _, cg := range g.groups {
+		if cg.name != "cell" || len(cg.args) == 0 {
+			continue
+		}
+		m, err := buildCell(cg)
+		if err != nil {
+			return nil, err
+		}
+		if err := lib.AddMaster(m); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}
+
+// group is a parsed liberty group: name(args) { attrs; subgroups }.
+type group struct {
+	name   string
+	args   []string
+	attrs  map[string]string
+	groups []*group
+}
+
+func buildCell(g *group) (*netlist.Master, error) {
+	m := &netlist.Master{Name: g.args[0]}
+	if v, ok := g.attrs["cell_leakage_power"]; ok {
+		f, _ := strconv.ParseFloat(v, 64)
+		m.Leakage = f * leakUnit
+	}
+	if g.attrs["is_macro_cell"] == "true" {
+		m.Class = netlist.ClassMacro
+	}
+	// Geometry comes from LEF; approximate from area if present so a
+	// liberty-only library is still usable.
+	if v, ok := g.attrs["area"]; ok {
+		a, _ := strconv.ParseFloat(v, 64)
+		if a > 0 {
+			m.Height = 1.4
+			m.Width = a / m.Height
+		}
+	}
+	for _, pg := range g.groups {
+		if pg.name != "pin" || len(pg.args) == 0 {
+			continue
+		}
+		pin := netlist.MasterPin{Name: pg.args[0]}
+		switch pg.attrs["direction"] {
+		case "output":
+			pin.Dir = netlist.DirOutput
+		case "inout":
+			pin.Dir = netlist.DirInout
+		default:
+			pin.Dir = netlist.DirInput
+		}
+		if v, ok := pg.attrs["capacitance"]; ok {
+			f, _ := strconv.ParseFloat(v, 64)
+			pin.Cap = f * capUnit
+		}
+		if v, ok := pg.attrs["max_capacitance"]; ok {
+			f, _ := strconv.ParseFloat(v, 64)
+			pin.MaxCap = f * capUnit
+		}
+		if pg.attrs["clock"] == "true" {
+			pin.Clock = true
+		}
+		for _, tg := range pg.groups {
+			if tg.name != "timing" {
+				continue
+			}
+			arc, err := buildArc(tg)
+			if err != nil {
+				return nil, err
+			}
+			pin.Arcs = append(pin.Arcs, arc)
+		}
+		m.AddPin(pin)
+	}
+	return m, nil
+}
+
+func buildArc(g *group) (netlist.TimingArc, error) {
+	arc := netlist.TimingArc{From: strings.Trim(g.attrs["related_pin"], "\"")}
+	switch g.attrs["timing_type"] {
+	case "rising_edge", "falling_edge":
+		arc.Kind = netlist.ArcClkToQ
+	case "setup_rising", "setup_falling":
+		arc.Kind = netlist.ArcSetup
+	case "hold_rising", "hold_falling":
+		arc.Kind = netlist.ArcHold
+	default:
+		arc.Kind = netlist.ArcComb
+	}
+	if v, ok := g.attrs["energy"]; ok {
+		f, _ := strconv.ParseFloat(v, 64)
+		arc.Energy = f * energyUnit
+	}
+	for _, tg := range g.groups {
+		switch tg.name {
+		case "cell_rise", "cell_fall":
+			t, err := buildTable(tg)
+			if err != nil {
+				return arc, err
+			}
+			arc.Delay = t
+		case "rise_transition", "fall_transition":
+			t, err := buildTable(tg)
+			if err != nil {
+				return arc, err
+			}
+			arc.Slew = t
+		}
+	}
+	return arc, nil
+}
+
+func buildTable(g *group) (netlist.Table, error) {
+	var t netlist.Table
+	var err error
+	if t.Slews, err = parseList(g.attrs["index_1"], timeUnit); err != nil {
+		return t, err
+	}
+	if t.Loads, err = parseList(g.attrs["index_2"], capUnit); err != nil {
+		return t, err
+	}
+	rows := strings.Split(g.attrs["values"], ";")
+	for _, row := range rows {
+		vals, err := parseList(row, timeUnit)
+		if err != nil {
+			return t, err
+		}
+		if len(vals) > 0 {
+			t.Values = append(t.Values, vals)
+		}
+	}
+	if len(t.Values) != len(t.Slews) {
+		return t, fmt.Errorf("liberty: table has %d rows for %d slews", len(t.Values), len(t.Slews))
+	}
+	for _, row := range t.Values {
+		if len(row) != len(t.Loads) {
+			return t, fmt.Errorf("liberty: table row has %d cols for %d loads", len(row), len(t.Loads))
+		}
+	}
+	return t, nil
+}
+
+func parseList(s string, unit float64) ([]float64, error) {
+	s = strings.Trim(s, "\" ")
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(strings.Trim(p, "\""))
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: bad number %q", p)
+		}
+		out = append(out, v*unit)
+	}
+	return out, nil
+}
+
+// ---- tokenizer and recursive-descent group parser ----
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\\': // line continuation
+			i++
+		case c == '/' && i+1 < len(s) && s[i+1] == '*':
+			i += 2
+			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case strings.ContainsRune("(){};:,", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			toks = append(toks, s[i:j+1])
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\r\n(){};:,\\\"", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// parseGroup parses name ( args ) { body }.
+func (p *parser) parseGroup() (*group, error) {
+	g := &group{name: p.next(), attrs: map[string]string{}}
+	if p.next() != "(" {
+		return nil, fmt.Errorf("liberty: expected ( after %s", g.name)
+	}
+	for p.peek() != ")" && p.peek() != "" {
+		tok := p.next()
+		if tok != "," {
+			g.args = append(g.args, strings.Trim(tok, "\""))
+		}
+	}
+	p.next() // ")"
+	if p.peek() != "{" {
+		// Statement-style group without body.
+		if p.peek() == ";" {
+			p.next()
+		}
+		return g, nil
+	}
+	p.next() // "{"
+	for {
+		switch p.peek() {
+		case "}":
+			p.next()
+			if p.peek() == ";" {
+				p.next()
+			}
+			return g, nil
+		case "":
+			return nil, fmt.Errorf("liberty: unexpected EOF in group %s", g.name)
+		}
+		name := p.next()
+		switch p.peek() {
+		case ":":
+			p.next()
+			var val strings.Builder
+			for p.peek() != ";" && p.peek() != "" {
+				if val.Len() > 0 {
+					val.WriteString(" ")
+				}
+				val.WriteString(p.next())
+			}
+			p.next() // ";"
+			g.attrs[name] = strings.TrimSpace(val.String())
+		case "(":
+			// Sub-group or complex attribute: rewind and parse as group.
+			p.pos--
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			// Complex attributes (index_1, values, capacitive_load_unit)
+			// are stored as joined-args attrs; real groups nest.
+			if len(sub.groups) == 0 && len(sub.attrs) == 0 && sub.name != "timing" &&
+				sub.name != "pin" && sub.name != "cell" &&
+				sub.name != "cell_rise" && sub.name != "cell_fall" &&
+				sub.name != "rise_transition" && sub.name != "fall_transition" {
+				g.attrs[sub.name] = strings.Join(sub.args, ";")
+			} else {
+				g.groups = append(g.groups, sub)
+			}
+		default:
+			return nil, fmt.Errorf("liberty: unexpected token %q after %q", p.peek(), name)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package opt
+
+import (
+	"sort"
+	"strings"
+
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/sta"
+)
+
+// Gate sizing: swap cells on critical paths to higher-drive variants of the
+// same function (INV_X1 -> INV_X2, BUF_X1 -> BUF_X4), the second classic
+// post-placement timing repair next to buffer insertion.
+
+// ResizeOptions configures critical-path gate sizing.
+type ResizeOptions struct {
+	// MaxResizes bounds the number of swaps. Default 10% of instances.
+	MaxResizes int
+	// Paths is how many worst paths to harvest candidates from. Default 50.
+	Paths int
+}
+
+func (o ResizeOptions) withDefaults(d *netlist.Design) ResizeOptions {
+	if o.MaxResizes <= 0 {
+		o.MaxResizes = len(d.Insts)/10 + 1
+	}
+	if o.Paths <= 0 {
+		o.Paths = 50
+	}
+	return o
+}
+
+// ResizeReport summarizes a sizing pass.
+type ResizeReport struct {
+	Resized   int
+	WNSBefore float64
+	WNSAfter  float64
+}
+
+// upsizeTable maps a master to its higher-drive variant within the built-in
+// library's naming convention (FUNC_X<drive>).
+func upsizeOf(lib *netlist.Library, name string) *netlist.Master {
+	i := strings.LastIndex(name, "_X")
+	if i < 0 {
+		return nil
+	}
+	base := name[:i]
+	drive := name[i+2:]
+	// Try doubling the drive index a few times (X1 -> X2 -> X4 -> X8).
+	for _, next := range []string{"2", "4", "8"} {
+		if next > drive {
+			if m := lib.Master(base + "_X" + next); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// ResizeCriticalGates walks the worst timing paths and upsizes combinational
+// cells along them when a higher-drive variant exists with compatible pins.
+// Swaps are kept only if design-wide WNS does not degrade.
+func ResizeCriticalGates(d *netlist.Design, cons sta.Constraints, opt ResizeOptions) ResizeReport {
+	opt = opt.withDefaults(d)
+	a := sta.New(d, cons)
+	rep := ResizeReport{WNSBefore: a.Timing().WNS}
+	if rep.WNSBefore >= 0 {
+		rep.WNSAfter = rep.WNSBefore
+		return rep // nothing failing
+	}
+
+	// Harvest candidate instances from the worst paths, most critical first.
+	paths := a.TopPaths(opt.Paths)
+	seen := map[int]bool{}
+	var candidates []int
+	for _, p := range paths {
+		if p.Slack >= 0 {
+			break
+		}
+		for _, pin := range p.Pins {
+			if pin.Inst < 0 || seen[pin.Inst] {
+				continue
+			}
+			seen[pin.Inst] = true
+			candidates = append(candidates, pin.Inst)
+		}
+	}
+	sort.Ints(candidates) // determinism after map-based dedup
+
+	wns := rep.WNSBefore
+	for _, id := range candidates {
+		if rep.Resized >= opt.MaxResizes {
+			break
+		}
+		inst := d.Insts[id]
+		up := upsizeOf(d.Lib, inst.Master.Name)
+		if up == nil || !pinsCompatible(inst.Master, up) {
+			continue
+		}
+		old := inst.Master
+		inst.Master = up
+		trial := sta.New(d, cons).Timing().WNS
+		if trial < wns {
+			inst.Master = old // revert: upsizing hurt (input cap on the prev stage)
+			continue
+		}
+		wns = trial
+		rep.Resized++
+	}
+	rep.WNSAfter = wns
+	return rep
+}
+
+// pinsCompatible checks the replacement exposes every pin of the original
+// with matching directions (net connections keep working).
+func pinsCompatible(a, b *netlist.Master) bool {
+	for i := range a.Pins {
+		bp := b.Pin(a.Pins[i].Name)
+		if bp == nil || bp.Dir != a.Pins[i].Dir {
+			return false
+		}
+	}
+	return true
+}

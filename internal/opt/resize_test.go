@@ -1,0 +1,72 @@
+package opt
+
+import (
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/place"
+	"ppaclust/internal/sta"
+)
+
+func TestUpsizeOf(t *testing.T) {
+	lib := designs.Lib()
+	if up := upsizeOf(lib, "INV_X1"); up == nil || up.Name != "INV_X2" {
+		t.Fatalf("INV_X1 upsize = %v", up)
+	}
+	if up := upsizeOf(lib, "BUF_X1"); up == nil || up.Name != "BUF_X4" {
+		t.Fatalf("BUF_X1 upsize = %v", up)
+	}
+	if up := upsizeOf(lib, "BUF_X4"); up != nil {
+		t.Fatalf("BUF_X4 should have no upsize, got %v", up.Name)
+	}
+	if up := upsizeOf(lib, "RAM32X32"); up != nil {
+		t.Fatal("macro should have no upsize")
+	}
+}
+
+func TestResizeNeverWorsensWNS(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(801))
+	d := b.Design
+	place.Global(d, place.Options{Seed: 1, Legalize: true})
+	rep := ResizeCriticalGates(d, b.Cons, ResizeOptions{MaxResizes: 40})
+	if rep.WNSAfter < rep.WNSBefore {
+		t.Fatalf("sizing degraded WNS: %v -> %v", rep.WNSBefore, rep.WNSAfter)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The accepted swaps (if any) must have produced real master changes.
+	if rep.Resized > 0 {
+		found := false
+		for _, inst := range d.Insts {
+			if inst.Master.Name == "INV_X2" || inst.Master.Name == "BUF_X4" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("reported resizes but no upsized masters present")
+		}
+	}
+}
+
+func TestResizeCleanDesignNoop(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(802))
+	d := b.Design
+	place.Global(d, place.Options{Seed: 2, Legalize: true})
+	cons := sta.DefaultConstraints(1e-6) // absurdly slow clock: nothing fails
+	cons.ClockPorts = []string{"clk"}
+	rep := ResizeCriticalGates(d, cons, ResizeOptions{})
+	if rep.Resized != 0 {
+		t.Fatalf("clean design should not be resized: %+v", rep)
+	}
+}
+
+func TestPinsCompatible(t *testing.T) {
+	lib := designs.Lib()
+	if !pinsCompatible(lib.Master("INV_X1"), lib.Master("INV_X2")) {
+		t.Fatal("INV variants should be compatible")
+	}
+	if pinsCompatible(lib.Master("INV_X1"), lib.Master("NAND2_X1")) {
+		t.Fatal("INV and NAND are not compatible")
+	}
+}

@@ -1,0 +1,279 @@
+// Package partition implements Fiduccia-Mattheyses (FM) hypergraph
+// bipartitioning (best-gain moves with prefix rollback, multi-start), plus
+// recursive bisection into k parts.
+// Min-cut partitioning underlies the floorplacement line of work the paper
+// cites ([17]) and doubles as another clustering baseline: a k-way
+// partition is a balanced, cut-minimizing clustering.
+package partition
+
+import (
+	"math/rand"
+
+	"ppaclust/internal/hypergraph"
+)
+
+// Options configures one FM bipartition.
+type Options struct {
+	// Balance is the maximum fraction of total vertex weight either side
+	// may hold. Default 0.55 (i.e. 45/55 tolerance).
+	Balance float64
+	// Passes bounds FM improvement passes. Default 8.
+	Passes int
+	// Seed drives the initial random partition.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Balance <= 0.5 || o.Balance > 1 {
+		o.Balance = 0.55
+	}
+	if o.Passes <= 0 {
+		o.Passes = 8
+	}
+	return o
+}
+
+// Bipartition splits the hypergraph into sides 0 and 1, minimizing the
+// weighted cut subject to the balance constraint. It runs a small
+// multi-start (FM is a local search) and returns the best side assignment
+// and its cut weight.
+func Bipartition(h *hypergraph.Hypergraph, opt Options) ([]int, float64) {
+	opt = opt.withDefaults()
+	const starts = 4
+	var bestSide []int
+	bestCut := -1.0
+	for s := 0; s < starts; s++ {
+		o := opt
+		o.Seed = opt.Seed + int64(1000*s)
+		side, cut := bipartitionOnce(h, o)
+		if bestCut < 0 || cut < bestCut {
+			bestSide, bestCut = side, cut
+		}
+	}
+	return bestSide, bestCut
+}
+
+func bipartitionOnce(h *hypergraph.Hypergraph, opt Options) ([]int, float64) {
+	n := h.NumVertices()
+	side := make([]int, n)
+	if n == 0 {
+		return side, 0
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	totalW := h.TotalVertexWeight()
+	// Balance tolerance must admit at least one cell move from an even
+	// split, or FM freezes at its initial random partition.
+	var maxVertexW float64
+	for v := 0; v < n; v++ {
+		if w := h.VertexWeight(v); w > maxVertexW {
+			maxVertexW = w
+		}
+	}
+	maxSide := opt.Balance * totalW
+	if min := totalW/2 + maxVertexW; maxSide < min {
+		maxSide = min
+	}
+
+	// Random balanced initial partition (by weight, greedy).
+	order := rng.Perm(n)
+	var w0 float64
+	for _, v := range order {
+		if w0+h.VertexWeight(v) <= totalW/2 {
+			side[v] = 0
+			w0 += h.VertexWeight(v)
+		} else {
+			side[v] = 1
+		}
+	}
+
+	sideW := [2]float64{}
+	for v := 0; v < n; v++ {
+		sideW[side[v]] += h.VertexWeight(v)
+	}
+
+	// pinCount[e][s]: pins of edge e on side s.
+	pinCount := make([][2]int, h.NumEdges())
+	recount := func() {
+		for e := range pinCount {
+			pinCount[e] = [2]int{}
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			for _, v := range h.Edge(e) {
+				pinCount[e][side[v]]++
+			}
+		}
+	}
+	recount()
+
+	gainOf := func(v int) float64 {
+		s := side[v]
+		var g float64
+		for _, e := range h.Incident(v) {
+			if len(h.Edge(e)) < 2 {
+				continue
+			}
+			w := h.EdgeWeight(e)
+			if pinCount[e][s] == 1 {
+				g += w // moving v uncuts e
+			}
+			if pinCount[e][1-s] == 0 {
+				g -= w // moving v cuts e
+			}
+		}
+		return g
+	}
+
+	for pass := 0; pass < opt.Passes; pass++ {
+		locked := make([]bool, n)
+		type move struct {
+			v    int
+			gain float64
+		}
+		var seq []move
+		var cum, best float64
+		bestIdx := -1
+		// One FM pass: repeatedly move the best unlocked vertex.
+		for step := 0; step < n; step++ {
+			bv, bg := -1, 0.0
+			for v := 0; v < n; v++ {
+				if locked[v] {
+					continue
+				}
+				// Balance check for the prospective move.
+				if sideW[1-side[v]]+h.VertexWeight(v) > maxSide {
+					continue
+				}
+				g := gainOf(v)
+				if bv < 0 || g > bg {
+					bv, bg = v, g
+				}
+			}
+			if bv < 0 {
+				break
+			}
+			// Apply the move tentatively.
+			s := side[bv]
+			for _, e := range h.Incident(bv) {
+				pinCount[e][s]--
+				pinCount[e][1-s]++
+			}
+			sideW[s] -= h.VertexWeight(bv)
+			sideW[1-s] += h.VertexWeight(bv)
+			side[bv] = 1 - s
+			locked[bv] = true
+			cum += bg
+			seq = append(seq, move{bv, bg})
+			if cum > best {
+				best = cum
+				bestIdx = len(seq) - 1
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(seq) - 1; i > bestIdx; i-- {
+			v := seq[i].v
+			s := side[v]
+			for _, e := range h.Incident(v) {
+				pinCount[e][s]--
+				pinCount[e][1-s]++
+			}
+			sideW[s] -= h.VertexWeight(v)
+			sideW[1-s] += h.VertexWeight(v)
+			side[v] = 1 - s
+		}
+		if bestIdx < 0 {
+			break // no improving prefix: converged
+		}
+	}
+	return side, h.CutSize(side)
+}
+
+// KWay partitions the hypergraph into k parts by recursive bisection and
+// returns a dense part assignment. k rounds up to the next power of two
+// internally; empty parts are compacted away.
+func KWay(h *hypergraph.Hypergraph, k int, opt Options) []int {
+	n := h.NumVertices()
+	assign := make([]int, n)
+	if k <= 1 || n == 0 {
+		return assign
+	}
+	type job struct {
+		vertices []int
+		parts    int
+		label    int
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	nextLabel := 1
+	queue := []job{{all, k, 0}}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		if j.parts <= 1 || len(j.vertices) <= 1 {
+			continue
+		}
+		// Build the sub-hypergraph over j.vertices.
+		sub := hypergraph.New(len(j.vertices))
+		idx := make(map[int]int, len(j.vertices))
+		for i, v := range j.vertices {
+			idx[v] = i
+			sub.SetVertexWeight(i, h.VertexWeight(v))
+		}
+		seen := map[int]bool{}
+		for _, v := range j.vertices {
+			for _, e := range h.Incident(v) {
+				if seen[e] {
+					continue
+				}
+				seen[e] = true
+				var verts []int
+				for _, u := range h.Edge(e) {
+					if iu, ok := idx[u]; ok {
+						verts = append(verts, iu)
+					}
+				}
+				if len(verts) >= 2 {
+					sub.AddEdge(verts, h.EdgeWeight(e))
+				}
+			}
+		}
+		side, _ := Bipartition(sub, Options{Balance: opt.Balance, Passes: opt.Passes, Seed: opt.Seed + int64(j.label)})
+		var left, right []int
+		for i, v := range j.vertices {
+			if side[i] == 0 {
+				left = append(left, v)
+			} else {
+				right = append(right, v)
+			}
+		}
+		rightLabel := nextLabel
+		nextLabel++
+		for _, v := range right {
+			assign[v] = rightLabel
+		}
+		lParts := j.parts / 2
+		rParts := j.parts - lParts
+		if lParts > 1 {
+			queue = append(queue, job{left, lParts, j.label})
+		}
+		if rParts > 1 {
+			queue = append(queue, job{right, rParts, rightLabel})
+		}
+	}
+	return densify(assign)
+}
+
+func densify(assign []int) []int {
+	dense := map[int]int{}
+	out := make([]int, len(assign))
+	for i, c := range assign {
+		id, ok := dense[c]
+		if !ok {
+			id = len(dense)
+			dense[c] = id
+		}
+		out[i] = id
+	}
+	return out
+}

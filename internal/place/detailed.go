@@ -1,0 +1,217 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ppaclust/internal/netlist"
+)
+
+// DetailedOptions configures detailed placement.
+type DetailedOptions struct {
+	// Passes over all cells. Default 2.
+	Passes int
+	// Seed drives the visit order.
+	Seed int64
+	// MaxNetPins skips cells on huge nets when computing optimal regions.
+	// Default 64.
+	MaxNetPins int
+}
+
+func (o DetailedOptions) withDefaults() DetailedOptions {
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	if o.MaxNetPins <= 0 {
+		o.MaxNetPins = 64
+	}
+	return o
+}
+
+// DetailedResult reports the refinement outcome.
+type DetailedResult struct {
+	HPWLBefore float64
+	HPWLAfter  float64
+	Swaps      int
+	Moves      int
+}
+
+// Detailed runs swap-based detailed placement on a legalized design: every
+// movable cell is driven toward the median of its connected pins, realized
+// as an equal-width swap with the cell nearest that spot, or as a move into
+// whitespace. Only strictly HPWL-improving changes are accepted, so the
+// result is never worse than the input and stays legal.
+func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
+	opt = opt.withDefaults()
+	res := DetailedResult{HPWLBefore: d.HPWL()}
+	rng := rand.New(rand.NewSource(opt.Seed + 31))
+
+	var cells []*netlist.Instance
+	for _, inst := range d.Insts {
+		if !inst.Fixed && inst.Master.Class == netlist.ClassCore {
+			cells = append(cells, inst)
+		}
+	}
+	if len(cells) == 0 {
+		res.HPWLAfter = res.HPWLBefore
+		return res
+	}
+
+	// netCost computes the summed HPWL of the nets touching the given
+	// instances (the only terms a local change can alter).
+	touched := map[int]bool{}
+	netCost := func(ids ...int) float64 {
+		for k := range touched {
+			delete(touched, k)
+		}
+		var sum float64
+		for _, id := range ids {
+			for _, netID := range d.NetsOf(id) {
+				if !touched[netID] {
+					touched[netID] = true
+					sum += d.NetHPWL(d.Nets[netID])
+				}
+			}
+		}
+		return sum
+	}
+
+	// Spatial index rebuilt once per pass: cells bucketed on a coarse grid.
+	const gridN = 24
+	bw := d.Core.W() / gridN
+	bh := d.Core.H() / gridN
+	var buckets [][]*netlist.Instance
+	bucketOf := func(x, y float64) int {
+		i := int((x - d.Core.X0) / bw)
+		j := int((y - d.Core.Y0) / bh)
+		if i < 0 {
+			i = 0
+		}
+		if i >= gridN {
+			i = gridN - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= gridN {
+			j = gridN - 1
+		}
+		return j*gridN + i
+	}
+	rebuild := func() {
+		buckets = make([][]*netlist.Instance, gridN*gridN)
+		for _, c := range cells {
+			b := bucketOf(c.CenterX(), c.CenterY())
+			buckets[b] = append(buckets[b], c)
+		}
+	}
+
+	order := rng.Perm(len(cells))
+	for pass := 0; pass < opt.Passes; pass++ {
+		rebuild()
+		for _, ci := range order {
+			inst := cells[ci]
+			ox, oy, ok := optimalSpot(d, inst, opt.MaxNetPins)
+			if !ok {
+				continue
+			}
+			if math.Abs(ox-inst.CenterX())+math.Abs(oy-inst.CenterY()) < bw/2 {
+				continue // already near-optimal
+			}
+			// Candidate: equal-width cell nearest the optimal spot.
+			cand := nearestSameWidth(buckets, bucketOf(ox, oy), gridN, inst, ox, oy)
+			if cand == nil || cand == inst {
+				continue
+			}
+			before := netCost(inst.ID, cand.ID)
+			inst.X, cand.X = cand.X, inst.X
+			inst.Y, cand.Y = cand.Y, inst.Y
+			after := netCost(inst.ID, cand.ID)
+			if after < before-1e-9 {
+				res.Swaps++
+			} else {
+				// Revert.
+				inst.X, cand.X = cand.X, inst.X
+				inst.Y, cand.Y = cand.Y, inst.Y
+			}
+		}
+	}
+	res.HPWLAfter = d.HPWL()
+	return res
+}
+
+// optimalSpot returns the median position of the other pins on the cell's
+// nets — the classic optimal-region center for single-cell moves.
+func optimalSpot(d *netlist.Design, inst *netlist.Instance, maxPins int) (float64, float64, bool) {
+	var xs, ys []float64
+	for _, netID := range d.NetsOf(inst.ID) {
+		n := d.Nets[netID]
+		if len(n.Pins) > maxPins {
+			continue
+		}
+		for _, pr := range n.Pins {
+			if !pr.IsPort() && pr.Inst == inst.ID {
+				continue
+			}
+			x, y := d.PinPos(pr)
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	return xs[len(xs)/2], ys[len(ys)/2], true
+}
+
+// nearestSameWidth scans outward from the given bucket for the closest cell
+// with the same width (so a swap preserves legality).
+func nearestSameWidth(buckets [][]*netlist.Instance, start, gridN int,
+	self *netlist.Instance, ox, oy float64) *netlist.Instance {
+
+	si, sj := start%gridN, start/gridN
+	var best *netlist.Instance
+	bestD := math.Inf(1)
+	for r := 0; r <= 2; r++ {
+		for dj := -r; dj <= r; dj++ {
+			for di := -r; di <= r; di++ {
+				if maxAbs(di, dj) != r {
+					continue
+				}
+				i, j := si+di, sj+dj
+				if i < 0 || i >= gridN || j < 0 || j >= gridN {
+					continue
+				}
+				for _, c := range buckets[j*gridN+i] {
+					if c == self || c.Master.Width != self.Master.Width {
+						continue
+					}
+					dd := math.Abs(c.CenterX()-ox) + math.Abs(c.CenterY()-oy)
+					if dd < bestD {
+						best, bestD = c, dd
+					}
+				}
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return best
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

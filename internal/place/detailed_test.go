@@ -1,0 +1,72 @@
+package place
+
+import (
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/netlist"
+)
+
+func TestDetailedNeverWorsensHPWL(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(301))
+	d := b.Design
+	Global(d, Options{Seed: 1, Legalize: true})
+	res := Detailed(d, DetailedOptions{Seed: 1})
+	if res.HPWLAfter > res.HPWLBefore+1e-6 {
+		t.Fatalf("detailed placement worsened HPWL: %v -> %v", res.HPWLBefore, res.HPWLAfter)
+	}
+	if d.HPWL() != res.HPWLAfter {
+		t.Fatal("reported HPWL inconsistent with design state")
+	}
+}
+
+func TestDetailedImprovesScatteredPlacement(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(302))
+	d := b.Design
+	// A deliberately poor but legal placement: global then legalize, then
+	// shuffle equal-width cells pairwise to inject badness.
+	Global(d, Options{Seed: 2, Legalize: true})
+	var last map[float64]int
+	_ = last
+	byWidth := map[float64][]int{}
+	for _, inst := range d.Insts {
+		if !inst.Fixed {
+			byWidth[inst.Master.Width] = append(byWidth[inst.Master.Width], inst.ID)
+		}
+	}
+	for _, ids := range byWidth {
+		for i := 0; i+1 < len(ids); i += 2 {
+			a, bb := d.Insts[ids[i]], d.Insts[ids[i+1]]
+			a.X, bb.X = bb.X, a.X
+			a.Y, bb.Y = bb.Y, a.Y
+		}
+	}
+	res := Detailed(d, DetailedOptions{Seed: 2, Passes: 3})
+	if res.Swaps == 0 {
+		t.Fatal("expected improving swaps on a shuffled placement")
+	}
+	if res.HPWLAfter >= res.HPWLBefore {
+		t.Fatalf("no improvement: %v -> %v", res.HPWLBefore, res.HPWLAfter)
+	}
+}
+
+func TestDetailedPreservesLegality(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(303))
+	d := b.Design
+	Global(d, Options{Seed: 3, Legalize: true})
+	Detailed(d, DetailedOptions{Seed: 3})
+	rep := CheckLegal(d)
+	if rep.Overlaps != 0 || rep.OffRow != 0 || rep.Outside != 0 {
+		t.Fatalf("legality broken: %+v", rep)
+	}
+}
+
+func TestDetailedEmptyDesign(t *testing.T) {
+	lib := designs.Lib()
+	d := netlist.NewDesign("empty-dp", lib)
+	d.Core = netlist.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}
+	res := Detailed(d, DetailedOptions{})
+	if res.Swaps != 0 || res.HPWLAfter != res.HPWLBefore {
+		t.Fatalf("empty design result: %+v", res)
+	}
+}

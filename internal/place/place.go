@@ -1,0 +1,537 @@
+// Package place is the reproduction's global placer, standing in for
+// RePlAce/OpenROAD gpl and the Innovus placer. It is a quadratic placer:
+// a bound-to-bound (B2B) net model is solved per axis with preconditioned
+// conjugate gradient, interleaved with FastPlace-style cell-shifting
+// spreading anchored through pseudo-nets. It supports the two modes the
+// paper's flow requires: from-scratch placement of (clustered) netlists, and
+// incremental placement seeded from initial positions (Algorithm 1 lines
+// 15-25), optionally under per-instance region constraints (Innovus mode).
+// A Tetris-style legalizer snaps cells to rows/sites.
+package place
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ppaclust/internal/netlist"
+)
+
+// Options configures a placement run.
+type Options struct {
+	// Iterations is the number of solve+spread rounds. Default 24 (8 when
+	// Incremental).
+	Iterations int
+	// CGIterations bounds the conjugate-gradient iterations per solve.
+	// Default 50.
+	CGIterations int
+	// TargetDensity is the per-bin density ceiling. Default max(0.75,
+	// utilization*1.1) clamped to 1.
+	TargetDensity float64
+	// Incremental starts from the instances' current positions and anchors
+	// to them instead of starting at the core center.
+	Incremental bool
+	// AnchorWeight scales the seed anchors in incremental mode. Default 0.03.
+	AnchorWeight float64
+	// SpreadWeight scales the spreading pseudo-net weights. Default 0.18.
+	SpreadWeight float64
+	// Regions constrains instances (by ID) to rectangles; cells are clamped
+	// into their region after every round.
+	Regions map[int]netlist.Rect
+	// SoftRegions makes regions guide instead of confine: spreading anchors
+	// are clamped into the region but final positions may spill out. This
+	// models Innovus-style region constraints that are removed after
+	// incremental placement (Algorithm 1 line 20).
+	SoftRegions bool
+	// RegionIterations bounds how many initial rounds the regions steer
+	// (0 = all rounds). Small values give brief guidance then free
+	// refinement — the "run incremental placement, remove constraints"
+	// recipe.
+	RegionIterations int
+	// Seed jitters the initial placement deterministically.
+	Seed int64
+	// Legalize snaps cells to rows and sites after global placement.
+	Legalize bool
+	// OverflowStop ends iterations early once bin overflow drops below this
+	// fraction. Default 0.12.
+	OverflowStop float64
+}
+
+func (o Options) withDefaults(d *netlist.Design) Options {
+	if o.Iterations <= 0 {
+		if o.Incremental {
+			o.Iterations = 12
+		} else {
+			o.Iterations = 24
+		}
+	}
+	if o.CGIterations <= 0 {
+		o.CGIterations = 50
+	}
+	if o.TargetDensity <= 0 {
+		u := d.Utilization() * 1.15
+		if u < 0.75 {
+			u = 0.75
+		}
+		if u > 1 {
+			u = 1
+		}
+		o.TargetDensity = u
+	}
+	if o.AnchorWeight <= 0 {
+		o.AnchorWeight = 0.03
+	}
+	if o.SpreadWeight <= 0 {
+		o.SpreadWeight = 0.18
+	}
+	if o.OverflowStop <= 0 {
+		o.OverflowStop = 0.12
+	}
+	return o
+}
+
+// Result reports the outcome of a placement run.
+type Result struct {
+	HPWL       float64
+	Iterations int
+	Overflow   float64 // final bin overflow fraction
+}
+
+type placer struct {
+	d    *netlist.Design
+	opt  Options
+	core netlist.Rect
+
+	movable []int // instance IDs of movable cells
+	varOf   []int // instance ID -> variable index, -1 if fixed
+	x, y    []float64
+	w, h    []float64 // cell dims per variable
+
+	// per-axis linear system accumulators
+	diag  []float64
+	rhs   []float64
+	off   [][]sparseEntry
+	bins  *binGrid
+	anchX []float64 // spreading targets
+	anchY []float64
+	seedX []float64 // incremental seed positions
+	seedY []float64
+}
+
+type sparseEntry struct {
+	col int
+	w   float64
+}
+
+// Global runs global placement on the design and writes final positions
+// into the instances.
+func Global(d *netlist.Design, opt Options) Result {
+	opt = opt.withDefaults(d)
+	p := &placer{d: d, opt: opt, core: d.Core}
+	p.collect()
+	if len(p.movable) == 0 {
+		return Result{HPWL: d.HPWL()}
+	}
+	p.initPositions()
+
+	iter := 0
+	overflow := 1.0
+	for ; iter < opt.Iterations; iter++ {
+		if opt.RegionIterations > 0 && iter == opt.RegionIterations {
+			p.opt.Regions = nil // constraints removed after the guided phase
+		}
+		spreadW := opt.SpreadWeight * math.Sqrt(float64(iter))
+		p.solveAxis(true, spreadW)
+		p.solveAxis(false, spreadW)
+		p.clampAll()
+		overflow = p.computeSpreadTargets()
+		if overflow < opt.OverflowStop && iter >= 2 {
+			iter++
+			break
+		}
+	}
+	p.writeBack()
+	if opt.Legalize {
+		Legalize(d)
+	}
+	return Result{HPWL: d.HPWL(), Iterations: iter, Overflow: overflow}
+}
+
+func (p *placer) collect() {
+	d := p.d
+	p.varOf = make([]int, len(d.Insts))
+	for i := range p.varOf {
+		p.varOf[i] = -1
+	}
+	for _, inst := range d.Insts {
+		if inst.Fixed {
+			continue
+		}
+		p.varOf[inst.ID] = len(p.movable)
+		p.movable = append(p.movable, inst.ID)
+	}
+	n := len(p.movable)
+	p.x = make([]float64, n)
+	p.y = make([]float64, n)
+	p.w = make([]float64, n)
+	p.h = make([]float64, n)
+	p.anchX = make([]float64, n)
+	p.anchY = make([]float64, n)
+	p.seedX = make([]float64, n)
+	p.seedY = make([]float64, n)
+	for vi, id := range p.movable {
+		m := d.Insts[id].Master
+		p.w[vi] = m.Width
+		p.h[vi] = m.Height
+	}
+	p.diag = make([]float64, n)
+	p.rhs = make([]float64, n)
+	p.off = make([][]sparseEntry, n)
+	p.bins = newBinGrid(p.core, n, p.opt.TargetDensity)
+	// Fixed macro area reduces bin capacity.
+	for _, inst := range d.Insts {
+		if inst.Fixed && inst.Master.Class == netlist.ClassMacro {
+			p.bins.blockArea(inst.X, inst.Y, inst.Master.Width, inst.Master.Height)
+		}
+	}
+}
+
+func (p *placer) initPositions() {
+	d := p.d
+	rng := rand.New(rand.NewSource(p.opt.Seed + 17))
+	cx := (p.core.X0 + p.core.X1) / 2
+	cy := (p.core.Y0 + p.core.Y1) / 2
+	for vi, id := range p.movable {
+		inst := d.Insts[id]
+		if p.opt.Incremental && inst.Placed {
+			p.x[vi] = inst.CenterX()
+			p.y[vi] = inst.CenterY()
+		} else {
+			p.x[vi] = cx + (rng.Float64()-0.5)*p.core.W()*0.05
+			p.y[vi] = cy + (rng.Float64()-0.5)*p.core.H()*0.05
+		}
+		p.anchX[vi], p.anchY[vi] = p.x[vi], p.y[vi]
+		p.seedX[vi], p.seedY[vi] = p.x[vi], p.y[vi]
+	}
+}
+
+// pinCoord returns the coordinate of a net pin on the given axis plus the
+// variable index (-1 for fixed).
+func (p *placer) pinCoord(pr netlist.PinRef, xAxis bool) (float64, int) {
+	d := p.d
+	if pr.IsPort() {
+		port := d.Port(pr.Pin)
+		if port == nil {
+			return 0, -1
+		}
+		if xAxis {
+			return port.X, -1
+		}
+		return port.Y, -1
+	}
+	inst := d.Insts[pr.Inst]
+	vi := p.varOf[pr.Inst]
+	if vi < 0 {
+		if xAxis {
+			return inst.CenterX(), -1
+		}
+		return inst.CenterY(), -1
+	}
+	if xAxis {
+		return p.x[vi], vi
+	}
+	return p.y[vi], vi
+}
+
+// solveAxis builds the B2B system for one axis and solves it with CG.
+func (p *placer) solveAxis(xAxis bool, spreadW float64) {
+	n := len(p.movable)
+	for i := 0; i < n; i++ {
+		p.diag[i] = 0
+		p.rhs[i] = 0
+		p.off[i] = p.off[i][:0]
+	}
+	type pin struct {
+		c  float64
+		vi int
+	}
+	var pins []pin
+	for _, net := range p.d.Nets {
+		if len(net.Pins) < 2 || len(net.Pins) > 2000 {
+			continue
+		}
+		pins = pins[:0]
+		minI, maxI := 0, 0
+		for _, pr := range net.Pins {
+			c, vi := p.pinCoord(pr, xAxis)
+			pins = append(pins, pin{c, vi})
+			if c < pins[minI].c {
+				minI = len(pins) - 1
+			}
+			if c > pins[maxI].c {
+				maxI = len(pins) - 1
+			}
+		}
+		P := len(pins)
+		if P < 2 {
+			continue
+		}
+		// B2B: connect every pin to both boundary pins.
+		for _, bi := range []int{minI, maxI} {
+			b := pins[bi]
+			for i, q := range pins {
+				if i == bi || (bi == maxI && i == minI) {
+					continue
+				}
+				dist := math.Abs(q.c - b.c)
+				if dist < 1e-3 {
+					dist = 1e-3
+				}
+				w := net.Weight * 2 / (float64(P-1) * dist)
+				p.addSpring(q.vi, b.vi, q.c, b.c, w)
+			}
+		}
+	}
+	// Spreading anchors (toward the bisection upper-bound placement) and,
+	// in incremental mode, seed anchors (toward the initial positions).
+	for vi := 0; vi < n; vi++ {
+		var spreadT, seedT float64
+		if xAxis {
+			spreadT, seedT = p.anchX[vi], p.seedX[vi]
+		} else {
+			spreadT, seedT = p.anchY[vi], p.seedY[vi]
+		}
+		if spreadW > 0 {
+			p.diag[vi] += spreadW
+			p.rhs[vi] += spreadW * spreadT
+		}
+		if p.opt.Incremental {
+			p.diag[vi] += p.opt.AnchorWeight
+			p.rhs[vi] += p.opt.AnchorWeight * seedT
+		}
+	}
+	sol := p.cg(xAxis)
+	if xAxis {
+		copy(p.x, sol)
+	} else {
+		copy(p.y, sol)
+	}
+}
+
+// addSpring adds a two-point quadratic term w*(a-b)^2 where each endpoint is
+// a variable (vi >= 0) or a constant coordinate.
+func (p *placer) addSpring(vi, vj int, ci, cj float64, w float64) {
+	switch {
+	case vi >= 0 && vj >= 0:
+		if vi == vj {
+			return
+		}
+		p.diag[vi] += w
+		p.diag[vj] += w
+		p.off[vi] = append(p.off[vi], sparseEntry{vj, w})
+		p.off[vj] = append(p.off[vj], sparseEntry{vi, w})
+	case vi >= 0:
+		p.diag[vi] += w
+		p.rhs[vi] += w * cj
+	case vj >= 0:
+		p.diag[vj] += w
+		p.rhs[vj] += w * ci
+	}
+}
+
+// cg solves (D - O) x = rhs with Jacobi-preconditioned conjugate gradient,
+// warm-started from the current positions.
+func (p *placer) cg(xAxis bool) []float64 {
+	n := len(p.movable)
+	x := make([]float64, n)
+	if xAxis {
+		copy(x, p.x)
+	} else {
+		copy(x, p.y)
+	}
+	ax := make([]float64, n)
+	mulA := func(v, out []float64) {
+		for i := 0; i < n; i++ {
+			s := p.diag[i] * v[i]
+			for _, e := range p.off[i] {
+				s -= e.w * v[e.col]
+			}
+			out[i] = s
+		}
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	d := make([]float64, n)
+	mulA(x, ax)
+	var rz float64
+	for i := 0; i < n; i++ {
+		r[i] = p.rhs[i] - ax[i]
+		if p.diag[i] > 0 {
+			z[i] = r[i] / p.diag[i]
+		}
+		d[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	for it := 0; it < p.opt.CGIterations && rz > 1e-20; it++ {
+		mulA(d, ax)
+		var dad float64
+		for i := 0; i < n; i++ {
+			dad += d[i] * ax[i]
+		}
+		if dad <= 0 {
+			break
+		}
+		alpha := rz / dad
+		var rzNew float64
+		for i := 0; i < n; i++ {
+			x[i] += alpha * d[i]
+			r[i] -= alpha * ax[i]
+			if p.diag[i] > 0 {
+				z[i] = r[i] / p.diag[i]
+			}
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			d[i] = z[i] + beta*d[i]
+		}
+	}
+	return x
+}
+
+// clampAll keeps cells inside the core and, for hard regions, inside their
+// region rectangles.
+func (p *placer) clampAll() {
+	for vi, id := range p.movable {
+		r := p.core
+		if p.opt.Regions != nil && !p.opt.SoftRegions {
+			if reg, ok := p.opt.Regions[id]; ok {
+				r = reg
+			}
+		}
+		p.x[vi] = clamp(p.x[vi], r.X0+p.w[vi]/2, r.X1-p.w[vi]/2)
+		p.y[vi] = clamp(p.y[vi], r.Y0+p.h[vi]/2, r.Y1-p.h[vi]/2)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if hi < lo {
+		return (lo + hi) / 2
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// computeSpreadTargets measures bin overflow, then computes an upper-bound
+// (overlap-reduced) placement by recursive capacity-proportional bisection
+// (in the spirit of SimPL's look-ahead legalization) and stores it as the
+// next round's anchor targets.
+func (p *placer) computeSpreadTargets() float64 {
+	g := p.bins
+	g.clear()
+	for vi := range p.movable {
+		g.deposit(p.x[vi], p.y[vi], p.w[vi]*p.h[vi])
+	}
+	of := g.overflow()
+
+	idx := make([]int, len(p.movable))
+	for i := range idx {
+		idx[i] = i
+	}
+	p.bisect(p.core, idx, true)
+	// Keep region cells anchored inside their region.
+	if p.opt.Regions != nil {
+		for vi, id := range p.movable {
+			if reg, ok := p.opt.Regions[id]; ok {
+				p.anchX[vi] = clamp(p.anchX[vi], reg.X0, reg.X1)
+				p.anchY[vi] = clamp(p.anchY[vi], reg.Y0, reg.Y1)
+			}
+		}
+	}
+	return of
+}
+
+// bisect recursively splits the cell set between the two halves of r in
+// proportion to their free capacity, alternating axes, and assigns leaf
+// region centers as anchor targets.
+func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool) {
+	if len(cells) == 0 {
+		return
+	}
+	if len(cells) <= 3 || (r.W() < 2*p.bins.bw && r.H() < 2*p.bins.bh) {
+		// Distribute the few remaining cells across the region.
+		cx := (r.X0 + r.X1) / 2
+		cy := (r.Y0 + r.Y1) / 2
+		for i, vi := range cells {
+			f := (float64(i) + 0.5) / float64(len(cells))
+			if xAxis {
+				p.anchX[vi] = r.X0 + f*r.W()
+				p.anchY[vi] = cy
+			} else {
+				p.anchX[vi] = cx
+				p.anchY[vi] = r.Y0 + f*r.H()
+			}
+		}
+		return
+	}
+	var lo, hi netlist.Rect
+	if xAxis {
+		mid := (r.X0 + r.X1) / 2
+		lo = netlist.Rect{X0: r.X0, Y0: r.Y0, X1: mid, Y1: r.Y1}
+		hi = netlist.Rect{X0: mid, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
+	} else {
+		mid := (r.Y0 + r.Y1) / 2
+		lo = netlist.Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: mid}
+		hi = netlist.Rect{X0: r.X0, Y0: mid, X1: r.X1, Y1: r.Y1}
+	}
+	capLo := p.bins.capacityOf(lo)
+	capHi := p.bins.capacityOf(hi)
+	if capLo+capHi <= 0 {
+		capLo, capHi = 1, 1
+	}
+	// Sort cells by current coordinate to preserve relative order.
+	sort.Slice(cells, func(a, b int) bool {
+		if xAxis {
+			if p.x[cells[a]] != p.x[cells[b]] {
+				return p.x[cells[a]] < p.x[cells[b]]
+			}
+		} else {
+			if p.y[cells[a]] != p.y[cells[b]] {
+				return p.y[cells[a]] < p.y[cells[b]]
+			}
+		}
+		return cells[a] < cells[b]
+	})
+	var totalArea float64
+	for _, vi := range cells {
+		totalArea += p.w[vi] * p.h[vi]
+	}
+	wantLo := totalArea * capLo / (capLo + capHi)
+	var acc float64
+	cut := 0
+	for cut < len(cells)-1 {
+		a := p.w[cells[cut]] * p.h[cells[cut]]
+		if acc+a > wantLo && cut > 0 {
+			break
+		}
+		acc += a
+		cut++
+	}
+	p.bisect(lo, cells[:cut], !xAxis)
+	p.bisect(hi, cells[cut:], !xAxis)
+}
+
+func (p *placer) writeBack() {
+	for vi, id := range p.movable {
+		inst := p.d.Insts[id]
+		inst.X = p.x[vi] - p.w[vi]/2
+		inst.Y = p.y[vi] - p.h[vi]/2
+		inst.Placed = true
+	}
+}

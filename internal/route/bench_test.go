@@ -1,0 +1,19 @@
+package route
+
+import (
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/place"
+)
+
+// BenchmarkGlobalRoute measures routing a placed ariane.
+func BenchmarkGlobalRoute(b *testing.B) {
+	spec, _ := designs.Named("ariane")
+	bench := designs.Generate(spec)
+	place.Global(bench.Design, place.Options{Seed: 1, Legalize: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GlobalRoute(bench.Design, Options{})
+	}
+}

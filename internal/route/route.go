@@ -1,0 +1,501 @@
+// Package route is a GCell-grid global router in the style of FastRoute: nets
+// are decomposed into two-pin segments over rectilinear Steiner trees
+// (iterated 1-Steiner; MST for tiny or huge nets), segments are routed with
+// L/Z/U pattern routing against per-edge capacities, and overflowed nets are
+// ripped up and rerouted with congestion-aware costs.
+// Its outputs — routed wirelength and the GCell congestion distribution — are
+// exactly what the paper's V-P&R cost (Eqs. 4-5) and post-route metrics need.
+package route
+
+import (
+	"math"
+	"sort"
+
+	"ppaclust/internal/netlist"
+)
+
+// Options configures global routing.
+type Options struct {
+	// GCellSize is the GCell edge length in microns (0 = auto: ~40x40 grid).
+	GCellSize float64
+	// CapacityH and CapacityV are routing track capacities per GCell edge.
+	// Defaults 10 and 10.
+	CapacityH, CapacityV int
+	// Passes is the number of rip-up-and-reroute passes. Default 2.
+	Passes int
+	// MaxNetPins skips decomposition quality for huge nets (chain routing).
+	// Default 64.
+	MaxNetPins int
+}
+
+func (o Options) withDefaults(d *netlist.Design) Options {
+	if o.GCellSize <= 0 {
+		side := math.Max(d.Core.W(), d.Core.H())
+		o.GCellSize = side / 40
+		if o.GCellSize < 1 {
+			o.GCellSize = 1
+		}
+	}
+	if o.CapacityH <= 0 {
+		o.CapacityH = 10
+	}
+	if o.CapacityV <= 0 {
+		o.CapacityV = 10
+	}
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	if o.MaxNetPins <= 0 {
+		o.MaxNetPins = 64
+	}
+	return o
+}
+
+// Result reports global routing outcomes.
+type Result struct {
+	// WirelengthUM is the total routed wirelength in microns.
+	WirelengthUM float64
+	// Overflow is the total demand above capacity summed over edges.
+	Overflow int
+	// MaxCongestion is the highest edge utilization (use/capacity).
+	MaxCongestion float64
+	// Grid exposes the congestion distribution for Eq. 5.
+	Grid *Grid
+	// Vias counts bends (layer changes) across all routed segments.
+	Vias int
+}
+
+// Grid is the GCell routing grid with per-edge usage.
+type Grid struct {
+	core   netlist.Rect
+	nx, ny int
+	size   float64
+	hUse   []int // edge (i,j)->(i+1,j): index j*(nx-1)+i
+	vUse   []int // edge (i,j)->(i,j+1): index j*nx+i
+	hCap   int
+	vCap   int
+}
+
+// NewGrid builds an empty routing grid over the core.
+func NewGrid(core netlist.Rect, size float64, capH, capV int) *Grid {
+	nx := int(math.Ceil(core.W()/size)) + 1
+	ny := int(math.Ceil(core.H()/size)) + 1
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	return &Grid{
+		core: core, nx: nx, ny: ny, size: size,
+		hUse: make([]int, (nx-1)*ny),
+		vUse: make([]int, nx*(ny-1)),
+		hCap: capH, vCap: capV,
+	}
+}
+
+// Cell maps a physical position to GCell coordinates.
+func (g *Grid) Cell(x, y float64) (int, int) {
+	i := int((x - g.core.X0) / g.size)
+	j := int((y - g.core.Y0) / g.size)
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.nx {
+		i = g.nx - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= g.ny {
+		j = g.ny - 1
+	}
+	return i, j
+}
+
+// NumCells returns the total number of GCells.
+func (g *Grid) NumCells() int { return g.nx * g.ny }
+
+func (g *Grid) hIdx(i, j int) int { return j*(g.nx-1) + i }
+func (g *Grid) vIdx(i, j int) int { return j*g.nx + i }
+
+// edgeCost is the congestion-aware cost of using an edge once more.
+func edgeCost(use, cap int) float64 {
+	if cap <= 0 {
+		return 1e6
+	}
+	over := float64(use+1-cap) / float64(cap)
+	if over <= 0 {
+		return 1
+	}
+	return 1 + 20*over*over + 4*over
+}
+
+// hCost/vCost of a straight run; addH/addV apply usage.
+func (g *Grid) runCostH(i0, i1, j int) float64 {
+	if i0 > i1 {
+		i0, i1 = i1, i0
+	}
+	var c float64
+	for i := i0; i < i1; i++ {
+		c += edgeCost(g.hUse[g.hIdx(i, j)], g.hCap)
+	}
+	return c
+}
+
+func (g *Grid) runCostV(j0, j1, i int) float64 {
+	if j0 > j1 {
+		j0, j1 = j1, j0
+	}
+	var c float64
+	for j := j0; j < j1; j++ {
+		c += edgeCost(g.vUse[g.vIdx(i, j)], g.vCap)
+	}
+	return c
+}
+
+func (g *Grid) applyH(i0, i1, j, delta int) {
+	if i0 > i1 {
+		i0, i1 = i1, i0
+	}
+	for i := i0; i < i1; i++ {
+		g.hUse[g.hIdx(i, j)] += delta
+	}
+}
+
+func (g *Grid) applyV(j0, j1, i, delta int) {
+	if j0 > j1 {
+		j0, j1 = j1, j0
+	}
+	for j := j0; j < j1; j++ {
+		g.vUse[g.vIdx(i, j)] += delta
+	}
+}
+
+// segRoute is one routed 2-pin connection: an optional Z with two bends.
+// Path: (i0,j0) -> (im,j0) -> (im,j1) -> (i1,j1) horizontally-first, or the
+// vertical-first mirror.
+type segRoute struct {
+	i0, j0, i1, j1 int
+	im             int  // intermediate column (hFirst) or row (!hFirst)
+	hFirst         bool // horizontal-vertical-horizontal vs V-H-V
+}
+
+func (g *Grid) apply(s segRoute, delta int) {
+	if s.hFirst {
+		g.applyH(s.i0, s.im, s.j0, delta)
+		g.applyV(s.j0, s.j1, s.im, delta)
+		g.applyH(s.im, s.i1, s.j1, delta)
+	} else {
+		g.applyV(s.j0, s.im, s.i0, delta)
+		g.applyH(s.i0, s.i1, s.im, delta)
+		g.applyV(s.im, s.j1, s.i1, delta)
+	}
+}
+
+func (g *Grid) cost(s segRoute) float64 {
+	if s.hFirst {
+		return g.runCostH(s.i0, s.im, s.j0) + g.runCostV(s.j0, s.j1, s.im) + g.runCostH(s.im, s.i1, s.j1)
+	}
+	return g.runCostV(s.j0, s.im, s.i0) + g.runCostH(s.i0, s.i1, s.im) + g.runCostV(s.im, s.j1, s.i1)
+}
+
+// route finds the best L/Z route for a 2-pin segment.
+func (g *Grid) route(i0, j0, i1, j1 int) segRoute {
+	best := segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: i1, hFirst: true} // L: H then V
+	bestCost := g.cost(best)
+	try := func(s segRoute) {
+		if c := g.cost(s); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: i0, hFirst: true})  // V then H (im=i0)
+	try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: j1, hFirst: false}) // degenerate mirrors
+	try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: j0, hFirst: false})
+	// Z candidates: a few intermediate columns/rows.
+	if di := abs(i1 - i0); di > 1 {
+		for _, f := range []float64{0.25, 0.5, 0.75} {
+			im := i0 + int(f*float64(i1-i0))
+			try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: im, hFirst: true})
+		}
+	}
+	if dj := abs(j1 - j0); dj > 1 {
+		for _, f := range []float64{0.25, 0.5, 0.75} {
+			jm := j0 + int(f*float64(j1-j0))
+			try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: jm, hFirst: false})
+		}
+	}
+	// U-detours: essential escape for straight runs through congestion
+	// (the Z candidates above degenerate when the pins share a row/column).
+	for _, dj := range []int{-2, -1, 1, 2} {
+		jm := clampInt(j0+dj, 0, g.ny-1)
+		try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: jm, hFirst: false})
+	}
+	for _, di := range []int{-2, -1, 1, 2} {
+		im := clampInt(i0+di, 0, g.nx-1)
+		try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: im, hFirst: true})
+	}
+	return best
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s segRoute) length() int {
+	if s.hFirst {
+		return abs(s.im-s.i0) + abs(s.j1-s.j0) + abs(s.i1-s.im)
+	}
+	return abs(s.im-s.j0) + abs(s.i1-s.i0) + abs(s.j1-s.im)
+}
+
+func (s segRoute) bends() int {
+	b := 0
+	if s.hFirst {
+		if s.im != s.i0 && s.j1 != s.j0 {
+			b++
+		}
+		if s.im != s.i1 && s.j1 != s.j0 {
+			b++
+		}
+	} else {
+		if s.im != s.j0 && s.i1 != s.i0 {
+			b++
+		}
+		if s.im != s.j1 && s.i1 != s.i0 {
+			b++
+		}
+	}
+	return b
+}
+
+// GlobalRoute routes all nets of a placed design.
+func GlobalRoute(d *netlist.Design, opt Options) *Result {
+	opt = opt.withDefaults(d)
+	g := NewGrid(d.Core, opt.GCellSize, opt.CapacityH, opt.CapacityV)
+
+	type netRoute struct {
+		netID int
+		segs  []segRoute
+	}
+	var routes []netRoute
+	for _, net := range d.Nets {
+		cells := netCells(d, net, g)
+		if len(cells) < 2 {
+			continue
+		}
+		segs := steinerDecompose(cells, opt.MaxNetPins)
+		nr := netRoute{netID: net.ID}
+		for _, sp := range segs {
+			s := g.route(sp[0], sp[1], sp[2], sp[3])
+			g.apply(s, 1)
+			nr.segs = append(nr.segs, s)
+		}
+		routes = append(routes, nr)
+	}
+
+	// Rip-up and reroute nets that touch overflowed edges.
+	for pass := 1; pass < opt.Passes; pass++ {
+		for ri := range routes {
+			nr := &routes[ri]
+			touches := false
+			for _, s := range nr.segs {
+				if g.segmentOverflowed(s) {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				continue
+			}
+			for si, s := range nr.segs {
+				g.apply(s, -1)
+				ns := g.route(s.i0, s.j0, s.i1, s.j1)
+				g.apply(ns, 1)
+				nr.segs[si] = ns
+			}
+		}
+	}
+
+	res := &Result{Grid: g}
+	for _, nr := range routes {
+		for _, s := range nr.segs {
+			res.WirelengthUM += float64(s.length()) * g.size
+			res.Vias += s.bends()
+		}
+	}
+	for i, u := range g.hUse {
+		_ = i
+		if u > g.hCap {
+			res.Overflow += u - g.hCap
+		}
+		if c := float64(u) / float64(g.hCap); c > res.MaxCongestion {
+			res.MaxCongestion = c
+		}
+	}
+	for _, u := range g.vUse {
+		if u > g.vCap {
+			res.Overflow += u - g.vCap
+		}
+		if c := float64(u) / float64(g.vCap); c > res.MaxCongestion {
+			res.MaxCongestion = c
+		}
+	}
+	return res
+}
+
+func (g *Grid) segmentOverflowed(s segRoute) bool {
+	over := false
+	walk := func(kind byte, a0, a1, fixed int) {
+		if a0 > a1 {
+			a0, a1 = a1, a0
+		}
+		for a := a0; a < a1 && !over; a++ {
+			if kind == 'h' {
+				if g.hUse[g.hIdx(a, fixed)] > g.hCap {
+					over = true
+				}
+			} else {
+				if g.vUse[g.vIdx(fixed, a)] > g.vCap {
+					over = true
+				}
+			}
+		}
+	}
+	if s.hFirst {
+		walk('h', s.i0, s.im, s.j0)
+		walk('v', s.j0, s.j1, s.im)
+		walk('h', s.im, s.i1, s.j1)
+	} else {
+		walk('v', s.j0, s.im, s.i0)
+		walk('h', s.i0, s.i1, s.im)
+		walk('v', s.im, s.j1, s.i1)
+	}
+	return over
+}
+
+// netCells maps a net's pins to deduplicated GCell coordinates.
+func netCells(d *netlist.Design, net *netlist.Net, g *Grid) [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, pr := range net.Pins {
+		x, y := d.PinPos(pr)
+		i, j := g.Cell(x, y)
+		key := [2]int{i, j}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// decompose splits a multi-terminal net into 2-pin segments: Prim MST for
+// small nets, a sorted chain for huge nets (e.g. the unsynthesized clock).
+func decompose(cells [][2]int, maxPins int) [][4]int {
+	if len(cells) > maxPins {
+		sort.Slice(cells, func(a, b int) bool {
+			sa := cells[a][0] + cells[a][1]
+			sb := cells[b][0] + cells[b][1]
+			if sa != sb {
+				return sa < sb
+			}
+			return cells[a][0] < cells[b][0]
+		})
+		out := make([][4]int, 0, len(cells)-1)
+		for i := 1; i < len(cells); i++ {
+			out = append(out, [4]int{cells[i-1][0], cells[i-1][1], cells[i][0], cells[i][1]})
+		}
+		return out
+	}
+	n := len(cells)
+	inTree := make([]bool, n)
+	dist := make([]int, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		dist[i] = manhattan(cells[0], cells[i])
+		from[i] = 0
+	}
+	out := make([][4]int, 0, n-1)
+	for k := 1; k < n; k++ {
+		best, bestD := -1, math.MaxInt32
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inTree[best] = true
+		out = append(out, [4]int{cells[from[best]][0], cells[from[best]][1], cells[best][0], cells[best][1]})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := manhattan(cells[best], cells[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+func manhattan(a, b [2]int) int {
+	return abs(a[0]-b[0]) + abs(a[1]-b[1])
+}
+
+// CellCongestion returns the per-GCell congestion (max of the utilizations of
+// the edges leaving the cell rightward and upward).
+func (g *Grid) CellCongestion() []float64 {
+	out := make([]float64, g.nx*g.ny)
+	for j := 0; j < g.ny; j++ {
+		for i := 0; i < g.nx; i++ {
+			var c float64
+			if i < g.nx-1 {
+				c = math.Max(c, float64(g.hUse[g.hIdx(i, j)])/float64(g.hCap))
+			}
+			if j < g.ny-1 {
+				c = math.Max(c, float64(g.vUse[g.vIdx(i, j)])/float64(g.vCap))
+			}
+			out[j*g.nx+i] = c
+		}
+	}
+	return out
+}
+
+// TopPercentAvg implements Eq. 5: the mean congestion over the top x% most
+// congested GCells (x in (0,100]).
+func (g *Grid) TopPercentAvg(x float64) float64 {
+	cong := g.CellCongestion()
+	sort.Sort(sort.Reverse(sort.Float64Slice(cong)))
+	n := int(float64(len(cong)) * x / 100)
+	if n < 1 {
+		n = 1
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += cong[i]
+	}
+	return sum / float64(n)
+}
+
+// Dims returns the grid dimensions (nx, ny).
+func (g *Grid) Dims() (int, int) { return g.nx, g.ny }

@@ -1,0 +1,76 @@
+package route
+
+// Rectilinear Steiner tree decomposition: the classic iterated 1-Steiner
+// heuristic on the Hanan grid, applied to small and mid-size nets before
+// pattern routing. Compared to plain MST decomposition it shortens
+// multi-terminal nets by up to 1/3 (the textbook 3-terminal L case), which
+// is what real global routers (FastRoute's FLUTE topologies) rely on.
+
+// steinerDecompose returns 2-pin segments connecting all cells, possibly
+// through added Steiner points, for nets with 3..maxSteinerPins terminals.
+// Smaller or larger nets fall back to decompose().
+const maxSteinerPins = 16
+
+func steinerDecompose(cells [][2]int, maxPins int) [][4]int {
+	if len(cells) < 3 || len(cells) > maxSteinerPins {
+		return decompose(cells, maxPins)
+	}
+	pts := make([][2]int, len(cells))
+	copy(pts, cells)
+	terminals := len(pts)
+
+	mstLen := func(ps [][2]int) int {
+		segs := decompose(ps, maxPins)
+		total := 0
+		for _, s := range segs {
+			total += abs(s[2]-s[0]) + abs(s[3]-s[1])
+		}
+		return total
+	}
+
+	base := mstLen(pts)
+	// Iterated 1-Steiner: greedily add the Hanan-grid point with the best
+	// gain until no point helps. Bounded by #terminals additions.
+	for added := 0; added < terminals-2; added++ {
+		bestGain := 0
+		var bestPt [2]int
+		seen := map[[2]int]bool{}
+		for _, p := range pts {
+			seen[p] = true
+		}
+		for _, a := range pts[:terminals] {
+			for _, b := range pts[:terminals] {
+				cand := [2]int{a[0], b[1]}
+				if seen[cand] {
+					continue
+				}
+				seen[cand] = true
+				trial := append(pts, cand)
+				if g := base - mstLen(trial); g > bestGain {
+					bestGain = g
+					bestPt = cand
+				}
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		pts = append(pts, bestPt)
+		base -= bestGain
+	}
+	// Prune Steiner points of degree <= 1 implicitly: decompose() on the
+	// final point set yields the tree; degree-1 Steiner points can only
+	// appear if they did not improve length, which the gain test excludes.
+	return decompose(pts, maxPins)
+}
+
+// SteinerLength returns the total length of the Steiner decomposition of
+// the given cells (in grid units) — exposed for wirelength estimation.
+func SteinerLength(cells [][2]int) int {
+	segs := steinerDecompose(cells, 1<<30)
+	total := 0
+	for _, s := range segs {
+		total += abs(s[2]-s[0]) + abs(s[3]-s[1])
+	}
+	return total
+}

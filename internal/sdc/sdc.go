@@ -1,0 +1,135 @@
+// Package sdc reads and writes the SDC (Synopsys Design Constraints) subset
+// the flow consumes: create_clock, set_input_delay, set_output_delay,
+// set_input_transition and set_load. Times are expressed in nanoseconds and
+// loads in picofarads in the file, converted to SI on parse.
+package sdc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ppaclust/internal/sta"
+)
+
+// Write emits constraints in SDC syntax.
+func Write(w io.Writer, cons sta.Constraints) error {
+	for _, clk := range cons.ClockPorts {
+		fmt.Fprintf(w, "create_clock -name %s -period %.4f [get_ports %s]\n",
+			clk, cons.ClockPeriod*1e9, clk)
+	}
+	if len(cons.ClockPorts) > 0 {
+		clk := cons.ClockPorts[0]
+		fmt.Fprintf(w, "set_input_delay %.4f -clock %s [all_inputs]\n", cons.InputDelay*1e9, clk)
+		fmt.Fprintf(w, "set_output_delay %.4f -clock %s [all_outputs]\n", cons.OutputDelay*1e9, clk)
+	}
+	fmt.Fprintf(w, "set_input_transition %.4f [all_inputs]\n", cons.InputSlew*1e9)
+	_, err := fmt.Fprintf(w, "set_load %.6f [all_outputs]\n", cons.PortCap*1e12)
+	return err
+}
+
+// Parse reads SDC commands into constraints. Unknown commands are ignored
+// (the subset philosophy of most academic flows).
+func Parse(r io.Reader) (sta.Constraints, error) {
+	// Start from neutral values; defaults derive from the parsed period.
+	cons := sta.Constraints{InputSlew: 20e-12, PortCap: 4e-15, InputActivity: 0.15}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := tokenizeTCL(line)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "create_clock":
+			period, err := flagValue(f, "-period")
+			if err != nil {
+				return cons, fmt.Errorf("sdc: line %d: %v", lineNo, err)
+			}
+			cons.ClockPeriod = period * 1e-9
+			if port := portArg(f); port != "" {
+				cons.ClockPorts = append(cons.ClockPorts, port)
+			} else if name, err := flagString(f, "-name"); err == nil {
+				cons.ClockPorts = append(cons.ClockPorts, name)
+			}
+		case "set_input_delay":
+			if v, ok := firstNumber(f[1:]); ok {
+				cons.InputDelay = v * 1e-9
+			}
+		case "set_output_delay":
+			if v, ok := firstNumber(f[1:]); ok {
+				cons.OutputDelay = v * 1e-9
+			}
+		case "set_input_transition":
+			if v, ok := firstNumber(f[1:]); ok {
+				cons.InputSlew = v * 1e-9
+			}
+		case "set_load":
+			if v, ok := firstNumber(f[1:]); ok {
+				cons.PortCap = v * 1e-12
+			}
+		}
+	}
+	if cons.ClockPeriod <= 0 {
+		return cons, fmt.Errorf("sdc: no create_clock -period found")
+	}
+	// Derive defaults the file did not set.
+	if cons.InputDelay == 0 {
+		cons.InputDelay = 0.1 * cons.ClockPeriod
+	}
+	if cons.OutputDelay == 0 {
+		cons.OutputDelay = 0.1 * cons.ClockPeriod
+	}
+	return cons, sc.Err()
+}
+
+// tokenizeTCL splits a line, treating [get_ports x] brackets as grouping.
+func tokenizeTCL(line string) []string {
+	line = strings.ReplaceAll(line, "[", " [ ")
+	line = strings.ReplaceAll(line, "]", " ] ")
+	return strings.Fields(line)
+}
+
+func flagValue(f []string, flag string) (float64, error) {
+	for i := range f {
+		if f[i] == flag && i+1 < len(f) {
+			return strconv.ParseFloat(f[i+1], 64)
+		}
+	}
+	return 0, fmt.Errorf("missing %s", flag)
+}
+
+func flagString(f []string, flag string) (string, error) {
+	for i := range f {
+		if f[i] == flag && i+1 < len(f) {
+			return f[i+1], nil
+		}
+	}
+	return "", fmt.Errorf("missing %s", flag)
+}
+
+// portArg extracts X from "[ get_ports X ]".
+func portArg(f []string) string {
+	for i := range f {
+		if f[i] == "get_ports" && i+1 < len(f) && f[i+1] != "]" {
+			return f[i+1]
+		}
+	}
+	return ""
+}
+
+func firstNumber(f []string) (float64, bool) {
+	for _, tok := range f {
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}

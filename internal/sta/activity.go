@@ -1,0 +1,134 @@
+package sta
+
+import (
+	"strings"
+
+	"ppaclust/internal/netlist"
+)
+
+// Vectorless switching-activity propagation, the reproduction's equivalent of
+// OpenSTA's findClkedActivity. Activities are expressed in toggles per clock
+// cycle. Clock nets toggle twice per cycle; data inputs start at
+// Constraints.InputActivity; gate outputs derive from input activities via a
+// per-function attenuation factor (the standard lag-one vectorless model).
+
+// activityFactor returns the output/input activity ratio for a master,
+// inferred from its name family. Unknown cells behave like buffers.
+func activityFactor(master string) float64 {
+	u := strings.ToUpper(master)
+	switch {
+	case strings.HasPrefix(u, "XOR"), strings.HasPrefix(u, "XNOR"):
+		return 1.5 // XOR-class gates amplify toggling
+	case strings.HasPrefix(u, "NAND"), strings.HasPrefix(u, "AND"),
+		strings.HasPrefix(u, "NOR"), strings.HasPrefix(u, "OR"),
+		strings.HasPrefix(u, "AOI"), strings.HasPrefix(u, "OAI"):
+		return 0.75 // masking gates attenuate
+	case strings.HasPrefix(u, "MUX"):
+		return 0.9
+	default:
+		return 1.0 // INV/BUF and unknown
+	}
+}
+
+const clockActivity = 2.0 // two transitions per cycle
+
+// runActivity propagates activities over the topological order.
+func (a *Analyzer) runActivity() {
+	if a.actDone {
+		return
+	}
+	act := make([]float64, len(a.nodes))
+	// Seeds.
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.kind != nodePortIn {
+			continue
+		}
+		if nd.isClk {
+			act[i] = clockActivity
+		} else {
+			act[i] = a.cons.InputActivity
+		}
+	}
+	for _, v := range a.topo {
+		nd := &a.nodes[v]
+		// Registers resample: Q toggles at most once per cycle, at half the
+		// data rate (lag-one model), regardless of clock activity.
+		for _, ei := range a.in[v] {
+			e := &a.edges[ei]
+			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+				// Find the D-pin activity of the same instance.
+				dAct := a.cons.InputActivity
+				inst := a.d.Insts[nd.id.Inst]
+				for pi := range inst.Master.Pins {
+					mp := &inst.Master.Pins[pi]
+					if mp.Dir != netlist.DirInput || mp.Clock {
+						continue
+					}
+					if n, ok := a.nodeOf[PinID{nd.id.Inst, mp.Name}]; ok {
+						dAct = act[n]
+						break
+					}
+				}
+				q := 0.5 * dAct
+				if q > 1 {
+					q = 1
+				}
+				if q > act[v] {
+					act[v] = q
+				}
+			}
+		}
+		for _, ei := range a.out[v] {
+			e := &a.edges[ei]
+			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+				continue
+			}
+			to := e.to
+			var propagated float64
+			if e.isCell {
+				propagated = act[v] * activityFactor(a.d.Insts[a.nodes[to].id.Inst].Master.Name)
+			} else {
+				propagated = act[v] // wires carry activity unchanged
+			}
+			if a.nodes[to].isClk {
+				propagated = clockActivity
+			}
+			if propagated > act[to] {
+				act[to] = propagated
+			}
+		}
+	}
+	a.activity = act
+	a.actDone = true
+}
+
+// NetActivity returns the switching activity (toggles/cycle) of every net,
+// taken from the net's driver output. Undriven nets report zero. Clock nets
+// report the clock activity.
+func (a *Analyzer) NetActivity() []float64 {
+	a.runActivity()
+	out := make([]float64, len(a.d.Nets))
+	for _, net := range a.d.Nets {
+		drv, ok := a.d.Driver(net)
+		if !ok {
+			continue
+		}
+		if n, found := a.nodeOf[PinID{drv.Inst, drv.Pin}]; found {
+			out[net.ID] = a.activity[n]
+		}
+		if net.Clock {
+			out[net.ID] = clockActivity
+		}
+	}
+	return out
+}
+
+// PinActivity returns the switching activity at one pin (0 if unknown).
+func (a *Analyzer) PinActivity(id PinID) float64 {
+	a.runActivity()
+	if n, ok := a.nodeOf[id]; ok {
+		return a.activity[n]
+	}
+	return 0
+}

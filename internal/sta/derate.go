@@ -1,0 +1,53 @@
+package sta
+
+// On-chip-variation (OCV) derating: signoff flows scale late (setup) paths
+// up and early (hold) paths down to cover process variation. Derates apply
+// multiplicatively to every cell and wire delay of the respective analysis.
+
+// Derate holds the late/early scale factors. The zero value means no
+// derating (both treated as 1.0).
+type Derate struct {
+	// Late multiplies delays in the max (setup) analysis; >= 1 is pessimistic.
+	Late float64
+	// Early multiplies delays in the min (hold) analysis; <= 1 is pessimistic.
+	Early float64
+}
+
+func (d Derate) late() float64 {
+	if d.Late <= 0 {
+		return 1
+	}
+	return d.Late
+}
+
+func (d Derate) early() float64 {
+	if d.Early <= 0 {
+		return 1
+	}
+	return d.Early
+}
+
+// SetDerate installs OCV derates and invalidates cached timing.
+func (a *Analyzer) SetDerate(d Derate) {
+	a.derate = d
+	a.timeDone = false
+}
+
+// TimingOCV runs setup analysis under the given derate without disturbing
+// the analyzer's configured derate.
+func (a *Analyzer) TimingOCV(d Derate) Summary {
+	saved := a.derate
+	a.SetDerate(d)
+	sum := a.Timing()
+	a.SetDerate(saved)
+	return sum
+}
+
+// HoldTimingOCV runs hold analysis under the given derate.
+func (a *Analyzer) HoldTimingOCV(d Derate) HoldSummary {
+	saved := a.derate
+	a.SetDerate(d)
+	sum := a.HoldTiming()
+	a.SetDerate(saved)
+	return sum
+}

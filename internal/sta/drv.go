@@ -1,0 +1,85 @@
+package sta
+
+import "ppaclust/internal/netlist"
+
+// Design-rule (DRV) checks: max-capacitance and max-transition violations,
+// the electrical sanity checks signoff flows report next to WNS/TNS.
+
+// DRVReport summarizes electrical rule violations.
+type DRVReport struct {
+	// MaxCapViolations counts driver pins whose net load exceeds the
+	// library's max_capacitance.
+	MaxCapViolations int
+	// WorstCapRatio is the largest load/limit ratio observed (>1 violating).
+	WorstCapRatio float64
+	// MaxSlewViolations counts pins whose propagated slew exceeds the limit.
+	MaxSlewViolations int
+	// WorstSlew is the largest slew seen (s).
+	WorstSlew float64
+	// CheckedDrivers counts output pins with a max-cap limit.
+	CheckedDrivers int
+}
+
+// DefaultMaxSlew is the transition limit applied when checking slews.
+const DefaultMaxSlew = 300e-12
+
+// DRV runs the electrical checks against current loads and slews.
+func (a *Analyzer) DRV() DRVReport {
+	a.Run()
+	var rep DRVReport
+	for _, net := range a.d.Nets {
+		drv, ok := a.d.Driver(net)
+		if !ok || drv.IsPort() {
+			continue
+		}
+		mp := a.d.Insts[drv.Inst].Master.Pin(drv.Pin)
+		if mp == nil || mp.MaxCap <= 0 {
+			continue
+		}
+		rep.CheckedDrivers++
+		ratio := a.netLoad[net.ID] / mp.MaxCap
+		if ratio > rep.WorstCapRatio {
+			rep.WorstCapRatio = ratio
+		}
+		if ratio > 1 {
+			rep.MaxCapViolations++
+		}
+	}
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !nd.hasAT {
+			continue
+		}
+		if nd.slew > rep.WorstSlew {
+			rep.WorstSlew = nd.slew
+		}
+		if nd.slew > DefaultMaxSlew {
+			rep.MaxSlewViolations++
+		}
+	}
+	return rep
+}
+
+// FanoutHistogram buckets nets by fanout (sinks per net) — a quick netlist
+// quality diagnostic used by the cluster tooling.
+func FanoutHistogram(d *netlist.Design, buckets []int) []int {
+	out := make([]int, len(buckets)+1)
+	for _, n := range d.Nets {
+		fan := len(n.Pins) - 1
+		if fan < 0 {
+			fan = 0
+		}
+		placed := false
+		for bi, lim := range buckets {
+			if fan <= lim {
+				out[bi]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out[len(buckets)]++
+		}
+	}
+	return out
+}

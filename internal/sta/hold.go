@@ -1,0 +1,111 @@
+package sta
+
+import (
+	"math"
+
+	"ppaclust/internal/netlist"
+)
+
+// Hold (min-delay) analysis: the fastest arrival at each register data pin
+// must not beat the same-cycle clock edge plus the hold requirement. This
+// mirrors the max-delay machinery with min-propagation; wire delays and arc
+// delays are reused (a single corner — the common academic simplification).
+
+// HoldSummary reports hold-check results.
+type HoldSummary struct {
+	WHS       float64 // worst hold slack (<= 0 when violating, else >= 0)
+	THS       float64 // total (negative) hold slack
+	Endpoints int
+	Failing   int
+}
+
+// HoldTiming propagates minimum arrivals and evaluates hold checks at every
+// register data input:
+//
+//	slack_hold = AT_min(D) - (clk_arrival + t_hold)
+func (a *Analyzer) HoldTiming() HoldSummary {
+	minAT := make([]float64, len(a.nodes))
+	hasMin := make([]bool, len(a.nodes))
+	for i := range minAT {
+		minAT[i] = math.Inf(1)
+	}
+	// Seed startpoints: input ports at their input delay, launch clk->Q at
+	// clock arrival + min clk-to-q.
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.kind == nodePortIn {
+			if nd.isClk {
+				minAT[i] = 0
+			} else {
+				minAT[i] = a.cons.InputDelay
+			}
+			hasMin[i] = true
+		}
+	}
+	for _, v := range a.topo {
+		nd := &a.nodes[v]
+		for _, ei := range a.in[v] {
+			e := &a.edges[ei]
+			if !e.isCell || e.arc.Kind != netlist.ArcClkToQ {
+				continue
+			}
+			load := a.loadOf(v)
+			clkAt := a.clockAtInst(nd.id.Inst, e.arc.From)
+			at := clkAt + a.derate.early()*e.arc.Delay.Lookup(a.cons.InputSlew, load)
+			if at < minAT[v] {
+				minAT[v] = at
+				hasMin[v] = true
+			}
+		}
+		if !hasMin[v] {
+			continue
+		}
+		for _, ei := range a.out[v] {
+			e := &a.edges[ei]
+			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+				continue
+			}
+			var at float64
+			if e.isCell {
+				at = minAT[v] + a.derate.early()*e.arc.Delay.Lookup(a.cons.InputSlew, a.loadOf(e.to))
+			} else {
+				sinkCap := a.sinkCap(e.to)
+				at = minAT[v] + a.derate.early()*WireResPerMicron*e.wireLen*(WireCapPerMicron*e.wireLen/2+sinkCap)
+			}
+			if at < minAT[e.to] {
+				minAT[e.to] = at
+				hasMin[e.to] = true
+			}
+		}
+	}
+
+	var sum HoldSummary
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.kind != nodeInput || !nd.endp || !hasMin[i] {
+			continue
+		}
+		mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+		if mp == nil {
+			continue
+		}
+		for ai := range mp.Arcs {
+			arc := &mp.Arcs[ai]
+			if arc.Kind != netlist.ArcHold {
+				continue
+			}
+			hold := arc.Delay.Lookup(a.cons.InputSlew, 0)
+			clkAt := a.clockAtInst(nd.id.Inst, arc.From)
+			slack := minAT[i] - (clkAt + hold)
+			sum.Endpoints++
+			if slack < 0 {
+				sum.Failing++
+				sum.THS += slack
+				if slack < sum.WHS {
+					sum.WHS = slack
+				}
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,788 @@
+// Package sta is a graph-based static timing analyzer, the reproduction's
+// stand-in for OpenSTA. It computes arrival/required times and slacks over a
+// pin-level timing graph, enumerates the worst path per endpoint (the
+// equivalent of OpenSTA's findPathEnds with endpoint_count=1), and propagates
+// vectorless switching activity (the equivalent of findClkedActivity).
+//
+// Units: seconds, farads, watts, microns.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ppaclust/internal/netlist"
+)
+
+// Constraints is the subset of SDC the flow consumes.
+type Constraints struct {
+	ClockPeriod   float64  // target clock period (s)
+	ClockPorts    []string // input ports that are clock roots
+	InputDelay    float64  // arrival at non-clock input ports (s)
+	OutputDelay   float64  // required margin at output ports (s)
+	InputSlew     float64  // transition at input ports (s)
+	PortCap       float64  // load presented by output ports (F)
+	InputActivity float64  // toggles per cycle at data inputs
+	// ZeroWire ignores wire parasitics entirely (zero wire delay and load),
+	// the mode used when timing is extracted from an unplaced netlist, as in
+	// Algorithm 1 lines 4-5.
+	ZeroWire bool
+}
+
+// DefaultConstraints returns reasonable defaults for a given clock period.
+func DefaultConstraints(period float64) Constraints {
+	return Constraints{
+		ClockPeriod:   period,
+		InputDelay:    0.1 * period,
+		OutputDelay:   0.1 * period,
+		InputSlew:     20e-12,
+		PortCap:       4e-15,
+		InputActivity: 0.15,
+	}
+}
+
+// Wire RC constants (per micron), loosely calibrated to a 45nm metal stack.
+const (
+	WireCapPerMicron = 0.2e-15 // F/um
+	WireResPerMicron = 2.0     // ohm/um
+)
+
+// PinID identifies a timing graph node: an instance pin, or a port when
+// Inst < 0.
+type PinID struct {
+	Inst int
+	Pin  string
+}
+
+func (p PinID) String() string {
+	if p.Inst < 0 {
+		return "port:" + p.Pin
+	}
+	return fmt.Sprintf("%d/%s", p.Inst, p.Pin)
+}
+
+type nodeKind int
+
+const (
+	nodeInput   nodeKind = iota // instance input pin
+	nodeOutput                  // instance output pin
+	nodePortIn                  // top-level input port
+	nodePortOut                 // top-level output port
+)
+
+type edge struct {
+	from, to int
+	isCell   bool // cell arc (from input pin to output pin) vs net arc
+	arc      *netlist.TimingArc
+	wireLen  float64 // net arcs: driver-to-sink manhattan distance
+}
+
+type node struct {
+	id      PinID
+	kind    nodeKind
+	net     int // net this pin connects to, -1 if none
+	at      float64
+	rat     float64
+	slew    float64
+	hasAT   bool
+	hasRAT  bool
+	worstIn int // edge index achieving the worst (max) arrival, -1 if none
+	isClk   bool
+	endp    bool // timing endpoint (reg D or output port)
+	startp  bool // timing startpoint (reg CK->Q origin or input port)
+}
+
+// Analyzer holds the timing graph of one design under one set of constraints.
+type Analyzer struct {
+	d    *netlist.Design
+	cons Constraints
+
+	nodes   []node
+	edges   []edge
+	in      [][]int // node -> incoming edge indices
+	out     [][]int // node -> outgoing edge indices
+	nodeOf  map[PinID]int
+	topo    []int
+	netLoad []float64 // total load capacitance per net
+	netLen  []float64 // HPWL per net (for wire delay)
+
+	clockArrival map[int]float64 // optional per-node clock arrival (from CTS)
+	derate       Derate          // OCV scale factors
+
+	activity []float64 // per-node switching activity (toggles/cycle)
+	actDone  bool
+	timeDone bool
+}
+
+// New builds the timing graph for the design. The graph uses current pin
+// positions for wire delays; call Update after moving cells.
+func New(d *netlist.Design, cons Constraints) *Analyzer {
+	a := &Analyzer{d: d, cons: cons, nodeOf: make(map[PinID]int)}
+	a.build()
+	return a
+}
+
+// Design returns the design under analysis.
+func (a *Analyzer) Design() *netlist.Design { return a.d }
+
+// Constraints returns the analyzer's constraints.
+func (a *Analyzer) Constraints() Constraints { return a.cons }
+
+func (a *Analyzer) addNode(id PinID, kind nodeKind) int {
+	if idx, ok := a.nodeOf[id]; ok {
+		return idx
+	}
+	idx := len(a.nodes)
+	a.nodes = append(a.nodes, node{id: id, kind: kind, net: -1, worstIn: -1})
+	a.nodeOf[id] = idx
+	return idx
+}
+
+func (a *Analyzer) addEdge(e edge) {
+	idx := len(a.edges)
+	a.edges = append(a.edges, e)
+	a.out[e.from] = append(a.out[e.from], idx)
+	a.in[e.to] = append(a.in[e.to], idx)
+}
+
+// build constructs nodes for every connected pin and port, then net arcs and
+// cell arcs.
+func (a *Analyzer) build() {
+	d := a.d
+	clockPorts := make(map[string]bool)
+	for _, p := range a.cons.ClockPorts {
+		clockPorts[p] = true
+	}
+
+	// Nodes for ports.
+	for _, p := range d.Ports {
+		kind := nodePortIn
+		if p.Dir == netlist.DirOutput {
+			kind = nodePortOut
+		}
+		n := a.addNode(PinID{Inst: -1, Pin: p.Name}, kind)
+		if clockPorts[p.Name] {
+			a.nodes[n].isClk = true
+		}
+	}
+	// Nodes for instance pins that appear on nets.
+	for _, net := range d.Nets {
+		for _, pr := range net.Pins {
+			if pr.IsPort() {
+				continue
+			}
+			mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
+			if mp == nil {
+				continue
+			}
+			kind := nodeInput
+			if mp.Dir == netlist.DirOutput {
+				kind = nodeOutput
+			}
+			a.addNode(PinID{pr.Inst, pr.Pin}, kind)
+		}
+	}
+	a.in = make([][]int, len(a.nodes))
+	a.out = make([][]int, len(a.nodes))
+	a.netLoad = make([]float64, len(d.Nets))
+	a.netLen = make([]float64, len(d.Nets))
+
+	// Net arcs: driver -> each sink.
+	for _, net := range d.Nets {
+		drv, ok := d.Driver(net)
+		if !ok {
+			continue
+		}
+		drvNode := a.nodeOf[PinID{drv.Inst, drv.Pin}]
+		dx, dy := d.PinPos(drv)
+		var load float64
+		for _, pr := range net.Pins {
+			if pr == drv {
+				continue
+			}
+			var sinkNode int
+			if pr.IsPort() {
+				port := d.Port(pr.Pin)
+				if port == nil || port.Dir != netlist.DirOutput {
+					continue
+				}
+				sinkNode = a.nodeOf[PinID{-1, pr.Pin}]
+				load += a.cons.PortCap
+			} else {
+				mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
+				if mp == nil || mp.Dir == netlist.DirOutput {
+					continue
+				}
+				sinkNode = a.nodeOf[PinID{pr.Inst, pr.Pin}]
+				load += mp.Cap
+			}
+			wl := 0.0
+			if !a.cons.ZeroWire {
+				sx, sy := d.PinPos(pr)
+				wl = math.Abs(sx-dx) + math.Abs(sy-dy)
+			}
+			a.addEdge(edge{from: drvNode, to: sinkNode, wireLen: wl})
+			a.nodes[sinkNode].net = net.ID
+		}
+		a.nodes[drvNode].net = net.ID
+		if a.cons.ZeroWire {
+			a.netLoad[net.ID] = load
+		} else {
+			a.netLoad[net.ID] = load + WireCapPerMicron*d.NetHPWL(net)
+			a.netLen[net.ID] = d.NetHPWL(net)
+		}
+	}
+
+	// Cell arcs: combinational and clk->Q edges within each instance.
+	for _, inst := range d.Insts {
+		for pi := range inst.Master.Pins {
+			mp := &inst.Master.Pins[pi]
+			if mp.Dir != netlist.DirOutput {
+				continue
+			}
+			toNode, ok := a.nodeOf[PinID{inst.ID, mp.Name}]
+			if !ok {
+				continue
+			}
+			for ai := range mp.Arcs {
+				arc := &mp.Arcs[ai]
+				if arc.Kind != netlist.ArcComb && arc.Kind != netlist.ArcClkToQ {
+					continue
+				}
+				fromNode, ok := a.nodeOf[PinID{inst.ID, arc.From}]
+				if !ok {
+					continue
+				}
+				a.addEdge(edge{from: fromNode, to: toNode, isCell: true, arc: arc})
+			}
+		}
+	}
+
+	a.markSpecialNodes(clockPorts)
+	a.topoSort()
+}
+
+// markSpecialNodes labels clock pins, startpoints and endpoints.
+func (a *Analyzer) markSpecialNodes(clockPorts map[string]bool) {
+	d := a.d
+	// Propagate clock from clock ports through net arcs and buffers/inverters.
+	var queue []int
+	for i := range a.nodes {
+		if a.nodes[i].isClk {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, ei := range a.out[n] {
+			e := &a.edges[ei]
+			to := &a.nodes[e.to]
+			if to.isClk {
+				continue
+			}
+			if e.isCell && e.arc.Kind != netlist.ArcComb {
+				continue // clk->Q is a data launch, not clock propagation
+			}
+			to.isClk = true
+			queue = append(queue, e.to)
+		}
+	}
+	// Also mark clock input pins of sequential cells on nets flagged Clock.
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.id.Inst >= 0 {
+			mp := d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+			if mp != nil && mp.Clock {
+				nd.isClk = true
+			}
+		}
+	}
+	// Startpoints and endpoints.
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		switch nd.kind {
+		case nodePortIn:
+			if !clockPorts[nd.id.Pin] {
+				nd.startp = true
+			}
+		case nodePortOut:
+			nd.endp = true
+		case nodeOutput:
+			// Output fed by a clk->Q arc is a launch point.
+			for _, ei := range a.in[i] {
+				if a.edges[ei].isCell && a.edges[ei].arc.Kind == netlist.ArcClkToQ {
+					nd.startp = true
+				}
+			}
+		case nodeInput:
+			// Data input with a setup arc is an endpoint.
+			mp := d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+			if mp != nil {
+				for ai := range mp.Arcs {
+					if mp.Arcs[ai].Kind == netlist.ArcSetup {
+						nd.endp = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// topoSort orders nodes so every data edge goes forward. Clock-to-Q cell arcs
+// still participate (launch ordering), but edges into clock pins from the
+// clock network do not create cycles because registers' data edges do not
+// feed back into their own clock pins in well-formed designs; genuinely
+// cyclic combinational paths are broken by dropping the closing edge.
+func (a *Analyzer) topoSort() {
+	n := len(a.nodes)
+	indeg := make([]int, n)
+	enabled := make([]bool, len(a.edges))
+	for ei, e := range a.edges {
+		// Clk->Q arcs start a new timing frame: treat the Q output as a
+		// source rather than ordering it after the clock pin.
+		if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+			continue
+		}
+		enabled[ei] = true
+		indeg[e.to]++
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range a.out[v] {
+			if !enabled[ei] {
+				continue
+			}
+			t := a.edges[ei].to
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) < n {
+		// Combinational loop: append remaining nodes in ID order; the loop
+		// edges act as cut points (their arrivals simply lag one pass).
+		seen := make([]bool, n)
+		for _, v := range order {
+			seen[v] = true
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				order = append(order, i)
+			}
+		}
+	}
+	a.topo = order
+}
+
+// SetClockArrivals installs per-pin clock arrival times (from CTS). Keys are
+// clock pins of sequential cells. Passing nil restores the ideal clock.
+func (a *Analyzer) SetClockArrivals(arrivals map[PinID]float64) {
+	if arrivals == nil {
+		a.clockArrival = nil
+		a.timeDone = false
+		return
+	}
+	a.clockArrival = make(map[int]float64, len(arrivals))
+	for id, t := range arrivals {
+		if n, ok := a.nodeOf[id]; ok {
+			a.clockArrival[n] = t
+		}
+	}
+	a.timeDone = false
+}
+
+func (a *Analyzer) clockAt(nodeIdx int) float64 {
+	if a.clockArrival == nil {
+		return 0
+	}
+	return a.clockArrival[nodeIdx]
+}
+
+// clockAtInst returns the clock arrival at the clock pin of the instance
+// owning the given node (used for launch/capture of clk->Q and setup arcs).
+func (a *Analyzer) clockAtInst(inst int, clkPin string) float64 {
+	if a.clockArrival == nil {
+		return 0
+	}
+	if n, ok := a.nodeOf[PinID{inst, clkPin}]; ok {
+		return a.clockArrival[n]
+	}
+	return 0
+}
+
+// Update recomputes wire loads/lengths from current pin positions and marks
+// timing/activity for recomputation. Call after placement moves cells.
+func (a *Analyzer) Update() {
+	d := a.d
+	for _, net := range d.Nets {
+		drv, ok := d.Driver(net)
+		if !ok {
+			continue
+		}
+		_ = drv
+		var load float64
+		for _, pr := range net.Pins {
+			if pr.IsPort() {
+				port := d.Port(pr.Pin)
+				if port != nil && port.Dir == netlist.DirOutput {
+					load += a.cons.PortCap
+				}
+				continue
+			}
+			mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
+			if mp != nil && mp.Dir == netlist.DirInput {
+				load += mp.Cap
+			}
+		}
+		if a.cons.ZeroWire {
+			a.netLoad[net.ID] = load
+		} else {
+			hp := d.NetHPWL(net)
+			a.netLoad[net.ID] = load + WireCapPerMicron*hp
+			a.netLen[net.ID] = hp
+		}
+	}
+	// Refresh per-sink wire lengths.
+	if !a.cons.ZeroWire {
+		for ei := range a.edges {
+			e := &a.edges[ei]
+			if e.isCell {
+				continue
+			}
+			fx, fy := a.pinPosOf(e.from)
+			tx, ty := a.pinPosOf(e.to)
+			e.wireLen = math.Abs(fx-tx) + math.Abs(fy-ty)
+		}
+	}
+	a.timeDone = false
+	a.actDone = false
+}
+
+func (a *Analyzer) pinPosOf(nodeIdx int) (float64, float64) {
+	id := a.nodes[nodeIdx].id
+	return a.d.PinPos(netlist.PinRef{Inst: id.Inst, Pin: id.Pin})
+}
+
+// Run performs arrival/required propagation if stale.
+func (a *Analyzer) Run() {
+	if a.timeDone {
+		return
+	}
+	a.propagateArrivals()
+	a.propagateRequired()
+	a.timeDone = true
+}
+
+func (a *Analyzer) propagateArrivals() {
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		nd.at = math.Inf(-1)
+		nd.hasAT = false
+		nd.worstIn = -1
+		nd.slew = a.cons.InputSlew
+	}
+	// Seed startpoints.
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.kind == nodePortIn {
+			if nd.isClk {
+				nd.at = 0
+				nd.hasAT = true
+			} else {
+				nd.at = a.cons.InputDelay
+				nd.hasAT = true
+			}
+		}
+	}
+	for _, v := range a.topo {
+		nd := &a.nodes[v]
+		// Launch clk->Q arcs: arrival = clock arrival + arc delay.
+		for _, ei := range a.in[v] {
+			e := &a.edges[ei]
+			if !e.isCell || e.arc.Kind != netlist.ArcClkToQ {
+				continue
+			}
+			load := a.loadOf(v)
+			clkAt := a.clockAtInst(nd.id.Inst, e.arc.From)
+			slewIn := a.nodes[e.from].slew
+			at := clkAt + a.derate.late()*e.arc.Delay.Lookup(slewIn, load)
+			if at > nd.at {
+				nd.at = at
+				nd.hasAT = true
+				nd.worstIn = ei
+				nd.slew = e.arc.Slew.Lookup(slewIn, load)
+			}
+		}
+		if !nd.hasAT {
+			continue
+		}
+		for _, ei := range a.out[v] {
+			e := &a.edges[ei]
+			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+				continue // handled at the target via clock arrival
+			}
+			to := &a.nodes[e.to]
+			var at, slew float64
+			if e.isCell {
+				load := a.loadOf(e.to)
+				at = nd.at + a.derate.late()*e.arc.Delay.Lookup(nd.slew, load)
+				slew = e.arc.Slew.Lookup(nd.slew, load)
+			} else {
+				// Net arc: Elmore-style wire delay to this sink.
+				sinkCap := a.sinkCap(e.to)
+				wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
+				at = nd.at + wd
+				slew = nd.slew + 0.2*wd
+			}
+			if at > to.at {
+				to.at = at
+				to.hasAT = true
+				to.worstIn = ei
+				to.slew = slew
+			}
+		}
+	}
+}
+
+func (a *Analyzer) loadOf(outNode int) float64 {
+	netID := a.nodes[outNode].net
+	if netID < 0 {
+		return 0
+	}
+	return a.netLoad[netID]
+}
+
+func (a *Analyzer) sinkCap(sinkNode int) float64 {
+	nd := &a.nodes[sinkNode]
+	if nd.id.Inst < 0 {
+		return a.cons.PortCap
+	}
+	mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+	if mp == nil {
+		return 0
+	}
+	return mp.Cap
+}
+
+func (a *Analyzer) propagateRequired() {
+	T := a.cons.ClockPeriod
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		nd.rat = math.Inf(1)
+		nd.hasRAT = false
+	}
+	// Seed endpoints.
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !nd.endp {
+			continue
+		}
+		switch nd.kind {
+		case nodePortOut:
+			nd.rat = T - a.cons.OutputDelay
+			nd.hasRAT = true
+		case nodeInput:
+			mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+			for ai := range mp.Arcs {
+				arc := &mp.Arcs[ai]
+				if arc.Kind != netlist.ArcSetup {
+					continue
+				}
+				setup := arc.Delay.Lookup(nd.slew, 0)
+				captureClk := a.clockAtInst(nd.id.Inst, arc.From)
+				rat := T + captureClk - setup
+				if rat < nd.rat {
+					nd.rat = rat
+					nd.hasRAT = true
+				}
+			}
+		}
+	}
+	// Backward pass over reverse topological order.
+	for i := len(a.topo) - 1; i >= 0; i-- {
+		v := a.topo[i]
+		nd := &a.nodes[v]
+		if !nd.hasRAT {
+			continue
+		}
+		for _, ei := range a.in[v] {
+			e := &a.edges[ei]
+			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+				continue
+			}
+			from := &a.nodes[e.from]
+			var rat float64
+			if e.isCell {
+				load := a.loadOf(v)
+				rat = nd.rat - a.derate.late()*e.arc.Delay.Lookup(from.slew, load)
+			} else {
+				sinkCap := a.sinkCap(v)
+				wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
+				rat = nd.rat - wd
+			}
+			if rat < from.rat {
+				from.rat = rat
+				from.hasRAT = true
+			}
+		}
+	}
+}
+
+// SlackAt returns the slack at a pin, or +Inf if the pin is not constrained.
+func (a *Analyzer) SlackAt(id PinID) float64 {
+	a.Run()
+	n, ok := a.nodeOf[id]
+	if !ok {
+		return math.Inf(1)
+	}
+	nd := &a.nodes[n]
+	if !nd.hasAT || !nd.hasRAT {
+		return math.Inf(1)
+	}
+	return nd.rat - nd.at
+}
+
+// ArrivalAt returns the arrival time at a pin; ok is false when unreached.
+func (a *Analyzer) ArrivalAt(id PinID) (float64, bool) {
+	a.Run()
+	n, found := a.nodeOf[id]
+	if !found {
+		return 0, false
+	}
+	nd := &a.nodes[n]
+	return nd.at, nd.hasAT
+}
+
+// Summary is the WNS/TNS report over all endpoints.
+type Summary struct {
+	WNS       float64 // worst negative slack (0 if all positive)
+	TNS       float64 // total negative slack (sum of negative endpoint slacks)
+	Endpoints int
+	Failing   int
+}
+
+// Timing returns the design-wide WNS/TNS summary.
+func (a *Analyzer) Timing() Summary {
+	a.Run()
+	var s Summary
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !nd.endp || !nd.hasAT || !nd.hasRAT {
+			continue
+		}
+		s.Endpoints++
+		slack := nd.rat - nd.at
+		if slack < 0 {
+			s.Failing++
+			s.TNS += slack
+			if slack < s.WNS {
+				s.WNS = slack
+			}
+		}
+	}
+	return s
+}
+
+// NetLoad returns the total load capacitance (pins + wire) of a net.
+func (a *Analyzer) NetLoad(netID int) float64 { return a.netLoad[netID] }
+
+// NetSlack returns for each net the worst slack over the pins of the net
+// (+Inf for unconstrained nets). This is the per-net timing criticality the
+// clustering consumes.
+func (a *Analyzer) NetSlack() []float64 {
+	a.Run()
+	out := make([]float64, len(a.d.Nets))
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.net < 0 || !nd.hasAT || !nd.hasRAT {
+			continue
+		}
+		slack := nd.rat - nd.at
+		if slack < out[nd.net] {
+			out[nd.net] = slack
+		}
+	}
+	return out
+}
+
+// Path is one extracted timing path.
+type Path struct {
+	Slack    float64
+	Pins     []PinID
+	Nets     []int // nets traversed, aligned with hops between pins
+	Endpoint PinID
+}
+
+// TopPaths enumerates up to maxPaths timing paths: the worst path per
+// endpoint, sorted by ascending slack. This mirrors OpenSTA findPathEnds
+// with endpoint_count=1, unique_pins=true, sort_by_slack=true.
+func (a *Analyzer) TopPaths(maxPaths int) []Path {
+	a.Run()
+	type endSlack struct {
+		node  int
+		slack float64
+	}
+	ends := make([]endSlack, 0, 256)
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if nd.endp && nd.hasAT && nd.hasRAT {
+			ends = append(ends, endSlack{i, nd.rat - nd.at})
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool {
+		if ends[i].slack != ends[j].slack {
+			return ends[i].slack < ends[j].slack
+		}
+		return ends[i].node < ends[j].node
+	})
+	if maxPaths > 0 && len(ends) > maxPaths {
+		ends = ends[:maxPaths]
+	}
+	paths := make([]Path, 0, len(ends))
+	for _, es := range ends {
+		p := Path{Slack: es.slack, Endpoint: a.nodes[es.node].id}
+		// Backtrack via worst-arrival predecessor edges.
+		cur := es.node
+		for cur >= 0 {
+			p.Pins = append(p.Pins, a.nodes[cur].id)
+			ei := a.nodes[cur].worstIn
+			if ei < 0 {
+				break
+			}
+			e := &a.edges[ei]
+			if !e.isCell {
+				p.Nets = append(p.Nets, a.nodes[cur].net)
+			}
+			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+				// Launch point reached.
+				p.Pins = append(p.Pins, a.nodes[e.from].id)
+				break
+			}
+			cur = e.from
+		}
+		// Reverse to startpoint-first order.
+		for l, r := 0, len(p.Pins)-1; l < r; l, r = l+1, r-1 {
+			p.Pins[l], p.Pins[r] = p.Pins[r], p.Pins[l]
+		}
+		for l, r := 0, len(p.Nets)-1; l < r; l, r = l+1, r-1 {
+			p.Nets[l], p.Nets[r] = p.Nets[r], p.Nets[l]
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}

@@ -1,0 +1,354 @@
+// Package verilog reads and writes the gate-level structural Verilog subset
+// the flow consumes: one flat module with scalar ports, wires, and primitive
+// instances using named port connections. Hierarchical instance names are
+// emitted as escaped identifiers (\a/b/c ), so the logical hierarchy
+// round-trips through the file format.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ppaclust/internal/netlist"
+)
+
+// Write emits the design as structural Verilog.
+func Write(w io.Writer, d *netlist.Design) error {
+	var names []string
+	for _, p := range d.Ports {
+		names = append(names, ident(p.Name))
+	}
+	if _, err := fmt.Fprintf(w, "module %s (%s);\n", ident(d.Name), strings.Join(names, ", ")); err != nil {
+		return err
+	}
+	for _, p := range d.Ports {
+		dir := "input"
+		switch p.Dir {
+		case netlist.DirOutput:
+			dir = "output"
+		case netlist.DirInout:
+			dir = "inout"
+		}
+		fmt.Fprintf(w, "  %s %s;\n", dir, ident(p.Name))
+	}
+	// Wires: nets that are not port nets need declarations. A net named the
+	// same as a port is the port itself.
+	portSet := map[string]bool{}
+	for _, p := range d.Ports {
+		portSet[p.Name] = true
+	}
+	for _, n := range d.Nets {
+		if !portSet[n.Name] {
+			fmt.Fprintf(w, "  wire %s;\n", ident(n.Name))
+		}
+	}
+	// Port pins riding on differently-named nets become assigns.
+	for _, n := range d.Nets {
+		for _, pr := range n.Pins {
+			if !pr.IsPort() || pr.Pin == n.Name {
+				continue
+			}
+			port := d.Port(pr.Pin)
+			if port == nil {
+				continue
+			}
+			if port.Dir == netlist.DirOutput {
+				fmt.Fprintf(w, "  assign %s = %s;\n", ident(port.Name), ident(n.Name))
+			} else {
+				fmt.Fprintf(w, "  assign %s = %s;\n", ident(n.Name), ident(port.Name))
+			}
+		}
+	}
+	// Instance connections: gather per instance.
+	conns := make(map[int][][2]string) // inst -> [pin, net]
+	for _, n := range d.Nets {
+		for _, pr := range n.Pins {
+			if pr.IsPort() {
+				continue
+			}
+			conns[pr.Inst] = append(conns[pr.Inst], [2]string{pr.Pin, n.Name})
+		}
+	}
+	for _, inst := range d.Insts {
+		cs := conns[inst.ID]
+		sort.Slice(cs, func(i, j int) bool { return cs[i][0] < cs[j][0] })
+		parts := make([]string, 0, len(cs))
+		for _, c := range cs {
+			parts = append(parts, fmt.Sprintf(".%s(%s)", c[0], ident(c[1])))
+		}
+		fmt.Fprintf(w, "  %s %s (%s);\n", inst.Master.Name, ident(inst.Name), strings.Join(parts, ", "))
+	}
+	_, err := fmt.Fprintln(w, "endmodule")
+	return err
+}
+
+// ident escapes identifiers that are not plain Verilog names.
+func ident(s string) string {
+	plain := true
+	for i, r := range s {
+		ok := r == '_' || r == '$' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && s != "" {
+		return s
+	}
+	return "\\" + s + " " // escaped identifier, trailing space required
+}
+
+// Parse reads a structural Verilog module into a design bound to lib.
+// Every instantiated cell must exist in lib.
+func Parse(r io.Reader, lib *netlist.Library) (*netlist.Design, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, lib: lib}
+	return p.parseModule()
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func tokenize(r io.Reader) ([]token, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var toks []token
+	line := 1
+	i := 0
+	s := string(data)
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(s) && s[i+1] == '*':
+			i += 2
+			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				if s[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '\\': // escaped identifier: up to whitespace
+			j := i + 1
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' {
+				j++
+			}
+			toks = append(toks, token{s[i+1 : j], line})
+			i = j
+		case strings.ContainsRune("(),.;=", rune(c)):
+			toks = append(toks, token{string(c), line})
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\r\n(),.;=\\", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{s[i:j], line})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	lib  *netlist.Library
+}
+
+func (p *parser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseModule() (*netlist.Design, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next().text
+	d := netlist.NewDesign(name, p.lib)
+	// Port list (names only).
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek().text != ")" && p.peek().text != "" {
+		p.next() // names declared with directions below
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	// Body.
+	netFor := func(name string) (*netlist.Net, error) {
+		if n := d.Net(name); n != nil {
+			return n, nil
+		}
+		return d.AddNet(name)
+	}
+	for {
+		t := p.next()
+		switch t.text {
+		case "endmodule":
+			// Attach port pins to their same-named nets (unless an assign
+			// already placed the port on another net).
+			for _, port := range d.Ports {
+				n := d.Net(port.Name)
+				if n == nil {
+					continue
+				}
+				has := false
+				for _, pr := range n.Pins {
+					if pr.IsPort() && pr.Pin == port.Name {
+						has = true
+					}
+				}
+				if !has {
+					d.Connect(n, netlist.PinRef{Inst: -1, Pin: port.Name})
+				}
+			}
+			return d, nil
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected end of file")
+		case "input", "output", "inout":
+			dir := netlist.DirInput
+			if t.text == "output" {
+				dir = netlist.DirOutput
+			} else if t.text == "inout" {
+				dir = netlist.DirInout
+			}
+			for {
+				nm := p.next().text
+				if _, err := d.AddPort(nm, dir); err != nil {
+					return nil, err
+				}
+				nx := p.next()
+				if nx.text == ";" {
+					break
+				}
+				if nx.text != "," {
+					return nil, fmt.Errorf("verilog: line %d: bad port declaration", nx.line)
+				}
+			}
+		case "assign":
+			lhs := p.next().text
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			rhs := p.next().text
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			var portName, netName string
+			switch {
+			case d.Port(lhs) != nil:
+				portName, netName = lhs, rhs
+			case d.Port(rhs) != nil:
+				portName, netName = rhs, lhs
+			default:
+				return nil, fmt.Errorf("verilog: line %d: unsupported assign %s = %s", t.line, lhs, rhs)
+			}
+			n, err := netFor(netName)
+			if err != nil {
+				return nil, err
+			}
+			d.Connect(n, netlist.PinRef{Inst: -1, Pin: portName})
+		case "wire":
+			for {
+				nm := p.next().text
+				if _, err := netFor(nm); err != nil {
+					return nil, err
+				}
+				nx := p.next()
+				if nx.text == ";" {
+					break
+				}
+				if nx.text != "," {
+					return nil, fmt.Errorf("verilog: line %d: bad wire declaration", nx.line)
+				}
+			}
+		default:
+			// Instance: MASTER name ( .pin(net), ... ) ;
+			master := p.lib.Master(t.text)
+			if master == nil {
+				return nil, fmt.Errorf("verilog: line %d: unknown cell %q", t.line, t.text)
+			}
+			instName := p.next().text
+			inst, err := d.AddInstance(instName, master)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for p.peek().text != ")" {
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				pin := p.next().text
+				if master.Pin(pin) == nil {
+					return nil, fmt.Errorf("verilog: line %d: cell %s has no pin %q", t.line, master.Name, pin)
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				netName := p.next().text
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				n, err := netFor(netName)
+				if err != nil {
+					return nil, err
+				}
+				d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: pin})
+				if p.peek().text == "," {
+					p.next()
+				}
+			}
+			p.next() // ")"
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

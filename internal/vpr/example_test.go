@@ -1,0 +1,19 @@
+package vpr_test
+
+import (
+	"fmt"
+
+	"ppaclust/internal/vpr"
+)
+
+// The paper sweeps 5 aspect ratios x 4 utilizations.
+func ExampleShapeCandidates() {
+	cands := vpr.ShapeCandidates()
+	fmt.Println("candidates:", len(cands))
+	fmt.Printf("first: AR=%.2f util=%.2f\n", cands[0].AspectRatio, cands[0].Utilization)
+	fmt.Printf("last:  AR=%.2f util=%.2f\n", cands[19].AspectRatio, cands[19].Utilization)
+	// Output:
+	// candidates: 20
+	// first: AR=0.75 util=0.75
+	// last:  AR=1.75 util=0.90
+}

@@ -1,0 +1,279 @@
+// Package vpr implements the paper's virtualized P&R (V-P&R) framework
+// (Section 3.2): for a given cluster, it induces the cluster's sub-netlist
+// (creating IO ports for inter-cluster nets), sweeps 20 candidate shapes
+// (aspect ratio x utilization), runs placement and global routing on a
+// virtual die for each, and scores them with
+//
+//	Cost_HPWL  = HPWL_avg / (Width_core + Height_core)          (Eq. 4)
+//	Cost_Cong  = mean congestion over the top-X% GCells          (Eq. 5)
+//	Total Cost = Cost_HPWL + delta * Cost_Cong
+//
+// The shape with minimum Total Cost models the cluster during seeded
+// placement. The ML model of package gnn can substitute for the P&R runs via
+// the CostModel interface (the "ML-accelerated" variant).
+package vpr
+
+import (
+	"fmt"
+	"math"
+
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/place"
+	"ppaclust/internal/route"
+)
+
+// Shape is one cluster-shape candidate.
+type Shape struct {
+	AspectRatio float64 // core height / width
+	Utilization float64
+}
+
+// ShapeCandidates returns the paper's 20 sweep points: AR in [0.75, 1.75]
+// step 0.25, utilization in [0.75, 0.90] step 0.05.
+func ShapeCandidates() []Shape {
+	var out []Shape
+	for ar := 0.75; ar <= 1.75+1e-9; ar += 0.25 {
+		for u := 0.75; u <= 0.90+1e-9; u += 0.05 {
+			out = append(out, Shape{AspectRatio: round2(ar), Utilization: round2(u)})
+		}
+	}
+	return out
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// UniformShape is the fixed assignment used by the "Uniform" ablation arm in
+// Table 6 (utilization 0.9, aspect ratio 1.0).
+var UniformShape = Shape{AspectRatio: 1.0, Utilization: 0.90}
+
+// Eval is the outcome of evaluating one shape candidate.
+type Eval struct {
+	Shape     Shape
+	CostHPWL  float64
+	CostCong  float64
+	TotalCost float64
+	HPWL      float64
+	CoreW     float64
+	CoreH     float64
+}
+
+// Options configures the V-P&R runs.
+type Options struct {
+	// TopPercent is X in Eq. 5. Default 10.
+	TopPercent float64
+	// Delta is the congestion normalization factor. Default 0.01.
+	Delta float64
+	// PlaceIterations bounds the virtual placement effort. Default 10.
+	PlaceIterations int
+	// RouteCapacity is the per-edge track capacity of the virtual router.
+	// Default 6 — deliberately tight so Cost_Congestion discriminates
+	// between utilizations (the whole point of Eq. 5).
+	RouteCapacity int
+	// Seed drives placement determinism.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopPercent <= 0 {
+		o.TopPercent = 10
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.01
+	}
+	if o.PlaceIterations <= 0 {
+		o.PlaceIterations = 10
+	}
+	if o.RouteCapacity <= 0 {
+		o.RouteCapacity = 6
+	}
+	return o
+}
+
+// CostModel predicts the Total Cost of placing a cluster sub-netlist at a
+// candidate shape. The V-P&R runner is the exact implementation; the GNN
+// model is the accelerated one.
+type CostModel interface {
+	TotalCost(sub *netlist.Design, shape Shape) float64
+}
+
+// Runner is the exact (P&R-based) cost model.
+type Runner struct {
+	Opt Options
+}
+
+// TotalCost implements CostModel by running virtual place-and-route.
+func (r Runner) TotalCost(sub *netlist.Design, shape Shape) float64 {
+	return r.Evaluate(sub, shape).TotalCost
+}
+
+// Evaluate runs one virtual P&R at the given shape and returns all costs.
+func (r Runner) Evaluate(sub *netlist.Design, shape Shape) Eval {
+	opt := r.Opt.withDefaults()
+	d := sub.Clone()
+	Floorplan(d, shape)
+	place.Global(d, place.Options{
+		Iterations: opt.PlaceIterations,
+		Seed:       opt.Seed,
+	})
+	rres := route.GlobalRoute(d, route.Options{
+		CapacityH: opt.RouteCapacity,
+		CapacityV: opt.RouteCapacity,
+	})
+	ev := Eval{Shape: shape, CoreW: d.Core.W(), CoreH: d.Core.H()}
+	// HPWL_avg over nets with at least 2 pins.
+	var total float64
+	nets := 0
+	for _, n := range d.Nets {
+		if len(n.Pins) < 2 {
+			continue
+		}
+		total += d.NetHPWL(n)
+		nets++
+	}
+	if nets > 0 {
+		ev.HPWL = total
+		ev.CostHPWL = (total / float64(nets)) / (d.Core.W() + d.Core.H())
+	}
+	ev.CostCong = rres.Grid.TopPercentAvg(opt.TopPercent)
+	ev.TotalCost = ev.CostHPWL + opt.Delta*ev.CostCong
+	return ev
+}
+
+// Floorplan sizes the design's die/core for the given shape and places the
+// ports around the boundary (the stand-in for the OpenROAD pin placer).
+func Floorplan(d *netlist.Design, shape Shape) {
+	area := d.TotalCellArea() / shape.Utilization
+	if area <= 0 {
+		area = 1
+	}
+	w := math.Sqrt(area / shape.AspectRatio)
+	h := w * shape.AspectRatio
+	const margin = 2.0
+	d.Core = netlist.Rect{X0: margin, Y0: margin, X1: margin + w, Y1: margin + h}
+	d.Die = netlist.Rect{X0: 0, Y0: 0, X1: w + 2*margin, Y1: h + 2*margin}
+	n := len(d.Ports)
+	if n == 0 {
+		return
+	}
+	perim := 2 * (w + h)
+	for i, p := range d.Ports {
+		t := perim * float64(i) / float64(n)
+		p.X, p.Y = perimeterPoint(d.Core, t)
+		p.Placed = true
+	}
+}
+
+func perimeterPoint(r netlist.Rect, t float64) (float64, float64) {
+	w, h := r.W(), r.H()
+	switch {
+	case t < w:
+		return r.X0 + t, r.Y0
+	case t < w+h:
+		return r.X1, r.Y0 + (t - w)
+	case t < 2*w+h:
+		return r.X1 - (t - w - h), r.Y1
+	default:
+		return r.X0, r.Y1 - (t - 2*w - h)
+	}
+}
+
+// InduceSubNetlist extracts the sub-design over the given member instances.
+// For every net crossing the cluster boundary, an input port is created when
+// the driver is external and sinks are internal, and an output port when the
+// driver is internal and sinks are external — exactly the paper's port
+// creation rule.
+func InduceSubNetlist(d *netlist.Design, members []int) (*netlist.Design, error) {
+	sub := netlist.NewDesign(d.Name+"_cluster", d.Lib)
+	inside := make(map[int]bool, len(members))
+	for _, id := range members {
+		inside[id] = true
+	}
+	newID := make(map[int]int, len(members))
+	for _, id := range members {
+		inst := d.Insts[id]
+		ni, err := sub.AddInstance(inst.Name, inst.Master)
+		if err != nil {
+			return nil, err
+		}
+		newID[id] = ni.ID
+	}
+	for _, n := range d.Nets {
+		var internal []netlist.PinRef
+		externalDrv := false
+		externalSink := false
+		internalDrv := false
+		drv, hasDrv := d.Driver(n)
+		for _, pr := range n.Pins {
+			if !pr.IsPort() && inside[pr.Inst] {
+				internal = append(internal, netlist.PinRef{Inst: newID[pr.Inst], Pin: pr.Pin})
+				if hasDrv && pr == drv {
+					internalDrv = true
+				}
+			} else {
+				if hasDrv && pr == drv {
+					externalDrv = true
+				} else {
+					externalSink = true
+				}
+			}
+		}
+		if len(internal) == 0 {
+			continue
+		}
+		needInPort := externalDrv
+		needOutPort := internalDrv && externalSink
+		if len(internal) < 2 && !needInPort && !needOutPort {
+			continue
+		}
+		sn, err := sub.AddNet(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		sn.Weight = n.Weight
+		sn.Clock = n.Clock
+		for _, pr := range internal {
+			sub.Connect(sn, pr)
+		}
+		if needInPort {
+			pname := fmt.Sprintf("vin_%s", n.Name)
+			if _, err := sub.AddPort(pname, netlist.DirInput); err != nil {
+				return nil, err
+			}
+			sub.Connect(sn, netlist.PinRef{Inst: -1, Pin: pname})
+		}
+		if needOutPort {
+			pname := fmt.Sprintf("vout_%s", n.Name)
+			if _, err := sub.AddPort(pname, netlist.DirOutput); err != nil {
+				return nil, err
+			}
+			sub.Connect(sn, netlist.PinRef{Inst: -1, Pin: pname})
+		}
+	}
+	return sub, nil
+}
+
+// BestShape runs the full V-P&R sweep over all 20 candidates with the given
+// cost model and returns the winner plus all evaluations (evaluations are
+// nil when the model is not the exact Runner).
+func BestShape(sub *netlist.Design, model CostModel) (Shape, []Eval) {
+	cands := ShapeCandidates()
+	best := cands[0]
+	bestCost := math.Inf(1)
+	var evals []Eval
+	runner, isRunner := model.(Runner)
+	for _, s := range cands {
+		var cost float64
+		if isRunner {
+			ev := runner.Evaluate(sub, s)
+			evals = append(evals, ev)
+			cost = ev.TotalCost
+		} else {
+			cost = model.TotalCost(sub, s)
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = s
+		}
+	}
+	return best, evals
+}

@@ -1,0 +1,194 @@
+package vpr
+
+import (
+	"math"
+	"testing"
+
+	"ppaclust/internal/cluster"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/netlist"
+)
+
+func TestShapeCandidates(t *testing.T) {
+	cands := ShapeCandidates()
+	if len(cands) != 20 {
+		t.Fatalf("candidates=%d want 20", len(cands))
+	}
+	ars := map[float64]bool{}
+	utils := map[float64]bool{}
+	for _, c := range cands {
+		ars[c.AspectRatio] = true
+		utils[c.Utilization] = true
+		if c.AspectRatio < 0.75 || c.AspectRatio > 1.75 {
+			t.Fatalf("AR %v out of paper range", c.AspectRatio)
+		}
+		if c.Utilization < 0.75 || c.Utilization > 0.90 {
+			t.Fatalf("util %v out of paper range", c.Utilization)
+		}
+	}
+	if len(ars) != 5 || len(utils) != 4 {
+		t.Fatalf("ARs=%d utils=%d want 5x4", len(ars), len(utils))
+	}
+}
+
+// clusteredTiny builds a tiny benchmark and returns the members of its
+// largest cluster.
+func clusteredTiny(t *testing.T, seed int64) (*netlist.Design, []int) {
+	t.Helper()
+	b := designs.Generate(designs.TinySpec(seed))
+	view := b.Design.ToHypergraph()
+	res := cluster.MultilevelFC(view.H, cluster.Options{Seed: seed, TargetClusters: 6})
+	sizes := cluster.Sizes(res.Assign, res.NumClusters)
+	bestC, bestN := 0, 0
+	for c, n := range sizes {
+		if n > bestN {
+			bestC, bestN = c, n
+		}
+	}
+	var members []int
+	for v, c := range res.Assign {
+		if c == bestC {
+			members = append(members, v)
+		}
+	}
+	return b.Design, members
+}
+
+func TestInduceSubNetlist(t *testing.T) {
+	d, members := clusteredTiny(t, 51)
+	sub, err := InduceSubNetlist(d, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Insts) != len(members) {
+		t.Fatalf("sub insts=%d want %d", len(sub.Insts), len(members))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Ports) == 0 {
+		t.Fatal("expected boundary ports for inter-cluster nets")
+	}
+	// Port direction sanity: vin ports are inputs, vout outputs.
+	for _, p := range sub.Ports {
+		if p.Name[:3] == "vin" && p.Dir != netlist.DirInput {
+			t.Fatalf("port %s should be input", p.Name)
+		}
+		if p.Name[:4] == "vout" && p.Dir != netlist.DirOutput {
+			t.Fatalf("port %s should be output", p.Name)
+		}
+	}
+	// Every sub net must have >= 2 connections or a port.
+	for _, n := range sub.Nets {
+		if len(n.Pins) < 2 {
+			t.Fatalf("degenerate sub net %s", n.Name)
+		}
+	}
+}
+
+func TestFloorplanShapes(t *testing.T) {
+	d, members := clusteredTiny(t, 52)
+	sub, _ := InduceSubNetlist(d, members)
+	for _, s := range []Shape{{0.75, 0.75}, {1.0, 0.9}, {1.75, 0.8}} {
+		c := sub.Clone()
+		Floorplan(c, s)
+		gotAR := c.Core.H() / c.Core.W()
+		if math.Abs(gotAR-s.AspectRatio) > 0.01 {
+			t.Fatalf("AR=%v want %v", gotAR, s.AspectRatio)
+		}
+		gotU := c.TotalCellArea() / c.Core.Area()
+		if math.Abs(gotU-s.Utilization) > 0.02 {
+			t.Fatalf("util=%v want %v", gotU, s.Utilization)
+		}
+		for _, p := range c.Ports {
+			if !p.Placed {
+				t.Fatal("port unplaced")
+			}
+		}
+	}
+}
+
+func TestEvaluateShapeCosts(t *testing.T) {
+	d, members := clusteredTiny(t, 53)
+	sub, _ := InduceSubNetlist(d, members)
+	r := Runner{Opt: Options{Seed: 1}}
+	ev := r.Evaluate(sub, Shape{AspectRatio: 1.0, Utilization: 0.8})
+	if ev.CostHPWL <= 0 {
+		t.Fatalf("CostHPWL=%v", ev.CostHPWL)
+	}
+	if ev.TotalCost < ev.CostHPWL {
+		t.Fatal("total cost must include congestion term")
+	}
+	if ev.CoreW <= 0 || ev.CoreH <= 0 {
+		t.Fatal("core not set")
+	}
+	// Evaluate must not mutate the input sub-netlist placement.
+	for _, inst := range sub.Insts {
+		if inst.Placed {
+			t.Fatal("Evaluate mutated the input design")
+		}
+	}
+}
+
+func TestBestShapeExactRunner(t *testing.T) {
+	d, members := clusteredTiny(t, 54)
+	sub, _ := InduceSubNetlist(d, members)
+	best, evals := BestShape(sub, Runner{Opt: Options{Seed: 2}})
+	if len(evals) != 20 {
+		t.Fatalf("evals=%d", len(evals))
+	}
+	for _, ev := range evals {
+		if ev.Shape == best {
+			continue
+		}
+		// No other candidate may beat the winner.
+		bestCost := math.Inf(1)
+		for _, e2 := range evals {
+			if e2.Shape == best {
+				bestCost = e2.TotalCost
+			}
+		}
+		if ev.TotalCost < bestCost-1e-12 {
+			t.Fatalf("shape %+v beats winner", ev.Shape)
+		}
+	}
+}
+
+type fixedModel struct{ want Shape }
+
+func (m fixedModel) TotalCost(sub *netlist.Design, s Shape) float64 {
+	if s == m.want {
+		return 0
+	}
+	return 1
+}
+
+func TestBestShapeCustomModel(t *testing.T) {
+	d, members := clusteredTiny(t, 55)
+	sub, _ := InduceSubNetlist(d, members)
+	want := Shape{AspectRatio: 1.25, Utilization: 0.85}
+	got, evals := BestShape(sub, fixedModel{want: want})
+	if got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if evals != nil {
+		t.Fatal("custom models should not produce runner evals")
+	}
+}
+
+func TestUniformShapeConstant(t *testing.T) {
+	if UniformShape.AspectRatio != 1.0 || UniformShape.Utilization != 0.90 {
+		t.Fatalf("uniform shape %+v", UniformShape)
+	}
+}
+
+func TestInduceEmptyMembers(t *testing.T) {
+	d, _ := clusteredTiny(t, 56)
+	sub, err := InduceSubNetlist(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Insts) != 0 || len(sub.Nets) != 0 {
+		t.Fatal("empty member set should give empty sub-design")
+	}
+}
