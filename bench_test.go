@@ -11,6 +11,7 @@ package ppaclust
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"ppaclust/internal/experiments"
@@ -19,7 +20,7 @@ import (
 func newSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
 	fast := os.Getenv("PPACLUST_FULL") == ""
-	return experiments.NewSuite(fast, 1)
+	return experiments.NewSuite(fast, 1, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkTable1Stats regenerates Table 1 (benchmark statistics).
@@ -119,7 +120,7 @@ func BenchmarkTable6ShapeAblation(b *testing.B) {
 func BenchmarkGNNModelQuality(b *testing.B) {
 	var mae, r2 float64
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSuite(os.Getenv("PPACLUST_FULL") == "", int64(1+i))
+		s := experiments.NewSuite(os.Getenv("PPACLUST_FULL") == "", int64(1+i), runtime.GOMAXPROCS(0))
 		rep := s.GNNMetrics()
 		mae, r2 = rep.Test.MAE, rep.Test.R2
 	}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"ppaclust/internal/hypergraph"
+	"ppaclust/internal/par"
 )
 
 // Options configures multilevel FC clustering.
@@ -48,6 +49,11 @@ type Options struct {
 	EdgeSwitchCost []float64
 	// MaxLevels bounds the number of coarsening levels. Default 20.
 	MaxLevels int
+	// Workers bounds the goroutines used by the rating scans: 0 = auto
+	// (PPACLUST_WORKERS, else GOMAXPROCS), 1 = fully sequential. Matching
+	// itself always commits sequentially, so the cluster assignment is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(h *hypergraph.Hypergraph) Options {
@@ -229,6 +235,7 @@ func fcPass(h *hypergraph.Hypergraph, groups []int, tCost, sCost []float64,
 		return v
 	}
 
+	workers := par.Workers(opt.Workers)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -236,9 +243,11 @@ func fcPass(h *hypergraph.Hypergraph, groups []int, tCost, sCost []float64,
 	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	if budget > 0 {
 		// Priority pass: visit vertices in descending order of their best
-		// candidate rating so the limited budget buys the best merges.
+		// candidate rating so the limited budget buys the best merges. Each
+		// score is accumulated per vertex in incident-edge order, so the
+		// parallel fan-out is bit-identical to the sequential loop.
 		score := make([]float64, n)
-		for v := 0; v < n; v++ {
+		par.ForEach(workers, n, func(v int) {
 			for _, e := range h.Incident(v) {
 				verts := h.Edge(e)
 				if len(verts) < 2 || len(verts) > opt.MaxEdgeSize {
@@ -253,7 +262,7 @@ func fcPass(h *hypergraph.Hypergraph, groups []int, tCost, sCost []float64,
 				}
 				score[v] += num / float64(len(verts)-1)
 			}
-		}
+		})
 		sort.Slice(order, func(a, b int) bool {
 			if score[order[a]] != score[order[b]] {
 				return score[order[a]] > score[order[b]]
@@ -262,52 +271,107 @@ func fcPass(h *hypergraph.Hypergraph, groups []int, tCost, sCost []float64,
 		})
 	}
 
-	rating := map[int]float64{}
+	if workers > 1 {
+		fcMatchPar(h, parent, weight, grp, tCost, sCost, &opt, maxW, budget, order, find, workers)
+	} else {
+		fcMatchSeq(h, parent, weight, grp, tCost, sCost, &opt, maxW, budget, order, find)
+	}
+
+	merge := make([]int, n)
+	for v := 0; v < n; v++ {
+		merge[v] = find(v)
+	}
+	return merge
+}
+
+// ratedCand is one merge candidate of the vertex being visited.
+type ratedCand struct {
+	root int
+	r    float64
+}
+
+// ratingScratch holds the reusable state of one rating scan.
+type ratingScratch struct {
+	idx   map[int]int
+	cands []ratedCand
+}
+
+func newRatingScratch() ratingScratch { return ratingScratch{idx: make(map[int]int)} }
+
+// rate accumulates the merge candidates of v (whose current root is rv) in
+// first-touch order over v's incident edges. That order — not Go's randomized
+// map iteration — is what pick consumes, so a rating scan is deterministic.
+// find resolves the current root of a vertex; passing a non-compressing find
+// makes the scan read-only, which is what lets speculative scans run in
+// parallel without mutating the union-find.
+func (sc *ratingScratch) rate(h *hypergraph.Hypergraph, v, rv int, tCost, sCost []float64,
+	opt *Options, find func(int) int) []ratedCand {
+
+	sc.cands = sc.cands[:0]
+	clear(sc.idx)
+	for _, e := range h.Incident(v) {
+		verts := h.Edge(e)
+		if len(verts) < 2 || len(verts) > opt.MaxEdgeSize {
+			continue
+		}
+		num := opt.Alpha * h.EdgeWeight(e)
+		if tCost != nil {
+			num += opt.Beta * tCost[e]
+		}
+		if sCost != nil {
+			num += opt.Gamma * sCost[e]
+		}
+		r := num / float64(len(verts)-1)
+		for _, u := range verts {
+			ru := find(u)
+			if ru == rv {
+				continue
+			}
+			pos, ok := sc.idx[ru]
+			if !ok {
+				pos = len(sc.cands)
+				sc.idx[ru] = pos
+				sc.cands = append(sc.cands, ratedCand{root: ru})
+			}
+			sc.cands[pos].r += r
+		}
+	}
+	return sc.cands
+}
+
+// pick returns the best admissible candidate (or -1) under the epsilon
+// tie-break, scanning candidates in their accumulation order.
+func pick(cands []ratedCand, rv int, grp []int, weight []float64, maxW float64) int {
+	bestU, bestR := -1, 0.0
+	for _, c := range cands {
+		if c.r <= 0 {
+			continue
+		}
+		if grp[rv] >= 0 && grp[c.root] >= 0 && grp[rv] != grp[c.root] {
+			continue // grouping constraint
+		}
+		if weight[rv]+weight[c.root] > maxW {
+			continue // size cap
+		}
+		if c.r > bestR+1e-15 || (c.r > bestR-1e-15 && bestR > 0 && c.root < bestU) {
+			bestU, bestR = c.root, c.r
+		}
+	}
+	return bestU
+}
+
+// fcMatchSeq is the exact sequential matching loop.
+func fcMatchSeq(h *hypergraph.Hypergraph, parent []int, weight []float64, grp []int,
+	tCost, sCost []float64, opt *Options, maxW float64, budget int,
+	order []int, find func(int) int) {
+
+	sc := newRatingScratch()
 	for _, v := range order {
 		rv := find(v)
 		if rv != v {
 			continue // already absorbed this pass
 		}
-		for k := range rating {
-			delete(rating, k)
-		}
-		for _, e := range h.Incident(v) {
-			verts := h.Edge(e)
-			if len(verts) < 2 || len(verts) > opt.MaxEdgeSize {
-				continue
-			}
-			num := opt.Alpha * h.EdgeWeight(e)
-			if tCost != nil {
-				num += opt.Beta * tCost[e]
-			}
-			if sCost != nil {
-				num += opt.Gamma * sCost[e]
-			}
-			r := num / float64(len(verts)-1)
-			for _, u := range verts {
-				ru := find(u)
-				if ru == rv {
-					continue
-				}
-				rating[ru] += r
-			}
-		}
-		// Pick the best admissible candidate.
-		bestU, bestR := -1, 0.0
-		for ru, r := range rating {
-			if r <= 0 {
-				continue
-			}
-			if grp[rv] >= 0 && grp[ru] >= 0 && grp[rv] != grp[ru] {
-				continue // grouping constraint
-			}
-			if weight[rv]+weight[ru] > maxW {
-				continue // size cap
-			}
-			if r > bestR+1e-15 || (r > bestR-1e-15 && bestR > 0 && ru < bestU) {
-				bestU, bestR = ru, r
-			}
-		}
+		bestU := pick(sc.rate(h, v, rv, tCost, sCost, opt, find), rv, grp, weight, maxW)
 		if bestU < 0 {
 			continue
 		}
@@ -324,11 +388,108 @@ func fcPass(h *hypergraph.Hypergraph, groups []int, tCost, sCost []float64,
 			}
 		}
 	}
-	merge := make([]int, n)
-	for v := 0; v < n; v++ {
-		merge[v] = find(v)
+}
+
+// fcMatchPar runs the same matching loop with speculative batched ratings:
+// a batch of upcoming root vertices is rated in parallel against the frozen
+// union-find (read-only, non-compressing find), then commits replay strictly
+// in visit order. A speculative rating is reused only if no vertex involved
+// in it was touched by an earlier commit in the batch (the dirty set tracks
+// both endpoints of every merge); otherwise the rating is recomputed on the
+// spot — which is exactly what the sequential loop would have seen. The
+// result is bit-identical to fcMatchSeq for any worker count.
+func fcMatchPar(h *hypergraph.Hypergraph, parent []int, weight []float64, grp []int,
+	tCost, sCost []float64, opt *Options, maxW float64, budget int,
+	order []int, find func(int) int, workers int) {
+
+	findRO := func(v int) int {
+		for parent[v] != v {
+			v = parent[v]
+		}
+		return v
 	}
-	return merge
+
+	n := len(order)
+	batch := workers * 8
+	if batch > n {
+		batch = n
+	}
+	scratch := make([]ratingScratch, workers)
+	for w := range scratch {
+		scratch[w] = newRatingScratch()
+	}
+	specBuf := make([][]ratedCand, batch)
+	specOK := make([]bool, batch)
+	commitSc := newRatingScratch()
+	dirty := make(map[int]bool)
+
+	for pos := 0; pos < n; pos += batch {
+		end := pos + batch
+		if end > n {
+			end = n
+		}
+		m := end - pos
+		par.Blocks(workers, m, func(w, lo, hi int) {
+			sc := &scratch[w]
+			for k := lo; k < hi; k++ {
+				v := order[pos+k]
+				if findRO(v) != v {
+					specOK[k] = false
+					continue // absorbed in an earlier batch
+				}
+				specBuf[k] = append(specBuf[k][:0], sc.rate(h, v, v, tCost, sCost, opt, findRO)...)
+				specOK[k] = true
+			}
+		})
+		clear(dirty)
+		for k := 0; k < m; k++ {
+			v := order[pos+k]
+			rv := find(v)
+			if rv != v {
+				continue // already absorbed this pass
+			}
+			cands := specBuf[k]
+			if !specOK[k] || staleSpec(v, cands, dirty) {
+				cands = commitSc.rate(h, v, rv, tCost, sCost, opt, find)
+			}
+			bestU := pick(cands, rv, grp, weight, maxW)
+			if bestU < 0 {
+				continue
+			}
+			parent[rv] = bestU
+			weight[bestU] += weight[rv]
+			if grp[bestU] < 0 {
+				grp[bestU] = grp[rv]
+			}
+			dirty[rv] = true
+			dirty[bestU] = true
+			if budget > 0 {
+				budget--
+				if budget == 0 {
+					return // don't coarsen past the target
+				}
+			}
+		}
+	}
+}
+
+// staleSpec reports whether a speculative rating for v may disagree with what
+// the sequential loop would compute now: v itself merged (its weight grew) or
+// any rated candidate root was an endpoint of a merge this batch (it may no
+// longer be a root, or its weight/group changed).
+func staleSpec(v int, cands []ratedCand, dirty map[int]bool) bool {
+	if len(dirty) == 0 {
+		return false
+	}
+	if dirty[v] {
+		return true
+	}
+	for _, c := range cands {
+		if dirty[c.root] {
+			return true
+		}
+	}
+	return false
 }
 
 func densify(assign []int) ([]int, int) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"ppaclust/internal/netlist"
 	"ppaclust/internal/sta"
@@ -110,7 +111,28 @@ type generator struct {
 
 // Generate builds the benchmark for a spec. The same spec always yields the
 // identical design (deterministic RNG; no map iteration in generation).
+// genCache memoizes one master benchmark per Spec. The Spec value is the
+// complete generation input (including Seed), so equal specs always produce
+// equal benchmarks; Generate hands out clones of the cached master, which
+// makes repeated and concurrent generation cheap while keeping every caller
+// free to mutate its copy.
+var genCache sync.Map // Spec -> *genEntry
+
+type genEntry struct {
+	once sync.Once
+	b    *Benchmark
+}
+
 func Generate(spec Spec) *Benchmark {
+	e, _ := genCache.LoadOrStore(spec, &genEntry{})
+	entry := e.(*genEntry)
+	entry.once.Do(func() { entry.b = generate(spec) })
+	cons := entry.b.Cons
+	cons.ClockPorts = append([]string(nil), cons.ClockPorts...)
+	return &Benchmark{Design: entry.b.Design.Clone(), Cons: cons, Spec: entry.b.Spec}
+}
+
+func generate(spec Spec) *Benchmark {
 	g := &generator{
 		rng:  rand.New(rand.NewSource(spec.Seed)),
 		lib:  Lib(),

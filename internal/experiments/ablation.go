@@ -3,6 +3,7 @@ package experiments
 import (
 	"ppaclust/internal/designs"
 	"ppaclust/internal/flow"
+	"ppaclust/internal/par"
 )
 
 // AblationRow is one arm of the PPA-awareness term ablation: which rating
@@ -36,15 +37,18 @@ func (s *Suite) AblationClusterTerms() []AblationRow {
 		{"no-switching", func(o *flow.Options) { o.Gamma = -1 }},
 		{"connectivity", func(o *flow.Options) { o.NoHierarchy = true; o.Beta = -1; o.Gamma = -1 }},
 	}
-	var rows []AblationRow
-	for _, name := range names {
+	fw := s.runWorkers(len(names))
+	groups := par.Map(par.Workers(s.Workers), len(names), func(i int) []AblationRow {
+		name := names[i]
 		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed}))
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Workers: fw}))
+		var rows []AblationRow
 		for _, arm := range arms {
 			seeds := []int64{s.Seed, s.Seed + 1}
 			var rwl, wns, tns, pwr float64
 			for _, seed := range seeds {
-				o := flow.Options{Seed: seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeUniform}
+				o := flow.Options{Seed: seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeUniform,
+					Workers: fw}
 				arm.opt(&o)
 				r := must(flow.Run(b, o))
 				rwl += r.RoutedWL / def.RoutedWL / float64(len(seeds))
@@ -57,6 +61,11 @@ func (s *Suite) AblationClusterTerms() []AblationRow {
 				RWL: rwl, WNSps: wns, TNSns: tns, PowerW: pwr,
 			})
 		}
+		return rows
+	})
+	var rows []AblationRow
+	for _, g := range groups {
+		rows = append(rows, g...)
 	}
 	return rows
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"ppaclust/internal/cluster"
@@ -22,6 +23,7 @@ import (
 	"ppaclust/internal/features"
 	"ppaclust/internal/flow"
 	"ppaclust/internal/gnn"
+	"ppaclust/internal/par"
 	"ppaclust/internal/vpr"
 )
 
@@ -33,35 +35,67 @@ type Suite struct {
 	Fast bool
 	// Seed drives all randomized stages.
 	Seed int64
+	// Workers bounds the suite's total goroutine budget: 0 = auto
+	// (PPACLUST_WORKERS, else GOMAXPROCS), 1 = fully sequential. Tables fan
+	// out across designs; every flow underneath is bit-identical for any
+	// worker count, so table contents never depend on Workers.
+	Workers int
 
-	benchCache map[string]*designs.Benchmark
+	benchMu    sync.Mutex
+	benchCache map[string]*benchEntry
+	modelOnce  sync.Once
 	model      *gnn.Model
 	modelStats GNNReport
 }
 
-// NewSuite returns an experiment suite.
-func NewSuite(fast bool, seed int64) *Suite {
-	return &Suite{Fast: fast, Seed: seed, benchCache: map[string]*designs.Benchmark{}}
+type benchEntry struct {
+	once sync.Once
+	b    *designs.Benchmark
 }
 
-// Bench returns the cached benchmark for a named spec.
+// NewSuite returns an experiment suite using up to workers goroutines
+// (0 = auto).
+func NewSuite(fast bool, seed int64, workers int) *Suite {
+	return &Suite{Fast: fast, Seed: seed, Workers: workers,
+		benchCache: map[string]*benchEntry{}}
+}
+
+// Bench returns the cached benchmark for a named spec. It is safe for
+// concurrent use; each design is generated exactly once per suite.
 func (s *Suite) Bench(name string) *designs.Benchmark {
-	if b, ok := s.benchCache[name]; ok {
-		return b
-	}
-	spec, ok := designs.Named(name)
+	s.benchMu.Lock()
+	e, ok := s.benchCache[name]
 	if !ok {
-		panic("experiments: unknown design " + name)
+		e = &benchEntry{}
+		s.benchCache[name] = e
 	}
-	if s.Fast {
-		spec.TargetInsts /= 4
-		if spec.TargetInsts < 400 {
-			spec.TargetInsts = 400
+	s.benchMu.Unlock()
+	e.once.Do(func() {
+		spec, ok := designs.Named(name)
+		if !ok {
+			panic("experiments: unknown design " + name)
 		}
+		if s.Fast {
+			spec.TargetInsts /= 4
+			if spec.TargetInsts < 400 {
+				spec.TargetInsts = 400
+			}
+		}
+		e.b = designs.Generate(spec)
+	})
+	return e.b
+}
+
+// runWorkers splits the worker budget between a table's design-level fan-out
+// and the flow kernels underneath: with several designs in flight, the
+// fan-out owns the parallelism and each flow runs sequentially; a single
+// design hands the whole budget to the flow.
+func (s *Suite) runWorkers(items int) int {
+	w := par.Workers(s.Workers)
+	if items > 1 && w > 1 {
+		return 1
 	}
-	b := designs.Generate(spec)
-	s.benchCache[name] = b
-	return b
+	return w
 }
 
 func (s *Suite) smallDesigns() []string { return []string{"aes", "jpeg", "ariane"} }
@@ -83,19 +117,18 @@ type Table1Row struct {
 	TCPns  float64
 }
 
-// Table1 generates the benchmark statistics.
+// Table1 generates the benchmark statistics, generating designs in parallel.
 func (s *Suite) Table1() []Table1Row {
-	var rows []Table1Row
-	for _, name := range s.allDesigns() {
-		b := s.Bench(name)
-		rows = append(rows, Table1Row{
-			Design: designs.PaperNames[name],
+	names := s.allDesigns()
+	return par.Map(par.Workers(s.Workers), len(names), func(i int) Table1Row {
+		b := s.Bench(names[i])
+		return Table1Row{
+			Design: designs.PaperNames[names[i]],
 			Insts:  len(b.Design.Insts),
 			Nets:   len(b.Design.Nets),
 			TCPns:  b.Spec.ClockPeriod * 1e9,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ---- Table 2 ----
@@ -115,31 +148,31 @@ type Table2Row struct {
 // PPA-aware clustering + ML-accelerated V-P&R + seeded placement.
 func (s *Suite) Table2() []Table2Row {
 	model := s.Model()
-	var rows []Table2Row
-	for _, name := range s.allDesigns() {
-		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true}))
+	names := s.allDesigns()
+	fw := s.runWorkers(len(names))
+	return par.Map(par.Workers(s.Workers), len(names), func(i int) Table2Row {
+		b := s.Bench(names[i])
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true, Workers: fw}))
 		blob := must(flow.Run(b, flow.Options{
 			Seed: s.Seed, Method: flow.MethodLouvain, Shapes: flow.ShapeUniform,
-			SkipRoute: true,
+			SkipRoute: true, Workers: fw,
 		}))
 		ours := must(flow.Run(b, flow.Options{
 			Seed: s.Seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeVPRML,
-			Model: model, SkipRoute: true,
+			Model: model, SkipRoute: true, Workers: fw,
 		}))
 		// CPU follows the paper's Table 2 definition: "cumulative runtimes
 		// of clustering and seeded placement", normalized by the default
 		// flow's placement runtime. Shape selection is reported separately
 		// (its cost is the one-time-amortized ML path of Section 3.2).
-		rows = append(rows, Table2Row{
-			Design:   designs.PaperNames[name],
+		return Table2Row{
+			Design:   designs.PaperNames[names[i]],
 			BlobHPWL: blob.HPWL / def.HPWL,
 			BlobCPU:  cpuRatio(blob.PlaceTime, def.PlaceTime),
 			OursHPWL: ours.HPWL / def.HPWL,
 			OursCPU:  cpuRatio(ours.PlaceTime, def.PlaceTime),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func cpuRatio(a, b time.Duration) float64 {
@@ -178,20 +211,26 @@ func (s *Suite) Table4() []PPARow {
 
 func (s *Suite) postRouteCompare(names []string, tool flow.Tool) []PPARow {
 	model := s.Model()
-	var rows []PPARow
-	for _, name := range names {
+	fw := s.runWorkers(len(names))
+	groups := par.Map(par.Workers(s.Workers), len(names), func(i int) [2]PPARow {
+		name := names[i]
 		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Tool: tool}))
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Tool: tool, Workers: fw}))
 		ours := must(flow.Run(b, flow.Options{
 			Seed: s.Seed, Tool: tool,
 			Method: flow.MethodPPAAware, Shapes: flow.ShapeVPRML, Model: model,
+			Workers: fw,
 		}))
-		rows = append(rows,
-			PPARow{Design: designs.PaperNames[name], Flow: "Default", RWL: 1.0,
+		return [2]PPARow{
+			{Design: designs.PaperNames[name], Flow: "Default", RWL: 1.0,
 				WNSps: def.WNS * 1e12, TNSns: def.TNS * 1e9, PowerW: def.Power},
-			PPARow{Design: designs.PaperNames[name], Flow: "Ours", RWL: ours.RoutedWL / def.RoutedWL,
+			{Design: designs.PaperNames[name], Flow: "Ours", RWL: ours.RoutedWL / def.RoutedWL,
 				WNSps: ours.WNS * 1e12, TNSns: ours.TNS * 1e9, PowerW: ours.Power},
-		)
+		}
+	})
+	var rows []PPARow
+	for _, g := range groups {
+		rows = append(rows, g[0], g[1])
 	}
 	return rows
 }
@@ -206,10 +245,12 @@ func (s *Suite) Table5() []PPARow {
 	if s.Fast {
 		names = names[:2]
 	}
-	var rows []PPARow
-	for _, name := range names {
+	fw := s.runWorkers(len(names))
+	groups := par.Map(par.Workers(s.Workers), len(names), func(i int) []PPARow {
+		name := names[i]
 		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed}))
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Workers: fw}))
+		var rows []PPARow
 		for _, m := range []struct {
 			label  string
 			method flow.Method
@@ -220,7 +261,7 @@ func (s *Suite) Table5() []PPARow {
 		} {
 			r := must(flow.Run(b, flow.Options{
 				Seed: s.Seed, Method: m.method,
-				Shapes: flow.ShapeVPRML, Model: model,
+				Shapes: flow.ShapeVPRML, Model: model, Workers: fw,
 			}))
 			rows = append(rows, PPARow{
 				Design: designs.PaperNames[name], Flow: m.label,
@@ -228,6 +269,11 @@ func (s *Suite) Table5() []PPARow {
 				WNSps: r.WNS * 1e12, TNSns: r.TNS * 1e9, PowerW: r.Power,
 			})
 		}
+		return rows
+	})
+	var rows []PPARow
+	for _, g := range groups {
+		rows = append(rows, g...)
 	}
 	return rows
 }
@@ -242,33 +288,53 @@ func (s *Suite) Table6() []PPARow {
 	if s.Fast {
 		names = []string{"aes", "jpeg"}
 	}
+	arms := []struct {
+		label string
+		mode  flow.ShapeMode
+	}{
+		{"Random", flow.ShapeRandom},
+		{"Uniform", flow.ShapeUniform},
+		{"V-P&R_ML", flow.ShapeVPRML},
+	}
+	// Average each arm over a few seeds: at reproduction scale the
+	// shape-selection effect is second-order, so single runs are noisy.
+	seeds := []int64{s.Seed, s.Seed + 1}
+	// Fan out over (design, arm, seed) triples — the finest independent unit.
+	type job struct {
+		name string
+		arm  int
+		seed int64
+	}
+	var jobs []job
+	for _, name := range names {
+		for a := range arms {
+			for _, seed := range seeds {
+				jobs = append(jobs, job{name, a, seed})
+			}
+		}
+	}
+	fw := s.runWorkers(len(jobs))
+	runs := par.Map(par.Workers(s.Workers), len(jobs), func(i int) *flow.Result {
+		j := jobs[i]
+		return must(flow.Run(s.Bench(j.name), flow.Options{
+			Seed: j.seed, Tool: flow.ToolInnovus,
+			Method: flow.MethodPPAAware, Shapes: arms[j.arm].mode, Model: model,
+			Workers: fw,
+		}))
+	})
 	var rows []PPARow
 	for _, name := range names {
-		b := s.Bench(name)
-		arms := []struct {
-			label string
-			mode  flow.ShapeMode
-		}{
-			{"Random", flow.ShapeRandom},
-			{"Uniform", flow.ShapeUniform},
-			{"V-P&R_ML", flow.ShapeVPRML},
-		}
-		// Average each arm over a few seeds: at reproduction scale the
-		// shape-selection effect is second-order, so single runs are noisy.
-		seeds := []int64{s.Seed, s.Seed + 1}
 		type acc struct{ rwl, wns, tns, pwr float64 }
 		results := make([]acc, len(arms))
-		for i, a := range arms {
-			for _, seed := range seeds {
-				r := must(flow.Run(b, flow.Options{
-					Seed: seed, Tool: flow.ToolInnovus,
-					Method: flow.MethodPPAAware, Shapes: a.mode, Model: model,
-				}))
-				results[i].rwl += r.RoutedWL / float64(len(seeds))
-				results[i].wns += r.WNS * 1e12 / float64(len(seeds))
-				results[i].tns += r.TNS * 1e9 / float64(len(seeds))
-				results[i].pwr += r.Power / float64(len(seeds))
+		for ji, j := range jobs {
+			if j.name != name {
+				continue
 			}
+			r := runs[ji]
+			results[j.arm].rwl += r.RoutedWL / float64(len(seeds))
+			results[j.arm].wns += r.WNS * 1e12 / float64(len(seeds))
+			results[j.arm].tns += r.TNS * 1e9 / float64(len(seeds))
+			results[j.arm].pwr += r.Power / float64(len(seeds))
 		}
 		uniform := results[1]
 		for i, a := range arms {
@@ -302,36 +368,50 @@ func (s *Suite) Figure5() []Figure5Point {
 		names = names[:1]
 		mults = []float64{1, 2, 3}
 	}
-	base := map[string]float64{}
-	for _, name := range names {
-		b := s.Bench(name)
-		r := must(flow.Run(b, flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform, SkipRoute: true}))
-		base[name] = r.HPWL
+	// Sweep points are independent; fan out over (param, multiplier) pairs.
+	type sweep struct {
+		param string
+		mult  float64
 	}
-	var pts []Figure5Point
+	var pairs []sweep
 	for _, param := range []string{"alpha", "beta", "gamma", "mu"} {
 		for _, m := range mults {
-			var sum float64
-			for _, name := range names {
-				b := s.Bench(name)
-				opt := flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform, SkipRoute: true}
-				switch param {
-				case "alpha":
-					opt.Alpha = m
-				case "beta":
-					opt.Beta = m
-				case "gamma":
-					opt.Gamma = m
-				case "mu":
-					opt.Mu = 2 * m
-				}
-				r := must(flow.Run(b, opt))
-				sum += r.HPWL / base[name]
-			}
-			pts = append(pts, Figure5Point{Param: param, Multiplier: m, Score: sum / float64(len(names))})
+			pairs = append(pairs, sweep{param, m})
 		}
 	}
-	return pts
+	fw := s.runWorkers(len(pairs))
+	baseVals := par.Map(par.Workers(s.Workers), len(names), func(i int) float64 {
+		b := s.Bench(names[i])
+		r := must(flow.Run(b, flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform,
+			SkipRoute: true, Workers: fw}))
+		return r.HPWL
+	})
+	base := map[string]float64{}
+	for i, name := range names {
+		base[name] = baseVals[i]
+	}
+	return par.Map(par.Workers(s.Workers), len(pairs), func(i int) Figure5Point {
+		pr := pairs[i]
+		var sum float64
+		for _, name := range names {
+			b := s.Bench(name)
+			opt := flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform, SkipRoute: true,
+				Workers: fw}
+			switch pr.param {
+			case "alpha":
+				opt.Alpha = pr.mult
+			case "beta":
+				opt.Beta = pr.mult
+			case "gamma":
+				opt.Gamma = pr.mult
+			case "mu":
+				opt.Mu = 2 * pr.mult
+			}
+			r := must(flow.Run(b, opt))
+			sum += r.HPWL / base[name]
+		}
+		return Figure5Point{Param: pr.param, Multiplier: pr.mult, Score: sum / float64(len(names))}
+	})
 }
 
 // ---- Section 4.4: GNN model quality ----
@@ -348,10 +428,11 @@ type GNNReport struct {
 }
 
 // Model returns the trained Total Cost predictor, training it on first use.
+// It is safe for concurrent use; training happens exactly once per suite.
 func (s *Suite) Model() *gnn.Model {
-	if s.model == nil {
+	s.modelOnce.Do(func() {
 		s.model, s.modelStats = s.trainModel()
-	}
+	})
 	return s.model
 }
 

@@ -11,7 +11,7 @@ import (
 
 func fastSuite(t *testing.T) *Suite {
 	t.Helper()
-	return NewSuite(true, 7)
+	return NewSuite(true, 7, 4)
 }
 
 func TestTable1Shape(t *testing.T) {

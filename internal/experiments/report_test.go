@@ -6,7 +6,7 @@ import (
 )
 
 func TestWriteReportFast(t *testing.T) {
-	s := NewSuite(true, 11)
+	s := NewSuite(true, 11, 4)
 	var sb strings.Builder
 	claims := s.WriteReport(&sb)
 	out := sb.String()

@@ -5,6 +5,7 @@ import (
 
 	"ppaclust/internal/designs"
 	"ppaclust/internal/flow"
+	"ppaclust/internal/par"
 )
 
 // RuntimeRow is the runtime breakdown of the clustered flow on one design —
@@ -21,16 +22,21 @@ type RuntimeRow struct {
 }
 
 // RuntimeBreakdown measures per-stage runtimes of the full method
-// (PPA-aware clustering + ML-accelerated V-P&R) on every benchmark.
+// (PPA-aware clustering + ML-accelerated V-P&R) on every benchmark. The
+// designs run one at a time — fanning them out would let them contend for
+// cores and distort the per-stage wall-clock — but each flow uses the
+// suite's full worker budget, so the breakdown reflects the configured
+// parallelism.
 func (s *Suite) RuntimeBreakdown() []RuntimeRow {
 	model := s.Model()
 	var rows []RuntimeRow
 	for _, name := range s.allDesigns() {
 		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true}))
+		w := par.Workers(s.Workers)
+		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true, Workers: w}))
 		r := must(flow.Run(b, flow.Options{
 			Seed: s.Seed, Method: flow.MethodPPAAware,
-			Shapes: flow.ShapeVPRML, Model: model, SkipRoute: true,
+			Shapes: flow.ShapeVPRML, Model: model, SkipRoute: true, Workers: w,
 		}))
 		rows = append(rows, RuntimeRow{
 			Design:       designs.PaperNames[name],

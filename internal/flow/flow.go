@@ -18,6 +18,7 @@ import (
 	"ppaclust/internal/hier"
 	"ppaclust/internal/netlist"
 	netopt "ppaclust/internal/opt"
+	"ppaclust/internal/par"
 	"ppaclust/internal/place"
 	"ppaclust/internal/power"
 	"ppaclust/internal/route"
@@ -123,6 +124,10 @@ type Options struct {
 	// high-fanout nets before evaluation (the opt_design analogue). Applied
 	// identically by Run and RunDefault so comparisons stay fair.
 	RepairBuffers bool
+	// Workers bounds the goroutines used by the STA, clustering and placement
+	// kernels: 0 = auto (PPACLUST_WORKERS, else GOMAXPROCS), 1 = sequential.
+	// Results are bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -214,7 +219,7 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 	if opt.Tool == ToolOpenROAD {
 		scaleIONets(cd, opt.IOWeightScale)
 	}
-	place.Global(cd, place.Options{Seed: opt.Seed})
+	place.Global(cd, place.Options{Seed: opt.Seed, Workers: opt.Workers})
 	// Cluster cells are macro-sized; remove overlaps so cluster footprints
 	// (and the region constraints derived from them) are disjoint.
 	place.RemoveOverlaps(cd)
@@ -233,7 +238,8 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 		inst.Placed = true
 	}
 	// Incremental flat placement.
-	popt := place.Options{Seed: opt.Seed, Incremental: true, Legalize: true, AnchorWeight: 0.1}
+	popt := place.Options{Seed: opt.Seed, Incremental: true, Legalize: true, AnchorWeight: 0.1,
+		Workers: opt.Workers}
 	if opt.Tool == ToolInnovus {
 		// Region constraints guide the incremental placement and are then
 		// removed (Algorithm 1 lines 18-20): soft regions.
@@ -277,7 +283,7 @@ func RunDefault(b *designs.Benchmark, opt Options) (*Result, error) {
 	d := b.Design.Clone()
 	res := &Result{}
 	t0 := time.Now()
-	place.Global(d, place.Options{Seed: opt.Seed, Legalize: true})
+	place.Global(d, place.Options{Seed: opt.Seed, Legalize: true, Workers: opt.Workers})
 	place.Detailed(d, place.DetailedOptions{Seed: opt.Seed})
 	res.IncrPlaceTime = time.Since(t0)
 	res.PlaceTime = res.IncrPlaceTime
@@ -306,6 +312,7 @@ func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int
 	case MethodMFC:
 		res := cluster.MultilevelFC(view.H, cluster.Options{
 			Alpha: 1, TargetClusters: targetFor(opt, len(d.Insts)), Seed: opt.Seed,
+			Workers: opt.Workers,
 		})
 		return res.Assign, res.NumClusters, nil
 	case MethodPPAAware:
@@ -323,6 +330,7 @@ func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int
 		zc := cons
 		zc.ZeroWire = true
 		an := sta.New(d, zc)
+		an.Workers = opt.Workers
 		paths := an.TopPaths(opt.NumPaths)
 		pathNets := make([][]int, len(paths))
 		slacks := make([]float64, len(paths))
@@ -347,6 +355,7 @@ func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int
 			Groups:         groups,
 			EdgeTimingCost: tCost,
 			EdgeSwitchCost: sCost,
+			Workers:        opt.Workers,
 		})
 		return res.Assign, res.NumClusters, nil
 	}
@@ -494,7 +503,7 @@ func mathSqrt(v float64) float64 {
 
 // evaluate fills HPWL and (unless SkipRoute) post-route PPA into res.
 func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result) {
-	res.HPWL = d.HPWL()
+	res.HPWL = d.HPWLWorkers(par.Workers(opt.Workers))
 	if opt.SkipRoute {
 		return
 	}
@@ -505,6 +514,7 @@ func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result)
 
 	// CTS on the clock net (if any), then propagated-clock STA.
 	an := sta.New(d, cons)
+	an.Workers = opt.Workers
 	var clockPower float64
 	for _, n := range d.Nets {
 		if !n.Clock {

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ppaclust/internal/hypergraph"
+	"ppaclust/internal/par"
 )
 
 // PinDir is the direction of a library pin or top-level port.
@@ -465,6 +466,24 @@ func (d *Design) HPWL() float64 {
 	var sum float64
 	for _, n := range d.Nets {
 		sum += d.NetHPWL(n)
+	}
+	return sum
+}
+
+// HPWLWorkers returns the same total as HPWL, evaluating per-net lengths on
+// up to workers goroutines. The per-net values land in slots and are summed
+// sequentially in net order — the same association as HPWL — so the result
+// is bit-identical for any worker count.
+func (d *Design) HPWLWorkers(workers int) float64 {
+	if workers <= 1 || len(d.Nets) < 64 {
+		return d.HPWL()
+	}
+	per := par.Map(workers, len(d.Nets), func(i int) float64 {
+		return d.NetHPWL(d.Nets[i])
+	})
+	var sum float64
+	for _, v := range per {
+		sum += v
 	}
 	return sum
 }

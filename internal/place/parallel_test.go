@@ -1,0 +1,47 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/netlist"
+)
+
+// TestGlobalWorkersEquivalent asserts the determinism contract for the
+// placer: Workers=N produces bit-identical positions, HPWL and overflow to
+// Workers=1, in both from-scratch and incremental mode.
+func TestGlobalWorkersEquivalent(t *testing.T) {
+	run := func(t *testing.T, d *netlist.Design, opt Options) {
+		ds := d.Clone()
+		dp := d.Clone()
+		os := opt
+		os.Workers = 1
+		op := opt
+		op.Workers = 4
+		rs := Global(ds, os)
+		rp := Global(dp, op)
+		if math.Float64bits(rs.HPWL) != math.Float64bits(rp.HPWL) ||
+			rs.Iterations != rp.Iterations ||
+			math.Float64bits(rs.Overflow) != math.Float64bits(rp.Overflow) {
+			t.Fatalf("results differ: seq %+v par %+v", rs, rp)
+		}
+		for i := range ds.Insts {
+			a, b := ds.Insts[i], dp.Insts[i]
+			if math.Float64bits(a.X) != math.Float64bits(b.X) ||
+				math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+				t.Fatalf("instance %s placed at (%v,%v) seq vs (%v,%v) par",
+					a.Name, a.X, a.Y, b.X, b.Y)
+			}
+		}
+	}
+	t.Run("scratch", func(t *testing.T) {
+		d := designs.Generate(designs.TinySpec(31)).Design
+		run(t, d, Options{Seed: 3, Legalize: true})
+	})
+	t.Run("incremental", func(t *testing.T) {
+		d := designs.Generate(designs.TinySpec(32)).Design
+		Global(d, Options{Seed: 4}) // seed positions
+		run(t, d, Options{Seed: 5, Incremental: true})
+	})
+}

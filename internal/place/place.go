@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/par"
 )
 
 // Options configures a placement run.
@@ -55,6 +56,11 @@ type Options struct {
 	// OverflowStop ends iterations early once bin overflow drops below this
 	// fraction. Default 0.12.
 	OverflowStop float64
+	// Workers bounds the goroutines used by net assembly, the CG matvec and
+	// density evaluation: 0 = auto (PPACLUST_WORKERS, else GOMAXPROCS), 1 =
+	// exact sequential path. All parallel paths reduce in fixed order, so the
+	// placement is bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(d *netlist.Design) Options {
@@ -98,9 +104,10 @@ type Result struct {
 }
 
 type placer struct {
-	d    *netlist.Design
-	opt  Options
-	core netlist.Rect
+	d       *netlist.Design
+	opt     Options
+	core    netlist.Rect
+	workers int
 
 	movable []int // instance IDs of movable cells
 	varOf   []int // instance ID -> variable index, -1 if fixed
@@ -116,6 +123,18 @@ type placer struct {
 	anchY []float64
 	seedX []float64 // incremental seed positions
 	seedY []float64
+
+	netActs [][]springAction // per-net spring actions (parallel assembly)
+	binIdx  []int32          // per-cell bin index (parallel density pass)
+}
+
+// springAction is one deferred addSpring call; per-net action lists are
+// computed in parallel and then applied sequentially in net order, which
+// reproduces the sequential assembly bit for bit.
+type springAction struct {
+	vi, vj int
+	ci, cj float64
+	w      float64
 }
 
 type sparseEntry struct {
@@ -127,7 +146,7 @@ type sparseEntry struct {
 // into the instances.
 func Global(d *netlist.Design, opt Options) Result {
 	opt = opt.withDefaults(d)
-	p := &placer{d: d, opt: opt, core: d.Core}
+	p := &placer{d: d, opt: opt, core: d.Core, workers: par.Workers(opt.Workers)}
 	p.collect()
 	if len(p.movable) == 0 {
 		return Result{HPWL: d.HPWL()}
@@ -154,7 +173,7 @@ func Global(d *netlist.Design, opt Options) Result {
 	if opt.Legalize {
 		Legalize(d)
 	}
-	return Result{HPWL: d.HPWL(), Iterations: iter, Overflow: overflow}
+	return Result{HPWL: d.HPWLWorkers(p.workers), Iterations: iter, Overflow: overflow}
 }
 
 func (p *placer) collect() {
@@ -243,7 +262,10 @@ func (p *placer) pinCoord(pr netlist.PinRef, xAxis bool) (float64, int) {
 	return p.y[vi], vi
 }
 
-// solveAxis builds the B2B system for one axis and solves it with CG.
+// solveAxis builds the B2B system for one axis and solves it with CG. With
+// workers > 1, per-net spring actions are computed in parallel against the
+// frozen positions and then applied sequentially in net order — the same
+// accumulation order as the sequential assembly, hence bit-identical.
 func (p *placer) solveAxis(xAxis bool, spreadW float64) {
 	n := len(p.movable)
 	for i := 0; i < n; i++ {
@@ -251,44 +273,29 @@ func (p *placer) solveAxis(xAxis bool, spreadW float64) {
 		p.rhs[i] = 0
 		p.off[i] = p.off[i][:0]
 	}
-	type pin struct {
-		c  float64
-		vi int
-	}
-	var pins []pin
-	for _, net := range p.d.Nets {
-		if len(net.Pins) < 2 || len(net.Pins) > 2000 {
-			continue
+	nets := p.d.Nets
+	if p.workers > 1 {
+		if p.netActs == nil {
+			p.netActs = make([][]springAction, len(nets))
 		}
-		pins = pins[:0]
-		minI, maxI := 0, 0
-		for _, pr := range net.Pins {
-			c, vi := p.pinCoord(pr, xAxis)
-			pins = append(pins, pin{c, vi})
-			if c < pins[minI].c {
-				minI = len(pins) - 1
+		par.Blocks(p.workers, len(nets), func(w, lo, hi int) {
+			var pins []pinc
+			for ni := lo; ni < hi; ni++ {
+				pins, p.netActs[ni] = p.appendNetSprings(nets[ni], xAxis, pins, p.netActs[ni][:0])
 			}
-			if c > pins[maxI].c {
-				maxI = len(pins) - 1
+		})
+		for ni := range nets {
+			for _, a := range p.netActs[ni] {
+				p.addSpring(a.vi, a.vj, a.ci, a.cj, a.w)
 			}
 		}
-		P := len(pins)
-		if P < 2 {
-			continue
-		}
-		// B2B: connect every pin to both boundary pins.
-		for _, bi := range []int{minI, maxI} {
-			b := pins[bi]
-			for i, q := range pins {
-				if i == bi || (bi == maxI && i == minI) {
-					continue
-				}
-				dist := math.Abs(q.c - b.c)
-				if dist < 1e-3 {
-					dist = 1e-3
-				}
-				w := net.Weight * 2 / (float64(P-1) * dist)
-				p.addSpring(q.vi, b.vi, q.c, b.c, w)
+	} else {
+		var pins []pinc
+		var acts []springAction
+		for _, net := range nets {
+			pins, acts = p.appendNetSprings(net, xAxis, pins, acts[:0])
+			for _, a := range acts {
+				p.addSpring(a.vi, a.vj, a.ci, a.cj, a.w)
 			}
 		}
 	}
@@ -316,6 +323,55 @@ func (p *placer) solveAxis(xAxis bool, spreadW float64) {
 	} else {
 		copy(p.y, sol)
 	}
+}
+
+// pinc is one net pin projected onto the active axis.
+type pinc struct {
+	c  float64
+	vi int
+}
+
+// appendNetSprings computes the B2B spring actions of one net against the
+// current (frozen) positions. It only reads placer state, so calls for
+// different nets may run concurrently. pins is a reusable scratch buffer.
+func (p *placer) appendNetSprings(net *netlist.Net, xAxis bool, pins []pinc,
+	out []springAction) ([]pinc, []springAction) {
+
+	if len(net.Pins) < 2 || len(net.Pins) > 2000 {
+		return pins, out
+	}
+	pins = pins[:0]
+	minI, maxI := 0, 0
+	for _, pr := range net.Pins {
+		c, vi := p.pinCoord(pr, xAxis)
+		pins = append(pins, pinc{c, vi})
+		if c < pins[minI].c {
+			minI = len(pins) - 1
+		}
+		if c > pins[maxI].c {
+			maxI = len(pins) - 1
+		}
+	}
+	P := len(pins)
+	if P < 2 {
+		return pins, out
+	}
+	// B2B: connect every pin to both boundary pins.
+	for _, bi := range []int{minI, maxI} {
+		b := pins[bi]
+		for i, q := range pins {
+			if i == bi || (bi == maxI && i == minI) {
+				continue
+			}
+			dist := math.Abs(q.c - b.c)
+			if dist < 1e-3 {
+				dist = 1e-3
+			}
+			w := net.Weight * 2 / (float64(P-1) * dist)
+			out = append(out, springAction{q.vi, b.vi, q.c, b.c, w})
+		}
+	}
+	return pins, out
 }
 
 // addSpring adds a two-point quadratic term w*(a-b)^2 where each endpoint is
@@ -350,14 +406,17 @@ func (p *placer) cg(xAxis bool) []float64 {
 		copy(x, p.y)
 	}
 	ax := make([]float64, n)
+	// Row-parallel matvec: each row's dot product keeps its sequential term
+	// order and lands in its own slot, so any worker count is bit-identical
+	// (ForEach runs inline when workers <= 1).
 	mulA := func(v, out []float64) {
-		for i := 0; i < n; i++ {
+		par.ForEach(p.workers, n, func(i int) {
 			s := p.diag[i] * v[i]
 			for _, e := range p.off[i] {
 				s -= e.w * v[e.col]
 			}
 			out[i] = s
-		}
+		})
 	}
 	r := make([]float64, n)
 	z := make([]float64, n)
@@ -435,8 +494,23 @@ func clamp(v, lo, hi float64) float64 {
 func (p *placer) computeSpreadTargets() float64 {
 	g := p.bins
 	g.clear()
-	for vi := range p.movable {
-		g.deposit(p.x[vi], p.y[vi], p.w[vi]*p.h[vi])
+	if p.workers > 1 {
+		// Bin lookups fan out into per-cell slots; the deposits themselves
+		// accumulate sequentially in cell order, as in the sequential pass.
+		if p.binIdx == nil {
+			p.binIdx = make([]int32, len(p.movable))
+		}
+		par.ForEach(p.workers, len(p.movable), func(vi int) {
+			i, j := g.index(p.x[vi], p.y[vi])
+			p.binIdx[vi] = int32(j*g.nx + i)
+		})
+		for vi := range p.movable {
+			g.area[p.binIdx[vi]] += p.w[vi] * p.h[vi]
+		}
+	} else {
+		for vi := range p.movable {
+			g.deposit(p.x[vi], p.y[vi], p.w[vi]*p.h[vi])
+		}
 	}
 	of := g.overflow()
 
@@ -444,7 +518,7 @@ func (p *placer) computeSpreadTargets() float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	p.bisect(p.core, idx, true)
+	p.bisect(p.core, idx, true, p.workers)
 	// Keep region cells anchored inside their region.
 	if p.opt.Regions != nil {
 		for vi, id := range p.movable {
@@ -459,8 +533,10 @@ func (p *placer) computeSpreadTargets() float64 {
 
 // bisect recursively splits the cell set between the two halves of r in
 // proportion to their free capacity, alternating axes, and assigns leaf
-// region centers as anchor targets.
-func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool) {
+// region centers as anchor targets. The two halves touch disjoint cell
+// subslices and anchor slots, so with workers > 1 the top of the recursion
+// forks; the anchors written are identical either way.
+func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool, workers int) {
 	if len(cells) == 0 {
 		return
 	}
@@ -523,8 +599,20 @@ func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool) {
 		acc += a
 		cut++
 	}
-	p.bisect(lo, cells[:cut], !xAxis)
-	p.bisect(hi, cells[cut:], !xAxis)
+	if workers > 1 && cut > 0 && cut < len(cells) && len(cells) > 128 {
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			p.bisect(lo, cells[:cut], !xAxis, workers/2)
+		}()
+		p.bisect(hi, cells[cut:], !xAxis, workers-workers/2)
+		if pv := <-done; pv != nil {
+			panic(pv)
+		}
+		return
+	}
+	p.bisect(lo, cells[:cut], !xAxis, 1)
+	p.bisect(hi, cells[cut:], !xAxis, 1)
 }
 
 func (p *placer) writeBack() {

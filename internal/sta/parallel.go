@@ -1,0 +1,325 @@
+// Levelized parallel arrival/required propagation.
+//
+// The sequential passes in sta.go are push-relaxations over the topological
+// order. The parallel kernels below restate them as pull-reductions over a
+// level schedule: level(v) = 1 + max level over ALL in-edges (including
+// clk->Q launch arcs), so when a level runs, every value a node reads — its
+// sources' at/slew on the forward pass, its sinks' rat on the backward pass,
+// and the clock-pin slew a launch arc samples — is final. Nodes within a
+// level touch only their own fields, so workers never race.
+//
+// Bit-exactness: for each node the incoming candidates are applied in
+// exactly the order the sequential pass would have relaxed them —
+// (topo rank of source, edge id) on the forward pass with launch arcs last,
+// (descending topo rank of sink, edge id) on the backward pass — with the
+// same strict comparisons. Since each candidate is computed from the same
+// finalized inputs with the same float64 expressions, the parallel result is
+// bit-identical to Workers=1 regardless of worker count or scheduling.
+//
+// Two graph shapes cannot be scheduled this way and fall back to the
+// sequential pass: graphs whose full edge set (with clk->Q arcs) is cyclic,
+// and graphs where a launch arc's clock pin is still being relaxed when the
+// sequential pass samples its slew (some clock-network writer ranks after
+// the launch target). ensureSched detects both once per graph build.
+package sta
+
+import (
+	"math"
+	"sort"
+
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/par"
+)
+
+// parSched is the cached level schedule and per-node pull orders.
+type parSched struct {
+	done bool
+	ok   bool
+
+	levelOff   []int   // level -> offset into levelNodes
+	levelNodes []int32 // nodes grouped by level
+
+	pullInOff []int32 // node -> offset into pullIn
+	pullIn    []int32 // in-edge ids in sequential relax order (launches last)
+
+	pullOutOff []int32 // node -> offset into pullOut
+	pullOut    []int32 // out-edge ids in sequential backward relax order
+}
+
+func (e *edge) isLaunch() bool {
+	return e.isCell && e.arc.Kind == netlist.ArcClkToQ
+}
+
+// ParallelScheduled reports whether the timing graph admits the levelized
+// parallel propagation; when false, Run silently uses the sequential passes
+// whatever Workers says. Diagnostic, and used by equivalence tests to prove
+// the parallel path actually engaged.
+func (a *Analyzer) ParallelScheduled() bool { return a.ensureSched() }
+
+// ensureSched builds (once) the level schedule; false means the graph cannot
+// be scheduled and callers must use the sequential passes.
+func (a *Analyzer) ensureSched() bool {
+	if a.sched.done {
+		return a.sched.ok
+	}
+	a.sched.done = true
+	if a.cyclic {
+		return false
+	}
+	n := len(a.nodes)
+	rank := make([]int32, n)
+	for i, v := range a.topo {
+		rank[v] = int32(i)
+	}
+
+	// Longest-path levels over the full edge set (launch arcs included, so
+	// a launch's clock-pin slew is final before its target level runs).
+	indeg := make([]int32, n)
+	for _, e := range a.edges {
+		indeg[e.to]++
+	}
+	level := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		v := int(queue[qi])
+		for _, ei := range a.out[v] {
+			t := a.edges[ei].to
+			if l := level[v] + 1; l > level[t] {
+				level[t] = l
+			}
+			if indeg[t]--; indeg[t] == 0 {
+				queue = append(queue, int32(t))
+			}
+		}
+	}
+	if len(queue) < n {
+		return false // launch arcs close a cycle over the full edge set
+	}
+
+	// Launch-safety: when a launch arc's clock pin c ranks after its target
+	// v, the sequential pass samples c.slew mid-relaxation unless every
+	// writer of c (its in-edge sources) ranks before v.
+	for ei := range a.edges {
+		e := &a.edges[ei]
+		if !e.isLaunch() || rank[e.from] <= rank[e.to] {
+			continue
+		}
+		for _, ci := range a.in[e.from] {
+			if rank[a.edges[ci].from] > rank[e.to] {
+				return false
+			}
+		}
+	}
+
+	// Bucket nodes by level.
+	maxLevel := int32(0)
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	a.sched.levelOff = make([]int, maxLevel+2)
+	for _, l := range level {
+		a.sched.levelOff[l+1]++
+	}
+	for i := 1; i < len(a.sched.levelOff); i++ {
+		a.sched.levelOff[i] += a.sched.levelOff[i-1]
+	}
+	a.sched.levelNodes = make([]int32, n)
+	fill := append([]int(nil), a.sched.levelOff...)
+	for v := 0; v < n; v++ {
+		a.sched.levelNodes[fill[level[v]]] = int32(v)
+		fill[level[v]]++
+	}
+
+	// Forward pull order per node: plain in-edges by (source rank, edge id)
+	// — the order their sources' visits relaxed this node — then launch arcs
+	// in in-list order (they fire at the node's own visit).
+	a.sched.pullInOff = make([]int32, n+1)
+	a.sched.pullIn = make([]int32, 0, len(a.edges))
+	var tmp []int32
+	for v := 0; v < n; v++ {
+		tmp = tmp[:0]
+		for _, ei := range a.in[v] {
+			if !a.edges[ei].isLaunch() {
+				tmp = append(tmp, int32(ei))
+			}
+		}
+		sort.Slice(tmp, func(i, j int) bool {
+			ri, rj := rank[a.edges[tmp[i]].from], rank[a.edges[tmp[j]].from]
+			if ri != rj {
+				return ri < rj
+			}
+			return tmp[i] < tmp[j]
+		})
+		a.sched.pullIn = append(a.sched.pullIn, tmp...)
+		for _, ei := range a.in[v] {
+			if a.edges[ei].isLaunch() {
+				a.sched.pullIn = append(a.sched.pullIn, int32(ei))
+			}
+		}
+		a.sched.pullInOff[v+1] = int32(len(a.sched.pullIn))
+	}
+
+	// Backward pull order per node: out-edges (launches excluded, as in the
+	// sequential pass) by (descending sink rank, edge id) — the order the
+	// sinks' reverse-topo visits relaxed this node.
+	a.sched.pullOutOff = make([]int32, n+1)
+	a.sched.pullOut = make([]int32, 0, len(a.edges))
+	for v := 0; v < n; v++ {
+		tmp = tmp[:0]
+		for _, ei := range a.out[v] {
+			if !a.edges[ei].isLaunch() {
+				tmp = append(tmp, int32(ei))
+			}
+		}
+		sort.Slice(tmp, func(i, j int) bool {
+			ri, rj := rank[a.edges[tmp[i]].to], rank[a.edges[tmp[j]].to]
+			if ri != rj {
+				return ri > rj
+			}
+			return tmp[i] < tmp[j]
+		})
+		a.sched.pullOut = append(a.sched.pullOut, tmp...)
+		a.sched.pullOutOff[v+1] = int32(len(a.sched.pullOut))
+	}
+
+	a.sched.ok = true
+	return true
+}
+
+func (a *Analyzer) propagateArrivalsPar(workers int) {
+	par.ForEach(workers, len(a.nodes), func(i int) {
+		nd := &a.nodes[i]
+		nd.at = math.Inf(-1)
+		nd.hasAT = false
+		nd.worstIn = -1
+		nd.slew = a.cons.InputSlew
+		if nd.kind == nodePortIn {
+			if nd.isClk {
+				nd.at = 0
+			} else {
+				nd.at = a.cons.InputDelay
+			}
+			nd.hasAT = true
+		}
+	})
+	for li := 0; li+1 < len(a.sched.levelOff); li++ {
+		lo, hi := a.sched.levelOff[li], a.sched.levelOff[li+1]
+		par.ForEach(workers, hi-lo, func(k int) {
+			a.pullArrival(int(a.sched.levelNodes[lo+k]))
+		})
+	}
+}
+
+// pullArrival applies every in-candidate of v in sequential relax order.
+func (a *Analyzer) pullArrival(v int) {
+	nd := &a.nodes[v]
+	for _, ei32 := range a.sched.pullIn[a.sched.pullInOff[v]:a.sched.pullInOff[v+1]] {
+		ei := int(ei32)
+		e := &a.edges[ei]
+		if e.isLaunch() {
+			load := a.loadOf(v)
+			clkAt := a.clockAtInst(nd.id.Inst, e.arc.From)
+			slewIn := a.nodes[e.from].slew
+			at := clkAt + a.derate.late()*e.arc.Delay.Lookup(slewIn, load)
+			if at > nd.at {
+				nd.at = at
+				nd.hasAT = true
+				nd.worstIn = ei
+				nd.slew = e.arc.Slew.Lookup(slewIn, load)
+			}
+			continue
+		}
+		from := &a.nodes[e.from]
+		if !from.hasAT {
+			continue
+		}
+		var at, slew float64
+		if e.isCell {
+			load := a.loadOf(v)
+			at = from.at + a.derate.late()*e.arc.Delay.Lookup(from.slew, load)
+			slew = e.arc.Slew.Lookup(from.slew, load)
+		} else {
+			sinkCap := a.sinkCap(v)
+			wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
+			at = from.at + wd
+			slew = from.slew + 0.2*wd
+		}
+		if at > nd.at {
+			nd.at = at
+			nd.hasAT = true
+			nd.worstIn = ei
+			nd.slew = slew
+		}
+	}
+}
+
+func (a *Analyzer) propagateRequiredPar(workers int) {
+	T := a.cons.ClockPeriod
+	par.ForEach(workers, len(a.nodes), func(i int) {
+		nd := &a.nodes[i]
+		nd.rat = math.Inf(1)
+		nd.hasRAT = false
+		if !nd.endp {
+			return
+		}
+		switch nd.kind {
+		case nodePortOut:
+			nd.rat = T - a.cons.OutputDelay
+			nd.hasRAT = true
+		case nodeInput:
+			mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+			for ai := range mp.Arcs {
+				arc := &mp.Arcs[ai]
+				if arc.Kind != netlist.ArcSetup {
+					continue
+				}
+				setup := arc.Delay.Lookup(nd.slew, 0)
+				captureClk := a.clockAtInst(nd.id.Inst, arc.From)
+				rat := T + captureClk - setup
+				if rat < nd.rat {
+					nd.rat = rat
+					nd.hasRAT = true
+				}
+			}
+		}
+	})
+	for li := len(a.sched.levelOff) - 2; li >= 0; li-- {
+		lo, hi := a.sched.levelOff[li], a.sched.levelOff[li+1]
+		par.ForEach(workers, hi-lo, func(k int) {
+			a.pullRequired(int(a.sched.levelNodes[lo+k]))
+		})
+	}
+}
+
+// pullRequired applies every out-candidate of u in sequential relax order.
+func (a *Analyzer) pullRequired(u int) {
+	un := &a.nodes[u]
+	for _, ei32 := range a.sched.pullOut[a.sched.pullOutOff[u]:a.sched.pullOutOff[u+1]] {
+		ei := int(ei32)
+		e := &a.edges[ei]
+		nd := &a.nodes[e.to]
+		if !nd.hasRAT {
+			continue
+		}
+		var rat float64
+		if e.isCell {
+			load := a.loadOf(e.to)
+			rat = nd.rat - a.derate.late()*e.arc.Delay.Lookup(un.slew, load)
+		} else {
+			sinkCap := a.sinkCap(e.to)
+			wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
+			rat = nd.rat - wd
+		}
+		if rat < un.rat {
+			un.rat = rat
+			un.hasRAT = true
+		}
+	}
+}

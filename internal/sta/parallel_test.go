@@ -1,0 +1,58 @@
+package sta
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelScheduleEngages guards against the parallel path silently
+// degrading to the sequential fallback on ordinary designs.
+func TestParallelScheduleEngages(t *testing.T) {
+	d := benchPipeline(6, 5)
+	a := New(d, DefaultConstraints(1e-9))
+	if !a.ensureSched() {
+		t.Fatal("level schedule rejected an acyclic pipeline")
+	}
+	if len(a.sched.levelOff) < 3 {
+		t.Fatalf("suspiciously flat schedule: %d levels", len(a.sched.levelOff)-1)
+	}
+}
+
+// TestParallelPropagationMatchesSequential checks bit-identical arrival,
+// required and slack values between the sequential pass and the levelized
+// parallel pass on the pipeline fixture, with and without wire parasitics.
+func TestParallelPropagationMatchesSequential(t *testing.T) {
+	for _, zeroWire := range []bool{true, false} {
+		d := benchPipeline(8, 6)
+		cons := DefaultConstraints(0.4e-9)
+		cons.ClockPorts = []string{"clk"}
+		cons.ZeroWire = zeroWire
+
+		seq := New(d, cons)
+		seq.Workers = 1
+		pp := New(d, cons)
+		pp.Workers = 4
+		if !pp.ensureSched() {
+			t.Fatal("parallel schedule unavailable")
+		}
+		seq.Run()
+		pp.Run()
+
+		if len(seq.nodes) != len(pp.nodes) {
+			t.Fatal("node count mismatch")
+		}
+		for i := range seq.nodes {
+			s, p := &seq.nodes[i], &pp.nodes[i]
+			if s.hasAT != p.hasAT || s.hasRAT != p.hasRAT || s.worstIn != p.worstIn {
+				t.Fatalf("zeroWire=%v node %v: flags differ (hasAT %v/%v hasRAT %v/%v worstIn %d/%d)",
+					zeroWire, s.id, s.hasAT, p.hasAT, s.hasRAT, p.hasRAT, s.worstIn, p.worstIn)
+			}
+			if math.Float64bits(s.at) != math.Float64bits(p.at) ||
+				math.Float64bits(s.rat) != math.Float64bits(p.rat) ||
+				math.Float64bits(s.slew) != math.Float64bits(p.slew) {
+				t.Fatalf("zeroWire=%v node %v: at %v/%v rat %v/%v slew %v/%v",
+					zeroWire, s.id, s.at, p.at, s.rat, p.rat, s.slew, p.slew)
+			}
+		}
+	}
+}

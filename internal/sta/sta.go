@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/par"
 )
 
 // Constraints is the subset of SDC the flow consumes.
@@ -98,12 +99,20 @@ type Analyzer struct {
 	d    *netlist.Design
 	cons Constraints
 
+	// Workers bounds the goroutines used by arrival/required propagation:
+	// 0 = auto (PPACLUST_WORKERS, else GOMAXPROCS), 1 = the exact sequential
+	// code path. Parallel propagation is bit-identical to sequential (see
+	// parallel.go for the determinism argument).
+	Workers int
+
 	nodes   []node
 	edges   []edge
 	in      [][]int // node -> incoming edge indices
 	out     [][]int // node -> outgoing edge indices
 	nodeOf  map[PinID]int
 	topo    []int
+	cyclic  bool     // topo order was incomplete (combinational loop)
+	sched   parSched // cached level schedule for parallel propagation
 	netLoad []float64 // total load capacitance per net
 	netLen  []float64 // HPWL per net (for wire delay)
 
@@ -373,6 +382,7 @@ func (a *Analyzer) topoSort() {
 	if len(order) < n {
 		// Combinational loop: append remaining nodes in ID order; the loop
 		// edges act as cut points (their arrivals simply lag one pass).
+		a.cyclic = true
 		seen := make([]bool, n)
 		for _, v := range order {
 			seen[v] = true
@@ -475,13 +485,20 @@ func (a *Analyzer) pinPosOf(nodeIdx int) (float64, float64) {
 	return a.d.PinPos(netlist.PinRef{Inst: id.Inst, Pin: id.Pin})
 }
 
-// Run performs arrival/required propagation if stale.
+// Run performs arrival/required propagation if stale. With Workers != 1 the
+// levelized parallel kernels run instead of the sequential passes; their
+// output is bit-identical (parallel.go).
 func (a *Analyzer) Run() {
 	if a.timeDone {
 		return
 	}
-	a.propagateArrivals()
-	a.propagateRequired()
+	if w := par.Workers(a.Workers); w > 1 && a.ensureSched() {
+		a.propagateArrivalsPar(w)
+		a.propagateRequiredPar(w)
+	} else {
+		a.propagateArrivals()
+		a.propagateRequired()
+	}
 	a.timeDone = true
 }
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo-wide check gate: vet, build, race-enabled tests, and an explicit
+# parallel-vs-sequential equivalence pass with a multi-worker budget forced
+# through the PPACLUST_WORKERS environment knob.
+#
+# Usage: scripts/check.sh [quick]
+#   quick  skip the full -race test sweep; run vet+build+equivalence only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+if [[ "${1:-}" != "quick" ]]; then
+    # The race detector slows the experiment/GNN suites ~10x; on small CPU
+    # budgets they overrun go test's default 10m per-package timeout.
+    echo "==> go test -race ./..."
+    go test -race -timeout 45m ./...
+fi
+
+# Determinism contract: every parallel kernel must be bit-identical to the
+# sequential path. Run the equivalence tests once more with the worker budget
+# forced to 4 via the environment, so the parallel code paths engage even on
+# a single-CPU machine (par.Workers honors PPACLUST_WORKERS over GOMAXPROCS).
+echo "==> equivalence tests with PPACLUST_WORKERS=4"
+PPACLUST_WORKERS=4 go test -race \
+    -run 'WorkersEquivalent|ParallelPropagation|ParallelSchedule|Deterministic' \
+    ./internal/sta/ ./internal/cluster/ ./internal/place/ ./internal/flow/ ./internal/par/
+
+echo "OK"
