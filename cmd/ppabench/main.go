@@ -12,6 +12,7 @@
 //	ppabench -table ablation # extension: per-term PPA-awareness ablation
 //	ppabench -workers 4      # goroutine budget (0 = GOMAXPROCS)
 //	ppabench -json out.json  # machine-readable per-table wall-clock + metrics
+//	ppabench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ppaclust/internal/experiments"
@@ -35,7 +37,21 @@ func main() {
 	figure := flag.String("figure", "", "print one figure (5) to stdout")
 	jsonOut := flag.String("json", "", "write per-benchmark wall-clock and headline metrics as JSON")
 	out := flag.String("o", "EXPERIMENTS.md", "report output path (full runs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	s := experiments.NewSuite(*fast, *seed, *workers)
 	switch {
@@ -47,6 +63,27 @@ func main() {
 		printFigure5(s)
 	default:
 		runAll(s, *out)
+	}
+
+	// Profiles flush on the success path only; error paths os.Exit above.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

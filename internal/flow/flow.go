@@ -197,7 +197,7 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 
 	// ---- Clustering (Algorithm 1 lines 2-10) ----
 	t0 := time.Now()
-	assign, nClusters, err := clusterNetlist(d, b.Cons, opt)
+	assign, nClusters, an, err := clusterNetlist(d, b.Cons, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +256,7 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 		return nil, err
 	}
 	// ---- Evaluation (lines 27-30) ----
-	evaluate(d, b.Cons, opt, res)
+	evaluate(d, b.Cons, opt, res, an)
 	res.Placed = d
 	return res, nil
 }
@@ -290,14 +290,16 @@ func RunDefault(b *designs.Benchmark, opt Options) (*Result, error) {
 	if err := maybeRepair(d, opt); err != nil {
 		return nil, err
 	}
-	evaluate(d, b.Cons, opt, res)
+	evaluate(d, b.Cons, opt, res, nil)
 	res.Placed = d
 	return res, nil
 }
 
 // clusterNetlist runs the selected clustering method and returns a dense
-// instance->cluster assignment.
-func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int, int, error) {
+// instance->cluster assignment. The PPA-aware method also returns the
+// zero-wire analyzer it timed the netlist with, so evaluate can reuse the
+// timing graph (switched to placed parasitics) instead of rebuilding it.
+func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int, int, *sta.Analyzer, error) {
 	view := d.ToHypergraph()
 	switch opt.Method {
 	case MethodLeiden, MethodLouvain:
@@ -308,13 +310,13 @@ func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int
 		} else {
 			assign = community.Louvain(g, community.Options{Seed: opt.Seed})
 		}
-		return assign, community.NumCommunities(assign), nil
+		return assign, community.NumCommunities(assign), nil, nil
 	case MethodMFC:
 		res := cluster.MultilevelFC(view.H, cluster.Options{
 			Alpha: 1, TargetClusters: targetFor(opt, len(d.Insts)), Seed: opt.Seed,
 			Workers: opt.Workers,
 		})
-		return res.Assign, res.NumClusters, nil
+		return res.Assign, res.NumClusters, nil, nil
 	case MethodPPAAware:
 		// Hierarchy-based grouping constraints (Algorithm 2).
 		var groups []int
@@ -357,9 +359,9 @@ func clusterNetlist(d *netlist.Design, cons sta.Constraints, opt Options) ([]int
 			EdgeSwitchCost: sCost,
 			Workers:        opt.Workers,
 		})
-		return res.Assign, res.NumClusters, nil
+		return res.Assign, res.NumClusters, an, nil
 	}
-	return nil, 0, fmt.Errorf("flow: unknown clustering method %d", opt.Method)
+	return nil, 0, nil, fmt.Errorf("flow: unknown clustering method %d", opt.Method)
 }
 
 // selectShapes assigns a shape to every cluster. Clusters above the VPR gate
@@ -501,8 +503,13 @@ func mathSqrt(v float64) float64 {
 	return math.Sqrt(v)
 }
 
-// evaluate fills HPWL and (unless SkipRoute) post-route PPA into res.
-func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result) {
+// evaluate fills HPWL and (unless SkipRoute) post-route PPA into res. When
+// the clustering stage already built an analyzer (PPA-aware method), it is
+// reused: the graph topology is unchanged, so switching it from zero-wire to
+// placed parasitics and refreshing via Invalidate/Update yields bit-identical
+// results to a fresh sta.New. Buffer repair inserts instances and nets — a
+// topology change — so the analyzer is rebuilt in that case.
+func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result, an *sta.Analyzer) {
 	res.HPWL = d.HPWLWorkers(par.Workers(opt.Workers))
 	if opt.SkipRoute {
 		return
@@ -513,8 +520,13 @@ func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result)
 	res.Overflow = rres.Overflow
 
 	// CTS on the clock net (if any), then propagated-clock STA.
-	an := sta.New(d, cons)
-	an.Workers = opt.Workers
+	if an == nil || opt.RepairBuffers {
+		an = sta.New(d, cons)
+		an.Workers = opt.Workers
+	} else {
+		an.SetZeroWire(cons.ZeroWire)
+		an.Update()
+	}
 	var clockPower float64
 	for _, n := range d.Nets {
 		if !n.Clock {

@@ -20,6 +20,12 @@ type Hypergraph struct {
 	edgeWeight   []float64
 	incident     [][]int // vertex -> incident edge IDs
 	pins         int
+
+	// Epoch-stamped scratch for Neighbors: nbStamp[u] == nbEpoch marks u as
+	// seen in the current call, so repeated queries allocate nothing.
+	nbStamp []int32
+	nbEpoch int32
+	nbOut   []int
 }
 
 // New returns an empty hypergraph with n zero-weight vertices.
@@ -99,19 +105,34 @@ func (h *Hypergraph) TotalVertexWeight() float64 {
 }
 
 // Neighbors returns the distinct vertices sharing at least one edge with v,
-// excluding v itself.
+// excluding v itself. The result is sorted. The returned slice is a scratch
+// buffer owned by the hypergraph: it is valid only until the next Neighbors
+// call, and concurrent calls must not share one Hypergraph.
 func (h *Hypergraph) Neighbors(v int) []int {
-	seen := map[int]bool{v: true}
-	var out []int
+	if len(h.nbStamp) < len(h.vertexWeight) {
+		h.nbStamp = make([]int32, len(h.vertexWeight))
+		h.nbEpoch = 0
+	}
+	if h.nbEpoch == math.MaxInt32 {
+		for i := range h.nbStamp {
+			h.nbStamp[i] = 0
+		}
+		h.nbEpoch = 0
+	}
+	h.nbEpoch++
+	stamp := h.nbEpoch
+	h.nbStamp[v] = stamp
+	out := h.nbOut[:0]
 	for _, e := range h.incident[v] {
 		for _, u := range h.edges[e] {
-			if !seen[u] {
-				seen[u] = true
+			if h.nbStamp[u] != stamp {
+				h.nbStamp[u] = stamp
 				out = append(out, u)
 			}
 		}
 	}
 	sort.Ints(out)
+	h.nbOut = out
 	return out
 }
 
@@ -167,53 +188,77 @@ func (h *Hypergraph) Contract(clusterOf []int) (*Contraction, error) {
 	for v, cv := range vmap {
 		coarse.vertexWeight[cv] += h.vertexWeight[v]
 	}
-	// Merge parallel edges via a canonical key.
-	type coarseEdge struct {
-		id int
-	}
-	byKey := make(map[string]coarseEdge)
+	// Merge parallel edges via an integer hash over the sorted coarse vertex
+	// ids (no per-edge string key). Hash buckets hold candidate coarse-edge
+	// ids and every hit is confirmed by exact vertex comparison, so hash
+	// collisions cannot merge distinct edges, and the first-seen coarse edge
+	// order — hence the result — is deterministic.
+	byKey := make(map[uint64][]int)
 	emap := make([]int, h.NumEdges())
-	var keyBuf []byte
+	var scratch []int
 	for e, verts := range h.edges {
-		mapped := make([]int, 0, len(verts))
+		scratch = scratch[:0]
 		for _, v := range verts {
-			mapped = append(mapped, vmap[v])
+			scratch = append(scratch, vmap[v])
 		}
-		mapped = dedupe(mapped)
+		sort.Ints(scratch)
+		m := 0
+		for i, v := range scratch {
+			if i == 0 || v != scratch[m-1] {
+				scratch[m] = v
+				m++
+			}
+		}
+		mapped := scratch[:m]
 		if len(mapped) < 2 {
 			emap[e] = -1
 			continue
 		}
-		keyBuf = keyBuf[:0]
-		for _, v := range mapped {
-			keyBuf = appendInt(keyBuf, v)
-			keyBuf = append(keyBuf, ',')
+		key := hashInts(mapped)
+		merged := false
+		for _, id := range byKey[key] {
+			if equalInts(coarse.edges[id], mapped) {
+				coarse.edgeWeight[id] += h.edgeWeight[e]
+				emap[e] = id
+				merged = true
+				break
+			}
 		}
-		k := string(keyBuf)
-		if ce, ok := byKey[k]; ok {
-			coarse.edgeWeight[ce.id] += h.edgeWeight[e]
-			emap[e] = ce.id
+		if merged {
 			continue
 		}
 		id := coarse.AddEdge(mapped, h.edgeWeight[e])
-		byKey[k] = coarseEdge{id: id}
+		byKey[key] = append(byKey[key], id)
 		emap[e] = id
 	}
 	return &Contraction{Coarse: coarse, VertexMap: vmap, EdgeMap: emap}, nil
 }
 
-func appendInt(b []byte, v int) []byte {
-	if v == 0 {
-		return append(b, '0')
+// hashInts is FNV-1a over the vertex ids, one word at a time, mixed with the
+// length. Collisions are tolerated (callers confirm by exact comparison).
+func hashInts(vs []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(len(vs))
+	for _, v := range vs {
+		h ^= uint64(v)
+		h *= prime64
 	}
-	var tmp [20]byte
-	i := len(tmp)
-	for v > 0 {
-		i--
-		tmp[i] = byte('0' + v%10)
-		v /= 10
+	return h
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return append(b, tmp[i:]...)
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ClusterStats describes one cluster's connectivity, the inputs to the Rent

@@ -1,9 +1,11 @@
 package hypergraph
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -305,5 +307,127 @@ func TestPropertyCliqueExpandDegreeSymmetry(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// contractReference is the pre-optimization Contract (string-keyed parallel
+// edge merging), kept as an executable spec for the hashed implementation.
+func contractReference(h *Hypergraph, clusterOf []int) *Contraction {
+	dense := make(map[int]int)
+	vmap := make([]int, len(clusterOf))
+	for v, c := range clusterOf {
+		id, ok := dense[c]
+		if !ok {
+			id = len(dense)
+			dense[c] = id
+		}
+		vmap[v] = id
+	}
+	coarse := New(len(dense))
+	for v, cv := range vmap {
+		coarse.vertexWeight[cv] += h.vertexWeight[v]
+	}
+	byKey := make(map[string]int)
+	emap := make([]int, h.NumEdges())
+	for e, verts := range h.edges {
+		mapped := make([]int, 0, len(verts))
+		for _, v := range verts {
+			mapped = append(mapped, vmap[v])
+		}
+		mapped = dedupe(mapped)
+		if len(mapped) < 2 {
+			emap[e] = -1
+			continue
+		}
+		var key []byte
+		for _, v := range mapped {
+			key = fmt.Appendf(key, "%d,", v)
+		}
+		if id, ok := byKey[string(key)]; ok {
+			coarse.edgeWeight[id] += h.edgeWeight[e]
+			emap[e] = id
+			continue
+		}
+		id := coarse.AddEdge(mapped, h.edgeWeight[e])
+		byKey[string(key)] = id
+		emap[e] = id
+	}
+	return &Contraction{Coarse: coarse, VertexMap: vmap, EdgeMap: emap}
+}
+
+// TestContractMatchesReference checks the integer-hash Contract against the
+// string-key reference on random graphs: identical coarse edges (order
+// included), weights, and vertex/edge maps.
+func TestContractMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 5 + rng.Intn(60)
+		h := randomHypergraph(rng, nv, nv*3)
+		clusterOf := make([]int, nv)
+		k := 1 + rng.Intn(8)
+		for v := range clusterOf {
+			clusterOf[v] = rng.Intn(k) * 17 // sparse labels
+		}
+		got, err := h.Contract(clusterOf)
+		if err != nil {
+			return false
+		}
+		want := contractReference(h, clusterOf)
+		if !reflect.DeepEqual(got.VertexMap, want.VertexMap) ||
+			!reflect.DeepEqual(got.EdgeMap, want.EdgeMap) ||
+			!reflect.DeepEqual(got.Coarse.edges, want.Coarse.edges) ||
+			!reflect.DeepEqual(got.Coarse.edgeWeight, want.Coarse.edgeWeight) ||
+			!reflect.DeepEqual(got.Coarse.vertexWeight, want.Coarse.vertexWeight) {
+			return false
+		}
+		return got.Coarse.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNeighborsAllocFree asserts the epoch-stamped scratch keeps repeated
+// Neighbors queries allocation-free in steady state.
+func TestNeighborsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := randomHypergraph(rng, 400, 900)
+	for v := 0; v < h.NumVertices(); v++ {
+		h.Neighbors(v) // grow the scratch buffers to their steady size
+	}
+	v := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		h.Neighbors(v % h.NumVertices())
+		v++
+	})
+	if allocs != 0 {
+		t.Fatalf("Neighbors allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestNeighborsMatchesNaive cross-checks the scratch-buffer implementation
+// against a straightforward map-based one.
+func TestNeighborsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	h := randomHypergraph(rng, 60, 150)
+	for v := 0; v < h.NumVertices(); v++ {
+		seen := map[int]bool{v: true}
+		var want []int
+		for _, e := range h.Incident(v) {
+			for _, u := range h.Edge(e) {
+				if !seen[u] {
+					seen[u] = true
+					want = append(want, u)
+				}
+			}
+		}
+		sort.Ints(want)
+		got := h.Neighbors(v)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(append([]int(nil), got...), want) {
+			t.Fatalf("vertex %d: got %v want %v", v, got, want)
+		}
 	}
 }

@@ -1,0 +1,156 @@
+package netlist
+
+// WirelenCache maintains per-net bounding boxes and half-perimeter
+// wirelengths so single-cell moves cost O(pins-of-cell) amortized instead of
+// recomputing every touched net from scratch. It is the wirelength oracle of
+// the detailed placer's swap loop and is exposed for future incremental
+// passes (timing-driven refinement, annealing).
+//
+// All cached values are bit-identical (math.Float64bits) to Design.NetHPWL /
+// Design.HPWL on the same positions: the from-scratch recompute uses the
+// exact comparison structure of NetHPWL, and the incremental expansion only
+// replaces a bound on a strict inequality — the same rule NetHPWL applies —
+// so a bound never changes bits without changing value.
+//
+// The cache assumes a frozen topology: positions change only through
+// MoveCell (or are re-read wholesale by Rebuild). Adding instances, nets or
+// pins invalidates the cache; call Rebuild afterwards.
+type WirelenCache struct {
+	d                      *Design
+	minX, maxX, minY, maxY []float64
+	hp                     []float64
+}
+
+// NewWirelenCache builds the cache from current pin positions in O(pins).
+func NewWirelenCache(d *Design) *WirelenCache {
+	c := &WirelenCache{d: d}
+	c.Rebuild()
+	return c
+}
+
+// Rebuild recomputes every net's bounding box from current positions.
+func (c *WirelenCache) Rebuild() {
+	n := len(c.d.Nets)
+	if len(c.hp) != n {
+		c.minX = make([]float64, n)
+		c.maxX = make([]float64, n)
+		c.minY = make([]float64, n)
+		c.maxY = make([]float64, n)
+		c.hp = make([]float64, n)
+	}
+	for i, net := range c.d.Nets {
+		c.recompute(i, net)
+	}
+	if len(c.d.Insts) > 0 {
+		// Force the connectivity index now so MoveCell stays allocation-free.
+		c.d.NetsOf(0)
+	}
+}
+
+// recompute rebuilds one net's bbox from scratch, mirroring NetHPWL.
+func (c *WirelenCache) recompute(netID int, n *Net) {
+	if len(n.Pins) < 2 {
+		c.hp[netID] = 0
+		return
+	}
+	minX, minY := 1e308, 1e308
+	maxX, maxY := -1e308, -1e308
+	for _, p := range n.Pins {
+		x, y := c.d.PinPos(p)
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	c.minX[netID], c.maxX[netID] = minX, maxX
+	c.minY[netID], c.maxY[netID] = minY, maxY
+	c.hp[netID] = (maxX - minX) + (maxY - minY)
+}
+
+// NetHPWL returns the cached half-perimeter wirelength of a net in O(1).
+func (c *WirelenCache) NetHPWL(netID int) float64 { return c.hp[netID] }
+
+// Total returns the summed HPWL. Per-net values are added in net order — the
+// same association as Design.HPWL — so the result is bit-identical to it.
+func (c *WirelenCache) Total() float64 {
+	var sum float64
+	for _, v := range c.hp {
+		sum += v
+	}
+	return sum
+}
+
+// MoveCell sets the instance origin to (x, y) and updates the bboxes of its
+// incident nets. A net whose old bbox edge was defined by a moved pin that
+// moves inward loses that edge to an unknown runner-up, forcing an exact
+// recompute of the net; all other nets update by pure expansion in
+// O(pins-of-cell). Steady-state calls allocate nothing.
+func (c *WirelenCache) MoveCell(id int, x, y float64) {
+	inst := c.d.Insts[id]
+	oldX, oldY := inst.X, inst.Y
+	inst.X, inst.Y = x, y
+	if oldX == x && oldY == y {
+		return
+	}
+	for _, netID := range c.d.NetsOf(id) {
+		c.moveOnNet(netID, inst, oldX, oldY)
+	}
+}
+
+func (c *WirelenCache) moveOnNet(netID int, inst *Instance, oldX, oldY float64) {
+	n := c.d.Nets[netID]
+	if len(n.Pins) < 2 {
+		return
+	}
+	// Pass 1: does any moved pin own a bbox edge and move off it inward?
+	// Then the new edge may be any other pin — recompute exactly.
+	for _, p := range n.Pins {
+		if p.IsPort() || p.Inst != inst.ID {
+			continue
+		}
+		ox, oy := pinPosAt(inst, p.Pin, oldX, oldY)
+		nx, ny := c.d.PinPos(p)
+		if (ox == c.minX[netID] && nx > ox) || (ox == c.maxX[netID] && nx < ox) ||
+			(oy == c.minY[netID] && ny > oy) || (oy == c.maxY[netID] && ny < oy) {
+			c.recompute(netID, n)
+			return
+		}
+	}
+	// Pass 2: every moved pin stayed put or moved outward; expand the bbox.
+	for _, p := range n.Pins {
+		if p.IsPort() || p.Inst != inst.ID {
+			continue
+		}
+		nx, ny := c.d.PinPos(p)
+		if nx < c.minX[netID] {
+			c.minX[netID] = nx
+		}
+		if nx > c.maxX[netID] {
+			c.maxX[netID] = nx
+		}
+		if ny < c.minY[netID] {
+			c.minY[netID] = ny
+		}
+		if ny > c.maxY[netID] {
+			c.maxY[netID] = ny
+		}
+	}
+	c.hp[netID] = (c.maxX[netID] - c.minX[netID]) + (c.maxY[netID] - c.minY[netID])
+}
+
+// pinPosAt is PinPos evaluated at a hypothetical instance origin, used for
+// the pin's position before a move.
+func pinPosAt(inst *Instance, pin string, x, y float64) (float64, float64) {
+	if mp := inst.Master.Pin(pin); mp != nil && (mp.OffsetX != 0 || mp.OffsetY != 0) {
+		return x + mp.OffsetX, y + mp.OffsetY
+	}
+	return x + inst.Master.Width/2, y + inst.Master.Height/2
+}

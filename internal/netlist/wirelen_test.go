@@ -1,0 +1,126 @@
+package netlist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// wirelenTestDesign builds a design with nCells INV cells at random spots,
+// random multi-pin nets (some including ports), for cache equivalence tests.
+func wirelenTestDesign(t testing.TB, nCells, nNets int, seed int64) *Design {
+	t.Helper()
+	lib := testLib()
+	d := NewDesign("wl", lib)
+	d.Core = Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	rng := rand.New(rand.NewSource(seed))
+	inv := lib.Master("INV")
+	for i := 0; i < nCells; i++ {
+		inst, err := d.AddInstance(name("c", i), inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.X = rng.Float64() * 1000
+		inst.Y = rng.Float64() * 1000
+	}
+	for i := 0; i < 8; i++ {
+		p, err := d.AddPort(name("p", i), DirOutput)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.X = rng.Float64() * 1000
+		p.Y = rng.Float64() * 1000
+	}
+	for i := 0; i < nNets; i++ {
+		n, err := d.AddNet(name("n", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fan := 1 + rng.Intn(5)
+		drv := rng.Intn(nCells)
+		d.Connect(n, PinRef{Inst: drv, Pin: "Y"})
+		for k := 0; k < fan; k++ {
+			if rng.Intn(8) == 0 {
+				d.Connect(n, PinRef{Inst: -1, Pin: name("p", rng.Intn(8))})
+			} else {
+				d.Connect(n, PinRef{Inst: rng.Intn(nCells), Pin: "A"})
+			}
+		}
+	}
+	return d
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('a'+i/676%26)) + string(rune('a'+i/26%26)) + string(rune('a'+i%26))
+}
+
+// TestWirelenCacheMatchesHPWL drives a random move sequence through the
+// cache and checks every cached per-net value and the total against the
+// from-scratch recompute, bit for bit.
+func TestWirelenCacheMatchesHPWL(t *testing.T) {
+	d := wirelenTestDesign(t, 120, 200, 1)
+	c := NewWirelenCache(d)
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 2000; step++ {
+		id := rng.Intn(len(d.Insts))
+		var x, y float64
+		switch rng.Intn(4) {
+		case 0: // small jitter (usually expansion or interior)
+			x = d.Insts[id].X + rng.NormFloat64()
+			y = d.Insts[id].Y + rng.NormFloat64()
+		case 1: // jump (often bbox-edge handoff -> exact recompute)
+			x = rng.Float64() * 1000
+			y = rng.Float64() * 1000
+		case 2: // axis-only move
+			x = rng.Float64() * 1000
+			y = d.Insts[id].Y
+		default: // revisit an old spot exactly (swap/revert pattern)
+			x = math.Trunc(rng.Float64() * 10)
+			y = math.Trunc(rng.Float64() * 10)
+		}
+		c.MoveCell(id, x, y)
+		if step%97 != 0 && step != 1999 {
+			continue
+		}
+		for i, n := range d.Nets {
+			want := d.NetHPWL(n)
+			if math.Float64bits(c.NetHPWL(i)) != math.Float64bits(want) {
+				t.Fatalf("step %d: net %d cached %v want %v", step, i, c.NetHPWL(i), want)
+			}
+		}
+		if math.Float64bits(c.Total()) != math.Float64bits(d.HPWL()) {
+			t.Fatalf("step %d: total %v want %v", step, c.Total(), d.HPWL())
+		}
+	}
+}
+
+// TestWirelenCacheRebuild verifies Rebuild resyncs after out-of-band edits.
+func TestWirelenCacheRebuild(t *testing.T) {
+	d := wirelenTestDesign(t, 20, 30, 3)
+	c := NewWirelenCache(d)
+	d.Insts[4].X = 777 // bypass MoveCell
+	c.Rebuild()
+	for i, n := range d.Nets {
+		if math.Float64bits(c.NetHPWL(i)) != math.Float64bits(d.NetHPWL(n)) {
+			t.Fatalf("net %d stale after Rebuild", i)
+		}
+	}
+}
+
+// TestWirelenCacheMoveAllocFree asserts MoveCell allocates nothing in steady
+// state, as required for the placer inner loop.
+func TestWirelenCacheMoveAllocFree(t *testing.T) {
+	d := wirelenTestDesign(t, 60, 100, 4)
+	c := NewWirelenCache(d)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		// Alternate spots so both the expansion and recompute paths run.
+		x := float64(i%7) * 150
+		y := float64(i%5) * 200
+		c.MoveCell(i%len(d.Insts), x, y)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("MoveCell allocates %v per call, want 0", allocs)
+	}
+}

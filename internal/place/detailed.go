@@ -44,7 +44,13 @@ type DetailedResult struct {
 // result is never worse than the input and stays legal.
 func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
 	opt = opt.withDefaults()
-	res := DetailedResult{HPWLBefore: d.HPWL()}
+	// All wirelength reads and writes in the swap loop go through the
+	// incremental bbox cache: a candidate swap touches O(pins-of-cell) state
+	// instead of recomputing every incident net. Cached values are
+	// bit-identical to NetHPWL/HPWL, so accept/revert decisions — and the
+	// final placement — match the from-scratch evaluation exactly.
+	wl := netlist.NewWirelenCache(d)
+	res := DetailedResult{HPWLBefore: wl.Total()}
 	rng := rand.New(rand.NewSource(opt.Seed + 31))
 
 	var cells []*netlist.Instance
@@ -58,19 +64,18 @@ func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
 		return res
 	}
 
-	// netCost computes the summed HPWL of the nets touching the given
-	// instances (the only terms a local change can alter).
-	touched := map[int]bool{}
-	netCost := func(ids ...int) float64 {
-		for k := range touched {
-			delete(touched, k)
-		}
+	// netCost sums the cached HPWL of the nets touching the two instances
+	// (the only terms a swap can alter), deduped with an epoch stamp.
+	stamp := make([]int64, len(d.Nets))
+	var epoch int64
+	netCost := func(id1, id2 int) float64 {
+		epoch++
 		var sum float64
-		for _, id := range ids {
+		for _, id := range [2]int{id1, id2} {
 			for _, netID := range d.NetsOf(id) {
-				if !touched[netID] {
-					touched[netID] = true
-					sum += d.NetHPWL(d.Nets[netID])
+				if stamp[netID] != epoch {
+					stamp[netID] = epoch
+					sum += wl.NetHPWL(netID)
 				}
 			}
 		}
@@ -125,19 +130,21 @@ func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
 				continue
 			}
 			before := netCost(inst.ID, cand.ID)
-			inst.X, cand.X = cand.X, inst.X
-			inst.Y, cand.Y = cand.Y, inst.Y
+			ix, iy := inst.X, inst.Y
+			cx, cy := cand.X, cand.Y
+			wl.MoveCell(inst.ID, cx, cy)
+			wl.MoveCell(cand.ID, ix, iy)
 			after := netCost(inst.ID, cand.ID)
 			if after < before-1e-9 {
 				res.Swaps++
 			} else {
 				// Revert.
-				inst.X, cand.X = cand.X, inst.X
-				inst.Y, cand.Y = cand.Y, inst.Y
+				wl.MoveCell(inst.ID, ix, iy)
+				wl.MoveCell(cand.ID, cx, cy)
 			}
 		}
 	}
-	res.HPWLAfter = d.HPWL()
+	res.HPWLAfter = wl.Total()
 	return res
 }
 

@@ -1,0 +1,383 @@
+// Incremental timing update: dirty-cone repropagation.
+//
+// The analyzer tracks a set of dirty nets (marked via the Invalidate* calls
+// after cells move or the parasitics mode flips). Update refreshes the wire
+// geometry of exactly those nets and repropagates arrivals through the dirty
+// fanout cone and requireds through the dirty fanin cone, instead of
+// re-running the full passes.
+//
+// The repropagation reuses the per-node pull primitives of the parallel
+// kernels (pullArrival/pullRequired in parallel.go): each recomputed node is
+// reset to its seed state and then relaxed from its candidates in the exact
+// sequential order, so a recomputed node lands on the same bits as a full
+// pass would. Nodes outside the cone keep their values; by induction over
+// the level schedule those are bit-identical too, because every input they
+// would re-read is unchanged bitwise. A full-graph dirty set, a graph the
+// level scheduler rejects (combinational cycles, unsafe launch arcs), or an
+// analyzer whose timing was never propagated all reduce to the existing full
+// propagation in Run.
+//
+// Worklist invariants (see also DESIGN.md §9):
+//   - Forward seeds of a dirty net: the driver node (its in-arcs read the
+//     net's load, which changed) and every net-arc sink (the arc's wire
+//     length changed). A recomputed node whose (at, slew, hasAT) changed
+//     bitwise enqueues all out-edge targets — launch arcs included, since a
+//     launch samples its clock pin's slew.
+//   - Backward seeds: every node whose slew changed in the forward pass (its
+//     own required pull and setup-endpoint seed read it), plus each dirty
+//     net's driver (out net-arc wire lengths changed) and the sources of
+//     cell arcs into that driver (their arc delay reads the driver's net
+//     load). A node whose (rat, hasRAT) changed enqueues its non-launch
+//     in-edge sources.
+//   - Levels strictly increase along every edge (parallel.go), so processing
+//     forward buckets in ascending and backward buckets in descending level
+//     order never revisits a bucket.
+package sta
+
+import (
+	"math"
+
+	"ppaclust/internal/netlist"
+)
+
+// incState holds the dirty-set bookkeeping and the reusable worklist
+// buffers of the incremental engine.
+type incState struct {
+	built     bool
+	netEdges  [][]int32 // net -> net-arc edge ids
+	netDriver []int32   // net -> driver node, -1 when undriven
+
+	levelOf []int32 // node -> level of the parallel schedule
+
+	netDirty  []bool
+	dirtyNets []int32
+	dirtyAll  bool
+
+	pend    []bool    // node queued in the current pass
+	buckets [][]int32 // per-level worklists, reused across Updates
+	bwdSeed []int32
+
+	lastNodes int // nodes repropagated by the last Update, -1 after a full one
+}
+
+// ensureIncIndex builds (once) the net -> {driver node, net-arc edges} index
+// the dirty-set machinery needs.
+func (a *Analyzer) ensureIncIndex() {
+	if a.inc.built {
+		return
+	}
+	a.inc.built = true
+	a.inc.lastNodes = -1
+	d := a.d
+	a.inc.netEdges = make([][]int32, len(d.Nets))
+	a.inc.netDriver = make([]int32, len(d.Nets))
+	for i := range a.inc.netDriver {
+		a.inc.netDriver[i] = -1
+	}
+	for ei := range a.edges {
+		e := &a.edges[ei]
+		if e.isCell {
+			continue
+		}
+		if netID := a.nodes[e.from].net; netID >= 0 {
+			a.inc.netEdges[netID] = append(a.inc.netEdges[netID], int32(ei))
+		}
+	}
+	for _, net := range d.Nets {
+		drv, ok := d.Driver(net)
+		if !ok {
+			continue
+		}
+		if n, found := a.nodeOf[PinID{drv.Inst, drv.Pin}]; found {
+			a.inc.netDriver[net.ID] = int32(n)
+		}
+	}
+	a.inc.netDirty = make([]bool, len(d.Nets))
+}
+
+// InvalidateNets marks nets whose pin positions (or connectivity-independent
+// parasitics) changed; the next Update refreshes their geometry and
+// repropagates the affected cones.
+func (a *Analyzer) InvalidateNets(nets ...int) {
+	a.ensureIncIndex()
+	for _, n := range nets {
+		if n < 0 || n >= len(a.inc.netDirty) || a.inc.netDirty[n] {
+			continue
+		}
+		a.inc.netDirty[n] = true
+		a.inc.dirtyNets = append(a.inc.dirtyNets, int32(n))
+	}
+}
+
+// InvalidateInst marks every net connected to the instance dirty; call it
+// after moving a cell.
+func (a *Analyzer) InvalidateInst(id int) {
+	a.ensureIncIndex()
+	for _, n := range a.d.NetsOf(id) {
+		if a.inc.netDirty[n] {
+			continue
+		}
+		a.inc.netDirty[n] = true
+		a.inc.dirtyNets = append(a.inc.dirtyNets, int32(n))
+	}
+}
+
+// InvalidatePin marks the net of one pin dirty.
+func (a *Analyzer) InvalidatePin(id PinID) {
+	a.ensureIncIndex()
+	if n, ok := a.nodeOf[id]; ok {
+		if netID := a.nodes[n].net; netID >= 0 {
+			a.InvalidateNets(netID)
+		}
+	}
+}
+
+// InvalidateAll marks the whole graph dirty; the next Update reduces to the
+// full refresh + propagation.
+func (a *Analyzer) InvalidateAll() {
+	a.ensureIncIndex()
+	a.inc.dirtyAll = true
+}
+
+// SetZeroWire switches between zero-wire (pre-placement, Algorithm 1 lines
+// 4-5) and placed-parasitics timing. The geometry source changes for every
+// net, so the whole graph is invalidated; call Update to apply.
+func (a *Analyzer) SetZeroWire(zw bool) {
+	a.cons.ZeroWire = zw
+	a.InvalidateAll()
+}
+
+// LastUpdateNodes reports how many nodes the last Update repropagated
+// incrementally, or -1 when it fell back to (or was) a full refresh.
+// Diagnostic, used by tests to prove the dirty-cone path engaged.
+func (a *Analyzer) LastUpdateNodes() int {
+	if !a.inc.built {
+		return -1
+	}
+	return a.inc.lastNodes
+}
+
+// Update applies pending invalidations: it refreshes wire loads/lengths of
+// the dirty nets from current pin positions and repropagates the dirty
+// cones. Calling Update with no recorded invalidations keeps the legacy
+// semantics of refreshing everything. A full-graph dirty set (or a graph
+// the level scheduler rejects) reduces to the existing full propagation.
+func (a *Analyzer) Update() {
+	a.ensureIncIndex()
+	if !a.inc.dirtyAll && len(a.inc.dirtyNets) == 0 {
+		a.inc.dirtyAll = true
+	}
+	if a.inc.dirtyAll || !a.timeDone || !a.ensureSched() {
+		for _, net := range a.d.Nets {
+			a.refreshNet(net)
+		}
+		a.clearDirty()
+		a.inc.lastNodes = -1
+		a.timeDone = false
+		a.actDone = false
+		return
+	}
+	a.updateIncremental()
+}
+
+func (a *Analyzer) clearDirty() {
+	for _, n := range a.inc.dirtyNets {
+		a.inc.netDirty[n] = false
+	}
+	a.inc.dirtyNets = a.inc.dirtyNets[:0]
+	a.inc.dirtyAll = false
+}
+
+// refreshNet recomputes one net's load, HPWL and per-sink wire lengths from
+// current pin positions. The pin-cap accumulation mirrors build exactly
+// (same pin order, same skip rules), so a refreshed analyzer is bit-identical
+// to a freshly built one.
+func (a *Analyzer) refreshNet(net *netlist.Net) {
+	d := a.d
+	drv, ok := d.Driver(net)
+	if !ok {
+		return
+	}
+	var load float64
+	for _, pr := range net.Pins {
+		if pr == drv {
+			continue
+		}
+		if pr.IsPort() {
+			port := d.Port(pr.Pin)
+			if port == nil || port.Dir != netlist.DirOutput {
+				continue
+			}
+			load += a.cons.PortCap
+		} else {
+			mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
+			if mp == nil || mp.Dir == netlist.DirOutput {
+				continue
+			}
+			load += mp.Cap
+		}
+	}
+	if a.cons.ZeroWire {
+		a.netLoad[net.ID] = load
+		a.netLen[net.ID] = 0
+		for _, ei := range a.inc.netEdges[net.ID] {
+			a.edges[ei].wireLen = 0
+		}
+		return
+	}
+	hp := d.NetHPWL(net)
+	a.netLoad[net.ID] = load + WireCapPerMicron*hp
+	a.netLen[net.ID] = hp
+	dx, dy := d.PinPos(drv)
+	for _, ei := range a.inc.netEdges[net.ID] {
+		e := &a.edges[ei]
+		sx, sy := a.pinPosOf(e.to)
+		e.wireLen = math.Abs(sx-dx) + math.Abs(sy-dy)
+	}
+}
+
+// ensureLevels derives the node -> level map from the parallel schedule.
+func (a *Analyzer) ensureLevels() {
+	if a.inc.levelOf != nil {
+		return
+	}
+	a.inc.levelOf = make([]int32, len(a.nodes))
+	for li := 0; li+1 < len(a.sched.levelOff); li++ {
+		for _, v := range a.sched.levelNodes[a.sched.levelOff[li]:a.sched.levelOff[li+1]] {
+			a.inc.levelOf[v] = int32(li)
+		}
+	}
+	if a.inc.buckets == nil {
+		a.inc.buckets = make([][]int32, len(a.sched.levelOff)-1)
+	}
+	if a.inc.pend == nil {
+		a.inc.pend = make([]bool, len(a.nodes))
+	}
+}
+
+func (a *Analyzer) enqueue(v int) {
+	if a.inc.pend[v] {
+		return
+	}
+	a.inc.pend[v] = true
+	l := a.inc.levelOf[v]
+	a.inc.buckets[l] = append(a.inc.buckets[l], int32(v))
+}
+
+// updateIncremental refreshes the dirty nets' geometry and repropagates
+// arrivals/requireds through the affected cones only. Precondition: the
+// level schedule exists, timing is propagated, and the dirty set is partial.
+func (a *Analyzer) updateIncremental() {
+	a.ensureLevels()
+	bwdSeed := a.inc.bwdSeed[:0]
+
+	// Geometry refresh + seeding.
+	for _, netID32 := range a.inc.dirtyNets {
+		netID := int(netID32)
+		a.refreshNet(a.d.Nets[netID])
+		if drvNode := a.inc.netDriver[netID]; drvNode >= 0 {
+			a.enqueue(int(drvNode))
+			bwdSeed = append(bwdSeed, drvNode)
+			for _, ei := range a.in[int(drvNode)] {
+				if e := &a.edges[ei]; e.isCell && !e.isLaunch() {
+					bwdSeed = append(bwdSeed, int32(e.from))
+				}
+			}
+		}
+		for _, ei := range a.inc.netEdges[netID] {
+			a.enqueue(a.edges[ei].to)
+		}
+	}
+
+	recomputed := 0
+	// Forward cone, ascending levels. Changed-node targets always sit on a
+	// strictly higher level, so each bucket is complete when reached.
+	for li := 0; li < len(a.inc.buckets); li++ {
+		bucket := a.inc.buckets[li]
+		for _, v32 := range bucket {
+			v := int(v32)
+			a.inc.pend[v] = false
+			recomputed++
+			nd := &a.nodes[v]
+			oldAT, oldSlew := math.Float64bits(nd.at), math.Float64bits(nd.slew)
+			oldHas := nd.hasAT
+			nd.at = math.Inf(-1)
+			nd.hasAT = false
+			nd.worstIn = -1
+			nd.slew = a.cons.InputSlew
+			if nd.kind == nodePortIn {
+				if nd.isClk {
+					nd.at = 0
+				} else {
+					nd.at = a.cons.InputDelay
+				}
+				nd.hasAT = true
+			}
+			a.pullArrival(v)
+			slewChanged := math.Float64bits(nd.slew) != oldSlew
+			if slewChanged {
+				bwdSeed = append(bwdSeed, v32)
+			}
+			if slewChanged || math.Float64bits(nd.at) != oldAT || nd.hasAT != oldHas {
+				for _, ei := range a.out[v] {
+					a.enqueue(a.edges[ei].to)
+				}
+			}
+		}
+		a.inc.buckets[li] = bucket[:0]
+	}
+
+	// Backward cone, descending levels.
+	for _, v := range bwdSeed {
+		a.enqueue(int(v))
+	}
+	for li := len(a.inc.buckets) - 1; li >= 0; li-- {
+		bucket := a.inc.buckets[li]
+		for _, u32 := range bucket {
+			u := int(u32)
+			a.inc.pend[u] = false
+			recomputed++
+			nd := &a.nodes[u]
+			oldRAT, oldHas := math.Float64bits(nd.rat), nd.hasRAT
+			nd.rat = math.Inf(1)
+			nd.hasRAT = false
+			if nd.endp {
+				switch nd.kind {
+				case nodePortOut:
+					nd.rat = a.cons.ClockPeriod - a.cons.OutputDelay
+					nd.hasRAT = true
+				case nodeInput:
+					mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
+					for ai := range mp.Arcs {
+						arc := &mp.Arcs[ai]
+						if arc.Kind != netlist.ArcSetup {
+							continue
+						}
+						setup := arc.Delay.Lookup(nd.slew, 0)
+						captureClk := a.clockAtInst(nd.id.Inst, arc.From)
+						rat := a.cons.ClockPeriod + captureClk - setup
+						if rat < nd.rat {
+							nd.rat = rat
+							nd.hasRAT = true
+						}
+					}
+				}
+			}
+			a.pullRequired(u)
+			if math.Float64bits(nd.rat) != oldRAT || nd.hasRAT != oldHas {
+				for _, ei := range a.in[u] {
+					if e := &a.edges[ei]; !e.isLaunch() {
+						a.enqueue(e.from)
+					}
+				}
+			}
+		}
+		a.inc.buckets[li] = bucket[:0]
+	}
+
+	a.inc.bwdSeed = bwdSeed[:0]
+	a.inc.lastNodes = recomputed
+	a.clearDirty()
+	// Activity depends only on topology and constraints, not geometry, so it
+	// stays valid across incremental updates.
+}

@@ -1,0 +1,82 @@
+// Benchmarks for the incremental engine: a ≤5% perturbation followed by
+// Update vs. a from-scratch sta.New + full propagation, on the largest
+// generated design (results recorded in BENCH_incremental.json).
+package sta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppaclust/internal/designs"
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/sta"
+)
+
+func benchDesign(b *testing.B) *designs.Benchmark {
+	b.Helper()
+	name := "mpg" // largest spec (~27k insts)
+	if testing.Short() {
+		name = "aes"
+	}
+	spec, ok := designs.Named(name)
+	if !ok {
+		b.Fatalf("unknown design %s", name)
+	}
+	bm := designs.Generate(spec)
+	rng := rand.New(rand.NewSource(77))
+	for _, inst := range bm.Design.Insts {
+		if inst.Fixed {
+			continue
+		}
+		inst.X = bm.Design.Core.X0 + rng.Float64()*(bm.Design.Core.W()-inst.Master.Width)
+		inst.Y = bm.Design.Core.Y0 + rng.Float64()*(bm.Design.Core.H()-inst.Master.Height)
+		inst.Placed = true
+	}
+	return bm
+}
+
+// perturbCells moves ~5% of the movable cells, returning the moved IDs.
+func perturbCells(d *netlist.Design, rng *rand.Rand) []int {
+	var moved []int
+	for _, inst := range d.Insts {
+		if inst.Fixed || rng.Float64() >= 0.05 {
+			continue
+		}
+		inst.X = d.Core.X0 + rng.Float64()*(d.Core.W()-inst.Master.Width)
+		inst.Y = d.Core.Y0 + rng.Float64()*(d.Core.H()-inst.Master.Height)
+		moved = append(moved, inst.ID)
+	}
+	return moved
+}
+
+// BenchmarkIncrementalSTA: perturb 5% of cells, Invalidate + Update through
+// the dirty cones, and read the timing summary.
+func BenchmarkIncrementalSTA(b *testing.B) {
+	bm := benchDesign(b)
+	an := sta.New(bm.Design, bm.Cons)
+	an.Workers = 1
+	an.Run()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range perturbCells(bm.Design, rng) {
+			an.InvalidateInst(id)
+		}
+		an.Update()
+		an.Timing()
+	}
+}
+
+// BenchmarkFullSTAReanalysis: the same perturbation followed by the
+// pre-incremental protocol — a fresh analyzer build and full propagation.
+func BenchmarkFullSTAReanalysis(b *testing.B) {
+	bm := benchDesign(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perturbCells(bm.Design, rng)
+		an := sta.New(bm.Design, bm.Cons)
+		an.Workers = 1
+		an.Timing()
+	}
+}

@@ -118,6 +118,7 @@ type Analyzer struct {
 
 	clockArrival map[int]float64 // optional per-node clock arrival (from CTS)
 	derate       Derate          // OCV scale factors
+	inc          incState        // dirty-net set for incremental updates
 
 	activity []float64 // per-node switching activity (toggles/cycle)
 	actDone  bool
@@ -430,54 +431,6 @@ func (a *Analyzer) clockAtInst(inst int, clkPin string) float64 {
 		return a.clockArrival[n]
 	}
 	return 0
-}
-
-// Update recomputes wire loads/lengths from current pin positions and marks
-// timing/activity for recomputation. Call after placement moves cells.
-func (a *Analyzer) Update() {
-	d := a.d
-	for _, net := range d.Nets {
-		drv, ok := d.Driver(net)
-		if !ok {
-			continue
-		}
-		_ = drv
-		var load float64
-		for _, pr := range net.Pins {
-			if pr.IsPort() {
-				port := d.Port(pr.Pin)
-				if port != nil && port.Dir == netlist.DirOutput {
-					load += a.cons.PortCap
-				}
-				continue
-			}
-			mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
-			if mp != nil && mp.Dir == netlist.DirInput {
-				load += mp.Cap
-			}
-		}
-		if a.cons.ZeroWire {
-			a.netLoad[net.ID] = load
-		} else {
-			hp := d.NetHPWL(net)
-			a.netLoad[net.ID] = load + WireCapPerMicron*hp
-			a.netLen[net.ID] = hp
-		}
-	}
-	// Refresh per-sink wire lengths.
-	if !a.cons.ZeroWire {
-		for ei := range a.edges {
-			e := &a.edges[ei]
-			if e.isCell {
-				continue
-			}
-			fx, fy := a.pinPosOf(e.from)
-			tx, ty := a.pinPosOf(e.to)
-			e.wireLen = math.Abs(fx-tx) + math.Abs(fy-ty)
-		}
-	}
-	a.timeDone = false
-	a.actDone = false
 }
 
 func (a *Analyzer) pinPosOf(nodeIdx int) (float64, float64) {

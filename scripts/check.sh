@@ -27,7 +27,14 @@ fi
 # a single-CPU machine (par.Workers honors PPACLUST_WORKERS over GOMAXPROCS).
 echo "==> equivalence tests with PPACLUST_WORKERS=4"
 PPACLUST_WORKERS=4 go test -race \
-    -run 'WorkersEquivalent|ParallelPropagation|ParallelSchedule|Deterministic' \
-    ./internal/sta/ ./internal/cluster/ ./internal/place/ ./internal/flow/ ./internal/par/
+    -run 'WorkersEquivalent|ParallelPropagation|ParallelSchedule|Deterministic|Incremental|WirelenCache|ContractMatchesReference|NeighborsMatchesNaive' \
+    ./internal/sta/ ./internal/cluster/ ./internal/place/ ./internal/flow/ \
+    ./internal/par/ ./internal/netlist/ ./internal/hypergraph/
+
+# Allocation contract: the placer/clustering inner-loop primitives must be
+# allocation-free in steady state. Run without -race (its instrumentation
+# perturbs testing.AllocsPerRun counts).
+echo "==> steady-state allocation assertions"
+go test -run 'AllocFree' ./internal/netlist/ ./internal/hypergraph/
 
 echo "OK"
