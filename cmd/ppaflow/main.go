@@ -1,14 +1,20 @@
 // Command ppaflow runs the clustered placement flow (Algorithm 1) — or the
-// flat default flow — on one of the built-in benchmark designs and prints
-// the PPA metrics the paper reports.
+// flat default flow — on one of the built-in benchmark designs, or on a
+// benchmark loaded from the standard file set, and prints the PPA metrics
+// the paper reports.
 //
 // Usage:
 //
 //	ppaflow -design ariane -tool openroad -method ppa -shapes uniform
 //	ppaflow -design aes -default
+//	ppaflow -verilog t.v -liberty t.lib -lef t.lef -def t.def -sdc t.sdc
+//
+// Parse failures in loaded files are reported as file:line diagnostics and
+// exit non-zero; -lenient downgrades recoverable field errors to warnings.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,9 +23,22 @@ import (
 	"ppaclust/internal/def"
 	"ppaclust/internal/designs"
 	"ppaclust/internal/flow"
+	"ppaclust/internal/scan"
 	"ppaclust/internal/sta"
 	"ppaclust/internal/viz"
 )
+
+// fatalParse prints a parse failure with its file:line context when the
+// error is structured, and exits non-zero either way.
+func fatalParse(err error) {
+	var pe *scan.ParseError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(os.Stderr, "ppaflow: parse error at %v\n", pe)
+	} else {
+		fmt.Fprintf(os.Stderr, "ppaflow: %v\n", err)
+	}
+	os.Exit(1)
+}
 
 func main() {
 	design := flag.String("design", "aes", "benchmark: aes|jpeg|ariane|bp|mb|mpg")
@@ -33,18 +52,43 @@ func main() {
 	writeDEF := flag.String("write-def", "", "write the final placement to this DEF file")
 	writeSVG := flag.String("svg", "", "write a placement visualization to this SVG file")
 	report := flag.Int("report", 0, "print a report_checks-style timing report for the N worst paths")
+	vlogFile := flag.String("verilog", "", "load benchmark from files: verilog netlist (.v)")
+	libFile := flag.String("liberty", "", "load benchmark from files: liberty library (.lib)")
+	lefFile := flag.String("lef", "", "load benchmark from files: LEF macros (optional)")
+	defFile := flag.String("def", "", "load benchmark from files: DEF floorplan (optional)")
+	sdcFile := flag.String("sdc", "", "load benchmark from files: SDC constraints")
+	lenient := flag.Bool("lenient", false, "tolerate recoverable parse errors in loaded files (warn and continue)")
 	flag.Parse()
 
-	spec, ok := designs.Named(*design)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ppaflow: unknown design %q\n", *design)
-		os.Exit(2)
+	var b *designs.Benchmark
+	if *vlogFile != "" || *libFile != "" || *sdcFile != "" || *defFile != "" || *lefFile != "" {
+		if *vlogFile == "" || *libFile == "" || *sdcFile == "" {
+			fmt.Fprintln(os.Stderr, "ppaflow: loading from files needs -verilog, -liberty and -sdc (-lef and -def are optional)")
+			os.Exit(2)
+		}
+		fmt.Printf("loading benchmark from %s...\n", *vlogFile)
+		loaded, warns, err := flow.LoadBenchmarkWith(flow.Files{
+			Verilog: *vlogFile, Liberty: *libFile, LEF: *lefFile, DEF: *defFile, SDC: *sdcFile,
+		}, *lenient)
+		for _, w := range warns {
+			fmt.Fprintf(os.Stderr, "ppaflow: warning: %v\n", w)
+		}
+		if err != nil {
+			fatalParse(err)
+		}
+		b = loaded
+	} else {
+		spec, ok := designs.Named(*design)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ppaflow: unknown design %q\n", *design)
+			os.Exit(2)
+		}
+		fmt.Printf("generating %s (%s)...\n", *design, designs.PaperNames[*design])
+		b = designs.Generate(spec)
 	}
-	fmt.Printf("generating %s (%s)...\n", *design, designs.PaperNames[*design])
-	b := designs.Generate(spec)
 	st := b.Design.Stats()
 	fmt.Printf("  %d instances, %d nets, %d ports, TCP %.2f ns\n",
-		st.Insts, st.Nets, st.Ports, spec.ClockPeriod*1e9)
+		st.Insts, st.Nets, st.Ports, b.Cons.ClockPeriod*1e9)
 
 	opt := flow.Options{Seed: *seed, SkipRoute: *skipRoute, RepairBuffers: *repair}
 	switch strings.ToLower(*tool) {

@@ -4,26 +4,41 @@
 package def
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
+	"math"
 	"strings"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/scan"
 )
 
 const dbu = 1000.0 // database units per micron
+
+// Parse-time sanity bounds. Out-of-range geometry is rejected in both modes:
+// a kilometer-scale coordinate is input corruption, and keeping magnitudes
+// below maxCoordUM keeps every derived database-unit value exactly
+// representable in float64 (|um|*dbu < 2^53), so write->read->write is a
+// fixpoint.
+const (
+	maxCoordUM  = 1e9 // microns
+	maxRowCount = 1e9 // ROW DO/BY repeat counts
+	maxWeight   = 1e9 // NET WEIGHT magnitude
+	minUnits    = 1   // UNITS DISTANCE MICRONS range
+	maxUnits    = 1e6
+)
 
 // Write emits the design's floorplan and netlist as DEF.
 func Write(w io.Writer, d *netlist.Design) error {
 	fmt.Fprintf(w, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", d.Name, int(dbu))
 	fmt.Fprintf(w, "DIEAREA ( %d %d ) ( %d %d ) ;\n",
 		du(d.Die.X0), du(d.Die.Y0), du(d.Die.X1), du(d.Die.Y1))
-	// A single summary ROW carries the core box and site geometry.
+	// A single summary ROW carries the core box and site geometry. The site
+	// counts round to the nearest integer so that a parsed core box (X1 =
+	// X0 + count*step) survives re-emission unchanged.
 	if d.Core.Area() > 0 && d.RowHeight > 0 && d.SiteWidth > 0 {
-		nSites := int(d.Core.W() / d.SiteWidth)
-		nRows := int(d.Core.H() / d.RowHeight)
+		nSites := int(d.Core.W()/d.SiteWidth + 0.5)
+		nRows := int(d.Core.H()/d.RowHeight + 0.5)
 		fmt.Fprintf(w, "ROW CORE_AREA coresite %d %d N DO %d BY %d STEP %d %d ;\n",
 			du(d.Core.X0), du(d.Core.Y0), nSites, nRows, du(d.SiteWidth), du(d.RowHeight))
 	}
@@ -81,214 +96,400 @@ func Write(w io.Writer, d *netlist.Design) error {
 	return err
 }
 
-func du(v float64) int { return int(v*dbu + 0.5) }
+// du converts microns to database units, rounding half away from zero so
+// negative coordinates round symmetrically (truncation would drift one unit
+// per write/read cycle).
+func du(v float64) int { return int(math.Round(v * dbu)) }
 
 // escape replaces characters DEF treats as separators inside names.
 func escape(s string) string { return strings.ReplaceAll(s, " ", "_") }
 
-// Parse reads DEF into a new design bound to lib.
+// Options configures a parse.
+type Options struct {
+	// File names the input in errors; defaults to "def".
+	File string
+	// Lenient tolerates recoverable field errors — bad placement
+	// coordinates, malformed ROW/DIEAREA geometry, unparsable net weights —
+	// by skipping the field and recording a warning. Structural errors
+	// (unknown masters or instances, missing DESIGN, corrupt UNITS) are
+	// fatal in both modes.
+	Lenient bool
+}
+
+// Parse reads DEF into a new design bound to lib, strictly: every malformed
+// field is a *scan.ParseError.
 func Parse(r io.Reader, lib *netlist.Library) (*netlist.Design, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 4*1024*1024), 4*1024*1024)
-	var d *netlist.Design
-	section := ""
-	units := dbu
-	lineNo := 0
+	d, _, err := ParseWith(r, lib, Options{})
+	return d, err
+}
+
+// ParseWith reads DEF under the given options. In lenient mode the returned
+// warnings list the fields that were skipped.
+func ParseWith(r io.Reader, lib *netlist.Library, o Options) (*netlist.Design, []*scan.ParseError, error) {
+	file := o.File
+	if file == "" {
+		file = "def"
+	}
+	p := &defParser{lib: lib, units: dbu, strict: !o.Lenient}
+	if o.Lenient {
+		p.warns = &scan.Warnings{}
+	}
+	sc := scan.NewScanner(r, file, 4*1024*1024)
 	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		if err := p.line(sc.Line()); err != nil {
+			return nil, p.warns.List(), err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, p.warns.List(), err
+	}
+	if p.d == nil {
+		return nil, p.warns.List(), scan.Errorf(file, 0, "", "no DESIGN statement")
+	}
+	return p.d, p.warns.List(), nil
+}
+
+type defParser struct {
+	lib     *netlist.Library
+	d       *netlist.Design
+	section string
+	units   float64
+	strict  bool
+	warns   *scan.Warnings
+}
+
+// tolerate routes a recoverable field error: strict mode returns it, lenient
+// mode records it as a warning and continues.
+func (p *defParser) tolerate(err error) error {
+	if err == nil || p.strict {
+		return err
+	}
+	p.warns.Add(asParseError(err))
+	return nil
+}
+
+func asParseError(err error) *scan.ParseError {
+	if pe, ok := err.(*scan.ParseError); ok {
+		return pe
+	}
+	return &scan.ParseError{Msg: err.Error()}
+}
+
+func (p *defParser) line(ln *scan.Line) error {
+	f := ln.Fields
+	switch {
+	case f[0] == "DESIGN" && p.section == "":
+		if err := ln.Require(2); err != nil {
+			return err
+		}
+		if p.d != nil {
+			return ln.Errf(f[1], "duplicate DESIGN statement")
+		}
+		p.d = netlist.NewDesign(f[1], p.lib)
+	case f[0] == "UNITS":
+		// Corrupt units rescale every coordinate in the file; fatal in both
+		// modes.
+		if err := ln.Require(4); err != nil {
+			return err
+		}
+		v, err := ln.Float(3)
+		if err != nil {
+			return err
+		}
+		if v < minUnits || v > maxUnits {
+			return ln.Errf(f[3], "UNITS out of range [%g, %g]", float64(minUnits), float64(maxUnits))
+		}
+		p.units = v
+	case f[0] == "DIEAREA":
+		if p.d == nil {
+			return ln.Errf(f[0], "DIEAREA before DESIGN")
+		}
+		nums, err := p.coords(ln, 1)
+		if err == nil && len(nums) < 4 {
+			err = ln.Errf(f[0], "DIEAREA needs 4 coordinates, got %d", len(nums))
+		}
+		if err != nil {
+			return p.tolerate(err)
+		}
+		p.d.Die = netlist.Rect{X0: nums[0], Y0: nums[1], X1: nums[2], Y1: nums[3]}
+		p.d.Core = p.d.Die
+	case f[0] == "ROW":
+		if p.d == nil {
+			return ln.Errf(f[0], "ROW before DESIGN")
+		}
+		if err := p.tolerate(p.row(ln)); err != nil {
+			return err
+		}
+	case f[0] == "COMPONENTS":
+		p.section = "COMPONENTS"
+	case f[0] == "PINS":
+		p.section = "PINS"
+	case f[0] == "NETS":
+		p.section = "NETS"
+	case f[0] == "END":
+		if len(f) >= 2 && f[1] == p.section {
+			p.section = ""
+		}
+	case f[0] == "-":
+		if p.d == nil {
+			return ln.Errf(f[0], "item before DESIGN")
+		}
+		switch p.section {
+		case "COMPONENTS":
+			return p.component(ln)
+		case "PINS":
+			return p.pin(ln)
+		case "NETS":
+			return p.net(ln)
+		}
+	}
+	return nil
+}
+
+// coord parses one coordinate token into microns, applying the units scale
+// and the geometry bound.
+func (p *defParser) coord(ln *scan.Line, i int) (float64, error) {
+	v, err := ln.Float(i)
+	if err != nil {
+		return 0, err
+	}
+	um := v / p.units
+	if um < -maxCoordUM || um > maxCoordUM {
+		return 0, ln.Errf(ln.Fields[i], "coordinate out of range (|%g| > %g um)", um, float64(maxCoordUM))
+	}
+	// Quantize to the database-unit grid: DEF coordinates are integral dbu,
+	// and the grid makes the writer's du() rounding an exact inverse (a
+	// sub-dbu step would otherwise collapse to zero on re-emission).
+	return math.Round(um*dbu) / dbu, nil
+}
+
+// coords parses every token from index start as a coordinate, skipping the
+// DEF punctuation "(", ")" and ";". A token that is neither punctuation nor
+// a number is an error.
+func (p *defParser) coords(ln *scan.Line, start int) ([]float64, error) {
+	var out []float64
+	for i := start; i < len(ln.Fields); i++ {
+		switch ln.Fields[i] {
+		case "(", ")", ";":
 			continue
 		}
-		f := strings.Fields(line)
-		switch {
-		case f[0] == "DESIGN" && len(f) >= 2 && section == "":
-			d = netlist.NewDesign(f[1], lib)
-		case f[0] == "UNITS" && len(f) >= 4:
-			if v, err := strconv.ParseFloat(f[3], 64); err == nil && v > 0 {
-				units = v
-			}
-		case f[0] == "DIEAREA":
-			if d == nil {
-				return nil, fmt.Errorf("def: line %d: DIEAREA before DESIGN", lineNo)
-			}
-			nums := numbers(f)
-			if len(nums) >= 4 {
-				d.Die = netlist.Rect{X0: nums[0] / units, Y0: nums[1] / units,
-					X1: nums[2] / units, Y1: nums[3] / units}
-				d.Core = d.Die
-			}
-		case f[0] == "ROW" && len(f) >= 12:
-			if d == nil {
-				return nil, fmt.Errorf("def: line %d: ROW before DESIGN", lineNo)
-			}
-			x0, _ := strconv.ParseFloat(f[3], 64)
-			y0, _ := strconv.ParseFloat(f[4], 64)
-			nx, _ := strconv.Atoi(f[7])
-			ny, _ := strconv.Atoi(f[9])
-			sw, _ := strconv.ParseFloat(f[11], 64)
-			rh, _ := strconv.ParseFloat(f[12], 64)
-			d.SiteWidth = sw / units
-			d.RowHeight = rh / units
-			d.Core = netlist.Rect{
-				X0: x0 / units, Y0: y0 / units,
-				X1: x0/units + float64(nx)*d.SiteWidth,
-				Y1: y0/units + float64(ny)*d.RowHeight,
-			}
-		case f[0] == "COMPONENTS":
-			section = "COMPONENTS"
-		case f[0] == "PINS":
-			section = "PINS"
-		case f[0] == "NETS":
-			section = "NETS"
-		case f[0] == "END":
-			if len(f) >= 2 && f[1] == section {
-				section = ""
-			}
-		case f[0] == "-":
-			if d == nil {
-				return nil, fmt.Errorf("def: line %d: item before DESIGN", lineNo)
-			}
-			switch section {
-			case "COMPONENTS":
-				if err := parseComponent(d, lib, f, units, lineNo); err != nil {
-					return nil, err
-				}
-			case "PINS":
-				if err := parsePin(d, f, units, lineNo); err != nil {
-					return nil, err
-				}
-			case "NETS":
-				if err := parseNet(d, f, lineNo); err != nil {
-					return nil, err
-				}
-			}
+		v, err := p.coord(ln, i)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, v)
 	}
-	if d == nil {
-		return nil, fmt.Errorf("def: no DESIGN statement")
-	}
-	return d, sc.Err()
+	return out, nil
 }
 
-func numbers(f []string) []float64 {
-	var out []float64
-	for _, tok := range f {
-		if v, err := strconv.ParseFloat(tok, 64); err == nil {
-			out = append(out, v)
-		}
+// row parses "ROW name site x0 y0 orient DO nx BY ny STEP sw rh ;".
+func (p *defParser) row(ln *scan.Line) error {
+	if err := ln.Require(13); err != nil {
+		return err
 	}
-	return out
+	f := ln.Fields
+	if f[6] != "DO" || f[8] != "BY" || f[10] != "STEP" {
+		return ln.Errf(f[0], "ROW wants DO/BY/STEP at fields 7/9/11, got %q/%q/%q", f[6], f[8], f[10])
+	}
+	x0, err := p.coord(ln, 3)
+	if err != nil {
+		return err
+	}
+	y0, err := p.coord(ln, 4)
+	if err != nil {
+		return err
+	}
+	nx, err := ln.Int(7)
+	if err != nil {
+		return err
+	}
+	ny, err := ln.Int(9)
+	if err != nil {
+		return err
+	}
+	if nx < 0 || ny < 0 || float64(nx) > maxRowCount || float64(ny) > maxRowCount {
+		return ln.Errf(f[7], "ROW repeat counts out of range [0, %g]", float64(maxRowCount))
+	}
+	sw, err := p.coord(ln, 11)
+	if err != nil {
+		return err
+	}
+	rh, err := p.coord(ln, 12)
+	if err != nil {
+		return err
+	}
+	if sw < 0 || rh < 0 {
+		return ln.Errf(f[11], "negative ROW step")
+	}
+	x1 := x0 + float64(nx)*sw
+	y1 := y0 + float64(ny)*rh
+	if x1 > maxCoordUM || y1 > maxCoordUM {
+		return ln.Errf(f[7], "ROW extends past %g um", float64(maxCoordUM))
+	}
+	p.d.SiteWidth = sw
+	p.d.RowHeight = rh
+	p.d.Core = netlist.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+	return nil
 }
 
-func parseComponent(d *netlist.Design, lib *netlist.Library, f []string, units float64, lineNo int) error {
-	if len(f) < 3 {
-		return fmt.Errorf("def: line %d: bad component", lineNo)
+// placedAt finds a "+ PLACED|FIXED ( x y )" group starting the scan at from,
+// returning (x, y, fixed, found). The keyword must follow a "+" so that
+// ports or instances *named* PLACED do not start a group.
+func (p *defParser) placedAt(ln *scan.Line, from int) (x, y float64, fixed, found bool, err error) {
+	f := ln.Fields
+	for i := from; i < len(f); i++ {
+		if (f[i] != "PLACED" && f[i] != "FIXED") || f[i-1] != "+" {
+			continue
+		}
+		if i+3 >= len(f) || f[i+1] != "(" {
+			return 0, 0, false, false, ln.Errf(f[i], "%s needs ( x y )", f[i])
+		}
+		x, err = p.coord(ln, i+2)
+		if err != nil {
+			return 0, 0, false, false, err
+		}
+		y, err = p.coord(ln, i+3)
+		if err != nil {
+			return 0, 0, false, false, err
+		}
+		return x, y, f[i] == "FIXED", true, nil
 	}
-	m := lib.Master(f[2])
+	return 0, 0, false, false, nil
+}
+
+// component parses "- name master [+ PLACED|FIXED ( x y ) orient] ;".
+func (p *defParser) component(ln *scan.Line) error {
+	if err := ln.Require(3); err != nil {
+		return err
+	}
+	f := ln.Fields
+	m := p.lib.Master(f[2])
 	if m == nil {
-		return fmt.Errorf("def: line %d: unknown master %q", lineNo, f[2])
+		return ln.Errf(f[2], "unknown master")
 	}
-	inst, err := d.AddInstance(f[1], m)
+	inst, err := p.d.AddInstance(f[1], m)
 	if err != nil {
+		return ln.Errf(f[1], "%v", err)
+	}
+	x, y, fixed, found, err := p.placedAt(ln, 3)
+	if err := p.tolerate(err); err != nil {
 		return err
 	}
-	for i := 3; i < len(f); i++ {
-		switch f[i] {
-		case "PLACED", "FIXED":
-			inst.Placed = true
-			inst.Fixed = f[i] == "FIXED"
-		}
-	}
-	nums := numbers(f[3:])
-	if len(nums) >= 2 {
-		inst.X, inst.Y = nums[0]/units, nums[1]/units
+	if found {
+		inst.X, inst.Y = x, y
+		inst.Placed = true
+		inst.Fixed = fixed
 	}
 	return nil
 }
 
-func parsePin(d *netlist.Design, f []string, units float64, lineNo int) error {
-	if len(f) < 2 {
-		return fmt.Errorf("def: line %d: bad pin", lineNo)
+// pin parses "- name + NET net + DIRECTION dir [+ PLACED ( x y ) orient] ;".
+func (p *defParser) pin(ln *scan.Line) error {
+	if err := ln.Require(2); err != nil {
+		return err
 	}
+	f := ln.Fields
 	dir := netlist.DirInput
-	for i := range f {
-		if f[i] == "DIRECTION" && i+1 < len(f) {
-			switch f[i+1] {
-			case "OUTPUT":
-				dir = netlist.DirOutput
-			case "INOUT":
-				dir = netlist.DirInout
+	for i := 2; i < len(f); i++ {
+		if f[i] != "DIRECTION" || f[i-1] != "+" {
+			continue
+		}
+		if i+1 >= len(f) {
+			if err := p.tolerate(ln.Errf(f[i], "DIRECTION without a value")); err != nil {
+				return err
 			}
+			continue
+		}
+		switch f[i+1] {
+		case "OUTPUT":
+			dir = netlist.DirOutput
+		case "INOUT":
+			dir = netlist.DirInout
 		}
 	}
-	p, err := d.AddPort(f[1], dir)
+	port, err := p.d.AddPort(f[1], dir)
 	if err != nil {
+		return ln.Errf(f[1], "%v", err)
+	}
+	x, y, _, found, err := p.placedAt(ln, 2)
+	if err := p.tolerate(err); err != nil {
 		return err
 	}
-	for i := range f {
-		if f[i] == "PLACED" {
-			nums := numbers(f[i:])
-			if len(nums) >= 2 {
-				p.X, p.Y, p.Placed = nums[0]/units, nums[1]/units, true
-			}
-		}
+	if found {
+		port.X, port.Y, port.Placed = x, y, true
 	}
 	return nil
 }
 
-func parseNet(d *netlist.Design, f []string, lineNo int) error {
-	if len(f) < 2 {
-		return fmt.Errorf("def: line %d: bad net", lineNo)
-	}
-	n, err := d.AddNet(f[1])
-	if err != nil {
+// net parses "- name ( inst pin )... [+ WEIGHT w] [+ USE CLOCK] ;".
+func (p *defParser) net(ln *scan.Line) error {
+	if err := ln.Require(2); err != nil {
 		return err
+	}
+	f := ln.Fields
+	n, err := p.d.AddNet(f[1])
+	if err != nil {
+		return ln.Errf(f[1], "%v", err)
 	}
 	i := 2
 	for i < len(f) {
 		switch f[i] {
 		case "(":
 			if i+2 >= len(f) {
-				return fmt.Errorf("def: line %d: truncated net connection", lineNo)
+				return ln.Errf(f[i], "truncated net connection")
 			}
 			a, b := f[i+1], f[i+2]
 			if a == "PIN" {
-				d.Connect(n, netlist.PinRef{Inst: -1, Pin: b})
+				p.d.Connect(n, netlist.PinRef{Inst: -1, Pin: b})
 			} else {
-				inst := d.Instance(a)
+				inst := p.d.Instance(a)
 				if inst == nil {
-					return fmt.Errorf("def: line %d: unknown instance %q", lineNo, a)
+					return ln.Errf(a, "unknown instance")
 				}
-				d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: b})
+				p.d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: b})
 			}
 			i += 3
 			if i < len(f) && f[i] == ")" {
 				i++
 			}
 		case "+":
-			if i+1 < len(f) {
-				switch f[i+1] {
-				case "WEIGHT":
-					if i+2 < len(f) {
-						if v, err := strconv.ParseFloat(f[i+2], 64); err == nil {
-							n.Weight = v
-						}
-					}
-					i += 3
-					continue
-				case "USE":
-					if i+2 < len(f) && f[i+2] == "CLOCK" {
-						n.Clock = true
-					}
-					i += 3
-					continue
-				}
+			if i+1 >= len(f) {
+				i++
+				continue
 			}
-			i++
+			switch f[i+1] {
+			case "WEIGHT":
+				w, werr := p.weight(ln, i+2)
+				if err := p.tolerate(werr); err != nil {
+					return err
+				}
+				if werr == nil {
+					n.Weight = w
+				}
+				i += 3
+			case "USE":
+				if i+2 < len(f) && f[i+2] == "CLOCK" {
+					n.Clock = true
+				}
+				i += 3
+			default:
+				i++
+			}
 		default:
 			i++
 		}
 	}
 	return nil
+}
+
+// weight parses a NET WEIGHT value: DEF weights are integers.
+func (p *defParser) weight(ln *scan.Line, i int) (float64, error) {
+	w, err := ln.Int(i)
+	if err != nil {
+		return 0, err
+	}
+	if w < -maxWeight || w > maxWeight {
+		return 0, ln.Errf(ln.Fields[i], "WEIGHT out of range")
+	}
+	return float64(w), nil
 }

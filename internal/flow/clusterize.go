@@ -22,9 +22,22 @@ func featOptions(seed int64) features.Options {
 // with accumulated weight, which is what makes seed placement fast.
 //
 // It returns the clustered design and, per cluster, the instance ID of its
-// cluster cell.
+// cluster cell. The assignment must cover every instance of d with a
+// cluster id in [0, nClusters); a malformed assignment is an error, not a
+// panic, so flow callers can surface it with design context.
 func BuildClusteredDesign(d *netlist.Design, assign []int, nClusters int,
-	shapes map[int]vpr.Shape) (*netlist.Design, []int) {
+	shapes map[int]vpr.Shape) (*netlist.Design, []int, error) {
+
+	if len(assign) != len(d.Insts) {
+		return nil, nil, fmt.Errorf("clusterize %s: assignment covers %d of %d instances",
+			d.Name, len(assign), len(d.Insts))
+	}
+	for inst, c := range assign {
+		if c < 0 || c >= nClusters {
+			return nil, nil, fmt.Errorf("clusterize %s: instance %s assigned to cluster %d of %d",
+				d.Name, d.Insts[inst].Name, c, nClusters)
+		}
+	}
 
 	lib := netlist.NewLibrary("clusters")
 	cd := netlist.NewDesign(d.Name+"_clustered", lib)
@@ -58,20 +71,21 @@ func BuildClusteredDesign(d *netlist.Design, assign []int, nClusters int,
 		}
 		m.AddPin(netlist.MasterPin{Name: "P", Dir: netlist.DirInout})
 		if err := lib.AddMaster(m); err != nil {
-			panic(err) // names are unique by construction
+			return nil, nil, fmt.Errorf("clusterize %s: cluster master %d: %w", d.Name, c, err)
 		}
 		ci, err := cd.AddInstance(fmt.Sprintf("clust_%d", c), m)
 		if err != nil {
-			panic(err)
+			return nil, nil, fmt.Errorf("clusterize %s: cluster instance %d: %w", d.Name, c, err)
 		}
 		clusterInsts[c] = ci.ID
 	}
 
-	// Ports carry over verbatim.
+	// Ports carry over verbatim. Duplicate port names would come from a
+	// corrupt input design; report them with design context.
 	for _, p := range d.Ports {
 		np, err := cd.AddPort(p.Name, p.Dir)
 		if err != nil {
-			panic(err)
+			return nil, nil, fmt.Errorf("clusterize %s: port %s: %w", d.Name, p.Name, err)
 		}
 		np.X, np.Y, np.Placed = p.X, p.Y, p.Placed
 	}
@@ -114,7 +128,7 @@ func BuildClusteredDesign(d *netlist.Design, assign []int, nClusters int,
 		}
 		nn, err := cd.AddNet(fmt.Sprintf("cn%d", len(cd.Nets)))
 		if err != nil {
-			panic(err)
+			return nil, nil, fmt.Errorf("clusterize %s: net %s: %w", d.Name, n.Name, err)
 		}
 		nn.Weight = n.Weight
 		nn.Clock = n.Clock
@@ -126,5 +140,5 @@ func BuildClusteredDesign(d *netlist.Design, assign []int, nClusters int,
 		}
 		merged[k] = nn
 	}
-	return cd, clusterInsts
+	return cd, clusterInsts, nil
 }

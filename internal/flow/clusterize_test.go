@@ -23,7 +23,10 @@ func TestClusterMasterAreasMatchShape(t *testing.T) {
 		1: {AspectRatio: 1.5, Utilization: 0.75},
 		2: {AspectRatio: 0.75, Utilization: 0.9},
 	}
-	cd, clusterInsts := BuildClusteredDesign(d, assign, 3, shapes)
+	cd, clusterInsts, err := BuildClusteredDesign(d, assign, 3, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Movable member area per cluster.
 	area := make([]float64, 3)
 	for i, inst := range d.Insts {
@@ -63,7 +66,10 @@ func TestClusteredNetWeightAccumulates(t *testing.T) {
 	d.Connect(n2, netlist.PinRef{Inst: 1, Pin: "ZN"})
 	d.Connect(n2, netlist.PinRef{Inst: 3, Pin: "A"})
 	assign := []int{0, 0, 1, 1}
-	cd, _ := BuildClusteredDesign(d, assign, 2, nil)
+	cd, _, err := BuildClusteredDesign(d, assign, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cd.Nets) != 1 {
 		t.Fatalf("nets=%d want 1 (parallel merge)", len(cd.Nets))
 	}
@@ -76,7 +82,10 @@ func TestClusteredDesignKeepsFloorplan(t *testing.T) {
 	b := designs.Generate(designs.TinySpec(602))
 	d := b.Design.Clone()
 	assign := make([]int, len(d.Insts))
-	cd, _ := BuildClusteredDesign(d, assign, 1, nil)
+	cd, _, err := BuildClusteredDesign(d, assign, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cd.Core != d.Core || cd.Die != d.Die {
 		t.Fatal("floorplan not carried over")
 	}

@@ -1,0 +1,152 @@
+package flow
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppaclust/internal/def"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/lef"
+	"ppaclust/internal/liberty"
+	"ppaclust/internal/scan"
+	"ppaclust/internal/sdc"
+	"ppaclust/internal/verilog"
+	"ppaclust/internal/vpr"
+)
+
+// writeBenchFiles emits the five standard files for a generated benchmark
+// and returns the Files set plus the directory for corrupting them.
+func writeBenchFiles(t *testing.T, seed int64) (Files, string) {
+	t.Helper()
+	b := designs.Generate(designs.TinySpec(seed))
+	dir := t.TempDir()
+	write := func(name string, fn func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return Files{
+		Verilog: write("t.v", func(f *os.File) error { return verilog.Write(f, b.Design) }),
+		DEF:     write("t.def", func(f *os.File) error { return def.Write(f, b.Design) }),
+		SDC:     write("t.sdc", func(f *os.File) error { return sdc.Write(f, b.Cons) }),
+		Liberty: write("t.lib", func(f *os.File) error { return liberty.Write(f, b.Design.Lib) }),
+		LEF:     write("t.lef", func(f *os.File) error { return lef.Write(f, b.Design.Lib) }),
+	}, dir
+}
+
+// TestLoadBenchmarkCorruptInputs feeds a truncated DEF and a flagless SDC
+// through the full benchmark loader and asserts each fails with a clean
+// *scan.ParseError naming the on-disk file — no panics, no silent
+// defaults. This is the flow-level regression for the former panic sites
+// in the format readers.
+func TestLoadBenchmarkCorruptInputs(t *testing.T) {
+	t.Run("truncated def", func(t *testing.T) {
+		files, _ := writeBenchFiles(t, 211)
+		data, err := os.ReadFile(files.DEF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cut the file mid-COMPONENTS, mid-line.
+		cut := len(data) / 2
+		if err := os.WriteFile(files.DEF, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadBenchmark(files)
+		if err == nil {
+			// A mid-line cut can still parse if it lands between items; force
+			// a malformed line instead.
+			if err := os.WriteFile(files.DEF,
+				append(data[:cut], []byte("\nROW r site 0 0 N DO 10 BY 2 STEP 400\n")...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = LoadBenchmark(files)
+		}
+		if err == nil {
+			t.Fatal("corrupt DEF accepted")
+		}
+		var pe *scan.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error is not a *scan.ParseError: %T: %v", err, err)
+		}
+		if !strings.HasSuffix(pe.File, "t.def") {
+			t.Fatalf("error does not name the DEF file: %v", pe)
+		}
+	})
+	t.Run("flagless sdc", func(t *testing.T) {
+		files, _ := writeBenchFiles(t, 211)
+		if err := os.WriteFile(files.SDC,
+			[]byte("create_clock -name clk -period\nset_input_delay 0.1 -clock clk [all_inputs]\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadBenchmark(files)
+		if err == nil {
+			t.Fatal("flagless create_clock accepted")
+		}
+		var pe *scan.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error is not a *scan.ParseError: %T: %v", err, err)
+		}
+		if !strings.HasSuffix(pe.File, "t.sdc") || pe.Line != 1 {
+			t.Fatalf("wrong provenance: %v", pe)
+		}
+		if !strings.Contains(pe.Msg, "last token") {
+			t.Fatalf("period-at-end-of-line not diagnosed: %v", pe)
+		}
+	})
+	t.Run("lenient load collects warnings", func(t *testing.T) {
+		files, _ := writeBenchFiles(t, 211)
+		data, err := os.ReadFile(files.DEF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(files.DEF,
+			append(data, []byte("ROW r site 0 0 N DO 10 BY 2 STEP 400\n")...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, warns, err := LoadBenchmarkWith(files, true)
+		if err != nil {
+			t.Fatalf("lenient load failed: %v", err)
+		}
+		if b == nil || len(warns) == 0 {
+			t.Fatalf("expected warnings from lenient load, got %v", warns)
+		}
+		if !strings.HasSuffix(warns[0].File, "t.def") {
+			t.Fatalf("warning does not name its file: %v", warns[0])
+		}
+	})
+}
+
+// TestBuildClusteredDesignErrors checks the de-panicked clusterizer reports
+// malformed assignments with design context.
+func TestBuildClusteredDesignErrors(t *testing.T) {
+	b := designs.Generate(designs.TinySpec(212))
+	d := b.Design.Clone()
+	short := make([]int, len(d.Insts)-1)
+	if _, _, err := BuildClusteredDesign(d, short, 2, nil); err == nil ||
+		!strings.Contains(err.Error(), d.Name) {
+		t.Fatalf("short assignment not reported with design context: %v", err)
+	}
+	bad := make([]int, len(d.Insts))
+	bad[0] = 7
+	if _, _, err := BuildClusteredDesign(d, bad, 2, map[int]vpr.Shape{}); err == nil ||
+		!strings.Contains(err.Error(), "cluster 7 of 2") {
+		t.Fatalf("out-of-range cluster id not reported: %v", err)
+	}
+	neg := make([]int, len(d.Insts))
+	neg[0] = -1
+	if _, _, err := BuildClusteredDesign(d, neg, 2, nil); err == nil {
+		t.Fatal("negative cluster id accepted")
+	}
+}

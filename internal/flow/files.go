@@ -9,6 +9,7 @@ import (
 	"ppaclust/internal/lef"
 	"ppaclust/internal/liberty"
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/scan"
 	"ppaclust/internal/sdc"
 	"ppaclust/internal/verilog"
 )
@@ -26,57 +27,72 @@ type Files struct {
 // the Liberty file provides the electrical library, LEF merges in geometry,
 // Verilog provides the netlist, the DEF provides floorplan plus port and
 // macro preplacement (its nets are ignored in favor of the Verilog
-// connectivity), and the SDC provides constraints.
+// connectivity), and the SDC provides constraints. Parsing is strict; parse
+// failures surface as *scan.ParseError values carrying file and line.
 func LoadBenchmark(f Files) (*designs.Benchmark, error) {
+	b, _, err := LoadBenchmarkWith(f, false)
+	return b, err
+}
+
+// LoadBenchmarkWith loads the file set, optionally in lenient mode: parsers
+// skip recoverable malformed fields and report them in the returned warning
+// list instead of failing. Structural errors remain fatal either way.
+func LoadBenchmarkWith(f Files, lenient bool) (*designs.Benchmark, []*scan.ParseError, error) {
+	var warns []*scan.ParseError
 	lbf, err := os.Open(f.Liberty)
 	if err != nil {
-		return nil, fmt.Errorf("flow: liberty: %w", err)
+		return nil, nil, fmt.Errorf("flow: liberty: %w", err)
 	}
-	lib, err := liberty.Parse(lbf)
+	lib, w, err := liberty.ParseWith(lbf, liberty.Options{File: f.Liberty, Lenient: lenient})
 	lbf.Close()
+	warns = append(warns, w...)
 	if err != nil {
-		return nil, fmt.Errorf("flow: liberty: %w", err)
+		return nil, warns, fmt.Errorf("flow: liberty: %w", err)
 	}
 	if f.LEF != "" {
 		lf, err := os.Open(f.LEF)
 		if err != nil {
-			return nil, fmt.Errorf("flow: lef: %w", err)
+			return nil, warns, fmt.Errorf("flow: lef: %w", err)
 		}
-		_, err = lef.Parse(lf, lib)
+		_, w, err := lef.ParseWith(lf, lib, lef.Options{File: f.LEF, Lenient: lenient})
 		lf.Close()
+		warns = append(warns, w...)
 		if err != nil {
-			return nil, fmt.Errorf("flow: lef: %w", err)
+			return nil, warns, fmt.Errorf("flow: lef: %w", err)
 		}
 	}
 	vf, err := os.Open(f.Verilog)
 	if err != nil {
-		return nil, fmt.Errorf("flow: verilog: %w", err)
+		return nil, warns, fmt.Errorf("flow: verilog: %w", err)
 	}
-	d, err := verilog.Parse(vf, lib)
+	d, w, err := verilog.ParseWith(vf, lib, verilog.Options{File: f.Verilog, Lenient: lenient})
 	vf.Close()
+	warns = append(warns, w...)
 	if err != nil {
-		return nil, fmt.Errorf("flow: verilog: %w", err)
+		return nil, warns, fmt.Errorf("flow: verilog: %w", err)
 	}
 	if f.DEF != "" {
 		df, err := os.Open(f.DEF)
 		if err != nil {
-			return nil, fmt.Errorf("flow: def: %w", err)
+			return nil, warns, fmt.Errorf("flow: def: %w", err)
 		}
-		fp, err := def.Parse(df, lib)
+		fp, w, err := def.ParseWith(df, lib, def.Options{File: f.DEF, Lenient: lenient})
 		df.Close()
+		warns = append(warns, w...)
 		if err != nil {
-			return nil, fmt.Errorf("flow: def: %w", err)
+			return nil, warns, fmt.Errorf("flow: def: %w", err)
 		}
 		mergeFloorplan(d, fp)
 	}
 	sf, err := os.Open(f.SDC)
 	if err != nil {
-		return nil, fmt.Errorf("flow: sdc: %w", err)
+		return nil, warns, fmt.Errorf("flow: sdc: %w", err)
 	}
-	cons, err := sdc.Parse(sf)
+	cons, w, err := sdc.ParseWith(sf, sdc.Options{File: f.SDC, Lenient: lenient})
 	sf.Close()
+	warns = append(warns, w...)
 	if err != nil {
-		return nil, fmt.Errorf("flow: sdc: %w", err)
+		return nil, warns, fmt.Errorf("flow: sdc: %w", err)
 	}
 	// Mark clock nets from the SDC clock roots.
 	for _, clkPort := range cons.ClockPorts {
@@ -89,9 +105,9 @@ func LoadBenchmark(f Files) (*designs.Benchmark, error) {
 		}
 	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("flow: loaded design invalid: %w", err)
+		return nil, warns, fmt.Errorf("flow: loaded design invalid: %w", err)
 	}
-	return &designs.Benchmark{Design: d, Cons: cons}, nil
+	return &designs.Benchmark{Design: d, Cons: cons}, warns, nil
 }
 
 // mergeFloorplan copies geometry from a DEF-parsed design into the

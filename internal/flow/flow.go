@@ -215,7 +215,10 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 
 	// ---- Seed placement of the clustered netlist (lines 15-25) ----
 	t0 = time.Now()
-	cd, clusterInsts := BuildClusteredDesign(d, assign, nClusters, shapes)
+	cd, clusterInsts, err := BuildClusteredDesign(d, assign, nClusters, shapes)
+	if err != nil {
+		return nil, err
+	}
 	if opt.Tool == ToolOpenROAD {
 		scaleIONets(cd, opt.IOWeightScale)
 	}

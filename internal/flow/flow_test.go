@@ -137,7 +137,10 @@ func TestBuildClusteredDesign(t *testing.T) {
 		assign[i] = i % 2
 	}
 	shapes := map[int]vpr.Shape{0: {AspectRatio: 1, Utilization: 0.9}, 1: {AspectRatio: 1.5, Utilization: 0.8}}
-	cd, clusterInsts := BuildClusteredDesign(d, assign, 2, shapes)
+	cd, clusterInsts, err := BuildClusteredDesign(d, assign, 2, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cd.Insts) != 2 {
 		t.Fatalf("cluster insts=%d", len(cd.Insts))
 	}

@@ -5,14 +5,18 @@
 package lef
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
+	"math"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/scan"
 )
+
+// maxDimUM bounds every parsed dimension (sizes, pin offsets) in microns.
+// Larger magnitudes are input corruption and would destabilize the %.4f
+// writer round trip.
+const maxDimUM = 1e8
 
 // Write emits the physical view of every master in the library.
 func Write(w io.Writer, lib *netlist.Library) error {
@@ -58,99 +62,222 @@ func WriteMacro(w io.Writer, m *netlist.Master) error {
 	return err
 }
 
+// Options configures a parse.
+type Options struct {
+	// File names the input in errors; defaults to "lef".
+	File string
+	// Lenient tolerates recoverable field errors — malformed SIZE or ORIGIN
+	// values, keyword lines without an argument — by skipping the field and
+	// recording a warning. Structural errors (MACRO without a name,
+	// attributes outside their block) are fatal in both modes.
+	Lenient bool
+}
+
 // Parse reads MACRO blocks into the given library, creating masters that do
 // not exist and updating geometry of those that do (the usual
 // liberty-then-lef load order). It returns the names of the macros read.
+// Parsing is strict: every malformed field is a *scan.ParseError.
 func Parse(r io.Reader, lib *netlist.Library) ([]string, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var names []string
-	var m *netlist.Master
-	var pin *netlist.MasterPin
-	lineNo := 0
+	names, _, err := ParseWith(r, lib, Options{})
+	return names, err
+}
+
+// ParseWith reads LEF under the given options. In lenient mode the returned
+// warnings list the fields that were skipped.
+func ParseWith(r io.Reader, lib *netlist.Library, o Options) ([]string, []*scan.ParseError, error) {
+	file := o.File
+	if file == "" {
+		file = "lef"
+	}
+	p := &lefParser{lib: lib, strict: !o.Lenient}
+	if o.Lenient {
+		p.warns = &scan.Warnings{}
+	}
+	sc := scan.NewScanner(r, file, 1024*1024)
 	for sc.Scan() {
-		lineNo++
-		f := strings.Fields(strings.TrimSpace(sc.Text()))
-		if len(f) == 0 {
-			continue
-		}
-		switch f[0] {
-		case "MACRO":
-			if len(f) < 2 {
-				return nil, fmt.Errorf("lef: line %d: MACRO without name", lineNo)
-			}
-			if ex := lib.Master(f[1]); ex != nil {
-				m = ex
-			} else {
-				m = &netlist.Master{Name: f[1]}
-				if err := lib.AddMaster(m); err != nil {
-					return nil, err
-				}
-			}
-			names = append(names, f[1])
-			pin = nil
-		case "CLASS":
-			if m == nil {
-				return nil, fmt.Errorf("lef: line %d: CLASS outside MACRO", lineNo)
-			}
-			switch f[1] {
-			case "BLOCK":
-				m.Class = netlist.ClassMacro
-			case "PAD":
-				m.Class = netlist.ClassPad
-			default:
-				m.Class = netlist.ClassCore
-			}
-		case "SIZE":
-			if m == nil || len(f) < 4 {
-				return nil, fmt.Errorf("lef: line %d: bad SIZE", lineNo)
-			}
-			var err error
-			if m.Width, err = strconv.ParseFloat(f[1], 64); err != nil {
-				return nil, fmt.Errorf("lef: line %d: %v", lineNo, err)
-			}
-			if m.Height, err = strconv.ParseFloat(f[3], 64); err != nil {
-				return nil, fmt.Errorf("lef: line %d: %v", lineNo, err)
-			}
-		case "PIN":
-			if m == nil || len(f) < 2 {
-				return nil, fmt.Errorf("lef: line %d: bad PIN", lineNo)
-			}
-			if ex := m.Pin(f[1]); ex != nil {
-				pin = ex
-			} else {
-				pin = m.AddPin(netlist.MasterPin{Name: f[1]})
-			}
-		case "DIRECTION":
-			if pin == nil {
-				return nil, fmt.Errorf("lef: line %d: DIRECTION outside PIN", lineNo)
-			}
-			switch f[1] {
-			case "OUTPUT":
-				pin.Dir = netlist.DirOutput
-			case "INOUT":
-				pin.Dir = netlist.DirInout
-			default:
-				pin.Dir = netlist.DirInput
-			}
-		case "USE":
-			if pin != nil && f[1] == "CLOCK" {
-				pin.Clock = true
-			}
-		case "ORIGIN":
-			if pin == nil || len(f) < 3 {
-				return nil, fmt.Errorf("lef: line %d: bad ORIGIN", lineNo)
-			}
-			pin.OffsetX, _ = strconv.ParseFloat(f[1], 64)
-			pin.OffsetY, _ = strconv.ParseFloat(f[2], 64)
-		case "END":
-			if len(f) >= 2 && m != nil && f[1] == m.Name {
-				m = nil
-			}
-			if len(f) >= 2 && pin != nil && f[1] == pin.Name {
-				pin = nil
-			}
+		if err := p.line(sc.Line()); err != nil {
+			return nil, p.warns.List(), err
 		}
 	}
-	return names, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, p.warns.List(), err
+	}
+	return p.names, p.warns.List(), nil
+}
+
+type lefParser struct {
+	lib    *netlist.Library
+	names  []string
+	m      *netlist.Master
+	pin    *netlist.MasterPin
+	strict bool
+	warns  *scan.Warnings
+}
+
+func (p *lefParser) tolerate(err error) error {
+	if err == nil || p.strict {
+		return err
+	}
+	if pe, ok := err.(*scan.ParseError); ok {
+		p.warns.Add(pe)
+	} else {
+		p.warns.Add(&scan.ParseError{Msg: err.Error()})
+	}
+	return nil
+}
+
+// quant snaps a micron value to the writer's %.4f grid, so re-emission is
+// an exact inverse of parsing (a sub-grid offset would otherwise flip the
+// "offset is zero" test between cycles).
+func quant(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// dim parses field i as a dimension in microns, within [0, maxDimUM].
+func (p *lefParser) dim(ln *scan.Line, i int) (float64, error) {
+	v, err := ln.Float(i)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > maxDimUM {
+		return 0, ln.Errf(ln.Fields[i], "dimension out of range [0, %g]", float64(maxDimUM))
+	}
+	return quant(v), nil
+}
+
+// offset parses field i as a signed pin offset in microns.
+func (p *lefParser) offset(ln *scan.Line, i int) (float64, error) {
+	v, err := ln.Float(i)
+	if err != nil {
+		return 0, err
+	}
+	if v < -maxDimUM || v > maxDimUM {
+		return 0, ln.Errf(ln.Fields[i], "offset out of range")
+	}
+	return quant(v), nil
+}
+
+func (p *lefParser) line(ln *scan.Line) error {
+	f := ln.Fields
+	switch f[0] {
+	case "MACRO":
+		if err := ln.Require(2); err != nil {
+			return err
+		}
+		if ex := p.lib.Master(f[1]); ex != nil {
+			p.m = ex
+		} else {
+			p.m = &netlist.Master{Name: f[1]}
+			if err := p.lib.AddMaster(p.m); err != nil {
+				return ln.Errf(f[1], "%v", err)
+			}
+		}
+		p.names = append(p.names, f[1])
+		p.pin = nil
+	case "CLASS":
+		if p.m == nil {
+			return ln.Errf(f[0], "CLASS outside MACRO")
+		}
+		if err := ln.Require(2); err != nil {
+			return p.tolerate(err)
+		}
+		switch f[1] {
+		case "BLOCK":
+			p.m.Class = netlist.ClassMacro
+		case "PAD":
+			p.m.Class = netlist.ClassPad
+		default:
+			p.m.Class = netlist.ClassCore
+		}
+	case "SIZE":
+		if p.m == nil {
+			return ln.Errf(f[0], "SIZE outside MACRO")
+		}
+		if err := p.size(ln); err != nil {
+			return p.tolerate(err)
+		}
+	case "PIN":
+		if p.m == nil {
+			return ln.Errf(f[0], "PIN outside MACRO")
+		}
+		if err := ln.Require(2); err != nil {
+			return err
+		}
+		if ex := p.m.Pin(f[1]); ex != nil {
+			p.pin = ex
+		} else {
+			p.pin = p.m.AddPin(netlist.MasterPin{Name: f[1]})
+		}
+	case "DIRECTION":
+		if p.pin == nil {
+			return ln.Errf(f[0], "DIRECTION outside PIN")
+		}
+		if err := ln.Require(2); err != nil {
+			return p.tolerate(err)
+		}
+		switch f[1] {
+		case "OUTPUT":
+			p.pin.Dir = netlist.DirOutput
+		case "INOUT":
+			p.pin.Dir = netlist.DirInout
+		default:
+			p.pin.Dir = netlist.DirInput
+		}
+	case "USE":
+		if p.pin == nil {
+			return nil // macro-level USE lines are outside the subset
+		}
+		if err := ln.Require(2); err != nil {
+			return p.tolerate(err)
+		}
+		if f[1] == "CLOCK" {
+			p.pin.Clock = true
+		}
+	case "ORIGIN":
+		if p.pin == nil {
+			return ln.Errf(f[0], "ORIGIN outside PIN")
+		}
+		if err := p.origin(ln); err != nil {
+			return p.tolerate(err)
+		}
+	case "END":
+		// Close the innermost open block first, so a pin that shares its
+		// macro's name does not end the macro early.
+		if len(f) >= 2 && p.pin != nil && f[1] == p.pin.Name {
+			p.pin = nil
+		} else if len(f) >= 2 && p.m != nil && f[1] == p.m.Name {
+			p.m = nil
+		}
+	}
+	return nil
+}
+
+func (p *lefParser) size(ln *scan.Line) error {
+	if err := ln.Require(4); err != nil {
+		return err
+	}
+	w, err := p.dim(ln, 1)
+	if err != nil {
+		return err
+	}
+	h, err := p.dim(ln, 3)
+	if err != nil {
+		return err
+	}
+	p.m.Width, p.m.Height = w, h
+	return nil
+}
+
+func (p *lefParser) origin(ln *scan.Line) error {
+	if err := ln.Require(3); err != nil {
+		return err
+	}
+	x, err := p.offset(ln, 1)
+	if err != nil {
+		return err
+	}
+	y, err := p.offset(ln, 2)
+	if err != nil {
+		return err
+	}
+	p.pin.OffsetX, p.pin.OffsetY = x, y
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/scan"
 )
 
 // Unit conversions between file and SI.
@@ -20,6 +21,20 @@ const (
 	capUnit    = 1e-12 // pF
 	leakUnit   = 1e-9  // nW
 	energyUnit = 1e-15 // fJ
+)
+
+// Parse-time magnitude bounds, in file units. They reject corrupt inputs
+// and keep the fixed-precision writers' write->read->write fixpoint: table
+// entries additionally must not be denormal-small, or the unit rescale
+// would lose precision.
+const (
+	maxArea     = 1e8  // um^2
+	maxLeak     = 1e8  // nW
+	maxCap      = 1e6  // pF
+	maxEnergy   = 1e8  // fJ
+	maxTableVal = 1e12 // table index/value magnitude
+	minTableVal = 1e-12
+	maxDepth    = 64 // group nesting
 )
 
 // Write emits the library.
@@ -121,73 +136,154 @@ func joinScaled(vs []float64, unit float64) string {
 	return strings.Join(parts, ", ")
 }
 
-// Parse reads a liberty file into a new library.
+// Options configures a parse.
+type Options struct {
+	// File names the input in errors; defaults to "liberty".
+	File string
+	// Lenient tolerates recoverable field errors — unparsable or
+	// out-of-range numeric attributes, malformed NLDM tables — by skipping
+	// the attribute (or dropping the timing arc) and recording a warning.
+	// Structural errors (broken group syntax, duplicate cells) are fatal in
+	// both modes.
+	Lenient bool
+}
+
+// Parse reads a liberty file into a new library, strictly: every malformed
+// field is a *scan.ParseError.
 func Parse(r io.Reader) (*netlist.Library, error) {
+	lib, _, err := ParseWith(r, Options{})
+	return lib, err
+}
+
+// ParseWith reads liberty under the given options. In lenient mode the
+// returned warnings list the fields and arcs that were skipped.
+func ParseWith(r io.Reader, o Options) (*netlist.Library, []*scan.ParseError, error) {
+	file := o.File
+	if file == "" {
+		file = "liberty"
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, scan.Errorf(file, 0, "", "read: %v", err)
 	}
-	toks := tokenize(string(data))
-	p := &parser{toks: toks}
-	g, err := p.parseGroup()
+	b := &builder{file: file, strict: !o.Lenient}
+	if o.Lenient {
+		b.warns = &scan.Warnings{}
+	}
+	p := &parser{toks: tokenize(string(data)), file: file}
+	g, err := p.parseGroup(0)
 	if err != nil {
-		return nil, err
+		return nil, b.warns.List(), err
 	}
 	if g.name != "library" {
-		return nil, fmt.Errorf("liberty: top group is %q, want library", g.name)
+		return nil, b.warns.List(), scan.Errorf(file, g.line, g.name, "top group is %q, want library", g.name)
 	}
 	libName := "lib"
-	if len(g.args) > 0 {
+	if len(g.args) > 0 && g.args[0] != "" {
 		libName = g.args[0]
 	}
 	lib := netlist.NewLibrary(libName)
 	for _, cg := range g.groups {
-		if cg.name != "cell" || len(cg.args) == 0 {
+		if cg.name != "cell" {
 			continue
 		}
-		m, err := buildCell(cg)
+		if len(cg.args) == 0 || cg.args[0] == "" {
+			if err := b.tolerate(scan.Errorf(file, cg.line, "cell", "cell without a name")); err != nil {
+				return nil, b.warns.List(), err
+			}
+			continue
+		}
+		m, err := b.cell(cg)
 		if err != nil {
-			return nil, err
+			return nil, b.warns.List(), err
 		}
 		if err := lib.AddMaster(m); err != nil {
-			return nil, err
+			return nil, b.warns.List(), scan.Errorf(file, cg.line, m.Name, "%v", err)
 		}
 	}
-	return lib, nil
+	return lib, b.warns.List(), nil
 }
 
 // group is a parsed liberty group: name(args) { attrs; subgroups }.
 type group struct {
 	name   string
+	line   int
 	args   []string
-	attrs  map[string]string
+	attrs  map[string]attrVal
 	groups []*group
 }
 
-func buildCell(g *group) (*netlist.Master, error) {
-	m := &netlist.Master{Name: g.args[0]}
-	if v, ok := g.attrs["cell_leakage_power"]; ok {
-		f, _ := strconv.ParseFloat(v, 64)
-		m.Leakage = f * leakUnit
+// attrVal is an attribute value with the line it was defined on.
+type attrVal struct {
+	s    string
+	line int
+}
+
+// builder turns the parsed group tree into a netlist.Library, applying the
+// strict/lenient policy to numeric attributes.
+type builder struct {
+	file   string
+	strict bool
+	warns  *scan.Warnings
+}
+
+func (b *builder) tolerate(err *scan.ParseError) error {
+	if err == nil || b.strict {
+		if err == nil {
+			return nil
+		}
+		return err
 	}
-	if g.attrs["is_macro_cell"] == "true" {
+	b.warns.Add(err)
+	return nil
+}
+
+// numAttr parses the named attribute as a finite number with |v| <= maxAbs,
+// scaled by unit. ok reports whether a usable value was produced; a bad
+// value is an error in strict mode and a recorded warning otherwise.
+func (b *builder) numAttr(g *group, name string, unit, maxAbs float64) (v float64, ok bool, err error) {
+	a, present := g.attrs[name]
+	if !present {
+		return 0, false, nil
+	}
+	raw, pok := scan.ParseFloat(a.s)
+	if !pok || raw < -maxAbs || raw > maxAbs {
+		return 0, false, b.tolerate(scan.Errorf(b.file, a.line, a.s,
+			"%s: not a finite number in [-%g, %g]", name, maxAbs, maxAbs))
+	}
+	return raw * unit, true, nil
+}
+
+func (b *builder) cell(g *group) (*netlist.Master, error) {
+	m := &netlist.Master{Name: g.args[0]}
+	if v, ok, err := b.numAttr(g, "cell_leakage_power", leakUnit, maxLeak); err != nil {
+		return nil, err
+	} else if ok {
+		m.Leakage = v
+	}
+	if g.attrs["is_macro_cell"].s == "true" {
 		m.Class = netlist.ClassMacro
 	}
 	// Geometry comes from LEF; approximate from area if present so a
 	// liberty-only library is still usable.
-	if v, ok := g.attrs["area"]; ok {
-		a, _ := strconv.ParseFloat(v, 64)
-		if a > 0 {
-			m.Height = 1.4
-			m.Width = a / m.Height
-		}
+	if a, ok, err := b.numAttr(g, "area", 1, maxArea); err != nil {
+		return nil, err
+	} else if ok && a > 0 {
+		m.Height = 1.4
+		m.Width = a / m.Height
 	}
 	for _, pg := range g.groups {
-		if pg.name != "pin" || len(pg.args) == 0 {
+		if pg.name != "pin" {
+			continue
+		}
+		if len(pg.args) == 0 || pg.args[0] == "" {
+			if err := b.tolerate(scan.Errorf(b.file, pg.line, "pin", "pin without a name")); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		pin := netlist.MasterPin{Name: pg.args[0]}
-		switch pg.attrs["direction"] {
+		switch pg.attrs["direction"].s {
 		case "output":
 			pin.Dir = netlist.DirOutput
 		case "inout":
@@ -195,24 +291,29 @@ func buildCell(g *group) (*netlist.Master, error) {
 		default:
 			pin.Dir = netlist.DirInput
 		}
-		if v, ok := pg.attrs["capacitance"]; ok {
-			f, _ := strconv.ParseFloat(v, 64)
-			pin.Cap = f * capUnit
+		if v, ok, err := b.numAttr(pg, "capacitance", capUnit, maxCap); err != nil {
+			return nil, err
+		} else if ok {
+			pin.Cap = v
 		}
-		if v, ok := pg.attrs["max_capacitance"]; ok {
-			f, _ := strconv.ParseFloat(v, 64)
-			pin.MaxCap = f * capUnit
+		if v, ok, err := b.numAttr(pg, "max_capacitance", capUnit, maxCap); err != nil {
+			return nil, err
+		} else if ok {
+			pin.MaxCap = v
 		}
-		if pg.attrs["clock"] == "true" {
+		if pg.attrs["clock"].s == "true" {
 			pin.Clock = true
 		}
 		for _, tg := range pg.groups {
 			if tg.name != "timing" {
 				continue
 			}
-			arc, err := buildArc(tg)
+			arc, err := b.arc(tg)
 			if err != nil {
-				return nil, err
+				if terr := b.tolerate(asParseError(err)); terr != nil {
+					return nil, terr
+				}
+				continue // lenient: drop the malformed arc
 			}
 			pin.Arcs = append(pin.Arcs, arc)
 		}
@@ -221,9 +322,16 @@ func buildCell(g *group) (*netlist.Master, error) {
 	return m, nil
 }
 
-func buildArc(g *group) (netlist.TimingArc, error) {
-	arc := netlist.TimingArc{From: strings.Trim(g.attrs["related_pin"], "\"")}
-	switch g.attrs["timing_type"] {
+func asParseError(err error) *scan.ParseError {
+	if pe, ok := err.(*scan.ParseError); ok {
+		return pe
+	}
+	return &scan.ParseError{Msg: err.Error()}
+}
+
+func (b *builder) arc(g *group) (netlist.TimingArc, error) {
+	arc := netlist.TimingArc{From: strings.Trim(g.attrs["related_pin"].s, "\"")}
+	switch g.attrs["timing_type"].s {
 	case "rising_edge", "falling_edge":
 		arc.Kind = netlist.ArcClkToQ
 	case "setup_rising", "setup_falling":
@@ -233,20 +341,26 @@ func buildArc(g *group) (netlist.TimingArc, error) {
 	default:
 		arc.Kind = netlist.ArcComb
 	}
-	if v, ok := g.attrs["energy"]; ok {
-		f, _ := strconv.ParseFloat(v, 64)
-		arc.Energy = f * energyUnit
+	// A bad energy value is always arc-fatal here; cell() downgrades it to
+	// a dropped arc in lenient mode.
+	if a, present := g.attrs["energy"]; present {
+		v, ok := scan.ParseFloat(a.s)
+		if !ok || v < -maxEnergy || v > maxEnergy {
+			return arc, scan.Errorf(b.file, a.line, a.s, "energy: not a finite number in [-%g, %g]",
+				float64(maxEnergy), float64(maxEnergy))
+		}
+		arc.Energy = v * energyUnit
 	}
 	for _, tg := range g.groups {
 		switch tg.name {
 		case "cell_rise", "cell_fall":
-			t, err := buildTable(tg)
+			t, err := b.table(tg)
 			if err != nil {
 				return arc, err
 			}
 			arc.Delay = t
 		case "rise_transition", "fall_transition":
-			t, err := buildTable(tg)
+			t, err := b.table(tg)
 			if err != nil {
 				return arc, err
 			}
@@ -256,18 +370,18 @@ func buildArc(g *group) (netlist.TimingArc, error) {
 	return arc, nil
 }
 
-func buildTable(g *group) (netlist.Table, error) {
+func (b *builder) table(g *group) (netlist.Table, error) {
 	var t netlist.Table
 	var err error
-	if t.Slews, err = parseList(g.attrs["index_1"], timeUnit); err != nil {
+	if t.Slews, err = b.list(g, "index_1", timeUnit); err != nil {
 		return t, err
 	}
-	if t.Loads, err = parseList(g.attrs["index_2"], capUnit); err != nil {
+	if t.Loads, err = b.list(g, "index_2", capUnit); err != nil {
 		return t, err
 	}
-	rows := strings.Split(g.attrs["values"], ";")
-	for _, row := range rows {
-		vals, err := parseList(row, timeUnit)
+	values := g.attrs["values"]
+	for _, row := range strings.Split(values.s, ";") {
+		vals, err := parseList(b.file, values.line, row, timeUnit)
 		if err != nil {
 			return t, err
 		}
@@ -276,17 +390,24 @@ func buildTable(g *group) (netlist.Table, error) {
 		}
 	}
 	if len(t.Values) != len(t.Slews) {
-		return t, fmt.Errorf("liberty: table has %d rows for %d slews", len(t.Values), len(t.Slews))
+		return t, scan.Errorf(b.file, g.line, g.name, "table has %d rows for %d slews",
+			len(t.Values), len(t.Slews))
 	}
 	for _, row := range t.Values {
 		if len(row) != len(t.Loads) {
-			return t, fmt.Errorf("liberty: table row has %d cols for %d loads", len(row), len(t.Loads))
+			return t, scan.Errorf(b.file, g.line, g.name, "table row has %d cols for %d loads",
+				len(row), len(t.Loads))
 		}
 	}
 	return t, nil
 }
 
-func parseList(s string, unit float64) ([]float64, error) {
+func (b *builder) list(g *group, name string, unit float64) ([]float64, error) {
+	a := g.attrs[name]
+	return parseList(b.file, a.line, a.s, unit)
+}
+
+func parseList(file string, line int, s string, unit float64) ([]float64, error) {
 	s = strings.Trim(s, "\" ")
 	if s == "" {
 		return nil, nil
@@ -298,9 +419,10 @@ func parseList(s string, unit float64) ([]float64, error) {
 		if p == "" {
 			continue
 		}
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("liberty: bad number %q", p)
+		v, ok := scan.ParseFloat(p)
+		if !ok || (v != 0 && (v < -maxTableVal || v > maxTableVal ||
+			(v > -minTableVal && v < minTableVal))) {
+			return nil, scan.Errorf(file, line, p, "bad table number")
 		}
 		out = append(out, v*unit)
 	}
@@ -309,43 +431,64 @@ func parseList(s string, unit float64) ([]float64, error) {
 
 // ---- tokenizer and recursive-descent group parser ----
 
-type parser struct {
-	toks []string
-	pos  int
+type tok struct {
+	text string
+	line int
 }
 
-func tokenize(s string) []string {
-	var toks []string
+type parser struct {
+	toks []tok
+	pos  int
+	file string
+}
+
+func tokenize(s string) []tok {
+	var toks []tok
+	line := 1
 	i := 0
 	for i < len(s) {
 		c := s[i]
 		switch {
-		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '\\': // line continuation
 			i++
 		case c == '/' && i+1 < len(s) && s[i+1] == '*':
 			i += 2
 			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				if s[i] == '\n' {
+					line++
+				}
 				i++
 			}
 			i += 2
 		case strings.ContainsRune("(){};:,", rune(c)):
-			toks = append(toks, string(c))
+			toks = append(toks, tok{string(c), line})
 			i++
 		case c == '"':
 			j := i + 1
 			for j < len(s) && s[j] != '"' {
+				if s[j] == '\n' {
+					line++
+				}
 				j++
 			}
-			toks = append(toks, s[i:j+1])
-			i = j + 1
+			if j >= len(s) { // unterminated string: take to EOF
+				toks = append(toks, tok{s[i:], line})
+				i = len(s)
+			} else {
+				toks = append(toks, tok{s[i : j+1], line})
+				i = j + 1
+			}
 		default:
 			j := i
 			for j < len(s) && !strings.ContainsRune(" \t\r\n(){};:,\\\"", rune(s[j])) {
 				j++
 			}
-			toks = append(toks, s[i:j])
+			toks = append(toks, tok{s[i:j], line})
 			i = j
 		}
 	}
@@ -354,9 +497,19 @@ func tokenize(s string) []string {
 
 func (p *parser) peek() string {
 	if p.pos < len(p.toks) {
-		return p.toks[p.pos]
+		return p.toks[p.pos].text
 	}
 	return ""
+}
+
+func (p *parser) line() int {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].line
+	}
+	if len(p.toks) > 0 {
+		return p.toks[len(p.toks)-1].line
+	}
+	return 0
 }
 
 func (p *parser) next() string {
@@ -366,15 +519,19 @@ func (p *parser) next() string {
 }
 
 // parseGroup parses name ( args ) { body }.
-func (p *parser) parseGroup() (*group, error) {
-	g := &group{name: p.next(), attrs: map[string]string{}}
+func (p *parser) parseGroup(depth int) (*group, error) {
+	if depth > maxDepth {
+		return nil, scan.Errorf(p.file, p.line(), p.peek(), "groups nested deeper than %d", maxDepth)
+	}
+	g := &group{line: p.line(), attrs: map[string]attrVal{}}
+	g.name = p.next()
 	if p.next() != "(" {
-		return nil, fmt.Errorf("liberty: expected ( after %s", g.name)
+		return nil, scan.Errorf(p.file, g.line, g.name, "expected ( after %s", g.name)
 	}
 	for p.peek() != ")" && p.peek() != "" {
-		tok := p.next()
-		if tok != "," {
-			g.args = append(g.args, strings.Trim(tok, "\""))
+		t := p.next()
+		if t != "," {
+			g.args = append(g.args, strings.Trim(t, "\""))
 		}
 	}
 	p.next() // ")"
@@ -395,8 +552,9 @@ func (p *parser) parseGroup() (*group, error) {
 			}
 			return g, nil
 		case "":
-			return nil, fmt.Errorf("liberty: unexpected EOF in group %s", g.name)
+			return nil, scan.Errorf(p.file, p.line(), g.name, "unexpected EOF in group %s", g.name)
 		}
+		nameLine := p.line()
 		name := p.next()
 		switch p.peek() {
 		case ":":
@@ -409,11 +567,11 @@ func (p *parser) parseGroup() (*group, error) {
 				val.WriteString(p.next())
 			}
 			p.next() // ";"
-			g.attrs[name] = strings.TrimSpace(val.String())
+			g.attrs[name] = attrVal{s: strings.TrimSpace(val.String()), line: nameLine}
 		case "(":
 			// Sub-group or complex attribute: rewind and parse as group.
 			p.pos--
-			sub, err := p.parseGroup()
+			sub, err := p.parseGroup(depth + 1)
 			if err != nil {
 				return nil, err
 			}
@@ -423,12 +581,12 @@ func (p *parser) parseGroup() (*group, error) {
 				sub.name != "pin" && sub.name != "cell" &&
 				sub.name != "cell_rise" && sub.name != "cell_fall" &&
 				sub.name != "rise_transition" && sub.name != "fall_transition" {
-				g.attrs[sub.name] = strings.Join(sub.args, ";")
+				g.attrs[sub.name] = attrVal{s: strings.Join(sub.args, ";"), line: sub.line}
 			} else {
 				g.groups = append(g.groups, sub)
 			}
 		default:
-			return nil, fmt.Errorf("liberty: unexpected token %q after %q", p.peek(), name)
+			return nil, scan.Errorf(p.file, nameLine, name, "unexpected token %q after %q", p.peek(), name)
 		}
 	}
 }

@@ -1,0 +1,210 @@
+// Package scan is the shared bounds-checked token-reader layer under the
+// format front-end (def, lef, liberty, sdc, verilog). Every reader builds on
+// it so that a malformed input line yields a structured *ParseError carrying
+// file name, line number and the offending token — never a panic, and never
+// a silently defaulted value. It also carries the strict/lenient mode
+// convention: strict parsing turns every recoverable field error into a
+// *ParseError, lenient parsing skips the field and records the same error as
+// a warning.
+package scan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MaxAbs is the universal magnitude cap on parsed floats. Values beyond it
+// (and NaN/Inf) are rejected: no physical quantity the flow consumes —
+// nanoseconds, picofarads, microns, database units — comes anywhere near it,
+// and the cap keeps downstream float->int conversions and unit rescaling
+// away from overflow and implementation-defined behavior.
+const MaxAbs = 1e30
+
+// ParseError is the structured error every format reader returns. File is
+// the file name (or the format tag, e.g. "def", when no name was given),
+// Line is 1-based (0 when the error is not tied to a line), Token is the
+// offending token when one exists.
+type ParseError struct {
+	File  string
+	Line  int
+	Token string
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	var b strings.Builder
+	b.WriteString(e.File)
+	if e.Line > 0 {
+		fmt.Fprintf(&b, ":%d", e.Line)
+	}
+	b.WriteString(": ")
+	if e.Token != "" {
+		fmt.Fprintf(&b, "%q: ", e.Token)
+	}
+	b.WriteString(e.Msg)
+	return b.String()
+}
+
+// Errorf builds a *ParseError with a formatted message.
+func Errorf(file string, line int, token, format string, args ...any) *ParseError {
+	return &ParseError{File: file, Line: line, Token: token, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Warnings collects the lenient-mode ParseErrors a reader tolerated. The
+// zero value is ready to use; a nil *Warnings silently drops (strict-mode
+// readers pass nil and return the error instead).
+type Warnings struct {
+	list []*ParseError
+}
+
+// Add records one warning.
+func (w *Warnings) Add(e *ParseError) {
+	if w != nil && e != nil {
+		w.list = append(w.list, e)
+	}
+}
+
+// List returns the recorded warnings in input order.
+func (w *Warnings) List() []*ParseError {
+	if w == nil {
+		return nil
+	}
+	return w.list
+}
+
+// Len reports the number of recorded warnings.
+func (w *Warnings) Len() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.list)
+}
+
+// Line is one line of whitespace-separated fields with provenance. All
+// accessors are bounds-checked and return *ParseError on violation.
+type Line struct {
+	File   string
+	Num    int
+	Fields []string
+}
+
+// Len returns the field count.
+func (l *Line) Len() int { return len(l.Fields) }
+
+// Errf builds a *ParseError anchored at this line.
+func (l *Line) Errf(token, format string, args ...any) *ParseError {
+	return Errorf(l.File, l.Num, token, format, args...)
+}
+
+// Require errors unless the line has at least n fields.
+func (l *Line) Require(n int) error {
+	if len(l.Fields) < n {
+		tok := ""
+		if len(l.Fields) > 0 {
+			tok = l.Fields[0]
+		}
+		return l.Errf(tok, "want at least %d fields, got %d", n, len(l.Fields))
+	}
+	return nil
+}
+
+// Str returns field i.
+func (l *Line) Str(i int) (string, error) {
+	if i < 0 || i >= len(l.Fields) {
+		return "", l.Errf("", "missing field %d (line has %d)", i, len(l.Fields))
+	}
+	return l.Fields[i], nil
+}
+
+// Float parses field i as a finite float64 with |v| <= MaxAbs.
+func (l *Line) Float(i int) (float64, error) {
+	s, err := l.Str(i)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > MaxAbs {
+		return 0, l.Errf(s, "not a finite number")
+	}
+	return v, nil
+}
+
+// Int parses field i as an int.
+func (l *Line) Int(i int) (int, error) {
+	s, err := l.Str(i)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, l.Errf(s, "not an integer")
+	}
+	return v, nil
+}
+
+// ParseFloat applies the Float policy (finite, |v| <= MaxAbs) to a bare
+// token, for readers that are not line-oriented.
+func ParseFloat(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > MaxAbs {
+		return 0, false
+	}
+	return v, true
+}
+
+// Scanner wraps bufio.Scanner with file/line provenance, producing Lines.
+type Scanner struct {
+	sc   *bufio.Scanner
+	file string
+	num  int
+	line Line
+}
+
+// NewScanner builds a Scanner over r. file names the source in errors (pass
+// the format tag, e.g. "def", when no path is known). bufSize bounds the
+// longest accepted line; 0 selects a 1 MiB default.
+func NewScanner(r io.Reader, file string, bufSize int) *Scanner {
+	if bufSize <= 0 {
+		bufSize = 1024 * 1024
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, bufSize), bufSize)
+	return &Scanner{sc: sc, file: file}
+}
+
+// Scan advances to the next non-empty line, reporting false at EOF or error.
+func (s *Scanner) Scan() bool {
+	for s.sc.Scan() {
+		s.num++
+		f := strings.Fields(s.sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		s.line = Line{File: s.file, Num: s.num, Fields: f}
+		return true
+	}
+	return false
+}
+
+// Line returns the current line. Valid after a true Scan.
+func (s *Scanner) Line() *Line { return &s.line }
+
+// Err returns the underlying reader error, wrapped with provenance.
+func (s *Scanner) Err() error {
+	if err := s.sc.Err(); err != nil {
+		return Errorf(s.file, s.num, "", "read: %v", err)
+	}
+	return nil
+}
+
+// File returns the name the scanner reports in errors.
+func (s *Scanner) File() string { return s.file }
+
+// Errf builds a *ParseError at the scanner's current line.
+func (s *Scanner) Errf(token, format string, args ...any) *ParseError {
+	return Errorf(s.file, s.num, token, format, args...)
+}

@@ -1,0 +1,101 @@
+package scan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestScannerTracksLines(t *testing.T) {
+	src := "a b c\n\n  \n d e\n"
+	sc := NewScanner(strings.NewReader(src), "x.def", 0)
+	if !sc.Scan() {
+		t.Fatal("first Scan failed")
+	}
+	if ln := sc.Line(); ln.Num != 1 || ln.Len() != 3 {
+		t.Fatalf("line 1: %+v", ln)
+	}
+	if !sc.Scan() {
+		t.Fatal("second Scan failed")
+	}
+	if ln := sc.Line(); ln.Num != 4 || ln.Fields[0] != "d" {
+		t.Fatalf("blank lines not skipped with numbering kept: %+v", ln)
+	}
+	if sc.Scan() {
+		t.Fatal("Scan past EOF")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAccessors(t *testing.T) {
+	ln := &Line{File: "f.lef", Num: 7, Fields: []string{"SIZE", "1.5", "BY", "x", "3"}}
+	if err := ln.Require(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Require(6); err == nil {
+		t.Fatal("Require(6) passed on 5 fields")
+	} else {
+		var pe *ParseError
+		if !errors.As(err, &pe) || pe.Line != 7 || pe.File != "f.lef" {
+			t.Fatalf("Require error lost provenance: %v", err)
+		}
+	}
+	if v, err := ln.Float(1); err != nil || v != 1.5 {
+		t.Fatalf("Float(1)=%v,%v", v, err)
+	}
+	if _, err := ln.Float(3); err == nil {
+		t.Fatal("Float of non-number passed")
+	}
+	if _, err := ln.Float(9); err == nil {
+		t.Fatal("Float out of range passed")
+	}
+	if v, err := ln.Int(4); err != nil || v != 3 {
+		t.Fatalf("Int(4)=%v,%v", v, err)
+	}
+	if _, err := ln.Int(1); err == nil {
+		t.Fatal("Int of float passed")
+	}
+}
+
+func TestFloatRejectsNonFinite(t *testing.T) {
+	for _, tok := range []string{"NaN", "Inf", "-Inf", "+Inf", "1e300", "-2e31"} {
+		ln := &Line{File: "f", Num: 1, Fields: []string{tok}}
+		if _, err := ln.Float(0); err == nil {
+			t.Fatalf("Float(%q) passed", tok)
+		}
+		if _, ok := ParseFloat(tok); ok {
+			t.Fatalf("ParseFloat(%q) passed", tok)
+		}
+	}
+	if v, ok := ParseFloat("-1.25e3"); !ok || v != -1250 {
+		t.Fatalf("ParseFloat(-1.25e3)=%v,%v", v, ok)
+	}
+}
+
+func TestParseErrorFormat(t *testing.T) {
+	e := Errorf("a.def", 12, "ROW", "want %d fields", 13)
+	want := `a.def:12: "ROW": want 13 fields`
+	if e.Error() != want {
+		t.Fatalf("Error()=%q want %q", e.Error(), want)
+	}
+	e2 := Errorf("b.sdc", 0, "", "no create_clock")
+	if e2.Error() != "b.sdc: no create_clock" {
+		t.Fatalf("Error()=%q", e2.Error())
+	}
+}
+
+func TestWarnings(t *testing.T) {
+	var w Warnings
+	w.Add(Errorf("f", 1, "", "a"))
+	w.Add(Errorf("f", 2, "", "b"))
+	if w.Len() != 2 || len(w.List()) != 2 {
+		t.Fatalf("warnings lost: %d", w.Len())
+	}
+	var nilW *Warnings
+	nilW.Add(Errorf("f", 3, "", "c")) // must not panic
+	if nilW.Len() != 0 || nilW.List() != nil {
+		t.Fatal("nil Warnings misbehaved")
+	}
+}

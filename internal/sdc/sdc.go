@@ -5,13 +5,21 @@
 package sdc
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
+	"ppaclust/internal/scan"
 	"ppaclust/internal/sta"
+)
+
+// Parse-time sanity bounds, in file units (ns / pF). The clock period must
+// be a usable positive value; delays, transitions and loads are capped so
+// the fixed-precision writer round-trips exactly.
+const (
+	minPeriodNS = 1e-3
+	maxPeriodNS = 1e9
+	maxValue    = 1e9
 )
 
 // Write emits constraints in SDC syntax.
@@ -30,64 +38,136 @@ func Write(w io.Writer, cons sta.Constraints) error {
 	return err
 }
 
-// Parse reads SDC commands into constraints. Unknown commands are ignored
-// (the subset philosophy of most academic flows).
+// Options configures a parse.
+type Options struct {
+	// File names the input in errors; defaults to "sdc".
+	File string
+	// Lenient tolerates recoverable field errors — a delay/transition/load
+	// command without a parsable value — by keeping the default and
+	// recording a warning. An unusable create_clock (missing, valueless or
+	// unparsable -period) is fatal in both modes: the flow cannot default
+	// the clock.
+	Lenient bool
+}
+
+// Parse reads SDC commands into constraints, strictly: every malformed
+// field is a *scan.ParseError. Unknown commands are ignored (the subset
+// philosophy of most academic flows).
 func Parse(r io.Reader) (sta.Constraints, error) {
+	cons, _, err := ParseWith(r, Options{})
+	return cons, err
+}
+
+// ParseWith reads SDC under the given options. In lenient mode the returned
+// warnings list the fields that were skipped.
+func ParseWith(r io.Reader, o Options) (sta.Constraints, []*scan.ParseError, error) {
+	file := o.File
+	if file == "" {
+		file = "sdc"
+	}
 	// Start from neutral values; defaults derive from the parsed period.
 	cons := sta.Constraints{InputSlew: 20e-12, PortCap: 4e-15, InputActivity: 0.15}
-	sc := bufio.NewScanner(r)
-	lineNo := 0
+	var warns *scan.Warnings
+	if o.Lenient {
+		warns = &scan.Warnings{}
+	}
+	strict := !o.Lenient
+	tolerate := func(err *scan.ParseError) error {
+		if strict {
+			return err
+		}
+		warns.Add(err)
+		return nil
+	}
+	// Explicit-value tracking: a written 0.0000 must stay an explicit zero
+	// instead of re-triggering the period-derived defaults.
+	var sawInputDelay, sawOutputDelay bool
+
+	sc := scan.NewScanner(r, file, 1024*1024)
 	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		ln := sc.Line()
+		if strings.HasPrefix(ln.Fields[0], "#") {
 			continue
 		}
-		f := tokenizeTCL(line)
-		if len(f) == 0 {
-			continue
-		}
+		f := tokenizeTCL(strings.Join(ln.Fields, " "))
+		ln = &scan.Line{File: ln.File, Num: ln.Num, Fields: f}
 		switch f[0] {
 		case "create_clock":
-			period, err := flagValue(f, "-period")
+			period, err := flagValue(ln, "-period")
 			if err != nil {
-				return cons, fmt.Errorf("sdc: line %d: %v", lineNo, err)
+				return cons, warns.List(), err
+			}
+			if period < minPeriodNS || period > maxPeriodNS {
+				return cons, warns.List(),
+					ln.Errf("-period", "clock period %g ns out of range [%g, %g]",
+						period, minPeriodNS, maxPeriodNS)
+			}
+			port := portArg(f)
+			if port == "" {
+				port, _ = flagString(f, "-name")
+			}
+			// A clock without a usable port name cannot be re-emitted; the
+			// period is still recorded in lenient mode (the flow needs only
+			// the period, ports just mark clock nets).
+			if port == "" || strings.HasPrefix(port, "-") {
+				err := ln.Errf(port, "create_clock needs a port ([get_ports ...]) or -name")
+				if err := tolerate(err); err != nil {
+					return cons, warns.List(), err
+				}
+			} else {
+				cons.ClockPorts = append(cons.ClockPorts, port)
 			}
 			cons.ClockPeriod = period * 1e-9
-			if port := portArg(f); port != "" {
-				cons.ClockPorts = append(cons.ClockPorts, port)
-			} else if name, err := flagString(f, "-name"); err == nil {
-				cons.ClockPorts = append(cons.ClockPorts, name)
-			}
 		case "set_input_delay":
-			if v, ok := firstNumber(f[1:]); ok {
+			if v, err := commandValue(ln); err != nil {
+				if err := tolerate(err); err != nil {
+					return cons, warns.List(), err
+				}
+			} else {
 				cons.InputDelay = v * 1e-9
+				sawInputDelay = true
 			}
 		case "set_output_delay":
-			if v, ok := firstNumber(f[1:]); ok {
+			if v, err := commandValue(ln); err != nil {
+				if err := tolerate(err); err != nil {
+					return cons, warns.List(), err
+				}
+			} else {
 				cons.OutputDelay = v * 1e-9
+				sawOutputDelay = true
 			}
 		case "set_input_transition":
-			if v, ok := firstNumber(f[1:]); ok {
+			if v, err := commandValue(ln); err != nil {
+				if err := tolerate(err); err != nil {
+					return cons, warns.List(), err
+				}
+			} else {
 				cons.InputSlew = v * 1e-9
 			}
 		case "set_load":
-			if v, ok := firstNumber(f[1:]); ok {
+			if v, err := commandValue(ln); err != nil {
+				if err := tolerate(err); err != nil {
+					return cons, warns.List(), err
+				}
+			} else {
 				cons.PortCap = v * 1e-12
 			}
 		}
 	}
+	if err := sc.Err(); err != nil {
+		return cons, warns.List(), err
+	}
 	if cons.ClockPeriod <= 0 {
-		return cons, fmt.Errorf("sdc: no create_clock -period found")
+		return cons, warns.List(), scan.Errorf(file, 0, "", "no create_clock -period found")
 	}
 	// Derive defaults the file did not set.
-	if cons.InputDelay == 0 {
+	if !sawInputDelay && cons.InputDelay == 0 {
 		cons.InputDelay = 0.1 * cons.ClockPeriod
 	}
-	if cons.OutputDelay == 0 {
+	if !sawOutputDelay && cons.OutputDelay == 0 {
 		cons.OutputDelay = 0.1 * cons.ClockPeriod
 	}
-	return cons, sc.Err()
+	return cons, warns.List(), nil
 }
 
 // tokenizeTCL splits a line, treating [get_ports x] brackets as grouping.
@@ -97,22 +177,35 @@ func tokenizeTCL(line string) []string {
 	return strings.Fields(line)
 }
 
-func flagValue(f []string, flag string) (float64, error) {
+// flagValue finds "flag value" in the line and parses the value, reporting
+// a missing flag, a flag that ends the line, and an unparsable value as
+// distinct errors.
+func flagValue(ln *scan.Line, flag string) (float64, *scan.ParseError) {
+	f := ln.Fields
 	for i := range f {
-		if f[i] == flag && i+1 < len(f) {
-			return strconv.ParseFloat(f[i+1], 64)
+		if f[i] != flag {
+			continue
 		}
+		if i+1 >= len(f) {
+			return 0, ln.Errf(flag, "%s is the last token; it needs a value", flag)
+		}
+		v, ok := scan.ParseFloat(f[i+1])
+		if !ok {
+			return 0, ln.Errf(f[i+1], "unparsable %s value", flag)
+		}
+		return v, nil
 	}
-	return 0, fmt.Errorf("missing %s", flag)
+	return 0, ln.Errf(f[0], "missing %s", flag)
 }
 
-func flagString(f []string, flag string) (string, error) {
+// flagString finds "flag value" and returns the value token.
+func flagString(f []string, flag string) (string, bool) {
 	for i := range f {
 		if f[i] == flag && i+1 < len(f) {
-			return f[i+1], nil
+			return f[i+1], true
 		}
 	}
-	return "", fmt.Errorf("missing %s", flag)
+	return "", false
 }
 
 // portArg extracts X from "[ get_ports X ]".
@@ -125,11 +218,16 @@ func portArg(f []string) string {
 	return ""
 }
 
-func firstNumber(f []string) (float64, bool) {
-	for _, tok := range f {
-		if v, err := strconv.ParseFloat(tok, 64); err == nil {
-			return v, true
+// commandValue returns the first finite number among the command's
+// arguments, bounded to the writer-stable range.
+func commandValue(ln *scan.Line) (float64, *scan.ParseError) {
+	for _, tok := range ln.Fields[1:] {
+		if v, ok := scan.ParseFloat(tok); ok {
+			if v < -maxValue || v > maxValue {
+				return 0, ln.Errf(tok, "value out of range (|v| > %g)", float64(maxValue))
+			}
+			return v, nil
 		}
 	}
-	return 0, false
+	return 0, ln.Errf(ln.Fields[0], "no numeric value found")
 }

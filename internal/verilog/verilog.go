@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/scan"
 )
 
 // Write emits the design as structural Verilog.
@@ -44,7 +45,10 @@ func Write(w io.Writer, d *netlist.Design) error {
 			fmt.Fprintf(w, "  wire %s;\n", ident(n.Name))
 		}
 	}
-	// Port pins riding on differently-named nets become assigns.
+	// Port pins riding on differently-named nets become assigns, emitted in
+	// sorted order: net creation order differs between a parsed design and
+	// its re-parsed emission, so iteration order alone is not canonical.
+	var assigns []string
 	for _, n := range d.Nets {
 		for _, pr := range n.Pins {
 			if !pr.IsPort() || pr.Pin == n.Name {
@@ -55,11 +59,15 @@ func Write(w io.Writer, d *netlist.Design) error {
 				continue
 			}
 			if port.Dir == netlist.DirOutput {
-				fmt.Fprintf(w, "  assign %s = %s;\n", ident(port.Name), ident(n.Name))
+				assigns = append(assigns, fmt.Sprintf("  assign %s = %s;\n", ident(port.Name), ident(n.Name)))
 			} else {
-				fmt.Fprintf(w, "  assign %s = %s;\n", ident(n.Name), ident(port.Name))
+				assigns = append(assigns, fmt.Sprintf("  assign %s = %s;\n", ident(n.Name), ident(port.Name)))
 			}
 		}
+	}
+	sort.Strings(assigns)
+	for _, a := range assigns {
+		io.WriteString(w, a)
 	}
 	// Instance connections: gather per instance.
 	conns := make(map[int][][2]string) // inst -> [pin, net]
@@ -73,7 +81,14 @@ func Write(w io.Writer, d *netlist.Design) error {
 	}
 	for _, inst := range d.Insts {
 		cs := conns[inst.ID]
-		sort.Slice(cs, func(i, j int) bool { return cs[i][0] < cs[j][0] })
+		// Order by (pin, net): duplicate pin connections must emit
+		// deterministically, and sort.Slice is not stable.
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i][0] != cs[j][0] {
+				return cs[i][0] < cs[j][0]
+			}
+			return cs[i][1] < cs[j][1]
+		})
 		parts := make([]string, 0, len(cs))
 		for _, c := range cs {
 			parts = append(parts, fmt.Sprintf(".%s(%s)", c[0], ident(c[1])))
@@ -102,15 +117,41 @@ func ident(s string) string {
 	return "\\" + s + " " // escaped identifier, trailing space required
 }
 
-// Parse reads a structural Verilog module into a design bound to lib.
-// Every instantiated cell must exist in lib.
+// Options configures a parse.
+type Options struct {
+	// File names the input in errors; defaults to "verilog".
+	File string
+	// Lenient tolerates assigns between two non-port names by skipping the
+	// statement and recording a warning. Structural errors (unknown cells,
+	// unknown pins, broken syntax) are fatal in both modes.
+	Lenient bool
+}
+
+// Parse reads a structural Verilog module into a design bound to lib,
+// strictly: every malformed construct is a *scan.ParseError. Every
+// instantiated cell must exist in lib.
 func Parse(r io.Reader, lib *netlist.Library) (*netlist.Design, error) {
+	d, _, err := ParseWith(r, lib, Options{})
+	return d, err
+}
+
+// ParseWith reads Verilog under the given options. In lenient mode the
+// returned warnings list the statements that were skipped.
+func ParseWith(r io.Reader, lib *netlist.Library, o Options) (*netlist.Design, []*scan.ParseError, error) {
+	file := o.File
+	if file == "" {
+		file = "verilog"
+	}
 	toks, err := tokenize(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, scan.Errorf(file, 0, "", "read: %v", err)
 	}
-	p := &parser{toks: toks, lib: lib}
-	return p.parseModule()
+	p := &parser{toks: toks, lib: lib, file: file, strict: !o.Lenient}
+	if o.Lenient {
+		p.warns = &scan.Warnings{}
+	}
+	d, err := p.parseModule()
+	return d, p.warns.List(), err
 }
 
 type token struct {
@@ -171,14 +212,20 @@ func tokenize(r io.Reader) ([]token, error) {
 }
 
 type parser struct {
-	toks []token
-	pos  int
-	lib  *netlist.Library
+	toks   []token
+	pos    int
+	lib    *netlist.Library
+	file   string
+	strict bool
+	warns  *scan.Warnings
 }
 
 func (p *parser) peek() token {
 	if p.pos < len(p.toks) {
 		return p.toks[p.pos]
+	}
+	if len(p.toks) > 0 {
+		return token{"", p.toks[len(p.toks)-1].line}
 	}
 	return token{}
 }
@@ -189,10 +236,14 @@ func (p *parser) next() token {
 	return t
 }
 
+func (p *parser) errf(line int, tok, format string, args ...any) *scan.ParseError {
+	return scan.Errorf(p.file, line, tok, format, args...)
+}
+
 func (p *parser) expect(text string) error {
 	t := p.next()
 	if t.text != text {
-		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, text, t.text)
+		return p.errf(t.line, t.text, "expected %q", text)
 	}
 	return nil
 }
@@ -249,7 +300,7 @@ func (p *parser) parseModule() (*netlist.Design, error) {
 			}
 			return d, nil
 		case "":
-			return nil, fmt.Errorf("verilog: unexpected end of file")
+			return nil, p.errf(t.line, "", "unexpected end of file before endmodule")
 		case "input", "output", "inout":
 			dir := netlist.DirInput
 			if t.text == "output" {
@@ -258,16 +309,16 @@ func (p *parser) parseModule() (*netlist.Design, error) {
 				dir = netlist.DirInout
 			}
 			for {
-				nm := p.next().text
-				if _, err := d.AddPort(nm, dir); err != nil {
-					return nil, err
+				nm := p.next()
+				if _, err := d.AddPort(nm.text, dir); err != nil {
+					return nil, p.errf(nm.line, nm.text, "%v", err)
 				}
 				nx := p.next()
 				if nx.text == ";" {
 					break
 				}
 				if nx.text != "," {
-					return nil, fmt.Errorf("verilog: line %d: bad port declaration", nx.line)
+					return nil, p.errf(nx.line, nx.text, "bad port declaration")
 				}
 			}
 		case "assign":
@@ -279,68 +330,83 @@ func (p *parser) parseModule() (*netlist.Design, error) {
 			if err := p.expect(";"); err != nil {
 				return nil, err
 			}
+			// Canonicalize to (port, net). Checking the output-port case
+			// first keeps port-to-port assigns stable across a write/parse
+			// cycle: the writer emits "assign out = net" for output ports
+			// and "assign net = in" for inputs.
+			lp, rp := d.Port(lhs), d.Port(rhs)
 			var portName, netName string
 			switch {
-			case d.Port(lhs) != nil:
+			case lp != nil && lp.Dir == netlist.DirOutput:
 				portName, netName = lhs, rhs
-			case d.Port(rhs) != nil:
+			case rp != nil:
 				portName, netName = rhs, lhs
+			case lp != nil:
+				portName, netName = lhs, rhs
 			default:
-				return nil, fmt.Errorf("verilog: line %d: unsupported assign %s = %s", t.line, lhs, rhs)
+				err := p.errf(t.line, lhs, "assign between non-ports %s = %s is outside the subset", lhs, rhs)
+				if p.strict {
+					return nil, err
+				}
+				p.warns.Add(err)
+				continue
 			}
 			n, err := netFor(netName)
 			if err != nil {
-				return nil, err
+				return nil, p.errf(t.line, netName, "%v", err)
 			}
 			d.Connect(n, netlist.PinRef{Inst: -1, Pin: portName})
 		case "wire":
 			for {
-				nm := p.next().text
-				if _, err := netFor(nm); err != nil {
-					return nil, err
+				nm := p.next()
+				if _, err := netFor(nm.text); err != nil {
+					return nil, p.errf(nm.line, nm.text, "%v", err)
 				}
 				nx := p.next()
 				if nx.text == ";" {
 					break
 				}
 				if nx.text != "," {
-					return nil, fmt.Errorf("verilog: line %d: bad wire declaration", nx.line)
+					return nil, p.errf(nx.line, nx.text, "bad wire declaration")
 				}
 			}
 		default:
 			// Instance: MASTER name ( .pin(net), ... ) ;
 			master := p.lib.Master(t.text)
 			if master == nil {
-				return nil, fmt.Errorf("verilog: line %d: unknown cell %q", t.line, t.text)
+				return nil, p.errf(t.line, t.text, "unknown cell")
 			}
-			instName := p.next().text
-			inst, err := d.AddInstance(instName, master)
+			instName := p.next()
+			inst, err := d.AddInstance(instName.text, master)
 			if err != nil {
-				return nil, err
+				return nil, p.errf(instName.line, instName.text, "%v", err)
 			}
 			if err := p.expect("("); err != nil {
 				return nil, err
 			}
 			for p.peek().text != ")" {
+				if p.peek().text == "" {
+					return nil, p.errf(p.peek().line, "", "unexpected end of file in instance %s", instName.text)
+				}
 				if err := p.expect("."); err != nil {
 					return nil, err
 				}
-				pin := p.next().text
-				if master.Pin(pin) == nil {
-					return nil, fmt.Errorf("verilog: line %d: cell %s has no pin %q", t.line, master.Name, pin)
+				pin := p.next()
+				if master.Pin(pin.text) == nil {
+					return nil, p.errf(pin.line, pin.text, "cell %s has no such pin", master.Name)
 				}
 				if err := p.expect("("); err != nil {
 					return nil, err
 				}
-				netName := p.next().text
+				netName := p.next()
 				if err := p.expect(")"); err != nil {
 					return nil, err
 				}
-				n, err := netFor(netName)
+				n, err := netFor(netName.text)
 				if err != nil {
-					return nil, err
+					return nil, p.errf(netName.line, netName.text, "%v", err)
 				}
-				d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: pin})
+				d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: pin.text})
 				if p.peek().text == "," {
 					p.next()
 				}

@@ -37,4 +37,16 @@ PPACLUST_WORKERS=4 go test -race \
 echo "==> steady-state allocation assertions"
 go test -run 'AllocFree' ./internal/netlist/ ./internal/hypergraph/
 
+if [[ "${1:-}" != "quick" ]]; then
+    # Crash-resistance contract: each format reader has one Go-native fuzz
+    # target seeded from its own writer output plus a handwritten corpus
+    # under testdata/fuzz/. A bounded smoke pass per package keeps the CI
+    # budget fixed while still exercising the mutation engine; the corpus
+    # files themselves always run as plain unit tests in the sweep above.
+    echo "==> bounded fuzz smoke pass (10s per format package)"
+    for pkg in def lef liberty sdc verilog; do
+        go test -run '^$' -fuzz '^FuzzRead' -fuzztime 10s "./internal/$pkg/"
+    done
+fi
+
 echo "OK"
