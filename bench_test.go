@@ -28,7 +28,10 @@ func BenchmarkTable1Stats(b *testing.B) {
 	s := newSuite(b)
 	var insts int
 	for i := 0; i < b.N; i++ {
-		rows := s.Table1()
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
 		insts = 0
 		for _, r := range rows {
 			insts += r.Insts
@@ -43,7 +46,10 @@ func BenchmarkTable2PostPlace(b *testing.B) {
 	s := newSuite(b)
 	var avgCPU, avgHPWL float64
 	for i := 0; i < b.N; i++ {
-		rows := s.Table2()
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
 		avgCPU, avgHPWL = 0, 0
 		for _, r := range rows {
 			avgCPU += r.OursCPU
@@ -61,7 +67,11 @@ func BenchmarkTable3PostRouteOR(b *testing.B) {
 	s := newSuite(b)
 	var tnsGain float64
 	for i := 0; i < b.N; i++ {
-		tnsGain = tnsImprovement(s.Table3())
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tnsGain = tnsImprovement(rows)
 	}
 	b.ReportMetric(tnsGain, "tns-improvement-ns")
 }
@@ -72,7 +82,11 @@ func BenchmarkTable4PostRouteInv(b *testing.B) {
 	s := newSuite(b)
 	var tnsGain float64
 	for i := 0; i < b.N; i++ {
-		tnsGain = tnsImprovement(s.Table4())
+		rows, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tnsGain = tnsImprovement(rows)
 	}
 	b.ReportMetric(tnsGain, "tns-improvement-ns")
 }
@@ -84,7 +98,11 @@ func BenchmarkTable5ClusterAblation(b *testing.B) {
 	var oursTNS, mfcTNS float64
 	for i := 0; i < b.N; i++ {
 		oursTNS, mfcTNS = 0, 0
-		for _, r := range s.Table5() {
+		rows, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
 			switch r.Flow {
 			case "Ours":
 				oursTNS += r.TNSns
@@ -103,7 +121,11 @@ func BenchmarkTable6ShapeAblation(b *testing.B) {
 	var mlTNS, uniTNS float64
 	for i := 0; i < b.N; i++ {
 		mlTNS, uniTNS = 0, 0
-		for _, r := range s.Table6() {
+		rows, err := s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
 			switch r.Flow {
 			case "V-P&R_ML":
 				mlTNS += r.TNSns
@@ -121,7 +143,10 @@ func BenchmarkGNNModelQuality(b *testing.B) {
 	var mae, r2 float64
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite(os.Getenv("PPACLUST_FULL") == "", int64(1+i), runtime.GOMAXPROCS(0))
-		rep := s.GNNMetrics()
+		rep, err := s.GNNMetrics()
+		if err != nil {
+			b.Fatal(err)
+		}
 		mae, r2 = rep.Test.MAE, rep.Test.R2
 	}
 	b.ReportMetric(mae, "test-mae")
@@ -135,7 +160,11 @@ func BenchmarkFigure5Hyperparams(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		worst = 0
-		for _, p := range s.Figure5() {
+		pts, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
 			if p.Score > worst {
 				worst = p.Score
 			}
@@ -165,7 +194,11 @@ func BenchmarkAblationClusterTerms(b *testing.B) {
 	var fullTNS float64
 	for i := 0; i < b.N; i++ {
 		fullTNS = 0
-		for _, r := range s.AblationClusterTerms() {
+		rows, err := s.AblationClusterTerms()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
 			if r.Arm == "full" {
 				fullTNS += r.TNSns
 			}

@@ -28,6 +28,17 @@ import (
 	"ppaclust/internal/par"
 )
 
+// check unwraps a (value, error) pair, reporting the error and exiting on
+// failure: the suite's library code returns errors, and dying is the CLI's
+// job.
+func check[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+		os.Exit(1)
+	}
+	return v
+}
+
 func main() {
 	fast := flag.Bool("fast", false, "shrink designs and ML dataset for a quick run")
 	seed := flag.Int64("seed", 1, "suite seed")
@@ -133,13 +144,13 @@ func runJSON(s *experiments.Suite, path string) {
 	// Train first so model cost doesn't land inside the first table that
 	// happens to need it.
 	mark("TrainModel", func() map[string]float64 {
-		rep := s.GNNMetrics()
+		rep := check(s.GNNMetrics())
 		return map[string]float64{"test_mae": rep.Test.MAE, "test_r2": rep.Test.R2,
 			"samples": float64(rep.Samples)}
 	})
 	mark("Table1", func() map[string]float64 {
 		var insts, nets int
-		for _, r := range s.Table1() {
+		for _, r := range check(s.Table1()) {
 			insts += r.Insts
 			nets += r.Nets
 		}
@@ -147,7 +158,7 @@ func runJSON(s *experiments.Suite, path string) {
 	})
 	mark("Table2", func() map[string]float64 {
 		var cpu, hpwl float64
-		rows := s.Table2()
+		rows := check(s.Table2())
 		for _, r := range rows {
 			cpu += r.OursCPU
 			hpwl += r.OursHPWL
@@ -156,14 +167,14 @@ func runJSON(s *experiments.Suite, path string) {
 		return map[string]float64{"ours_cpu_ratio": cpu / n, "ours_hpwl_ratio": hpwl / n}
 	})
 	mark("Table3", func() map[string]float64 {
-		return map[string]float64{"tns_improvement_ns": tnsImprovement(s.Table3())}
+		return map[string]float64{"tns_improvement_ns": tnsImprovement(check(s.Table3()))}
 	})
 	mark("Table4", func() map[string]float64 {
-		return map[string]float64{"tns_improvement_ns": tnsImprovement(s.Table4())}
+		return map[string]float64{"tns_improvement_ns": tnsImprovement(check(s.Table4()))}
 	})
 	mark("Table5", func() map[string]float64 {
 		var ours, mfc float64
-		for _, r := range s.Table5() {
+		for _, r := range check(s.Table5()) {
 			switch r.Flow {
 			case "Ours":
 				ours += r.TNSns
@@ -175,7 +186,7 @@ func runJSON(s *experiments.Suite, path string) {
 	})
 	mark("Table6", func() map[string]float64 {
 		var ml, uni float64
-		for _, r := range s.Table6() {
+		for _, r := range check(s.Table6()) {
 			switch r.Flow {
 			case "V-P&R_ML":
 				ml += r.TNSns
@@ -187,7 +198,7 @@ func runJSON(s *experiments.Suite, path string) {
 	})
 	mark("Figure5", func() map[string]float64 {
 		var worst float64
-		for _, p := range s.Figure5() {
+		for _, p := range check(s.Figure5()) {
 			if p.Score > worst {
 				worst = p.Score
 			}
@@ -228,7 +239,11 @@ func runAll(s *experiments.Suite, out string) {
 	}
 	t0 := time.Now()
 	fmt.Printf("running the full evaluation suite (this trains the GNN and runs every flow)...\n")
-	claims := s.WriteReport(f)
+	claims, err := s.WriteReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+		os.Exit(1)
+	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
 		os.Exit(1)
@@ -251,13 +266,13 @@ func printTable(s *experiments.Suite, table string) {
 	switch table {
 	case "1":
 		var rows [][]string
-		for _, r := range s.Table1() {
+		for _, r := range check(s.Table1()) {
 			rows = append(rows, []string{r.Design, itoa(r.Insts), itoa(r.Nets), fmt.Sprintf("%.2f", r.TCPns)})
 		}
 		experiments.FprintTable(os.Stdout, []string{"Design", "#Insts", "#Nets", "TCP(ns)"}, rows)
 	case "2":
 		var rows [][]string
-		for _, r := range s.Table2() {
+		for _, r := range check(s.Table2()) {
 			rows = append(rows, []string{r.Design,
 				fmt.Sprintf("%.3f", r.BlobHPWL), fmt.Sprintf("%.3f", r.BlobCPU),
 				fmt.Sprintf("%.3f", r.OursHPWL), fmt.Sprintf("%.3f", r.OursCPU)})
@@ -267,13 +282,13 @@ func printTable(s *experiments.Suite, table string) {
 		var data []experiments.PPARow
 		switch table {
 		case "3":
-			data = s.Table3()
+			data = check(s.Table3())
 		case "4":
-			data = s.Table4()
+			data = check(s.Table4())
 		case "5":
-			data = s.Table5()
+			data = check(s.Table5())
 		case "6":
-			data = s.Table6()
+			data = check(s.Table6())
 		}
 		var rows [][]string
 		for _, r := range data {
@@ -284,21 +299,21 @@ func printTable(s *experiments.Suite, table string) {
 		experiments.FprintTable(os.Stdout, []string{"Design", "Flow", "rWL", "WNS(ps)", "TNS(ns)", "Power(W)"}, rows)
 	case "runtime":
 		var rows [][]string
-		for _, r := range s.RuntimeBreakdown() {
+		for _, r := range check(s.RuntimeBreakdown()) {
 			rows = append(rows, []string{r.Design, r.Cluster.String(), r.Shape.String(),
 				r.SeedPlace.String(), r.IncrPlace.String(), r.Total.String(), r.DefaultPlace.String()})
 		}
 		experiments.FprintTable(os.Stdout, []string{"Design", "Cluster", "Shapes", "Seed", "Incr", "Total", "DefaultPlace"}, rows)
 	case "ablation":
 		var rows [][]string
-		for _, r := range s.AblationClusterTerms() {
+		for _, r := range check(s.AblationClusterTerms()) {
 			rows = append(rows, []string{r.Design, r.Arm,
 				fmt.Sprintf("%.3f", r.RWL), fmt.Sprintf("%.1f", r.WNSps),
 				fmt.Sprintf("%.3f", r.TNSns), fmt.Sprintf("%.4f", r.PowerW)})
 		}
 		experiments.FprintTable(os.Stdout, []string{"Design", "Arm", "rWL", "WNS(ps)", "TNS(ns)", "Power(W)"}, rows)
 	case "gnn":
-		rep := s.GNNMetrics()
+		rep := check(s.GNNMetrics())
 		experiments.FprintTable(os.Stdout, []string{"Split", "MAE", "R2", "N"}, [][]string{
 			{"train", fmt.Sprintf("%.3f", rep.Train.MAE), fmt.Sprintf("%.3f", rep.Train.R2), itoa(rep.Train.N)},
 			{"val", fmt.Sprintf("%.3f", rep.Val.MAE), fmt.Sprintf("%.3f", rep.Val.R2), itoa(rep.Val.N)},
@@ -314,7 +329,7 @@ func printTable(s *experiments.Suite, table string) {
 
 func printFigure5(s *experiments.Suite) {
 	var rows [][]string
-	for _, p := range s.Figure5() {
+	for _, p := range check(s.Figure5()) {
 		rows = append(rows, []string{p.Param, fmt.Sprintf("x%.0f", p.Multiplier), fmt.Sprintf("%.4f", p.Score)})
 	}
 	experiments.FprintTable(os.Stdout, []string{"Param", "Mult", "Norm. HPWL"}, rows)

@@ -1,0 +1,94 @@
+// Command ppalint mechanically enforces the repo's project contracts —
+// deterministic map iteration in the parallel kernels (maporder), no panics
+// in library packages (nopanic), bounds-checked token access in the format
+// readers (rawindex), no discarded parser/flow errors (errdrop), and no
+// stdout writes from libraries (printlib).
+//
+// Usage:
+//
+//	ppalint [-json] [-checks maporder,nopanic,...] [packages]
+//
+// Packages are directory patterns like ./... or ./internal/sta (default
+// ./...). Exit status: 0 clean, 1 findings, 2 load/usage failure. Findings
+// are suppressed per line with `//ppalint:ignore <check> <reason>`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ppaclust/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	checkSpec := flag.String("checks", "", "comma-separated checks to run (default: all of "+
+		strings.Join(lint.CheckNames(), ",")+")")
+	flag.Parse()
+
+	if err := run(*jsonOut, *checkSpec, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ppalint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(jsonOut bool, checkSpec string, patterns []string) error {
+	checks, err := lint.Select(checkSpec)
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	dirs, err := lint.Expand(cwd, patterns)
+	if err != nil {
+		return err
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		p, err := loader.Load(dir)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags := lint.Run(pkgs, checks)
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+	if jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // a clean run is [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !jsonOut {
+			fmt.Printf("ppalint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+	return nil
+}

@@ -176,17 +176,16 @@ func asParseError(err error) *scan.ParseError {
 }
 
 func (p *defParser) line(ln *scan.Line) error {
-	f := ln.Fields
 	switch {
-	case f[0] == "DESIGN" && p.section == "":
+	case ln.Tok(0) == "DESIGN" && p.section == "":
 		if err := ln.Require(2); err != nil {
 			return err
 		}
 		if p.d != nil {
-			return ln.Errf(f[1], "duplicate DESIGN statement")
+			return ln.Errf(ln.Tok(1), "duplicate DESIGN statement")
 		}
-		p.d = netlist.NewDesign(f[1], p.lib)
-	case f[0] == "UNITS":
+		p.d = netlist.NewDesign(ln.Tok(1), p.lib)
+	case ln.Tok(0) == "UNITS":
 		// Corrupt units rescale every coordinate in the file; fatal in both
 		// modes.
 		if err := ln.Require(4); err != nil {
@@ -197,42 +196,42 @@ func (p *defParser) line(ln *scan.Line) error {
 			return err
 		}
 		if v < minUnits || v > maxUnits {
-			return ln.Errf(f[3], "UNITS out of range [%g, %g]", float64(minUnits), float64(maxUnits))
+			return ln.Errf(ln.Tok(3), "UNITS out of range [%g, %g]", float64(minUnits), float64(maxUnits))
 		}
 		p.units = v
-	case f[0] == "DIEAREA":
+	case ln.Tok(0) == "DIEAREA":
 		if p.d == nil {
-			return ln.Errf(f[0], "DIEAREA before DESIGN")
+			return ln.Errf(ln.Tok(0), "DIEAREA before DESIGN")
 		}
 		nums, err := p.coords(ln, 1)
 		if err == nil && len(nums) < 4 {
-			err = ln.Errf(f[0], "DIEAREA needs 4 coordinates, got %d", len(nums))
+			err = ln.Errf(ln.Tok(0), "DIEAREA needs 4 coordinates, got %d", len(nums))
 		}
 		if err != nil {
 			return p.tolerate(err)
 		}
 		p.d.Die = netlist.Rect{X0: nums[0], Y0: nums[1], X1: nums[2], Y1: nums[3]}
 		p.d.Core = p.d.Die
-	case f[0] == "ROW":
+	case ln.Tok(0) == "ROW":
 		if p.d == nil {
-			return ln.Errf(f[0], "ROW before DESIGN")
+			return ln.Errf(ln.Tok(0), "ROW before DESIGN")
 		}
 		if err := p.tolerate(p.row(ln)); err != nil {
 			return err
 		}
-	case f[0] == "COMPONENTS":
+	case ln.Tok(0) == "COMPONENTS":
 		p.section = "COMPONENTS"
-	case f[0] == "PINS":
+	case ln.Tok(0) == "PINS":
 		p.section = "PINS"
-	case f[0] == "NETS":
+	case ln.Tok(0) == "NETS":
 		p.section = "NETS"
-	case f[0] == "END":
-		if len(f) >= 2 && f[1] == p.section {
+	case ln.Tok(0) == "END":
+		if ln.Len() >= 2 && ln.Tok(1) == p.section {
 			p.section = ""
 		}
-	case f[0] == "-":
+	case ln.Tok(0) == "-":
 		if p.d == nil {
-			return ln.Errf(f[0], "item before DESIGN")
+			return ln.Errf(ln.Tok(0), "item before DESIGN")
 		}
 		switch p.section {
 		case "COMPONENTS":
@@ -255,7 +254,7 @@ func (p *defParser) coord(ln *scan.Line, i int) (float64, error) {
 	}
 	um := v / p.units
 	if um < -maxCoordUM || um > maxCoordUM {
-		return 0, ln.Errf(ln.Fields[i], "coordinate out of range (|%g| > %g um)", um, float64(maxCoordUM))
+		return 0, ln.Errf(ln.Tok(i), "coordinate out of range (|%g| > %g um)", um, float64(maxCoordUM))
 	}
 	// Quantize to the database-unit grid: DEF coordinates are integral dbu,
 	// and the grid makes the writer's du() rounding an exact inverse (a
@@ -268,8 +267,8 @@ func (p *defParser) coord(ln *scan.Line, i int) (float64, error) {
 // a number is an error.
 func (p *defParser) coords(ln *scan.Line, start int) ([]float64, error) {
 	var out []float64
-	for i := start; i < len(ln.Fields); i++ {
-		switch ln.Fields[i] {
+	for i := start; i < ln.Len(); i++ {
+		switch ln.Tok(i) {
 		case "(", ")", ";":
 			continue
 		}
@@ -287,9 +286,8 @@ func (p *defParser) row(ln *scan.Line) error {
 	if err := ln.Require(13); err != nil {
 		return err
 	}
-	f := ln.Fields
-	if f[6] != "DO" || f[8] != "BY" || f[10] != "STEP" {
-		return ln.Errf(f[0], "ROW wants DO/BY/STEP at fields 7/9/11, got %q/%q/%q", f[6], f[8], f[10])
+	if ln.Tok(6) != "DO" || ln.Tok(8) != "BY" || ln.Tok(10) != "STEP" {
+		return ln.Errf(ln.Tok(0), "ROW wants DO/BY/STEP at fields 7/9/11, got %q/%q/%q", ln.Tok(6), ln.Tok(8), ln.Tok(10))
 	}
 	x0, err := p.coord(ln, 3)
 	if err != nil {
@@ -308,7 +306,7 @@ func (p *defParser) row(ln *scan.Line) error {
 		return err
 	}
 	if nx < 0 || ny < 0 || float64(nx) > maxRowCount || float64(ny) > maxRowCount {
-		return ln.Errf(f[7], "ROW repeat counts out of range [0, %g]", float64(maxRowCount))
+		return ln.Errf(ln.Tok(7), "ROW repeat counts out of range [0, %g]", float64(maxRowCount))
 	}
 	sw, err := p.coord(ln, 11)
 	if err != nil {
@@ -319,12 +317,12 @@ func (p *defParser) row(ln *scan.Line) error {
 		return err
 	}
 	if sw < 0 || rh < 0 {
-		return ln.Errf(f[11], "negative ROW step")
+		return ln.Errf(ln.Tok(11), "negative ROW step")
 	}
 	x1 := x0 + float64(nx)*sw
 	y1 := y0 + float64(ny)*rh
 	if x1 > maxCoordUM || y1 > maxCoordUM {
-		return ln.Errf(f[7], "ROW extends past %g um", float64(maxCoordUM))
+		return ln.Errf(ln.Tok(7), "ROW extends past %g um", float64(maxCoordUM))
 	}
 	p.d.SiteWidth = sw
 	p.d.RowHeight = rh
@@ -336,13 +334,12 @@ func (p *defParser) row(ln *scan.Line) error {
 // returning (x, y, fixed, found). The keyword must follow a "+" so that
 // ports or instances *named* PLACED do not start a group.
 func (p *defParser) placedAt(ln *scan.Line, from int) (x, y float64, fixed, found bool, err error) {
-	f := ln.Fields
-	for i := from; i < len(f); i++ {
-		if (f[i] != "PLACED" && f[i] != "FIXED") || f[i-1] != "+" {
+	for i := from; i < ln.Len(); i++ {
+		if (ln.Tok(i) != "PLACED" && ln.Tok(i) != "FIXED") || ln.Tok(i-1) != "+" {
 			continue
 		}
-		if i+3 >= len(f) || f[i+1] != "(" {
-			return 0, 0, false, false, ln.Errf(f[i], "%s needs ( x y )", f[i])
+		if i+3 >= ln.Len() || ln.Tok(i+1) != "(" {
+			return 0, 0, false, false, ln.Errf(ln.Tok(i), "%s needs ( x y )", ln.Tok(i))
 		}
 		x, err = p.coord(ln, i+2)
 		if err != nil {
@@ -352,7 +349,7 @@ func (p *defParser) placedAt(ln *scan.Line, from int) (x, y float64, fixed, foun
 		if err != nil {
 			return 0, 0, false, false, err
 		}
-		return x, y, f[i] == "FIXED", true, nil
+		return x, y, ln.Tok(i) == "FIXED", true, nil
 	}
 	return 0, 0, false, false, nil
 }
@@ -362,14 +359,13 @@ func (p *defParser) component(ln *scan.Line) error {
 	if err := ln.Require(3); err != nil {
 		return err
 	}
-	f := ln.Fields
-	m := p.lib.Master(f[2])
+	m := p.lib.Master(ln.Tok(2))
 	if m == nil {
-		return ln.Errf(f[2], "unknown master")
+		return ln.Errf(ln.Tok(2), "unknown master")
 	}
-	inst, err := p.d.AddInstance(f[1], m)
+	inst, err := p.d.AddInstance(ln.Tok(1), m)
 	if err != nil {
-		return ln.Errf(f[1], "%v", err)
+		return ln.Errf(ln.Tok(1), "%v", err)
 	}
 	x, y, fixed, found, err := p.placedAt(ln, 3)
 	if err := p.tolerate(err); err != nil {
@@ -388,28 +384,27 @@ func (p *defParser) pin(ln *scan.Line) error {
 	if err := ln.Require(2); err != nil {
 		return err
 	}
-	f := ln.Fields
 	dir := netlist.DirInput
-	for i := 2; i < len(f); i++ {
-		if f[i] != "DIRECTION" || f[i-1] != "+" {
+	for i := 2; i < ln.Len(); i++ {
+		if ln.Tok(i) != "DIRECTION" || ln.Tok(i-1) != "+" {
 			continue
 		}
-		if i+1 >= len(f) {
-			if err := p.tolerate(ln.Errf(f[i], "DIRECTION without a value")); err != nil {
+		if i+1 >= ln.Len() {
+			if err := p.tolerate(ln.Errf(ln.Tok(i), "DIRECTION without a value")); err != nil {
 				return err
 			}
 			continue
 		}
-		switch f[i+1] {
+		switch ln.Tok(i + 1) {
 		case "OUTPUT":
 			dir = netlist.DirOutput
 		case "INOUT":
 			dir = netlist.DirInout
 		}
 	}
-	port, err := p.d.AddPort(f[1], dir)
+	port, err := p.d.AddPort(ln.Tok(1), dir)
 	if err != nil {
-		return ln.Errf(f[1], "%v", err)
+		return ln.Errf(ln.Tok(1), "%v", err)
 	}
 	x, y, _, found, err := p.placedAt(ln, 2)
 	if err := p.tolerate(err); err != nil {
@@ -426,19 +421,18 @@ func (p *defParser) net(ln *scan.Line) error {
 	if err := ln.Require(2); err != nil {
 		return err
 	}
-	f := ln.Fields
-	n, err := p.d.AddNet(f[1])
+	n, err := p.d.AddNet(ln.Tok(1))
 	if err != nil {
-		return ln.Errf(f[1], "%v", err)
+		return ln.Errf(ln.Tok(1), "%v", err)
 	}
 	i := 2
-	for i < len(f) {
-		switch f[i] {
+	for i < ln.Len() {
+		switch ln.Tok(i) {
 		case "(":
-			if i+2 >= len(f) {
-				return ln.Errf(f[i], "truncated net connection")
+			if i+2 >= ln.Len() {
+				return ln.Errf(ln.Tok(i), "truncated net connection")
 			}
-			a, b := f[i+1], f[i+2]
+			a, b := ln.Tok(i+1), ln.Tok(i+2)
 			if a == "PIN" {
 				p.d.Connect(n, netlist.PinRef{Inst: -1, Pin: b})
 			} else {
@@ -449,15 +443,15 @@ func (p *defParser) net(ln *scan.Line) error {
 				p.d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: b})
 			}
 			i += 3
-			if i < len(f) && f[i] == ")" {
+			if i < ln.Len() && ln.Tok(i) == ")" {
 				i++
 			}
 		case "+":
-			if i+1 >= len(f) {
+			if i+1 >= ln.Len() {
 				i++
 				continue
 			}
-			switch f[i+1] {
+			switch ln.Tok(i + 1) {
 			case "WEIGHT":
 				w, werr := p.weight(ln, i+2)
 				if err := p.tolerate(werr); err != nil {
@@ -468,7 +462,7 @@ func (p *defParser) net(ln *scan.Line) error {
 				}
 				i += 3
 			case "USE":
-				if i+2 < len(f) && f[i+2] == "CLOCK" {
+				if i+2 < ln.Len() && ln.Tok(i+2) == "CLOCK" {
 					n.Clock = true
 				}
 				i += 3
@@ -489,7 +483,7 @@ func (p *defParser) weight(ln *scan.Line, i int) (float64, error) {
 		return 0, err
 	}
 	if w < -maxWeight || w > maxWeight {
-		return 0, ln.Errf(ln.Fields[i], "WEIGHT out of range")
+		return 0, ln.Errf(ln.Tok(i), "WEIGHT out of range")
 	}
 	return float64(w), nil
 }

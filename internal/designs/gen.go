@@ -156,14 +156,22 @@ func generate(spec Spec) *Benchmark {
 	return &Benchmark{Design: g.d, Cons: cons, Spec: spec}
 }
 
+// must asserts a generator invariant: every AddNet/AddInstance/AddPort name
+// derives from a monotone counter, so duplicate-name errors cannot occur on
+// any input. A failure here is a bug in the generator itself, which no
+// caller could meaningfully handle.
+func must(err error) {
+	if err != nil {
+		panic(err) //ppalint:ignore nopanic invariant assertion: counter-derived names are unique by construction, failure is a generator bug
+	}
+}
+
 func (g *generator) newNetFor(drv *driver) *netlist.Net {
 	if drv.net != nil {
 		return drv.net
 	}
 	n, err := g.d.AddNet(fmt.Sprintf("n%d", g.netCount))
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	g.netCount++
 	g.d.Connect(n, drv.ref)
 	drv.net = n
@@ -172,9 +180,7 @@ func (g *generator) newNetFor(drv *driver) *netlist.Net {
 
 func (g *generator) addInst(path, master string) *netlist.Instance {
 	inst, err := g.d.AddInstance(fmt.Sprintf("%s/g%d", path, g.instCount), g.lib.Master(master))
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	g.instCount++
 	return inst
 }
@@ -220,9 +226,8 @@ func (g *generator) build() {
 	var primary []driver
 	for i := 0; i < nIn; i++ {
 		name := fmt.Sprintf("in%d", i)
-		if _, err := d.AddPort(name, netlist.DirInput); err != nil {
-			panic(err)
-		}
+		_, err := d.AddPort(name, netlist.DirInput)
+		must(err)
 		primary = append(primary, driver{ref: netlist.PinRef{Inst: -1, Pin: name}, leaf: -1})
 	}
 
@@ -264,9 +269,8 @@ func (g *generator) build() {
 	}
 	for i := 0; i < nOut; i++ {
 		name := fmt.Sprintf("out%d", i)
-		if _, err := d.AddPort(name, netlist.DirOutput); err != nil {
-			panic(err)
-		}
+		_, err := d.AddPort(name, netlist.DirOutput)
+		must(err)
 		li := g.rng.Intn(len(g.exports))
 		if len(g.exports[li]) == 0 {
 			continue
@@ -399,9 +403,7 @@ func (g *generator) buildLeaf(li int, path string, nCells int, primary []driver)
 func (g *generator) addMacro(mi, li int, path string) {
 	d := g.d
 	ram, err := d.AddInstance(fmt.Sprintf("%s/ram%d", path, mi), g.lib.Master("RAM32X32"))
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	d.Connect(g.clockNet, netlist.PinRef{Inst: ram.ID, Pin: "CK"})
 	exp := g.exports[li]
 	for i := 0; i < 8 && len(exp) > 0; i++ {

@@ -22,7 +22,7 @@ type AblationRow struct {
 
 // AblationClusterTerms runs the five-arm ablation on the small designs in
 // OpenROAD mode with uniform shapes (isolating the clustering terms).
-func (s *Suite) AblationClusterTerms() []AblationRow {
+func (s *Suite) AblationClusterTerms() ([]AblationRow, error) {
 	names := s.smallDesigns()
 	if s.Fast {
 		names = names[:1]
@@ -38,10 +38,16 @@ func (s *Suite) AblationClusterTerms() []AblationRow {
 		{"connectivity", func(o *flow.Options) { o.NoHierarchy = true; o.Beta = -1; o.Gamma = -1 }},
 	}
 	fw := s.runWorkers(len(names))
-	groups := par.Map(par.Workers(s.Workers), len(names), func(i int) []AblationRow {
+	groups, err := mapE(par.Workers(s.Workers), len(names), func(i int) ([]AblationRow, error) {
 		name := names[i]
-		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Workers: fw}))
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
+		def, err := flow.RunDefault(b, flow.Options{Seed: s.Seed, Workers: fw})
+		if err != nil {
+			return nil, err
+		}
 		var rows []AblationRow
 		for _, arm := range arms {
 			seeds := []int64{s.Seed, s.Seed + 1}
@@ -50,7 +56,10 @@ func (s *Suite) AblationClusterTerms() []AblationRow {
 				o := flow.Options{Seed: seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeUniform,
 					Workers: fw}
 				arm.opt(&o)
-				r := must(flow.Run(b, o))
+				r, err := flow.Run(b, o)
+				if err != nil {
+					return nil, err
+				}
 				rwl += r.RoutedWL / def.RoutedWL / float64(len(seeds))
 				wns += r.WNS * 1e12 / float64(len(seeds))
 				tns += r.TNS * 1e9 / float64(len(seeds))
@@ -61,11 +70,14 @@ func (s *Suite) AblationClusterTerms() []AblationRow {
 				RWL: rwl, WNSps: wns, TNSns: tns, PowerW: pwr,
 			})
 		}
-		return rows
+		return rows, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, g := range groups {
 		rows = append(rows, g...)
 	}
-	return rows
+	return rows, nil
 }

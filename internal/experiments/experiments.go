@@ -9,6 +9,12 @@
 // Absolute values cannot match the paper (the substrate is a simulator and
 // the designs are synthetic); the suite asserts and reports the paper's
 // relative *shape*: who wins, in which metric, by roughly what factor.
+//
+// Error contract: every table/figure method returns the first flow or
+// benchmark-generation error instead of panicking; callers (cmd/ppabench,
+// tests) decide how to die. Parallel fan-outs collect per-slot errors and
+// surface the lowest-index one, so the reported error is deterministic for
+// any worker count.
 package experiments
 
 import (
@@ -46,11 +52,13 @@ type Suite struct {
 	modelOnce  sync.Once
 	model      *gnn.Model
 	modelStats GNNReport
+	modelErr   error
 }
 
 type benchEntry struct {
 	once sync.Once
 	b    *designs.Benchmark
+	err  error
 }
 
 // NewSuite returns an experiment suite using up to workers goroutines
@@ -60,9 +68,10 @@ func NewSuite(fast bool, seed int64, workers int) *Suite {
 		benchCache: map[string]*benchEntry{}}
 }
 
-// Bench returns the cached benchmark for a named spec. It is safe for
-// concurrent use; each design is generated exactly once per suite.
-func (s *Suite) Bench(name string) *designs.Benchmark {
+// Bench returns the cached benchmark for a named spec, or an error for an
+// unknown name. It is safe for concurrent use; each design is generated
+// exactly once per suite.
+func (s *Suite) Bench(name string) (*designs.Benchmark, error) {
 	s.benchMu.Lock()
 	e, ok := s.benchCache[name]
 	if !ok {
@@ -73,7 +82,8 @@ func (s *Suite) Bench(name string) *designs.Benchmark {
 	e.once.Do(func() {
 		spec, ok := designs.Named(name)
 		if !ok {
-			panic("experiments: unknown design " + name)
+			e.err = fmt.Errorf("experiments: unknown design %q", name)
+			return
 		}
 		if s.Fast {
 			spec.TargetInsts /= 4
@@ -83,7 +93,29 @@ func (s *Suite) Bench(name string) *designs.Benchmark {
 		}
 		e.b = designs.Generate(spec)
 	})
-	return e.b
+	return e.b, e.err
+}
+
+// mapE fans fn out over [0, n) like par.Map and joins per-slot errors: the
+// lowest-index error wins, so the surfaced failure is deterministic for any
+// worker count.
+func mapE[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	type slot struct {
+		v   T
+		err error
+	}
+	out := par.Map(workers, n, func(i int) slot {
+		v, err := fn(i)
+		return slot{v, err}
+	})
+	vals := make([]T, n)
+	for i, o := range out {
+		if o.err != nil {
+			return nil, o.err
+		}
+		vals[i] = o.v
+	}
+	return vals, nil
 }
 
 // runWorkers splits the worker budget between a table's design-level fan-out
@@ -118,16 +150,19 @@ type Table1Row struct {
 }
 
 // Table1 generates the benchmark statistics, generating designs in parallel.
-func (s *Suite) Table1() []Table1Row {
+func (s *Suite) Table1() ([]Table1Row, error) {
 	names := s.allDesigns()
-	return par.Map(par.Workers(s.Workers), len(names), func(i int) Table1Row {
-		b := s.Bench(names[i])
+	return mapE(par.Workers(s.Workers), len(names), func(i int) (Table1Row, error) {
+		b, err := s.Bench(names[i])
+		if err != nil {
+			return Table1Row{}, err
+		}
 		return Table1Row{
 			Design: designs.PaperNames[names[i]],
 			Insts:  len(b.Design.Insts),
 			Nets:   len(b.Design.Nets),
 			TCPns:  b.Spec.ClockPeriod * 1e9,
-		}
+		}, nil
 	})
 }
 
@@ -146,21 +181,36 @@ type Table2Row struct {
 // Table2 compares post-place HPWL and placement CPU. Blob placement [9] is
 // Louvain clustering + seeded placement with IO-weighted nets; ours is
 // PPA-aware clustering + ML-accelerated V-P&R + seeded placement.
-func (s *Suite) Table2() []Table2Row {
-	model := s.Model()
+func (s *Suite) Table2() ([]Table2Row, error) {
+	model, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
 	names := s.allDesigns()
 	fw := s.runWorkers(len(names))
-	return par.Map(par.Workers(s.Workers), len(names), func(i int) Table2Row {
-		b := s.Bench(names[i])
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true, Workers: fw}))
-		blob := must(flow.Run(b, flow.Options{
+	return mapE(par.Workers(s.Workers), len(names), func(i int) (Table2Row, error) {
+		b, err := s.Bench(names[i])
+		if err != nil {
+			return Table2Row{}, err
+		}
+		def, err := flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true, Workers: fw})
+		if err != nil {
+			return Table2Row{}, err
+		}
+		blob, err := flow.Run(b, flow.Options{
 			Seed: s.Seed, Method: flow.MethodLouvain, Shapes: flow.ShapeUniform,
 			SkipRoute: true, Workers: fw,
-		}))
-		ours := must(flow.Run(b, flow.Options{
+		})
+		if err != nil {
+			return Table2Row{}, err
+		}
+		ours, err := flow.Run(b, flow.Options{
 			Seed: s.Seed, Method: flow.MethodPPAAware, Shapes: flow.ShapeVPRML,
 			Model: model, SkipRoute: true, Workers: fw,
-		}))
+		})
+		if err != nil {
+			return Table2Row{}, err
+		}
 		// CPU follows the paper's Table 2 definition: "cumulative runtimes
 		// of clustering and seeded placement", normalized by the default
 		// flow's placement runtime. Shape selection is reported separately
@@ -171,7 +221,7 @@ func (s *Suite) Table2() []Table2Row {
 			BlobCPU:  cpuRatio(blob.PlaceTime, def.PlaceTime),
 			OursHPWL: ours.HPWL / def.HPWL,
 			OursCPU:  cpuRatio(ours.PlaceTime, def.PlaceTime),
-		}
+		}, nil
 	})
 }
 
@@ -196,7 +246,7 @@ type PPARow struct {
 
 // Table3 is the OpenROAD post-route comparison (default vs ours) on the
 // four routable designs.
-func (s *Suite) Table3() []PPARow {
+func (s *Suite) Table3() ([]PPARow, error) {
 	names := []string{"aes", "jpeg", "ariane", "bp"}
 	if s.Fast {
 		names = []string{"aes", "jpeg"}
@@ -205,51 +255,75 @@ func (s *Suite) Table3() []PPARow {
 }
 
 // Table4 is the Innovus-mode post-route comparison on all six designs.
-func (s *Suite) Table4() []PPARow {
+func (s *Suite) Table4() ([]PPARow, error) {
 	return s.postRouteCompare(s.allDesigns(), flow.ToolInnovus)
 }
 
-func (s *Suite) postRouteCompare(names []string, tool flow.Tool) []PPARow {
-	model := s.Model()
+func (s *Suite) postRouteCompare(names []string, tool flow.Tool) ([]PPARow, error) {
+	model, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
 	fw := s.runWorkers(len(names))
-	groups := par.Map(par.Workers(s.Workers), len(names), func(i int) [2]PPARow {
+	groups, err := mapE(par.Workers(s.Workers), len(names), func(i int) ([2]PPARow, error) {
 		name := names[i]
-		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Tool: tool, Workers: fw}))
-		ours := must(flow.Run(b, flow.Options{
+		b, err := s.Bench(name)
+		if err != nil {
+			return [2]PPARow{}, err
+		}
+		def, err := flow.RunDefault(b, flow.Options{Seed: s.Seed, Tool: tool, Workers: fw})
+		if err != nil {
+			return [2]PPARow{}, err
+		}
+		ours, err := flow.Run(b, flow.Options{
 			Seed: s.Seed, Tool: tool,
 			Method: flow.MethodPPAAware, Shapes: flow.ShapeVPRML, Model: model,
 			Workers: fw,
-		}))
+		})
+		if err != nil {
+			return [2]PPARow{}, err
+		}
 		return [2]PPARow{
 			{Design: designs.PaperNames[name], Flow: "Default", RWL: 1.0,
 				WNSps: def.WNS * 1e12, TNSns: def.TNS * 1e9, PowerW: def.Power},
 			{Design: designs.PaperNames[name], Flow: "Ours", RWL: ours.RoutedWL / def.RoutedWL,
 				WNSps: ours.WNS * 1e12, TNSns: ours.TNS * 1e9, PowerW: ours.Power},
-		}
+		}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []PPARow
 	for _, g := range groups {
 		rows = append(rows, g[0], g[1])
 	}
-	return rows
+	return rows, nil
 }
 
 // ---- Table 5 ----
 
 // Table5 compares clustering methods (Leiden, MFC, ours) inside the same
 // overall flow on the three small designs, OpenROAD mode.
-func (s *Suite) Table5() []PPARow {
-	model := s.Model()
+func (s *Suite) Table5() ([]PPARow, error) {
+	model, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
 	names := s.smallDesigns()
 	if s.Fast {
 		names = names[:2]
 	}
 	fw := s.runWorkers(len(names))
-	groups := par.Map(par.Workers(s.Workers), len(names), func(i int) []PPARow {
+	groups, err := mapE(par.Workers(s.Workers), len(names), func(i int) ([]PPARow, error) {
 		name := names[i]
-		b := s.Bench(name)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, Workers: fw}))
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
+		def, err := flow.RunDefault(b, flow.Options{Seed: s.Seed, Workers: fw})
+		if err != nil {
+			return nil, err
+		}
 		var rows []PPARow
 		for _, m := range []struct {
 			label  string
@@ -259,31 +333,40 @@ func (s *Suite) Table5() []PPARow {
 			{"MFC", flow.MethodMFC},
 			{"Ours", flow.MethodPPAAware},
 		} {
-			r := must(flow.Run(b, flow.Options{
+			r, err := flow.Run(b, flow.Options{
 				Seed: s.Seed, Method: m.method,
 				Shapes: flow.ShapeVPRML, Model: model, Workers: fw,
-			}))
+			})
+			if err != nil {
+				return nil, err
+			}
 			rows = append(rows, PPARow{
 				Design: designs.PaperNames[name], Flow: m.label,
 				RWL:   r.RoutedWL / def.RoutedWL,
 				WNSps: r.WNS * 1e12, TNSns: r.TNS * 1e9, PowerW: r.Power,
 			})
 		}
-		return rows
+		return rows, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []PPARow
 	for _, g := range groups {
 		rows = append(rows, g...)
 	}
-	return rows
+	return rows, nil
 }
 
 // ---- Table 6 ----
 
 // Table6 compares shape-assignment strategies (Random, Uniform, V-P&R_ML)
 // in Innovus mode; rWL is normalized to the Uniform arm per the paper.
-func (s *Suite) Table6() []PPARow {
-	model := s.Model()
+func (s *Suite) Table6() ([]PPARow, error) {
+	model, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
 	names := []string{"ariane", "jpeg", "mb"}
 	if s.Fast {
 		names = []string{"aes", "jpeg"}
@@ -314,14 +397,21 @@ func (s *Suite) Table6() []PPARow {
 		}
 	}
 	fw := s.runWorkers(len(jobs))
-	runs := par.Map(par.Workers(s.Workers), len(jobs), func(i int) *flow.Result {
+	runs, err := mapE(par.Workers(s.Workers), len(jobs), func(i int) (*flow.Result, error) {
 		j := jobs[i]
-		return must(flow.Run(s.Bench(j.name), flow.Options{
+		b, err := s.Bench(j.name)
+		if err != nil {
+			return nil, err
+		}
+		return flow.Run(b, flow.Options{
 			Seed: j.seed, Tool: flow.ToolInnovus,
 			Method: flow.MethodPPAAware, Shapes: arms[j.arm].mode, Model: model,
 			Workers: fw,
-		}))
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []PPARow
 	for _, name := range names {
 		type acc struct{ rwl, wns, tns, pwr float64 }
@@ -346,7 +436,7 @@ func (s *Suite) Table6() []PPARow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // ---- Figure 5 ----
@@ -361,7 +451,7 @@ type Figure5Point struct {
 
 // Figure5 sweeps multipliers 1..6 on each of alpha, beta, gamma, mu,
 // normalizing post-place HPWL to the default-multiplier run per design.
-func (s *Suite) Figure5() []Figure5Point {
+func (s *Suite) Figure5() ([]Figure5Point, error) {
 	names := s.smallDesigns()
 	mults := []float64{1, 2, 3, 4, 5, 6}
 	if s.Fast {
@@ -380,21 +470,33 @@ func (s *Suite) Figure5() []Figure5Point {
 		}
 	}
 	fw := s.runWorkers(len(pairs))
-	baseVals := par.Map(par.Workers(s.Workers), len(names), func(i int) float64 {
-		b := s.Bench(names[i])
-		r := must(flow.Run(b, flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform,
-			SkipRoute: true, Workers: fw}))
-		return r.HPWL
+	baseVals, err := mapE(par.Workers(s.Workers), len(names), func(i int) (float64, error) {
+		b, err := s.Bench(names[i])
+		if err != nil {
+			return 0, err
+		}
+		r, err := flow.Run(b, flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform,
+			SkipRoute: true, Workers: fw})
+		if err != nil {
+			return 0, err
+		}
+		return r.HPWL, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	base := map[string]float64{}
 	for i, name := range names {
 		base[name] = baseVals[i]
 	}
-	return par.Map(par.Workers(s.Workers), len(pairs), func(i int) Figure5Point {
+	return mapE(par.Workers(s.Workers), len(pairs), func(i int) (Figure5Point, error) {
 		pr := pairs[i]
 		var sum float64
 		for _, name := range names {
-			b := s.Bench(name)
+			b, err := s.Bench(name)
+			if err != nil {
+				return Figure5Point{}, err
+			}
 			opt := flow.Options{Seed: s.Seed, Shapes: flow.ShapeUniform, SkipRoute: true,
 				Workers: fw}
 			switch pr.param {
@@ -407,10 +509,13 @@ func (s *Suite) Figure5() []Figure5Point {
 			case "mu":
 				opt.Mu = 2 * pr.mult
 			}
-			r := must(flow.Run(b, opt))
+			r, err := flow.Run(b, opt)
+			if err != nil {
+				return Figure5Point{}, err
+			}
 			sum += r.HPWL / base[name]
 		}
-		return Figure5Point{Param: pr.param, Multiplier: pr.mult, Score: sum / float64(len(names))}
+		return Figure5Point{Param: pr.param, Multiplier: pr.mult, Score: sum / float64(len(names))}, nil
 	})
 }
 
@@ -429,23 +534,25 @@ type GNNReport struct {
 
 // Model returns the trained Total Cost predictor, training it on first use.
 // It is safe for concurrent use; training happens exactly once per suite.
-func (s *Suite) Model() *gnn.Model {
+func (s *Suite) Model() (*gnn.Model, error) {
 	s.modelOnce.Do(func() {
-		s.model, s.modelStats = s.trainModel()
+		s.model, s.modelStats, s.modelErr = s.trainModel()
 	})
-	return s.model
+	return s.model, s.modelErr
 }
 
 // GNNMetrics returns the Section 4.4 quality report (training on demand).
-func (s *Suite) GNNMetrics() GNNReport {
-	s.Model()
-	return s.modelStats
+func (s *Suite) GNNMetrics() (GNNReport, error) {
+	if _, err := s.Model(); err != nil {
+		return GNNReport{}, err
+	}
+	return s.modelStats, nil
 }
 
 // trainModel builds the V-P&R dataset by perturbing clustering seeds on the
 // small designs (the paper perturbs seed/coarsening hyperparameters), labels
 // every (cluster, shape) pair with exact V-P&R, and fits the GNN.
-func (s *Suite) trainModel() (*gnn.Model, GNNReport) {
+func (s *Suite) trainModel() (*gnn.Model, GNNReport, error) {
 	nSeeds := 4
 	minClusterInsts := 25
 	if s.Fast {
@@ -458,7 +565,10 @@ func (s *Suite) trainModel() (*gnn.Model, GNNReport) {
 		names = names[:1]
 	}
 	for _, name := range names {
-		b := s.Bench(name)
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, GNNReport{}, err
+		}
 		view := b.Design.ToHypergraph()
 		for k := 0; k < nSeeds; k++ {
 			res := cluster.MultilevelFC(view.H, cluster.Options{
@@ -531,7 +641,7 @@ func (s *Suite) trainModel() (*gnn.Model, GNNReport) {
 			rep.SpeedupX = float64(perExact) / float64(perPredict)
 		}
 	}
-	return model, rep
+	return model, rep, nil
 }
 
 func labelStats(samples []gnn.Sample) (min, max, mean float64) {
@@ -550,13 +660,6 @@ func labelStats(samples []gnn.Sample) (min, max, mean float64) {
 		sum += s.Label
 	}
 	return min, max, sum / float64(len(samples))
-}
-
-func must(r *flow.Result, err error) *flow.Result {
-	if err != nil {
-		panic(err)
-	}
-	return r
 }
 
 // ---- rendering ----

@@ -16,7 +16,10 @@ func fastSuite(t *testing.T) *Suite {
 
 func TestTable1Shape(t *testing.T) {
 	s := fastSuite(t)
-	rows := s.Table1()
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) < 2 {
 		t.Fatalf("rows=%d", len(rows))
 	}
@@ -32,7 +35,10 @@ func TestTable1Shape(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	s := fastSuite(t)
-	rows := s.Table2()
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		// HPWL within a sane band of the default flow.
 		if r.OursHPWL < 0.5 || r.OursHPWL > 1.5 {
@@ -49,7 +55,15 @@ func TestTable2Shape(t *testing.T) {
 
 func TestTable3And4Shape(t *testing.T) {
 	s := fastSuite(t)
-	for _, rows := range [][]PPARow{s.Table3(), s.Table4()} {
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]PPARow{t3, t4} {
 		if len(rows)%2 != 0 || len(rows) == 0 {
 			t.Fatalf("row count %d", len(rows))
 		}
@@ -76,7 +90,10 @@ func TestTable3And4Shape(t *testing.T) {
 
 func TestTable5Shape(t *testing.T) {
 	s := fastSuite(t)
-	rows := s.Table5()
+	rows, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows)%3 != 0 || len(rows) == 0 {
 		t.Fatalf("rows=%d", len(rows))
 	}
@@ -93,7 +110,10 @@ func TestTable5Shape(t *testing.T) {
 
 func TestTable6Shape(t *testing.T) {
 	s := fastSuite(t)
-	rows := s.Table6()
+	rows, err := s.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows)%3 != 0 || len(rows) == 0 {
 		t.Fatalf("rows=%d", len(rows))
 	}
@@ -107,7 +127,10 @@ func TestTable6Shape(t *testing.T) {
 
 func TestGNNMetrics(t *testing.T) {
 	s := fastSuite(t)
-	rep := s.GNNMetrics()
+	rep, err := s.GNNMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Samples == 0 {
 		t.Fatal("no samples")
 	}
@@ -135,7 +158,10 @@ func TestGNNMetrics(t *testing.T) {
 
 func TestFigure5Shape(t *testing.T) {
 	s := fastSuite(t)
-	pts := s.Figure5()
+	pts, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
 	params := map[string]int{}
 	for _, p := range pts {
 		params[p.Param]++
@@ -176,16 +202,28 @@ func TestSortPPARows(t *testing.T) {
 
 func TestBenchCaching(t *testing.T) {
 	s := fastSuite(t)
-	b1 := s.Bench("aes")
-	b2 := s.Bench("aes")
+	b1, err := s.Bench("aes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.Bench("aes")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b1 != b2 {
 		t.Fatal("bench not cached")
+	}
+	if _, err := s.Bench("no-such-design"); err == nil {
+		t.Fatal("unknown design must return an error")
 	}
 }
 
 func TestAblationClusterTerms(t *testing.T) {
 	s := fastSuite(t)
-	rows := s.AblationClusterTerms()
+	rows, err := s.AblationClusterTerms()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows)%5 != 0 || len(rows) == 0 {
 		t.Fatalf("rows=%d", len(rows))
 	}
@@ -208,7 +246,10 @@ func TestAblationClusterTerms(t *testing.T) {
 
 func TestRuntimeBreakdown(t *testing.T) {
 	s := fastSuite(t)
-	rows := s.RuntimeBreakdown()
+	rows, err := s.RuntimeBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) == 0 {
 		t.Fatal("no rows")
 	}

@@ -8,7 +8,10 @@ import (
 func TestWriteReportFast(t *testing.T) {
 	s := NewSuite(true, 11, 4)
 	var sb strings.Builder
-	claims := s.WriteReport(&sb)
+	claims, err := s.WriteReport(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := sb.String()
 	for _, want := range []string{
 		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",

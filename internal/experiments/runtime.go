@@ -27,17 +27,29 @@ type RuntimeRow struct {
 // cores and distort the per-stage wall-clock — but each flow uses the
 // suite's full worker budget, so the breakdown reflects the configured
 // parallelism.
-func (s *Suite) RuntimeBreakdown() []RuntimeRow {
-	model := s.Model()
+func (s *Suite) RuntimeBreakdown() ([]RuntimeRow, error) {
+	model, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
 	var rows []RuntimeRow
 	for _, name := range s.allDesigns() {
-		b := s.Bench(name)
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
 		w := par.Workers(s.Workers)
-		def := must(flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true, Workers: w}))
-		r := must(flow.Run(b, flow.Options{
+		def, err := flow.RunDefault(b, flow.Options{Seed: s.Seed, SkipRoute: true, Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		r, err := flow.Run(b, flow.Options{
 			Seed: s.Seed, Method: flow.MethodPPAAware,
 			Shapes: flow.ShapeVPRML, Model: model, SkipRoute: true, Workers: w,
-		}))
+		})
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, RuntimeRow{
 			Design:       designs.PaperNames[name],
 			Cluster:      r.ClusterTime,
@@ -48,5 +60,5 @@ func (s *Suite) RuntimeBreakdown() []RuntimeRow {
 			DefaultPlace: def.PlaceTime,
 		})
 	}
-	return rows
+	return rows, nil
 }

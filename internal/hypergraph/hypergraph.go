@@ -60,7 +60,9 @@ func (h *Hypergraph) AddEdge(vertices []int, w float64) int {
 	uniq := dedupe(vertices)
 	for _, v := range uniq {
 		if v < 0 || v >= len(h.vertexWeight) {
-			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, len(h.vertexWeight)))
+			// Same contract as indexing a slice out of range: vertex IDs come
+			// from AddVertex, so a bad ID is a caller bug, not input data.
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, len(h.vertexWeight))) //ppalint:ignore nopanic bounds assertion with slice-indexing semantics, a bad vertex ID is a caller bug
 		}
 	}
 	id := len(h.edges)
@@ -329,9 +331,18 @@ func (h *Hypergraph) ClusterStatsFor(clusterOf []int) map[int]*ClusterStats {
 // neutral exponent of 1 (a singleton has no internal structure to reward).
 func (h *Hypergraph) WeightedAvgRent(clusterOf []int) float64 {
 	stats := h.ClusterStatsFor(clusterOf)
+	// Accumulate in sorted cluster order: float addition is not associative,
+	// and R_avg feeds the clustering objective, so summing in map order would
+	// make the result vary run to run.
+	ids := make([]int, 0, len(stats))
+	for c := range stats {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
 	var num float64
 	total := 0
-	for _, s := range stats {
+	for _, c := range ids {
+		s := stats[c]
 		r := s.RentExponent()
 		if math.IsNaN(r) {
 			r = 1

@@ -165,6 +165,41 @@ func TestWeightedAvgRentPrefersGoodClustering(t *testing.T) {
 	}
 }
 
+// TestWeightedAvgRentDeterministic pins the maporder fix: R_avg must be
+// bit-identical across repeated evaluations. Before the fix the
+// size-weighted sum ran in map-iteration order, so float non-associativity
+// let the result wobble between runs on many-cluster inputs; summing in
+// sorted cluster order is the same multiset sum with a fixed bracketing.
+func TestWeightedAvgRentDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 300
+	h := New(n)
+	for v := 0; v < n; v++ {
+		h.SetVertexWeight(v, 1+rng.Float64())
+	}
+	for e := 0; e < 900; e++ {
+		deg := 2 + rng.Intn(4)
+		verts := make([]int, deg)
+		for i := range verts {
+			verts[i] = rng.Intn(n)
+		}
+		h.AddEdge(verts, 1)
+	}
+	clusterOf := make([]int, n)
+	for v := range clusterOf {
+		clusterOf[v] = rng.Intn(60)
+	}
+	want := h.WeightedAvgRent(clusterOf)
+	if math.IsNaN(want) {
+		t.Fatal("R_avg is NaN on a connected sample")
+	}
+	for i := 0; i < 20; i++ {
+		if got := h.WeightedAvgRent(clusterOf); got != want {
+			t.Fatalf("run %d: R_avg = %v, want bit-identical %v", i, got, want)
+		}
+	}
+}
+
 func TestCliqueExpand(t *testing.T) {
 	h := New(3)
 	h.AddEdge([]int{0, 1, 2}, 2) // clique weight 2/(3-1) = 1 per pair

@@ -138,7 +138,7 @@ func (p *lefParser) dim(ln *scan.Line, i int) (float64, error) {
 		return 0, err
 	}
 	if v < 0 || v > maxDimUM {
-		return 0, ln.Errf(ln.Fields[i], "dimension out of range [0, %g]", float64(maxDimUM))
+		return 0, ln.Errf(ln.Tok(i), "dimension out of range [0, %g]", float64(maxDimUM))
 	}
 	return quant(v), nil
 }
@@ -150,36 +150,35 @@ func (p *lefParser) offset(ln *scan.Line, i int) (float64, error) {
 		return 0, err
 	}
 	if v < -maxDimUM || v > maxDimUM {
-		return 0, ln.Errf(ln.Fields[i], "offset out of range")
+		return 0, ln.Errf(ln.Tok(i), "offset out of range")
 	}
 	return quant(v), nil
 }
 
 func (p *lefParser) line(ln *scan.Line) error {
-	f := ln.Fields
-	switch f[0] {
+	switch ln.Tok(0) {
 	case "MACRO":
 		if err := ln.Require(2); err != nil {
 			return err
 		}
-		if ex := p.lib.Master(f[1]); ex != nil {
+		if ex := p.lib.Master(ln.Tok(1)); ex != nil {
 			p.m = ex
 		} else {
-			p.m = &netlist.Master{Name: f[1]}
+			p.m = &netlist.Master{Name: ln.Tok(1)}
 			if err := p.lib.AddMaster(p.m); err != nil {
-				return ln.Errf(f[1], "%v", err)
+				return ln.Errf(ln.Tok(1), "%v", err)
 			}
 		}
-		p.names = append(p.names, f[1])
+		p.names = append(p.names, ln.Tok(1))
 		p.pin = nil
 	case "CLASS":
 		if p.m == nil {
-			return ln.Errf(f[0], "CLASS outside MACRO")
+			return ln.Errf(ln.Tok(0), "CLASS outside MACRO")
 		}
 		if err := ln.Require(2); err != nil {
 			return p.tolerate(err)
 		}
-		switch f[1] {
+		switch ln.Tok(1) {
 		case "BLOCK":
 			p.m.Class = netlist.ClassMacro
 		case "PAD":
@@ -189,31 +188,31 @@ func (p *lefParser) line(ln *scan.Line) error {
 		}
 	case "SIZE":
 		if p.m == nil {
-			return ln.Errf(f[0], "SIZE outside MACRO")
+			return ln.Errf(ln.Tok(0), "SIZE outside MACRO")
 		}
 		if err := p.size(ln); err != nil {
 			return p.tolerate(err)
 		}
 	case "PIN":
 		if p.m == nil {
-			return ln.Errf(f[0], "PIN outside MACRO")
+			return ln.Errf(ln.Tok(0), "PIN outside MACRO")
 		}
 		if err := ln.Require(2); err != nil {
 			return err
 		}
-		if ex := p.m.Pin(f[1]); ex != nil {
+		if ex := p.m.Pin(ln.Tok(1)); ex != nil {
 			p.pin = ex
 		} else {
-			p.pin = p.m.AddPin(netlist.MasterPin{Name: f[1]})
+			p.pin = p.m.AddPin(netlist.MasterPin{Name: ln.Tok(1)})
 		}
 	case "DIRECTION":
 		if p.pin == nil {
-			return ln.Errf(f[0], "DIRECTION outside PIN")
+			return ln.Errf(ln.Tok(0), "DIRECTION outside PIN")
 		}
 		if err := ln.Require(2); err != nil {
 			return p.tolerate(err)
 		}
-		switch f[1] {
+		switch ln.Tok(1) {
 		case "OUTPUT":
 			p.pin.Dir = netlist.DirOutput
 		case "INOUT":
@@ -228,12 +227,12 @@ func (p *lefParser) line(ln *scan.Line) error {
 		if err := ln.Require(2); err != nil {
 			return p.tolerate(err)
 		}
-		if f[1] == "CLOCK" {
+		if ln.Tok(1) == "CLOCK" {
 			p.pin.Clock = true
 		}
 	case "ORIGIN":
 		if p.pin == nil {
-			return ln.Errf(f[0], "ORIGIN outside PIN")
+			return ln.Errf(ln.Tok(0), "ORIGIN outside PIN")
 		}
 		if err := p.origin(ln); err != nil {
 			return p.tolerate(err)
@@ -241,9 +240,9 @@ func (p *lefParser) line(ln *scan.Line) error {
 	case "END":
 		// Close the innermost open block first, so a pin that shares its
 		// macro's name does not end the macro early.
-		if len(f) >= 2 && p.pin != nil && f[1] == p.pin.Name {
+		if ln.Len() >= 2 && p.pin != nil && ln.Tok(1) == p.pin.Name {
 			p.pin = nil
-		} else if len(f) >= 2 && p.m != nil && f[1] == p.m.Name {
+		} else if ln.Len() >= 2 && p.m != nil && ln.Tok(1) == p.m.Name {
 			p.m = nil
 		}
 	}

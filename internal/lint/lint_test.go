@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ppaclust/internal/lint"
+	"ppaclust/internal/lint/linttest"
+)
+
+// The fixture packages carry at least one real (pre-fix) diagnostic per
+// check plus the approved alternatives and a written-reason suppression, so
+// these tests pin both halves of each contract: what fires and what stays
+// silent.
+
+func TestMapOrderFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/maporder", "ppaclust/internal/sta", "maporder")
+}
+
+func TestNoPanicFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/nopanic", "ppaclust/internal/fixture", "nopanic")
+}
+
+func TestRawIndexFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/rawindex", "ppaclust/internal/def", "rawindex")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/errdrop", "ppaclust/internal/fixtureed", "errdrop")
+}
+
+func TestPrintLibFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/printlib", "ppaclust/internal/fixturepl", "printlib")
+}
+
+// TestSuppressContract covers malformed directives: they are reported under
+// the "suppress" check and silence nothing.
+func TestSuppressContract(t *testing.T) {
+	linttest.RunDir(t, "testdata/suppress", "ppaclust/internal/fixturesup", "nopanic")
+}
+
+func TestSelect(t *testing.T) {
+	all, err := lint.Select("")
+	if err != nil || len(all) != len(lint.CheckNames()) {
+		t.Fatalf("Select(\"\") = %d checks, err %v", len(all), err)
+	}
+	two, err := lint.Select("maporder, nopanic")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select subset = %d checks, err %v", len(two), err)
+	}
+	if _, err := lint.Select("nosuchcheck"); err == nil {
+		t.Fatal("Select must reject unknown check names")
+	}
+}
+
+// TestRepoIsLintClean is the self-lint gate: the tree at HEAD must produce
+// zero findings, so any new contract violation fails the ordinary test
+// suite even before scripts/check.sh runs the CLI.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check is slow; run without -short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := lint.Expand(loader.ModRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, d := range dirs {
+		p, err := loader.Load(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	for _, d := range lint.Run(pkgs, lint.Checks()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,92 @@
+// Package linttest is the expected-diagnostic harness for ppalint checks.
+// A fixture package under testdata/ annotates each offending line with a
+//
+//	// want `regex`
+//
+// comment (block comments work too, for lines that already carry a
+// directive); RunDir loads the fixture under a faked import path, runs the
+// selected checks, and fails the test unless findings and annotations agree
+// one-to-one. Each regex is matched against "check: message", so a want can
+// pin the check name, the message, or both.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"ppaclust/internal/lint"
+)
+
+// wantRe extracts the backquoted pattern of a want annotation.
+var wantRe = regexp.MustCompile("want `([^`]+)`")
+
+// RunDir type-checks the fixture package in dir as if it lived at
+// importPath (so path-sensitive checks treat it exactly like the real
+// tree), runs the checks named by the comma-separated spec ("" = all), and
+// compares diagnostics against the fixture's want annotations. Every want
+// must be matched by exactly one finding on its line, and every finding
+// must be claimed by a want; a suppressed or benign line therefore simply
+// carries no annotation.
+func RunDir(t *testing.T, dir, importPath, checkSpec string) {
+	t.Helper()
+	checks, err := lint.Select(checkSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadAs(abs, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, checks)
+
+	type expect struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		used bool
+	}
+	var expects []*expect
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					expects = append(expects, &expect{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		s := d.Check + ": " + d.Msg
+		claimed := false
+		for _, e := range expects {
+			if !e.used && e.file == d.File && e.line == d.Line && e.re.MatchString(s) {
+				e.used, claimed = true, true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", e.file, e.line, e.re)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the errdrop check: calls into the guarded
+// scan/parser/flow APIs must not discard their error results. The harness
+// loads it as ppaclust/internal/fixtureed.
+package fixture
+
+import "ppaclust/internal/scan"
+
+// Dropped uses a guarded call as a bare statement: flagged.
+func Dropped(ln *scan.Line) {
+	ln.Str(0) // want `errdrop: error result of scan.Str discarded`
+}
+
+// Blanked assigns the error result to _: flagged.
+func Blanked(ln *scan.Line) string {
+	v, _ := ln.Str(0) // want `errdrop: error result of scan.Str assigned to _`
+	return v
+}
+
+// Handled propagates the error: the approved path.
+func Handled(ln *scan.Line) (string, error) {
+	return ln.Str(0)
+}
+
+// Checked inspects the error before discarding the value: fine.
+func Checked(ln *scan.Line) bool {
+	_, err := ln.Float(0)
+	return err == nil
+}
+
+// Suppressed carries a written-reason directive: finding silenced.
+func Suppressed(ln *scan.Line) {
+	ln.Str(0) //ppalint:ignore errdrop fixture: probe call, the result is intentionally unused
+}

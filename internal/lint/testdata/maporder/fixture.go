@@ -1,0 +1,79 @@
+// Package sta is a maporder fixture; the harness loads it under the faked
+// import path ppaclust/internal/sta so the check treats it as
+// determinism-critical code.
+package sta
+
+import (
+	"sort"
+
+	"ppaclust/internal/par"
+)
+
+// SumFloat accumulates a float in map order: flagged.
+func SumFloat(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want `maporder: map iteration order is random: body accumulates a float`
+		total += v
+	}
+	return total
+}
+
+// SpelledOutSum writes the accumulation as x = x + v: flagged.
+func SpelledOutSum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want `maporder: .*accumulates a float`
+		total = total + v
+	}
+	return total
+}
+
+// AppendVals bakes map order into a slice: flagged.
+func AppendVals(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `maporder: .*appends a non-key value to a slice`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Dispatch hands work to internal/par in map order: flagged.
+func Dispatch(m map[int][]float64) {
+	for _, vs := range m { // want `maporder: .*dispatches work to internal/par`
+		vs := vs
+		_ = par.Map(1, len(vs), func(i int) float64 { return vs[i] })
+	}
+}
+
+// SortedSum is the sorted-keys idiom the check must recognize: the first
+// range only collects keys, the accumulation ranges the sorted slice.
+func SortedSum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CountInts keeps integer counters: order-independent, not flagged.
+func CountInts(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SuppressedSum carries a written-reason directive: finding silenced.
+func SuppressedSum(m map[int]float64) float64 {
+	var total float64
+	//ppalint:ignore maporder fixture: demonstrates a valid written-reason suppression
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the nopanic check; the harness loads it as
+// ppaclust/internal/fixture, a library package with no exemption.
+package fixture
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// Explode panics on a reachable condition: flagged.
+func Explode(bad bool) {
+	if bad {
+		panic("boom") // want `nopanic: panic in library package`
+	}
+}
+
+// FatalLog kills the process from a library: flagged.
+func FatalLog(err error) {
+	log.Fatalf("unrecoverable: %v", err) // want `nopanic: log.Fatalf in library package`
+}
+
+// Quit exits from a library: flagged.
+func Quit() {
+	os.Exit(2) // want `nopanic: os.Exit in library package`
+}
+
+// Returned is the approved path: errors go up, cmd/ decides how to die.
+func Returned(bad bool) error {
+	if bad {
+		return errors.New("bad input")
+	}
+	return nil
+}
+
+// Rethrow re-raises a captured child-goroutine panic — the one legitimate
+// library use, silenced with a written reason.
+func Rethrow(pv any) {
+	if pv != nil {
+		panic(pv) //ppalint:ignore nopanic fixture: re-raises a captured child panic, mirroring internal/par
+	}
+}

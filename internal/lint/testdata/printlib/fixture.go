@@ -1,0 +1,34 @@
+// Package fixture exercises the printlib check: libraries under internal/
+// must not write to stdout. The harness loads it as
+// ppaclust/internal/fixturepl.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+// Shout prints to stdout from a library: flagged.
+func Shout(v int) {
+	fmt.Println("v =", v) // want `printlib: fmt.Println writes to stdout`
+}
+
+// ShoutF formats to stdout from a library: flagged.
+func ShoutF(v int) {
+	fmt.Printf("v = %d\n", v) // want `printlib: fmt.Printf writes to stdout`
+}
+
+// Builtin uses the bootstrap builtin: flagged.
+func Builtin(v int) {
+	println(v) // want `printlib: builtin println writes to stderr`
+}
+
+// Approved writes to a caller-supplied writer: the approved path.
+func Approved(w io.Writer, v int) {
+	fmt.Fprintf(w, "v = %d\n", v)
+}
+
+// Suppressed carries a written-reason directive: finding silenced.
+func Suppressed(v int) {
+	fmt.Println(v) //ppalint:ignore printlib fixture: progress output is this helper's documented contract
+}

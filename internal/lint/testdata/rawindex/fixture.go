@@ -1,0 +1,45 @@
+// Package def exercises the rawindex check; the harness loads it as
+// ppaclust/internal/def, one of the format readers.
+package def
+
+import "ppaclust/internal/scan"
+
+// First reads through a bare token-slice variable: flagged.
+func First(f []string) string {
+	return f[0] // want `rawindex: raw index into a token slice`
+}
+
+// Field reads through a .Fields selector: flagged.
+func Field(ln *scan.Line) string {
+	return ln.Fields[1] // want `rawindex: raw index into a token slice`
+}
+
+// Checked goes through the bounds-checked accessor: the approved path.
+func Checked(ln *scan.Line) string {
+	return ln.Tok(1)
+}
+
+// Build stores into a freshly made slice: construction, not token access.
+func Build(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "x"
+	}
+	return out
+}
+
+// route holds domain data behind a named field: reads through it carry
+// their own invariants and are exempt.
+type route struct{ hops []string }
+
+func (r route) firstHop() string {
+	if len(r.hops) == 0 {
+		return ""
+	}
+	return r.hops[0]
+}
+
+// Suppressed carries a written-reason directive: finding silenced.
+func Suppressed(f []string) string {
+	return f[2] //ppalint:ignore rawindex fixture: bounds established by the caller's Require
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the suppression contract itself: malformed
+// //ppalint:ignore directives are reported under the "suppress" check and
+// silence nothing. The harness loads it as ppaclust/internal/fixturesup.
+// Want annotations share the directive's line as block comments, since a
+// line comment would swallow them into the directive text.
+package fixture
+
+/* want `suppress: ppalint:ignore needs a check name and a reason` */ //ppalint:ignore
+
+/* want `suppress: ppalint:ignore names unknown check "nosuchcheck"` */ //ppalint:ignore nosuchcheck with a reason
+
+// StillFlagged shows a reasonless directive suppressing nothing: both the
+// directive and the panic it fails to cover are reported.
+func StillFlagged() {
+	/* want `suppress: ppalint:ignore nopanic needs a written reason` */ //ppalint:ignore nopanic
+	panic("still reported")                                              // want `nopanic: panic in library package`
+}

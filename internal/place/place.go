@@ -607,7 +607,9 @@ func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool, workers int) {
 		}()
 		p.bisect(hi, cells[cut:], !xAxis, workers-workers/2)
 		if pv := <-done; pv != nil {
-			panic(pv)
+			// Re-raise the forked child's panic on the parent goroutine —
+			// the same propagation contract internal/par implements.
+			panic(pv) //ppalint:ignore nopanic re-raises a captured child-goroutine panic, mirroring internal/par's propagation contract
 		}
 		return
 	}

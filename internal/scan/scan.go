@@ -95,6 +95,17 @@ type Line struct {
 // Len returns the field count.
 func (l *Line) Len() int { return len(l.Fields) }
 
+// Tok returns field i, or "" when i is out of range. It is the total
+// counterpart of Str for positional reads whose bounds were already
+// established (via Require or a Len-bounded loop): no impossible-error
+// plumbing, and no way to panic on a short line.
+func (l *Line) Tok(i int) string {
+	if i < 0 || i >= len(l.Fields) {
+		return ""
+	}
+	return l.Fields[i]
+}
+
 // Errf builds a *ParseError anchored at this line.
 func (l *Line) Errf(token, format string, args ...any) *ParseError {
 	return Errorf(l.File, l.Num, token, format, args...)

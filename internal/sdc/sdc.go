@@ -86,12 +86,12 @@ func ParseWith(r io.Reader, o Options) (sta.Constraints, []*scan.ParseError, err
 	sc := scan.NewScanner(r, file, 1024*1024)
 	for sc.Scan() {
 		ln := sc.Line()
-		if strings.HasPrefix(ln.Fields[0], "#") {
+		if strings.HasPrefix(ln.Tok(0), "#") {
 			continue
 		}
-		f := tokenizeTCL(strings.Join(ln.Fields, " "))
-		ln = &scan.Line{File: ln.File, Num: ln.Num, Fields: f}
-		switch f[0] {
+		ln = &scan.Line{File: ln.File, Num: ln.Num,
+			Fields: tokenizeTCL(strings.Join(ln.Fields, " "))}
+		switch ln.Tok(0) {
 		case "create_clock":
 			period, err := flagValue(ln, "-period")
 			if err != nil {
@@ -102,9 +102,9 @@ func ParseWith(r io.Reader, o Options) (sta.Constraints, []*scan.ParseError, err
 					ln.Errf("-period", "clock period %g ns out of range [%g, %g]",
 						period, minPeriodNS, maxPeriodNS)
 			}
-			port := portArg(f)
+			port := portArg(ln)
 			if port == "" {
-				port, _ = flagString(f, "-name")
+				port, _ = flagString(ln, "-name")
 			}
 			// A clock without a usable port name cannot be re-emitted; the
 			// period is still recorded in lenient mode (the flow needs only
@@ -181,38 +181,37 @@ func tokenizeTCL(line string) []string {
 // a missing flag, a flag that ends the line, and an unparsable value as
 // distinct errors.
 func flagValue(ln *scan.Line, flag string) (float64, *scan.ParseError) {
-	f := ln.Fields
-	for i := range f {
-		if f[i] != flag {
+	for i := 0; i < ln.Len(); i++ {
+		if ln.Tok(i) != flag {
 			continue
 		}
-		if i+1 >= len(f) {
+		if i+1 >= ln.Len() {
 			return 0, ln.Errf(flag, "%s is the last token; it needs a value", flag)
 		}
-		v, ok := scan.ParseFloat(f[i+1])
+		v, ok := scan.ParseFloat(ln.Tok(i + 1))
 		if !ok {
-			return 0, ln.Errf(f[i+1], "unparsable %s value", flag)
+			return 0, ln.Errf(ln.Tok(i+1), "unparsable %s value", flag)
 		}
 		return v, nil
 	}
-	return 0, ln.Errf(f[0], "missing %s", flag)
+	return 0, ln.Errf(ln.Tok(0), "missing %s", flag)
 }
 
 // flagString finds "flag value" and returns the value token.
-func flagString(f []string, flag string) (string, bool) {
-	for i := range f {
-		if f[i] == flag && i+1 < len(f) {
-			return f[i+1], true
+func flagString(ln *scan.Line, flag string) (string, bool) {
+	for i := 0; i+1 < ln.Len(); i++ {
+		if ln.Tok(i) == flag {
+			return ln.Tok(i + 1), true
 		}
 	}
 	return "", false
 }
 
 // portArg extracts X from "[ get_ports X ]".
-func portArg(f []string) string {
-	for i := range f {
-		if f[i] == "get_ports" && i+1 < len(f) && f[i+1] != "]" {
-			return f[i+1]
+func portArg(ln *scan.Line) string {
+	for i := 0; i+1 < ln.Len(); i++ {
+		if ln.Tok(i) == "get_ports" && ln.Tok(i+1) != "]" {
+			return ln.Tok(i + 1)
 		}
 	}
 	return ""
@@ -221,7 +220,8 @@ func portArg(f []string) string {
 // commandValue returns the first finite number among the command's
 // arguments, bounded to the writer-stable range.
 func commandValue(ln *scan.Line) (float64, *scan.ParseError) {
-	for _, tok := range ln.Fields[1:] {
+	for i := 1; i < ln.Len(); i++ {
+		tok := ln.Tok(i)
 		if v, ok := scan.ParseFloat(tok); ok {
 			if v < -maxValue || v > maxValue {
 				return 0, ln.Errf(tok, "value out of range (|v| > %g)", float64(maxValue))
@@ -229,5 +229,5 @@ func commandValue(ln *scan.Line) (float64, *scan.ParseError) {
 			return v, nil
 		}
 	}
-	return 0, ln.Errf(ln.Fields[0], "no numeric value found")
+	return 0, ln.Errf(ln.Tok(0), "no numeric value found")
 }

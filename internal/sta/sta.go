@@ -111,8 +111,8 @@ type Analyzer struct {
 	out     [][]int // node -> outgoing edge indices
 	nodeOf  map[PinID]int
 	topo    []int
-	cyclic  bool     // topo order was incomplete (combinational loop)
-	sched   parSched // cached level schedule for parallel propagation
+	cyclic  bool      // topo order was incomplete (combinational loop)
+	sched   parSched  // cached level schedule for parallel propagation
 	netLoad []float64 // total load capacitance per net
 	netLen  []float64 // HPWL per net (for wire delay)
 

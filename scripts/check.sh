@@ -14,6 +14,13 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+# Project-contract lint: determinism (maporder), no-panic (nopanic),
+# bounds-checked parsing (rawindex), no dropped parser errors (errdrop), no
+# stdout writes from libraries (printlib). Runs in both modes, ahead of the
+# test sweep, so a contract violation fails fast with file:line provenance.
+echo "==> ppalint ./..."
+go run ./cmd/ppalint ./...
+
 if [[ "${1:-}" != "quick" ]]; then
     # The race detector slows the experiment/GNN suites ~10x; on small CPU
     # budgets they overrun go test's default 10m per-package timeout.
