@@ -12,6 +12,8 @@
 //	ppabench -table ablation # extension: per-term PPA-awareness ablation
 //	ppabench -workers 4      # goroutine budget (0 = GOMAXPROCS)
 //	ppabench -json out.json  # machine-readable per-table wall-clock + metrics
+//	ppabench -scale 10k,100k,1m -scale-out BENCH_scale.json   # scale sweep
+//	ppabench -scale 100k -memstats   # one size, with Go heap counters
 //	ppabench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles
 package main
 
@@ -47,6 +49,10 @@ func main() {
 	table := flag.String("table", "", "print one table (1-6, gnn, runtime, ablation) to stdout")
 	figure := flag.String("figure", "", "print one figure (5) to stdout")
 	jsonOut := flag.String("json", "", "write per-benchmark wall-clock and headline metrics as JSON")
+	scale := flag.String("scale", "",
+		"run the scale sweep over a size list like \"10k,100k,1m\" instead of the paper suite")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "scale sweep output path")
+	memstats := flag.Bool("memstats", false, "print Go heap counters after each scale row")
 	out := flag.String("o", "EXPERIMENTS.md", "report output path (full runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -66,6 +72,8 @@ func main() {
 
 	s := experiments.NewSuite(*fast, *seed, *workers)
 	switch {
+	case *scale != "":
+		runScale(check(parseScaleSizes(*scale)), *seed, *workers, *memstats, *scaleOut)
 	case *jsonOut != "":
 		runJSON(s, *jsonOut)
 	case *table != "":

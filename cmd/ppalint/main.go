@@ -1,8 +1,9 @@
 // Command ppalint mechanically enforces the repo's project contracts —
 // deterministic map iteration in the parallel kernels (maporder), no panics
 // in library packages (nopanic), bounds-checked token access in the format
-// readers (rawindex), no discarded parser/flow errors (errdrop), and no
-// stdout writes from libraries (printlib).
+// readers (rawindex), no discarded parser/flow errors (errdrop), no
+// stdout writes from libraries (printlib), and no unpreallocated append
+// loops in the hot-path packages (prealloc).
 //
 // Usage:
 //

@@ -1,7 +1,6 @@
 package designs
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -97,7 +96,9 @@ type generator struct {
 	d     *netlist.Design
 	lib   *netlist.Library
 	spec  Spec
-	gates []string // comb master names, sampled by weight
+	gates []*netlist.Master // comb masters, sampled by weight; resolved once
+	dff   *netlist.Master
+	ram   *netlist.Master
 
 	clockNet  *netlist.Net
 	netCount  int
@@ -107,6 +108,7 @@ type generator struct {
 	exports    [][]driver
 	leafParent []int
 	broadcast  []driver // global control signals (register outputs)
+	candBuf    []int    // pickDriver sibling-candidate scratch, reused per call
 }
 
 // Generate builds the benchmark for a spec. The same spec always yields the
@@ -138,12 +140,21 @@ func generate(spec Spec) *Benchmark {
 		lib:  Lib(),
 		spec: spec,
 	}
-	g.d = netlist.NewDesign(spec.Name, g.lib)
-	g.gates = []string{
+	// Pre-size the design for the requested cell count: instances get the
+	// target plus control registers and macros, nets track instances nearly
+	// one-to-one (every driver pin opens at most one net).
+	instCap := spec.TargetInsts + spec.TargetInsts/16 + spec.Macros + 64
+	g.d = netlist.NewDesignSized(spec.Name, g.lib, instCap, instCap+spec.IOs+8)
+	// Resolve masters once instead of a name-map lookup per instance.
+	for _, name := range []string{
 		"INV_X1", "INV_X1", "INV_X2", "BUF_X1",
 		"NAND2_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "OR2_X1",
 		"XOR2_X1", "AOI21_X1", "MUX2_X1",
+	} {
+		g.gates = append(g.gates, g.lib.Master(name))
 	}
+	g.dff = g.lib.Master("DFF_X1")
+	g.ram = g.lib.Master("RAM32X32")
 	if g.spec.LogicDepth <= 0 {
 		g.spec.LogicDepth = 16
 	}
@@ -170,7 +181,7 @@ func (g *generator) newNetFor(drv *driver) *netlist.Net {
 	if drv.net != nil {
 		return drv.net
 	}
-	n, err := g.d.AddNet(fmt.Sprintf("n%d", g.netCount))
+	n, err := g.d.AddNet("n" + itoa(g.netCount))
 	must(err)
 	g.netCount++
 	g.d.Connect(n, drv.ref)
@@ -178,8 +189,8 @@ func (g *generator) newNetFor(drv *driver) *netlist.Net {
 	return n
 }
 
-func (g *generator) addInst(path, master string) *netlist.Instance {
-	inst, err := g.d.AddInstance(fmt.Sprintf("%s/g%d", path, g.instCount), g.lib.Master(master))
+func (g *generator) addInst(path string, master *netlist.Master) *netlist.Instance {
+	inst, err := g.d.AddInstance(path+"/g"+itoa(g.instCount), master)
 	must(err)
 	g.instCount++
 	return inst
@@ -200,7 +211,7 @@ func (g *generator) leafPaths() []string {
 		idx := len(parentOf)
 		parentOf[prefix] = idx
 		for c := 0; c < g.spec.Branch; c++ {
-			rec(fmt.Sprintf("%s/m%d", prefix, c), depth+1, idx)
+			rec(prefix+"/m"+itoa(c), depth+1, idx)
 		}
 	}
 	rec("top", 0, -1)
@@ -223,9 +234,9 @@ func (g *generator) build() {
 	if nIn < 4 {
 		nIn = 4
 	}
-	var primary []driver
+	primary := make([]driver, 0, nIn)
 	for i := 0; i < nIn; i++ {
-		name := fmt.Sprintf("in%d", i)
+		name := "in" + itoa(i)
 		_, err := d.AddPort(name, netlist.DirInput)
 		must(err)
 		primary = append(primary, driver{ref: netlist.PinRef{Inst: -1, Pin: name}, leaf: -1})
@@ -234,7 +245,7 @@ func (g *generator) build() {
 	// Global control registers: their outputs broadcast across the design.
 	nCtrl := 3 + spec.TargetInsts/2500
 	for i := 0; i < nCtrl; i++ {
-		ff := g.addInst("top/ctrl", "DFF_X1")
+		ff := g.addInst("top/ctrl", g.dff)
 		d.Connect(g.clockNet, netlist.PinRef{Inst: ff.ID, Pin: "CK"})
 		// Control registers resample a primary input: a one-hop, timing-
 		// harmless path.
@@ -268,7 +279,7 @@ func (g *generator) build() {
 		nOut = 4
 	}
 	for i := 0; i < nOut; i++ {
-		name := fmt.Sprintf("out%d", i)
+		name := "out" + itoa(i)
 		_, err := d.AddPort(name, netlist.DirOutput)
 		must(err)
 		li := g.rng.Intn(len(g.exports))
@@ -294,8 +305,9 @@ func (g *generator) pickDriver(li int, local []driver, primary []driver) *driver
 	r = g.rng.Float64()
 	// Cross-module selection from earlier leaves.
 	if r < g.spec.CrossFrac && li > 0 {
-		// Prefer a sibling (same parent) leaf.
-		var candidates []int
+		// Prefer a sibling (same parent) leaf. The candidate scratch is
+		// reused across calls; this loop runs once per cross-module sink.
+		candidates := g.candBuf[:0]
 		if g.rng.Float64() < g.spec.SiblingBias {
 			for lj := 0; lj < li; lj++ {
 				if g.leafParent[lj] == g.leafParent[li] && len(g.exports[lj]) > 0 {
@@ -310,6 +322,7 @@ func (g *generator) pickDriver(li int, local []driver, primary []driver) *driver
 				}
 			}
 		}
+		g.candBuf = candidates[:0]
 		if len(candidates) > 0 {
 			lj := candidates[g.rng.Intn(len(candidates))]
 			return &g.exports[lj][g.rng.Intn(len(g.exports[lj]))]
@@ -351,17 +364,16 @@ func (g *generator) buildLeaf(li int, path string, nCells int, primary []driver)
 	}
 	nComb := nCells - nReg
 
-	var local []driver
+	local := make([]driver, 0, nReg+nComb)
 	regs := make([]*netlist.Instance, 0, nReg)
 	for i := 0; i < nReg; i++ {
-		ff := g.addInst(path, "DFF_X1")
+		ff := g.addInst(path, g.dff)
 		regs = append(regs, ff)
 		d.Connect(g.clockNet, netlist.PinRef{Inst: ff.ID, Pin: "CK"})
 		local = append(local, driver{ref: netlist.PinRef{Inst: ff.ID, Pin: "Q"}, leaf: li})
 	}
 	for i := 0; i < nComb; i++ {
-		master := g.gates[g.rng.Intn(len(g.gates))]
-		inst := g.addInst(path, master)
+		inst := g.addInst(path, g.gates[g.rng.Intn(len(g.gates))])
 		m := inst.Master
 		maxDepth := 0
 		for pi := range m.Pins {
@@ -402,7 +414,7 @@ func (g *generator) buildLeaf(li int, path string, nCells int, primary []driver)
 // addMacro instantiates a RAM connected to leaf li's exports.
 func (g *generator) addMacro(mi, li int, path string) {
 	d := g.d
-	ram, err := d.AddInstance(fmt.Sprintf("%s/ram%d", path, mi), g.lib.Master("RAM32X32"))
+	ram, err := d.AddInstance(path+"/ram"+itoa(mi), g.ram)
 	must(err)
 	d.Connect(g.clockNet, netlist.PinRef{Inst: ram.ID, Pin: "CK"})
 	exp := g.exports[li]
@@ -475,5 +487,35 @@ func pointOnPerimeter(r netlist.Rect, t float64) (float64, float64) {
 		return r.X1 - (t - w - h), r.Y1
 	default:
 		return r.X0, r.Y1 - (t - 2*w - h)
+	}
+}
+
+// ScaleSpec returns a synthetic benchmark spec sized for scale testing: the
+// hierarchy deepens with the cell count so leaves stay a few hundred cells,
+// and the macro/IO budget grows in proportion. The same (cells, seed) pair
+// always yields the identical design. This is the spec the ppabench -scale
+// sweep and the scale smoke test run on.
+func ScaleSpec(cells int, seed int64) Spec {
+	branch, depth := 6, 2
+	switch {
+	case cells > 300000:
+		branch, depth = 8, 4
+	case cells > 30000:
+		branch, depth = 6, 3
+	}
+	return Spec{
+		Name:        "scale" + itoa(cells),
+		TargetInsts: cells,
+		Depth:       depth,
+		Branch:      branch,
+		SeqRatio:    0.2,
+		CrossFrac:   0.08,
+		SiblingBias: 0.8,
+		IOs:         192,
+		Macros:      cells / 12500,
+		ClockPeriod: 1.2e-9,
+		Utilization: 0.5,
+		LogicDepth:  20,
+		Seed:        seed,
 	}
 }

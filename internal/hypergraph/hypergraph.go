@@ -5,21 +5,39 @@
 // vertices with a positive weight. The structure is append-only; coarsening
 // produces a new Hypergraph plus the vertex mapping rather than mutating in
 // place, so multilevel algorithms can keep the whole hierarchy alive.
+//
+// Storage is CSR (compressed sparse row): all edge pins live in one flat
+// array sliced by edge offsets, and the vertex→edge incidence is a second
+// CSR built lazily on first use. Edge and Incident hand out subslices of
+// those arrays, so queries allocate nothing and a million-vertex graph costs
+// two large allocations instead of one small one per edge and per vertex.
 package hypergraph
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Hypergraph is a weighted hypergraph over dense vertex IDs.
 type Hypergraph struct {
 	vertexWeight []float64
-	edges        [][]int
-	edgeWeight   []float64
-	incident     [][]int // vertex -> incident edge IDs
-	pins         int
+
+	// Edge → pin CSR: edge e's vertices are edgePins[edgeStart[e]:edgeStart[e+1]],
+	// strictly sorted. len(edgeStart) == NumEdges()+1 always.
+	edgeStart  []int32
+	edgePins   []int
+	edgeWeight []float64
+
+	// Vertex → edge CSR, built lazily by incidence() and retired by any
+	// mutation. The atomic pointer makes concurrent reads safe against each
+	// other (parallel cluster rating hits Incident from many goroutines);
+	// mutating while readers are active was never supported.
+	inc   atomic.Pointer[incidenceCSR]
+	incMu sync.Mutex
 
 	// Epoch-stamped scratch for Neighbors: nbStamp[u] == nbEpoch marks u as
 	// seen in the current call, so repeated queries allocate nothing.
@@ -28,11 +46,25 @@ type Hypergraph struct {
 	nbOut   []int
 }
 
+type incidenceCSR struct {
+	start []int32
+	edges []int // ascending edge IDs per vertex, matching AddEdge order
+}
+
 // New returns an empty hypergraph with n zero-weight vertices.
 func New(n int) *Hypergraph {
+	return NewWithCap(n, 0, 0)
+}
+
+// NewWithCap returns an empty hypergraph with n zero-weight vertices and
+// storage pre-sized for the given edge and pin counts, so bulk construction
+// (netlist conversion, contraction) does not grow-and-copy the flat arrays.
+func NewWithCap(n, edges, pins int) *Hypergraph {
 	return &Hypergraph{
 		vertexWeight: make([]float64, n),
-		incident:     make([][]int, n),
+		edgeStart:    make([]int32, 1, edges+1),
+		edgePins:     make([]int, 0, pins),
+		edgeWeight:   make([]float64, 0, edges),
 	}
 }
 
@@ -40,38 +72,48 @@ func New(n int) *Hypergraph {
 func (h *Hypergraph) NumVertices() int { return len(h.vertexWeight) }
 
 // NumEdges returns the number of hyperedges.
-func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+func (h *Hypergraph) NumEdges() int { return len(h.edgeWeight) }
 
 // NumPins returns the total number of pins (vertex-edge incidences).
-func (h *Hypergraph) NumPins() int { return h.pins }
+func (h *Hypergraph) NumPins() int { return len(h.edgePins) }
 
 // AddVertex appends a vertex with weight w and returns its ID.
 func (h *Hypergraph) AddVertex(w float64) int {
 	h.vertexWeight = append(h.vertexWeight, w)
-	h.incident = append(h.incident, nil)
+	h.inc.Store(nil)
 	return len(h.vertexWeight) - 1
 }
 
 // AddEdge appends a hyperedge over the given vertices and returns its ID.
-// Duplicate vertices within one edge are collapsed. Edges with fewer than
-// two distinct vertices are still stored (they occur in real netlists as
-// dangling nets) but carry no connectivity information.
+// Duplicate vertices within one edge are collapsed; the caller's slice is not
+// modified. Edges with fewer than two distinct vertices are still stored
+// (they occur in real netlists as dangling nets) but carry no connectivity
+// information.
 func (h *Hypergraph) AddEdge(vertices []int, w float64) int {
-	uniq := dedupe(vertices)
-	for _, v := range uniq {
+	for _, v := range vertices {
 		if v < 0 || v >= len(h.vertexWeight) {
 			// Same contract as indexing a slice out of range: vertex IDs come
 			// from AddVertex, so a bad ID is a caller bug, not input data.
 			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, len(h.vertexWeight))) //ppalint:ignore nopanic bounds assertion with slice-indexing semantics, a bad vertex ID is a caller bug
 		}
 	}
-	id := len(h.edges)
-	h.edges = append(h.edges, uniq)
-	h.edgeWeight = append(h.edgeWeight, w)
-	for _, v := range uniq {
-		h.incident[v] = append(h.incident[v], id)
+	// Sort-and-compact in the tail of the flat pin array: no per-edge slice.
+	base := len(h.edgePins)
+	h.edgePins = append(h.edgePins, vertices...)
+	win := h.edgePins[base:]
+	slices.Sort(win)
+	m := 0
+	for i, v := range win {
+		if i == 0 || v != win[m-1] {
+			win[m] = v
+			m++
+		}
 	}
-	h.pins += len(uniq)
+	h.edgePins = h.edgePins[:base+m]
+	id := len(h.edgeWeight)
+	h.edgeWeight = append(h.edgeWeight, w)
+	h.edgeStart = append(h.edgeStart, int32(len(h.edgePins)))
+	h.inc.Store(nil)
 	return id
 }
 
@@ -87,15 +129,60 @@ func (h *Hypergraph) EdgeWeight(e int) float64 { return h.edgeWeight[e] }
 // SetEdgeWeight sets the weight of edge e.
 func (h *Hypergraph) SetEdgeWeight(e int, w float64) { h.edgeWeight[e] = w }
 
-// Edge returns the vertices of edge e. The returned slice must not be mutated.
-func (h *Hypergraph) Edge(e int) []int { return h.edges[e] }
+// Edge returns the vertices of edge e, strictly sorted. The returned slice is
+// a view into the hypergraph's flat pin array and must not be mutated.
+func (h *Hypergraph) Edge(e int) []int {
+	return h.edgePins[h.edgeStart[e]:h.edgeStart[e+1]]
+}
 
-// Incident returns the IDs of edges incident to vertex v. The returned slice
-// must not be mutated.
-func (h *Hypergraph) Incident(v int) []int { return h.incident[v] }
+// Incident returns the IDs of edges incident to vertex v, in ascending
+// order. The returned slice is a view into the incidence CSR and must not be
+// mutated. The CSR is built on first use after a mutation; concurrent
+// Incident/Degree/Edge reads are safe with each other.
+func (h *Hypergraph) Incident(v int) []int {
+	inc := h.incidence()
+	return inc.edges[inc.start[v]:inc.start[v+1]]
+}
 
 // Degree returns the number of edges incident to vertex v.
-func (h *Hypergraph) Degree(v int) int { return len(h.incident[v]) }
+func (h *Hypergraph) Degree(v int) int {
+	inc := h.incidence()
+	return int(inc.start[v+1] - inc.start[v])
+}
+
+// incidence returns the vertex→edge CSR, building it once per topology.
+// Double-checked locking: readers take one atomic load in steady state.
+func (h *Hypergraph) incidence() *incidenceCSR {
+	if inc := h.inc.Load(); inc != nil {
+		return inc
+	}
+	h.incMu.Lock()
+	defer h.incMu.Unlock()
+	if inc := h.inc.Load(); inc != nil {
+		return inc
+	}
+	n := len(h.vertexWeight)
+	start := make([]int32, n+1)
+	for _, v := range h.edgePins {
+		start[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	edges := make([]int, len(h.edgePins))
+	fill := make([]int32, n)
+	copy(fill, start[:n])
+	for e := range h.edgeWeight {
+		for k := h.edgeStart[e]; k < h.edgeStart[e+1]; k++ {
+			v := h.edgePins[k]
+			edges[fill[v]] = e
+			fill[v]++
+		}
+	}
+	inc := &incidenceCSR{start: start, edges: edges}
+	h.inc.Store(inc)
+	return inc
+}
 
 // TotalVertexWeight returns the sum of all vertex weights.
 func (h *Hypergraph) TotalVertexWeight() float64 {
@@ -111,6 +198,7 @@ func (h *Hypergraph) TotalVertexWeight() float64 {
 // buffer owned by the hypergraph: it is valid only until the next Neighbors
 // call, and concurrent calls must not share one Hypergraph.
 func (h *Hypergraph) Neighbors(v int) []int {
+	inc := h.incidence()
 	if len(h.nbStamp) < len(h.vertexWeight) {
 		h.nbStamp = make([]int32, len(h.vertexWeight))
 		h.nbEpoch = 0
@@ -125,8 +213,9 @@ func (h *Hypergraph) Neighbors(v int) []int {
 	stamp := h.nbEpoch
 	h.nbStamp[v] = stamp
 	out := h.nbOut[:0]
-	for _, e := range h.incident[v] {
-		for _, u := range h.edges[e] {
+	for _, e := range inc.edges[inc.start[v]:inc.start[v+1]] {
+		for k := h.edgeStart[e]; k < h.edgeStart[e+1]; k++ {
+			u := h.edgePins[k]
 			if h.nbStamp[u] != stamp {
 				h.nbStamp[u] = stamp
 				out = append(out, u)
@@ -135,24 +224,6 @@ func (h *Hypergraph) Neighbors(v int) []int {
 	}
 	sort.Ints(out)
 	h.nbOut = out
-	return out
-}
-
-func dedupe(vs []int) []int {
-	if len(vs) <= 1 {
-		out := make([]int, len(vs))
-		copy(out, vs)
-		return out
-	}
-	s := make([]int, len(vs))
-	copy(s, vs)
-	sort.Ints(s)
-	out := s[:0]
-	for i, v := range s {
-		if i == 0 || v != s[i-1] {
-			out = append(out, v)
-		}
-	}
 	return out
 }
 
@@ -186,7 +257,7 @@ func (h *Hypergraph) Contract(clusterOf []int) (*Contraction, error) {
 		}
 		vmap[v] = id
 	}
-	coarse := New(len(dense))
+	coarse := NewWithCap(len(dense), h.NumEdges(), h.NumPins())
 	for v, cv := range vmap {
 		coarse.vertexWeight[cv] += h.vertexWeight[v]
 	}
@@ -198,9 +269,9 @@ func (h *Hypergraph) Contract(clusterOf []int) (*Contraction, error) {
 	byKey := make(map[uint64][]int)
 	emap := make([]int, h.NumEdges())
 	var scratch []int
-	for e, verts := range h.edges {
+	for e := range h.edgeWeight {
 		scratch = scratch[:0]
-		for _, v := range verts {
+		for _, v := range h.Edge(e) {
 			scratch = append(scratch, vmap[v])
 		}
 		sort.Ints(scratch)
@@ -219,7 +290,7 @@ func (h *Hypergraph) Contract(clusterOf []int) (*Contraction, error) {
 		key := hashInts(mapped)
 		merged := false
 		for _, id := range byKey[key] {
-			if equalInts(coarse.edges[id], mapped) {
+			if equalInts(coarse.Edge(id), mapped) {
 				coarse.edgeWeight[id] += h.edgeWeight[e]
 				emap[e] = id
 				merged = true
@@ -288,42 +359,61 @@ func (s ClusterStats) RentExponent() float64 {
 
 // ClusterStatsFor computes per-cluster connectivity stats for the clustering
 // clusterOf (labels need not be dense). The returned map is keyed by label.
+// Labels are densified up front so the per-edge pin counting runs on flat
+// stamped arrays instead of a map allocation per edge.
 func (h *Hypergraph) ClusterStatsFor(clusterOf []int) map[int]*ClusterStats {
-	stats := make(map[int]*ClusterStats)
-	get := func(c int) *ClusterStats {
-		s := stats[c]
-		if s == nil {
-			s = &ClusterStats{}
-			stats[c] = s
-		}
-		return s
-	}
+	dense := make(map[int]int)
+	labels := make([]int, 0, 64) // dense id -> original label, first-seen order
+	cid := make([]int32, len(clusterOf))
 	for v, c := range clusterOf {
-		s := get(c)
+		id, ok := dense[c]
+		if !ok {
+			id = len(labels)
+			dense[c] = id
+			labels = append(labels, c)
+		}
+		cid[v] = int32(id)
+	}
+	stats := make([]ClusterStats, len(labels))
+	for v := range clusterOf {
+		s := &stats[cid[v]]
 		s.Size++
 		s.Weight += h.vertexWeight[v]
 	}
-	for _, verts := range h.edges {
-		if len(verts) == 0 {
-			continue
+	// Per edge: count pins per touched cluster with an edge-stamped scratch.
+	seen := make([]int32, len(labels))
+	pins := make([]int32, len(labels))
+	for i := range seen {
+		seen[i] = -1
+	}
+	var touched []int32
+	for e := range h.edgeWeight {
+		touched = touched[:0]
+		for k := h.edgeStart[e]; k < h.edgeStart[e+1]; k++ {
+			c := cid[h.edgePins[k]]
+			if seen[c] != int32(e) {
+				seen[c] = int32(e)
+				pins[c] = 0
+				touched = append(touched, c)
+			}
+			pins[c]++
 		}
-		// Count pins per cluster on this edge and whether it is external.
-		perCluster := make(map[int]int)
-		for _, v := range verts {
-			perCluster[clusterOf[v]]++
-		}
-		external := len(perCluster) > 1
-		for c, pins := range perCluster {
-			s := get(c)
+		external := len(touched) > 1
+		for _, c := range touched {
+			s := &stats[c]
 			if external {
 				s.ExternalEdge++
-				s.ExternalPins += pins
+				s.ExternalPins += int(pins[c])
 			} else {
-				s.InternalPins += pins
+				s.InternalPins += int(pins[c])
 			}
 		}
 	}
-	return stats
+	out := make(map[int]*ClusterStats, len(labels))
+	for i, lab := range labels {
+		out[lab] = &stats[i]
+	}
+	return out
 }
 
 // WeightedAvgRent computes R_avg per Eq. 1: the size-weighted average of the
@@ -359,7 +449,8 @@ func (h *Hypergraph) WeightedAvgRent(clusterOf []int) float64 {
 // CutSize returns the total weight of edges spanning more than one cluster.
 func (h *Hypergraph) CutSize(clusterOf []int) float64 {
 	var cut float64
-	for e, verts := range h.edges {
+	for e := range h.edgeWeight {
+		verts := h.Edge(e)
 		if len(verts) < 2 {
 			continue
 		}
@@ -377,8 +468,17 @@ func (h *Hypergraph) CutSize(clusterOf []int) float64 {
 // Validate checks internal consistency and returns an error describing the
 // first violation found.
 func (h *Hypergraph) Validate() error {
-	pins := 0
-	for e, verts := range h.edges {
+	if len(h.edgeStart) != h.NumEdges()+1 || h.edgeStart[0] != 0 {
+		return fmt.Errorf("edge offset array has %d entries for %d edges", len(h.edgeStart), h.NumEdges())
+	}
+	if int(h.edgeStart[h.NumEdges()]) != len(h.edgePins) {
+		return fmt.Errorf("edge offsets end at %d but pin array has %d entries", h.edgeStart[h.NumEdges()], len(h.edgePins))
+	}
+	for e := range h.edgeWeight {
+		if h.edgeStart[e] > h.edgeStart[e+1] {
+			return fmt.Errorf("edge %d has negative extent", e)
+		}
+		verts := h.Edge(e)
 		for i, v := range verts {
 			if v < 0 || v >= h.NumVertices() {
 				return fmt.Errorf("edge %d references vertex %d out of range", e, v)
@@ -387,18 +487,15 @@ func (h *Hypergraph) Validate() error {
 				return fmt.Errorf("edge %d vertices not strictly sorted", e)
 			}
 		}
-		pins += len(verts)
 	}
-	if pins != h.pins {
-		return fmt.Errorf("pin count %d != recorded %d", pins, h.pins)
-	}
-	for v, inc := range h.incident {
-		for _, e := range inc {
+	inc := h.incidence()
+	for v := 0; v < h.NumVertices(); v++ {
+		for _, e := range inc.edges[inc.start[v]:inc.start[v+1]] {
 			if e < 0 || e >= h.NumEdges() {
 				return fmt.Errorf("vertex %d lists edge %d out of range", v, e)
 			}
 			found := false
-			for _, u := range h.edges[e] {
+			for _, u := range h.Edge(e) {
 				if u == v {
 					found = true
 					break
@@ -419,7 +516,8 @@ func (h *Hypergraph) Validate() error {
 // for cluster-graph features.
 func (h *Hypergraph) CliqueExpand() *Graph {
 	g := NewGraph(h.NumVertices())
-	for e, verts := range h.edges {
+	for e := range h.edgeWeight {
+		verts := h.Edge(e)
 		k := len(verts)
 		if k < 2 {
 			continue

@@ -1,4 +1,4 @@
-// The five project-contract checks. Each is a pure function over one
+// The six project-contract checks. Each is a pure function over one
 // type-checked package; path-sensitive checks decide applicability from the
 // package's import path, so testdata fixtures loaded under a faked path get
 // identical treatment to the real tree.
@@ -377,6 +377,167 @@ func runErrDrop(p *Package, report func(pos token.Pos, format string, args ...an
 						report(n.Pos(), "error result of %s assigned to _; handle or record it", name)
 					}
 				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- prealloc ----
+
+// preallocPkgs are the hot-path packages whose loops run over nets and
+// cells: an append into a never-preallocated slice there reallocates
+// O(log n) times and copies O(n) memory for no reason.
+var preallocPkgs = map[string]bool{
+	"netlist": true, "hypergraph": true, "cluster": true,
+	"place": true, "designs": true,
+}
+
+var preallocCheck = &Check{
+	Name: "prealloc",
+	Doc: "append inside a loop into a slice declared nil or empty (var s []T " +
+		"or s := []T{}) in a hot-path package (netlist, hypergraph, cluster, " +
+		"place, designs); pre-size with make(..., 0, n). A slice later " +
+		"reassigned from make, a slicing expression (s = buf[:0] reuse), or " +
+		"any other non-append source is treated as sized and not flagged.",
+	Run: runPrealloc,
+}
+
+// isSliceObj reports whether obj is a variable of slice type.
+func isSliceObj(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+// emptySliceLit reports whether e is an empty slice literal ([]T{}).
+func emptySliceLit(p *Package, e ast.Expr) bool {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok || len(cl.Elts) != 0 {
+		return false
+	}
+	t := p.Info.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	_, isSlice := t.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// appendToSelf reports whether e is append(obj, ...) growing obj itself.
+func appendToSelf(p *Package, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || calleeBuiltin(p, call) != "append" || len(call.Args) < 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}
+
+// runPrealloc flags x = append(x, ...) inside a loop when x was declared
+// with no backing array (var x []T or x := []T{}) outside that loop and is
+// never re-pointed at sized storage. The declaration classification is
+// deliberately conservative: any assignment from a non-append source —
+// make, a slicing expression, a call result — makes the variable "sized or
+// unknowable" and exempt, so reuse patterns (s = buf[:0]) stay silent.
+func runPrealloc(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !internalPkg(p.Path) || !preallocPkgs[pkgBase(p.Path)] {
+		return
+	}
+	for _, f := range p.Files {
+		// Pass 1: slice variables whose declaration provides no capacity.
+		bare := map[types.Object]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					obj := p.Info.Defs[name]
+					if !isSliceObj(obj) {
+						continue
+					}
+					if len(n.Values) == 0 || (i < len(n.Values) && emptySliceLit(p, n.Values[i])) {
+						bare[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					obj := p.Info.Defs[id]
+					if isSliceObj(obj) && emptySliceLit(p, n.Rhs[i]) {
+						bare[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		// Pass 2: demote variables that are ever re-pointed at anything other
+		// than their own append result.
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || !bare[obj] {
+					continue
+				}
+				if len(as.Lhs) != len(as.Rhs) || !appendToSelf(p, as.Rhs[i], obj) {
+					delete(bare, obj)
+				}
+			}
+			return true
+		})
+		// Pass 3: flag self-appends inside a loop whose variable was declared
+		// outside it (so the growth accumulates across iterations).
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || !bare[obj] || !appendToSelf(p, as.Rhs[0], obj) {
+				return true
+			}
+			for i := len(stack) - 2; i >= 0; i-- {
+				var body ast.Node
+				switch l := stack[i].(type) {
+				case *ast.ForStmt:
+					body = l
+				case *ast.RangeStmt:
+					body = l
+				case *ast.FuncLit, *ast.FuncDecl:
+					return true // function boundary: not in a loop
+				}
+				if body == nil {
+					continue
+				}
+				if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+					report(as.Pos(), "append into %s grows an unpreallocated slice inside a loop; pre-size with make(..., 0, n)", obj.Name())
+				}
+				return true // only the innermost loop decides
 			}
 			return true
 		})

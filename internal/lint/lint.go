@@ -1,8 +1,9 @@
 // Package lint is ppalint's analyzer framework: a stdlib-only package
 // loader/type-checker driver (loader.go), a diagnostic model with file:line
-// provenance, per-line suppressions, and the five project-contract checks
-// (maporder, nopanic, rawindex, errdrop, printlib) that mechanically enforce
-// the repo's determinism, no-panic, and bounds-checked-parsing invariants.
+// provenance, per-line suppressions, and the six project-contract checks
+// (maporder, nopanic, rawindex, errdrop, printlib, prealloc) that
+// mechanically enforce the repo's determinism, no-panic,
+// bounds-checked-parsing, and hot-loop preallocation invariants.
 //
 // The framework deliberately uses nothing outside the standard library
 // (go/parser, go/ast, go/types, go/importer) so the pure-Go constraint of
@@ -47,7 +48,7 @@ type Check struct {
 
 // Checks returns the full project check catalog in a fixed order.
 func Checks() []*Check {
-	return []*Check{mapOrderCheck, noPanicCheck, rawIndexCheck, errDropCheck, printLibCheck}
+	return []*Check{mapOrderCheck, noPanicCheck, rawIndexCheck, errDropCheck, printLibCheck, preallocCheck}
 }
 
 // CheckNames returns the catalog's names, in catalog order.

@@ -32,6 +32,10 @@ func TestPrintLibFixture(t *testing.T) {
 	linttest.RunDir(t, "testdata/printlib", "ppaclust/internal/fixturepl", "printlib")
 }
 
+func TestPreallocFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/prealloc", "ppaclust/internal/place", "prealloc")
+}
+
 // TestSuppressContract covers malformed directives: they are reported under
 // the "suppress" check and silence nothing.
 func TestSuppressContract(t *testing.T) {

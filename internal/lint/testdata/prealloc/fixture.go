@@ -1,0 +1,78 @@
+// Package place is a prealloc fixture; the harness loads it under the faked
+// import path ppaclust/internal/place so the check treats it as hot-path
+// code.
+package place
+
+// GrowNil appends into a nil-declared slice across loop iterations: flagged.
+func GrowNil(nets [][]int) []int {
+	var pins []int
+	for _, n := range nets {
+		pins = append(pins, n...) // want `prealloc: append into pins grows an unpreallocated slice`
+	}
+	return pins
+}
+
+// GrowEmptyLit starts from an empty literal, same reallocation churn: flagged.
+func GrowEmptyLit(cells []float64) []float64 {
+	out := []float64{}
+	for _, c := range cells {
+		if c > 0 {
+			out = append(out, c) // want `prealloc: append into out grows an unpreallocated slice`
+		}
+	}
+	return out
+}
+
+// Presized carries capacity from its declaration: not flagged.
+func Presized(cells []float64) []float64 {
+	out := make([]float64, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Reused is re-pointed at scratch storage (the s = buf[:0] reuse idiom);
+// the non-append assignment makes its size unknowable: not flagged.
+func Reused(cells []float64, buf []float64) []float64 {
+	var out []float64
+	out = buf[:0]
+	for _, c := range cells {
+		out = append(out, c)
+	}
+	return out
+}
+
+// FreshPerIteration declares the slice inside the loop, so nothing
+// accumulates across iterations: not flagged.
+func FreshPerIteration(nets [][]int) int {
+	total := 0
+	for _, n := range nets {
+		var tmp []int
+		tmp = append(tmp, n...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// OutsideLoop appends once with no loop around it: not flagged.
+func OutsideLoop(a, b []int) []int {
+	var out []int
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Suppressed documents an unknowable bound with a written reason: silenced.
+func Suppressed(nets [][]int, keep func(int) bool) []int {
+	var out []int
+	for _, n := range nets {
+		for _, v := range n {
+			if keep(v) {
+				//ppalint:ignore prealloc fixture: survivor count is unknowable up front
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package netlist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCompactHPWLWorkersEquivalent pins the CSR view's equivalence contract:
+// per-net and total HPWL from the compact kernels are bit-identical to the
+// pointer API, at any worker count, and stay so after positions move.
+func TestCompactHPWLWorkersEquivalent(t *testing.T) {
+	d := wirelenTestDesign(t, 200, 300, 11)
+	c := d.Compact()
+
+	checkAll := func(stage string) {
+		t.Helper()
+		want := d.HPWL()
+		for _, got := range []float64{
+			c.HPWL(), c.HPWLWorkers(1), c.HPWLWorkers(4), d.HPWLWorkers(4),
+		} {
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s: total HPWL %v != pointer-API %v", stage, got, want)
+			}
+		}
+		c.gatherPositions()
+		for ni, n := range d.Nets {
+			got := c.netHPWL(ni, c.instX, c.instY, c.portX, c.portY)
+			if math.Float64bits(got) != math.Float64bits(d.NetHPWL(n)) {
+				t.Fatalf("%s: net %d HPWL %v != pointer-API %v", stage, ni, got, d.NetHPWL(n))
+			}
+		}
+	}
+	checkAll("initial")
+
+	// The compact view is a topology snapshot: moving cells must not stale it.
+	rng := rand.New(rand.NewSource(12))
+	for step := 0; step < 50; step++ {
+		inst := d.Insts[rng.Intn(len(d.Insts))]
+		inst.X = rng.Float64() * 1000
+		inst.Y = rng.Float64() * 1000
+	}
+	checkAll("after moves")
+}
+
+// TestCompactInstNetsMatchesNetsOf checks the instance->net CSR against the
+// pointer API's NetsOf for every instance: same contents, same order.
+func TestCompactInstNetsMatchesNetsOf(t *testing.T) {
+	d := wirelenTestDesign(t, 150, 220, 21)
+	c := d.Compact()
+	for id := range d.Insts {
+		want := d.NetsOf(id)
+		got := c.InstNets[c.InstStart[id]:c.InstStart[id+1]]
+		if len(got) != len(want) {
+			t.Fatalf("instance %d: %d nets in CSR, %d in NetsOf", id, len(got), len(want))
+		}
+		for k, ni := range want {
+			if int(got[k]) != ni {
+				t.Fatalf("instance %d net %d: CSR %d != NetsOf %d", id, k, got[k], ni)
+			}
+		}
+	}
+}
+
+// TestCompactRebuildsAfterTopologyChange checks the generation-stamp
+// invalidation: connecting a pin retires the cached view, and the rebuilt
+// view sees the new topology.
+func TestCompactRebuildsAfterTopologyChange(t *testing.T) {
+	d := wirelenTestDesign(t, 40, 30, 31)
+	c1 := d.Compact()
+	if d.Compact() != c1 {
+		t.Fatal("unchanged topology must return the cached Compact")
+	}
+	n, err := d.AddNet("extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Connect(n, PinRef{Inst: 0, Pin: "Y"})
+	d.Connect(n, PinRef{Inst: 1, Pin: "A"})
+	c2 := d.Compact()
+	if c2 == c1 {
+		t.Fatal("topology mutation must retire the cached Compact")
+	}
+	if got, want := len(c2.NetStart)-1, len(d.Nets); got != want {
+		t.Fatalf("rebuilt Compact has %d nets, design has %d", got, want)
+	}
+	if math.Float64bits(c2.HPWL()) != math.Float64bits(d.HPWL()) {
+		t.Fatalf("rebuilt Compact HPWL %v != pointer-API %v", c2.HPWL(), d.HPWL())
+	}
+}

@@ -10,9 +10,9 @@ package netlist
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"ppaclust/internal/hypergraph"
-	"ppaclust/internal/par"
 )
 
 // PinDir is the direction of a library pin or top-level port.
@@ -291,15 +291,30 @@ type Design struct {
 	netByName  map[string]int
 	portByName map[string]int
 	netsOfInst [][]int // lazily built connectivity index
+
+	// Compact-view cache: topoGen counts topology mutations; the cached
+	// view is valid while its generation matches.
+	topoGen   uint64
+	compact   *Compact
+	compactMu sync.Mutex
 }
 
 // NewDesign returns an empty design bound to the given library.
 func NewDesign(name string, lib *Library) *Design {
+	return NewDesignSized(name, lib, 0, 0)
+}
+
+// NewDesignSized returns an empty design with name-index maps pre-sized for
+// the expected instance and net counts, so million-cell construction does not
+// rehash-thrash. Zero capacities behave like NewDesign.
+func NewDesignSized(name string, lib *Library, instCap, netCap int) *Design {
 	return &Design{
 		Name:       name,
 		Lib:        lib,
-		instByName: make(map[string]int),
-		netByName:  make(map[string]int),
+		Insts:      make([]*Instance, 0, instCap),
+		Nets:       make([]*Net, 0, netCap),
+		instByName: make(map[string]int, instCap),
+		netByName:  make(map[string]int, netCap),
 		portByName: make(map[string]int),
 	}
 }
@@ -316,6 +331,7 @@ func (d *Design) AddInstance(name string, master *Master) (*Instance, error) {
 	d.Insts = append(d.Insts, inst)
 	d.instByName[name] = inst.ID
 	d.netsOfInst = nil
+	d.topoGen++
 	return inst, nil
 }
 
@@ -327,6 +343,7 @@ func (d *Design) AddNet(name string) (*Net, error) {
 	n := &Net{ID: len(d.Nets), Name: name, Weight: 1}
 	d.Nets = append(d.Nets, n)
 	d.netByName[name] = n.ID
+	d.topoGen++
 	return n, nil
 }
 
@@ -338,6 +355,7 @@ func (d *Design) AddPort(name string, dir PinDir) (*Port, error) {
 	p := &Port{Name: name, Dir: dir}
 	d.Ports = append(d.Ports, p)
 	d.portByName[name] = len(d.Ports) - 1
+	d.topoGen++
 	return p, nil
 }
 
@@ -346,6 +364,7 @@ func (d *Design) AddPort(name string, dir PinDir) (*Port, error) {
 func (d *Design) Connect(n *Net, ref PinRef) {
 	n.Pins = append(n.Pins, ref)
 	d.netsOfInst = nil
+	d.topoGen++
 }
 
 // Instance returns the instance with the given name, or nil.
@@ -461,13 +480,12 @@ func (d *Design) NetHPWL(n *Net) float64 {
 	return (maxX - minX) + (maxY - minY)
 }
 
-// HPWL returns the total half-perimeter wirelength over all nets.
+// HPWL returns the total half-perimeter wirelength over all nets. It runs on
+// the flat Compact view (contiguous pin arrays instead of per-pin pointer
+// chasing); the per-net values and the net-order sum are bit-identical to
+// summing NetHPWL over d.Nets.
 func (d *Design) HPWL() float64 {
-	var sum float64
-	for _, n := range d.Nets {
-		sum += d.NetHPWL(n)
-	}
-	return sum
+	return d.Compact().HPWL()
 }
 
 // HPWLWorkers returns the same total as HPWL, evaluating per-net lengths on
@@ -475,17 +493,7 @@ func (d *Design) HPWL() float64 {
 // sequentially in net order — the same association as HPWL — so the result
 // is bit-identical for any worker count.
 func (d *Design) HPWLWorkers(workers int) float64 {
-	if workers <= 1 || len(d.Nets) < 64 {
-		return d.HPWL()
-	}
-	per := par.Map(workers, len(d.Nets), func(i int) float64 {
-		return d.NetHPWL(d.Nets[i])
-	})
-	var sum float64
-	for _, v := range per {
-		sum += v
-	}
-	return sum
+	return d.Compact().HPWLWorkers(workers)
 }
 
 // TotalCellArea returns the summed footprint area of all instances.
@@ -520,49 +528,48 @@ type HypergraphView struct {
 }
 
 // ToHypergraph builds the clustering view of the design. Vertex weights are
-// instance areas; edge weights are net weights.
+// instance areas; edge weights are net weights. The build runs on the
+// Compact CSR view with an epoch-stamped dedup scratch, so a million-cell
+// design maps without per-net map allocation.
 func (d *Design) ToHypergraph() *HypergraphView {
-	h := hypergraph.New(len(d.Insts))
+	c := d.Compact()
+	h := hypergraph.NewWithCap(len(d.Insts), len(d.Nets), len(c.PinInst))
 	for _, inst := range d.Insts {
 		h.SetVertexWeight(inst.ID, inst.Master.Area())
 	}
 	view := &HypergraphView{
 		H:         h,
 		EdgeOfNet: make([]int, len(d.Nets)),
+		NetOfEdge: make([]int, 0, len(d.Nets)),
+		IOEdge:    make([]bool, 0, len(d.Nets)),
 	}
-	for _, n := range d.Nets {
-		verts := make([]int, 0, len(n.Pins))
+	stamp := make([]int32, len(d.Insts))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var verts []int
+	for ni, n := range d.Nets {
+		verts = verts[:0]
 		io := false
-		for _, p := range n.Pins {
-			if p.IsPort() {
+		for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+			id := c.PinInst[k]
+			if id < 0 {
 				io = true
-			} else {
-				verts = append(verts, p.Inst)
+			} else if stamp[id] != int32(ni) {
+				stamp[id] = int32(ni)
+				verts = append(verts, int(id))
 			}
 		}
-		verts = uniqueInts(verts)
 		if len(verts) < 2 {
-			view.EdgeOfNet[n.ID] = -1
+			view.EdgeOfNet[ni] = -1
 			continue
 		}
 		e := h.AddEdge(verts, n.Weight)
-		view.EdgeOfNet[n.ID] = e
-		view.NetOfEdge = append(view.NetOfEdge, n.ID)
+		view.EdgeOfNet[ni] = e
+		view.NetOfEdge = append(view.NetOfEdge, ni)
 		view.IOEdge = append(view.IOEdge, io)
 	}
 	return view
-}
-
-func uniqueInts(vs []int) []int {
-	seen := make(map[int]bool, len(vs))
-	out := vs[:0]
-	for _, v := range vs {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	return out
 }
 
 // Validate checks referential integrity of the design.

@@ -6,9 +6,15 @@ package netlist
 // the detailed placer's swap loop and is exposed for future incremental
 // passes (timing-driven refinement, annealing).
 //
+// The cache runs on the design's Compact CSR view plus its own position
+// mirrors (instance origins and port coordinates in flat arrays), so the
+// move path walks contiguous int32/float64 memory with no master-pin map
+// lookups.
+//
 // All cached values are bit-identical (math.Float64bits) to Design.NetHPWL /
 // Design.HPWL on the same positions: the from-scratch recompute uses the
-// exact comparison structure of NetHPWL, and the incremental expansion only
+// exact comparison structure of NetHPWL over positions computed by PinPos's
+// own rule (origin plus resolved offset), and the incremental expansion only
 // replaces a bound on a strict inequality — the same rule NetHPWL applies —
 // so a bound never changes bits without changing value.
 //
@@ -17,8 +23,15 @@ package netlist
 // pins invalidates the cache; call Rebuild afterwards.
 type WirelenCache struct {
 	d                      *Design
+	cm                     *Compact
 	minX, maxX, minY, maxY []float64
 	hp                     []float64
+
+	// Cache-owned position mirrors, indexed like Compact's pin references.
+	// MoveCell writes instX/instY alongside Instance.X/Y; ports cannot move
+	// through this cache, so portX/portY are snapshots from Rebuild.
+	instX, instY []float64
+	portX, portY []float64
 }
 
 // NewWirelenCache builds the cache from current pin positions in O(pins).
@@ -28,8 +41,10 @@ func NewWirelenCache(d *Design) *WirelenCache {
 	return c
 }
 
-// Rebuild recomputes every net's bounding box from current positions.
+// Rebuild recomputes every net's bounding box from current positions and
+// refreshes the compact connectivity snapshot.
 func (c *WirelenCache) Rebuild() {
+	c.cm = c.d.Compact()
 	n := len(c.d.Nets)
 	if len(c.hp) != n {
 		c.minX = make([]float64, n)
@@ -38,25 +53,39 @@ func (c *WirelenCache) Rebuild() {
 		c.maxY = make([]float64, n)
 		c.hp = make([]float64, n)
 	}
-	for i, net := range c.d.Nets {
-		c.recompute(i, net)
+	if len(c.instX) != len(c.d.Insts) {
+		c.instX = make([]float64, len(c.d.Insts))
+		c.instY = make([]float64, len(c.d.Insts))
 	}
-	if len(c.d.Insts) > 0 {
-		// Force the connectivity index now so MoveCell stays allocation-free.
-		c.d.NetsOf(0)
+	for i, inst := range c.d.Insts {
+		c.instX[i] = inst.X
+		c.instY[i] = inst.Y
+	}
+	if len(c.portX) != len(c.d.Ports) {
+		c.portX = make([]float64, len(c.d.Ports))
+		c.portY = make([]float64, len(c.d.Ports))
+	}
+	for i, p := range c.d.Ports {
+		c.portX[i] = p.X
+		c.portY[i] = p.Y
+	}
+	for i := 0; i < n; i++ {
+		c.recompute(i)
 	}
 }
 
 // recompute rebuilds one net's bbox from scratch, mirroring NetHPWL.
-func (c *WirelenCache) recompute(netID int, n *Net) {
-	if len(n.Pins) < 2 {
+func (c *WirelenCache) recompute(netID int) {
+	cm := c.cm
+	lo, hi := cm.NetStart[netID], cm.NetStart[netID+1]
+	if hi-lo < 2 {
 		c.hp[netID] = 0
 		return
 	}
 	minX, minY := 1e308, 1e308
 	maxX, maxY := -1e308, -1e308
-	for _, p := range n.Pins {
-		x, y := c.d.PinPos(p)
+	for k := lo; k < hi; k++ {
+		x, y := cm.pinXY(k, c.instX, c.instY, c.portX, c.portY)
 		if x < minX {
 			minX = x
 		}
@@ -97,39 +126,42 @@ func (c *WirelenCache) MoveCell(id int, x, y float64) {
 	inst := c.d.Insts[id]
 	oldX, oldY := inst.X, inst.Y
 	inst.X, inst.Y = x, y
+	c.instX[id], c.instY[id] = x, y
 	if oldX == x && oldY == y {
 		return
 	}
-	for _, netID := range c.d.NetsOf(id) {
-		c.moveOnNet(netID, inst, oldX, oldY)
+	cm := c.cm
+	for j := cm.InstStart[id]; j < cm.InstStart[id+1]; j++ {
+		c.moveOnNet(int(cm.InstNets[j]), int32(id), oldX, oldY)
 	}
 }
 
-func (c *WirelenCache) moveOnNet(netID int, inst *Instance, oldX, oldY float64) {
-	n := c.d.Nets[netID]
-	if len(n.Pins) < 2 {
+func (c *WirelenCache) moveOnNet(netID int, id int32, oldX, oldY float64) {
+	cm := c.cm
+	lo, hi := cm.NetStart[netID], cm.NetStart[netID+1]
+	if hi-lo < 2 {
 		return
 	}
 	// Pass 1: does any moved pin own a bbox edge and move off it inward?
 	// Then the new edge may be any other pin — recompute exactly.
-	for _, p := range n.Pins {
-		if p.IsPort() || p.Inst != inst.ID {
+	for k := lo; k < hi; k++ {
+		if cm.PinInst[k] != id {
 			continue
 		}
-		ox, oy := pinPosAt(inst, p.Pin, oldX, oldY)
-		nx, ny := c.d.PinPos(p)
+		ox, oy := oldX+cm.PinDX[k], oldY+cm.PinDY[k]
+		nx, ny := c.instX[id]+cm.PinDX[k], c.instY[id]+cm.PinDY[k]
 		if (ox == c.minX[netID] && nx > ox) || (ox == c.maxX[netID] && nx < ox) ||
 			(oy == c.minY[netID] && ny > oy) || (oy == c.maxY[netID] && ny < oy) {
-			c.recompute(netID, n)
+			c.recompute(netID)
 			return
 		}
 	}
 	// Pass 2: every moved pin stayed put or moved outward; expand the bbox.
-	for _, p := range n.Pins {
-		if p.IsPort() || p.Inst != inst.ID {
+	for k := lo; k < hi; k++ {
+		if cm.PinInst[k] != id {
 			continue
 		}
-		nx, ny := c.d.PinPos(p)
+		nx, ny := c.instX[id]+cm.PinDX[k], c.instY[id]+cm.PinDY[k]
 		if nx < c.minX[netID] {
 			c.minX[netID] = nx
 		}
@@ -144,13 +176,4 @@ func (c *WirelenCache) moveOnNet(netID int, inst *Instance, oldX, oldY float64) 
 		}
 	}
 	c.hp[netID] = (c.maxX[netID] - c.minX[netID]) + (c.maxY[netID] - c.minY[netID])
-}
-
-// pinPosAt is PinPos evaluated at a hypothetical instance origin, used for
-// the pin's position before a move.
-func pinPosAt(inst *Instance, pin string, x, y float64) (float64, float64) {
-	if mp := inst.Master.Pin(pin); mp != nil && (mp.OffsetX != 0 || mp.OffsetY != 0) {
-		return x + mp.OffsetX, y + mp.OffsetY
-	}
-	return x + inst.Master.Width/2, y + inst.Master.Height/2
 }

@@ -160,6 +160,9 @@ func InsertBuffers(d *netlist.Design, opt BufferOptions) (BufferReport, error) {
 			}
 		}
 		n.Pins = append(kept, netlist.PinRef{Inst: buf.ID, Pin: bufIn})
+		// The pin list was rewired in place, bypassing Connect — retire the
+		// cached connectivity views.
+		d.InvalidateConnectivity()
 		rep.Inserted++
 		rep.NetsTouched++
 	}

@@ -53,7 +53,7 @@ func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
 	res := DetailedResult{HPWLBefore: wl.Total()}
 	rng := rand.New(rand.NewSource(opt.Seed + 31))
 
-	var cells []*netlist.Instance
+	cells := make([]*netlist.Instance, 0, len(d.Insts))
 	for _, inst := range d.Insts {
 		if !inst.Fixed && inst.Master.Class == netlist.ClassCore {
 			cells = append(cells, inst)
@@ -113,11 +113,12 @@ func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
 	}
 
 	order := rng.Perm(len(cells))
+	var sc spotScratch
 	for pass := 0; pass < opt.Passes; pass++ {
 		rebuild()
 		for _, ci := range order {
 			inst := cells[ci]
-			ox, oy, ok := optimalSpot(d, inst, opt.MaxNetPins)
+			ox, oy, ok := optimalSpot(d, inst, opt.MaxNetPins, &sc)
 			if !ok {
 				continue
 			}
@@ -148,10 +149,16 @@ func Detailed(d *netlist.Design, opt DetailedOptions) DetailedResult {
 	return res
 }
 
+// spotScratch holds the median buffers optimalSpot reuses across the swap
+// loop's calls, so the steady state allocates nothing.
+type spotScratch struct {
+	xs, ys []float64
+}
+
 // optimalSpot returns the median position of the other pins on the cell's
 // nets — the classic optimal-region center for single-cell moves.
-func optimalSpot(d *netlist.Design, inst *netlist.Instance, maxPins int) (float64, float64, bool) {
-	var xs, ys []float64
+func optimalSpot(d *netlist.Design, inst *netlist.Instance, maxPins int, sc *spotScratch) (float64, float64, bool) {
+	xs, ys := sc.xs[:0], sc.ys[:0]
 	for _, netID := range d.NetsOf(inst.ID) {
 		n := d.Nets[netID]
 		if len(n.Pins) > maxPins {
@@ -166,6 +173,7 @@ func optimalSpot(d *netlist.Design, inst *netlist.Instance, maxPins int) (float6
 			ys = append(ys, y)
 		}
 	}
+	sc.xs, sc.ys = xs, ys
 	if len(xs) == 0 {
 		return 0, 0, false
 	}

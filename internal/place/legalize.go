@@ -53,7 +53,7 @@ func Legalize(d *netlist.Design) {
 		cursor[r] = core.X0
 	}
 
-	var cells []*netlist.Instance
+	cells := make([]*netlist.Instance, 0, len(d.Insts))
 	for _, inst := range d.Insts {
 		if inst.Fixed || inst.Master.Class == netlist.ClassMacro {
 			continue

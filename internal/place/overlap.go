@@ -21,7 +21,7 @@ func RemoveOverlaps(d *netlist.Design) {
 	type box struct {
 		x0, y0, x1, y1 float64
 	}
-	var placed []box
+	placed := make([]box, 0, len(d.Insts))
 	for _, inst := range d.Insts {
 		if inst.Fixed {
 			placed = append(placed, box{inst.X, inst.Y, inst.X + inst.Master.Width, inst.Y + inst.Master.Height})
@@ -39,7 +39,7 @@ func RemoveOverlaps(d *netlist.Design) {
 		return false
 	}
 
-	var cells []*netlist.Instance
+	cells := make([]*netlist.Instance, 0, len(d.Insts))
 	for _, inst := range d.Insts {
 		if !inst.Fixed {
 			cells = append(cells, inst)
@@ -93,7 +93,7 @@ func RemoveOverlaps(d *netlist.Design) {
 
 // ringOffsets enumerates the lattice ring at Chebyshev radius r.
 func ringOffsets(r int) [][2]int {
-	var out [][2]int
+	out := make([][2]int, 0, 8*r)
 	for dx := -r; dx <= r; dx++ {
 		out = append(out, [2]int{dx, -r}, [2]int{dx, r})
 	}
@@ -106,7 +106,7 @@ func ringOffsets(r int) [][2]int {
 // OverlapArea returns the total pairwise overlap area between movable cells
 // (diagnostic used by tests and the flow's assertions).
 func OverlapArea(d *netlist.Design) float64 {
-	var cells []*netlist.Instance
+	cells := make([]*netlist.Instance, 0, len(d.Insts))
 	for _, inst := range d.Insts {
 		if inst.Placed || inst.Fixed {
 			cells = append(cells, inst)

@@ -45,3 +45,37 @@ func TestGlobalWorkersEquivalent(t *testing.T) {
 		run(t, d, Options{Seed: 5, Incremental: true})
 	})
 }
+
+// TestGlobalCoarseInitWorkersEquivalent forces the multigrid warm start on a
+// design far below its auto threshold and asserts the full pipeline —
+// clustering, the coarse solve, spiral interpolation, fine refinement — is
+// bit-identical across worker counts.
+func TestGlobalCoarseInitWorkersEquivalent(t *testing.T) {
+	d := designs.Generate(designs.TinySpec(33)).Design
+	ds := d.Clone()
+	dp := d.Clone()
+	rs := Global(ds, Options{Seed: 6, Workers: 1, CoarseInit: 1})
+	rp := Global(dp, Options{Seed: 6, Workers: 4, CoarseInit: 1})
+	if math.Float64bits(rs.HPWL) != math.Float64bits(rp.HPWL) ||
+		rs.Iterations != rp.Iterations ||
+		rs.CGIterations != rp.CGIterations ||
+		math.Float64bits(rs.Overflow) != math.Float64bits(rp.Overflow) {
+		t.Fatalf("results differ: seq %+v par %+v", rs, rp)
+	}
+	for i := range ds.Insts {
+		a, b := ds.Insts[i], dp.Insts[i]
+		if math.Float64bits(a.X) != math.Float64bits(b.X) ||
+			math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+			t.Fatalf("instance %s placed at (%v,%v) seq vs (%v,%v) par",
+				a.Name, a.X, a.Y, b.X, b.Y)
+		}
+	}
+	// The warm start must actually have engaged: a coarse-solved start
+	// differs from the center-seeded flat solve.
+	dflat := d.Clone()
+	rf := Global(dflat, Options{Seed: 6, Workers: 1, CoarseInit: -1})
+	if math.Float64bits(rf.HPWL) == math.Float64bits(rs.HPWL) &&
+		rf.CGIterations == rs.CGIterations {
+		t.Fatal("CoarseInit:1 produced the flat-solve result; warm start did not engage")
+	}
+}

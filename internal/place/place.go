@@ -1,18 +1,25 @@
 // Package place is the reproduction's global placer, standing in for
 // RePlAce/OpenROAD gpl and the Innovus placer. It is a quadratic placer:
-// a bound-to-bound (B2B) net model is solved per axis with preconditioned
-// conjugate gradient, interleaved with FastPlace-style cell-shifting
-// spreading anchored through pseudo-nets. It supports the two modes the
+// a bound-to-bound (B2B) net model is solved per axis with Jacobi-
+// preconditioned conjugate gradient, interleaved with FastPlace-style
+// cell-shifting spreading anchored through pseudo-nets. From-scratch runs on
+// large designs warm-start from a cluster-hierarchy coarse placement
+// (multigrid style; see multigrid.go). It supports the two modes the
 // paper's flow requires: from-scratch placement of (clustered) netlists, and
 // incremental placement seeded from initial positions (Algorithm 1 lines
 // 15-25), optionally under per-instance region constraints (Innovus mode).
 // A Tetris-style legalizer snaps cells to rows/sites.
+//
+// The hot paths run on the netlist's Compact CSR view: system assembly walks
+// flat pin arrays (variable index or precomputed constant coordinate per
+// pin) instead of *Net/*Instance pointers and port-name map lookups, and all
+// solver scratch is allocated once per run, so per-iteration work is
+// allocation-free in steady state.
 package place
 
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"ppaclust/internal/netlist"
 	"ppaclust/internal/par"
@@ -24,7 +31,8 @@ type Options struct {
 	// Incremental).
 	Iterations int
 	// CGIterations bounds the conjugate-gradient iterations per solve.
-	// Default 50.
+	// Default 50. Solves also exit early once the preconditioned residual
+	// drops by cgRelTol relative to the start of the solve.
 	CGIterations int
 	// TargetDensity is the per-bin density ceiling. Default max(0.75,
 	// utilization*1.1) clamped to 1.
@@ -61,6 +69,12 @@ type Options struct {
 	// exact sequential path. All parallel paths reduce in fixed order, so the
 	// placement is bit-identical for every worker count.
 	Workers int
+	// CoarseInit controls the cluster-hierarchy (multigrid-style) warm
+	// start for from-scratch placement: 0 = auto (on for large designs),
+	// 1 = force on, -1 = force off. The warm start coarse-places the
+	// MultilevelFC cluster hierarchy, interpolates positions down to the
+	// cells, and then refines — deterministic for every worker count.
+	CoarseInit int
 }
 
 func (o Options) withDefaults(d *netlist.Design) Options {
@@ -96,11 +110,21 @@ func (o Options) withDefaults(d *netlist.Design) Options {
 	return o
 }
 
+// cgRelTol is the relative preconditioned-residual reduction at which a CG
+// solve stops early: rz <= cgRelTol^2 * rz0 corresponds to a cgRelTol drop
+// of the preconditioned residual norm. The placer interleaves solves with
+// spreading, so squeezing the last digits out of an intermediate solve buys
+// nothing — this cuts iterations sharply once warm starts get good.
+const cgRelTol = 1e-5
+
 // Result reports the outcome of a placement run.
 type Result struct {
 	HPWL       float64
 	Iterations int
 	Overflow   float64 // final bin overflow fraction
+	// CGIterations is the total conjugate-gradient iterations spent across
+	// all axis solves (including the coarse warm-start solve, if any).
+	CGIterations int
 }
 
 type placer struct {
@@ -114,19 +138,52 @@ type placer struct {
 	x, y    []float64
 	w, h    []float64 // cell dims per variable
 
-	// per-axis linear system accumulators
-	diag  []float64
-	rhs   []float64
-	off   [][]sparseEntry
-	bins  *binGrid
-	anchX []float64 // spreading targets
-	anchY []float64
-	seedX []float64 // incremental seed positions
-	seedY []float64
+	// Flat connectivity snapshot for system assembly, derived from the
+	// design's Compact view at collect time. Fixed instances and ports do
+	// not move during a run, so their pin coordinates are constants.
+	cm         *netlist.Compact
+	pinVar     []int32   // per compact pin: variable index, or -1 (constant)
+	pinCX      []float64 // per compact pin: x coordinate when constant
+	pinCY      []float64 // per compact pin: y coordinate when constant
+	netW       []float64 // per net: weight
+	activeNets []int32   // nets with 2..maxNetPins pins, ascending
+
+	// per-axis linear system accumulators. addSpring assembles into the
+	// per-row off lists; flattenSystem mirrors them into the offStart/offEnt
+	// CSR the CG matvec runs on: one interleaved 8-byte {col, weight} record
+	// per entry, half the stream of separate int32/float64 arrays. Weights
+	// are stored float32 — a ~1e-7 relative rounding, orders of magnitude
+	// below the solve tolerance — and both records of a symmetric pair round
+	// identically, so the operator stays symmetric.
+	diag     []float64
+	rhs      []float64
+	off      [][]sparseEntry
+	offStart []int32
+	offEnt   []csrEnt
+	invDiag  []float64 // 1/diag (0 where diag <= 0), the Jacobi preconditioner
+	bins     *binGrid
+	anchX    []float64 // spreading targets
+	anchY    []float64
+	seedX    []float64 // incremental seed positions
+	seedY    []float64
+
+	// solver and spreading scratch, allocated once per run
+	cgX, cgAx, cgR, cgD []float64
+	byX, byY, partBuf   []int32  // bisection orderings + partition scratch
+	radKey, radKeyTmp   []uint64 // radix-sort keys (ping-pong)
+	radVal              []int32  // radix-sort value scratch
+	radHist             []int32  // radix-sort bucket histogram
+	sideLo              []bool   // bisection membership marks
+	cgIters             int
 
 	netActs [][]springAction // per-net spring actions (parallel assembly)
 	binIdx  []int32          // per-cell bin index (parallel density pass)
 }
+
+// maxNetPins is the pin-count ceiling above which a net is excluded from the
+// B2B model (huge nets carry no locality information and would produce dense
+// rows).
+const maxNetPins = 2000
 
 // springAction is one deferred addSpring call; per-net action lists are
 // computed in parallel and then applied sequentially in net order, which
@@ -152,6 +209,9 @@ func Global(d *netlist.Design, opt Options) Result {
 		return Result{HPWL: d.HPWL()}
 	}
 	p.initPositions()
+	if p.useCoarseInit() {
+		p.coarseInit()
+	}
 
 	iter := 0
 	overflow := 1.0
@@ -173,7 +233,7 @@ func Global(d *netlist.Design, opt Options) Result {
 	if opt.Legalize {
 		Legalize(d)
 	}
-	return Result{HPWL: d.HPWLWorkers(p.workers), Iterations: iter, Overflow: overflow}
+	return Result{HPWL: d.HPWLWorkers(p.workers), Iterations: iter, Overflow: overflow, CGIterations: p.cgIters}
 }
 
 func (p *placer) collect() {
@@ -206,11 +266,71 @@ func (p *placer) collect() {
 	p.diag = make([]float64, n)
 	p.rhs = make([]float64, n)
 	p.off = make([][]sparseEntry, n)
+	p.offStart = make([]int32, n+1)
+	p.invDiag = make([]float64, n)
+	p.cgX = make([]float64, n)
+	p.cgAx = make([]float64, n)
+	p.cgR = make([]float64, n)
+	p.cgD = make([]float64, n)
+	p.byX = make([]int32, n)
+	p.byY = make([]int32, n)
+	p.partBuf = make([]int32, n)
+	p.sideLo = make([]bool, n)
+	p.radKey = make([]uint64, n)
+	p.radKeyTmp = make([]uint64, n)
+	p.radVal = make([]int32, n)
+	p.radHist = make([]int32, radBuckets)
 	p.bins = newBinGrid(p.core, n, p.opt.TargetDensity)
 	// Fixed macro area reduces bin capacity.
 	for _, inst := range d.Insts {
 		if inst.Fixed && inst.Master.Class == netlist.ClassMacro {
 			p.bins.blockArea(inst.X, inst.Y, inst.Master.Width, inst.Master.Height)
+		}
+	}
+	p.snapshotConnectivity()
+}
+
+// snapshotConnectivity resolves every compact pin to either a variable index
+// or a constant axis coordinate, so assembly never touches a pointer or a
+// map. It mirrors the coordinate rules of the former pointer walk: a port
+// pin sits at the port (an unknown port at (0,0)); a fixed instance pin sits
+// at the cell center; a movable instance pin tracks the cell-center
+// variable.
+func (p *placer) snapshotConnectivity() {
+	d := p.d
+	cm := d.Compact()
+	p.cm = cm
+	nPins := len(cm.PinInst)
+	p.pinVar = make([]int32, nPins)
+	p.pinCX = make([]float64, nPins)
+	p.pinCY = make([]float64, nPins)
+	for k := 0; k < nPins; k++ {
+		id := cm.PinInst[k]
+		switch {
+		case id == netlist.CompactNoPort:
+			p.pinVar[k] = -1
+		case id < 0:
+			port := d.Ports[-1-id]
+			p.pinVar[k] = -1
+			p.pinCX[k] = port.X
+			p.pinCY[k] = port.Y
+		default:
+			inst := d.Insts[id]
+			if vi := p.varOf[id]; vi >= 0 {
+				p.pinVar[k] = int32(vi)
+			} else {
+				p.pinVar[k] = -1
+				p.pinCX[k] = inst.CenterX()
+				p.pinCY[k] = inst.CenterY()
+			}
+		}
+	}
+	p.netW = make([]float64, len(d.Nets))
+	p.activeNets = make([]int32, 0, len(d.Nets))
+	for ni, net := range d.Nets {
+		p.netW[ni] = net.Weight
+		if pc := cm.NumNetPins(ni); pc >= 2 && pc <= maxNetPins {
+			p.activeNets = append(p.activeNets, int32(ni))
 		}
 	}
 }
@@ -234,34 +354,6 @@ func (p *placer) initPositions() {
 	}
 }
 
-// pinCoord returns the coordinate of a net pin on the given axis plus the
-// variable index (-1 for fixed).
-func (p *placer) pinCoord(pr netlist.PinRef, xAxis bool) (float64, int) {
-	d := p.d
-	if pr.IsPort() {
-		port := d.Port(pr.Pin)
-		if port == nil {
-			return 0, -1
-		}
-		if xAxis {
-			return port.X, -1
-		}
-		return port.Y, -1
-	}
-	inst := d.Insts[pr.Inst]
-	vi := p.varOf[pr.Inst]
-	if vi < 0 {
-		if xAxis {
-			return inst.CenterX(), -1
-		}
-		return inst.CenterY(), -1
-	}
-	if xAxis {
-		return p.x[vi], vi
-	}
-	return p.y[vi], vi
-}
-
 // solveAxis builds the B2B system for one axis and solves it with CG. With
 // workers > 1, per-net spring actions are computed in parallel against the
 // frozen positions and then applied sequentially in net order — the same
@@ -273,27 +365,26 @@ func (p *placer) solveAxis(xAxis bool, spreadW float64) {
 		p.rhs[i] = 0
 		p.off[i] = p.off[i][:0]
 	}
-	nets := p.d.Nets
 	if p.workers > 1 {
 		if p.netActs == nil {
-			p.netActs = make([][]springAction, len(nets))
+			p.netActs = make([][]springAction, len(p.activeNets))
 		}
-		par.Blocks(p.workers, len(nets), func(w, lo, hi int) {
+		par.Blocks(p.workers, len(p.activeNets), func(w, lo, hi int) {
 			var pins []pinc
-			for ni := lo; ni < hi; ni++ {
-				pins, p.netActs[ni] = p.appendNetSprings(nets[ni], xAxis, pins, p.netActs[ni][:0])
+			for ai := lo; ai < hi; ai++ {
+				pins, p.netActs[ai] = p.appendNetSprings(int(p.activeNets[ai]), xAxis, pins, p.netActs[ai][:0])
 			}
 		})
-		for ni := range nets {
-			for _, a := range p.netActs[ni] {
+		for ai := range p.activeNets {
+			for _, a := range p.netActs[ai] {
 				p.addSpring(a.vi, a.vj, a.ci, a.cj, a.w)
 			}
 		}
 	} else {
 		var pins []pinc
 		var acts []springAction
-		for _, net := range nets {
-			pins, acts = p.appendNetSprings(net, xAxis, pins, acts[:0])
+		for _, ni := range p.activeNets {
+			pins, acts = p.appendNetSprings(int(ni), xAxis, pins, acts[:0])
 			for _, a := range acts {
 				p.addSpring(a.vi, a.vj, a.ci, a.cj, a.w)
 			}
@@ -317,11 +408,43 @@ func (p *placer) solveAxis(xAxis bool, spreadW float64) {
 			p.rhs[vi] += p.opt.AnchorWeight * seedT
 		}
 	}
+	p.flattenSystem()
 	sol := p.cg(xAxis)
 	if xAxis {
 		copy(p.x, sol)
 	} else {
 		copy(p.y, sol)
+	}
+}
+
+// flattenSystem mirrors the per-row off lists into the flat CSR arrays and
+// precomputes the Jacobi reciprocals. Row order and within-row entry order
+// are preserved, so the flat matvec accumulates in exactly the order the
+// per-row walk did.
+func (p *placer) flattenSystem() {
+	n := len(p.movable)
+	nnz := 0
+	for i := 0; i < n; i++ {
+		nnz += len(p.off[i])
+	}
+	if cap(p.offEnt) < nnz {
+		p.offEnt = make([]csrEnt, nnz)
+	}
+	p.offEnt = p.offEnt[:nnz]
+	k := 0
+	for i := 0; i < n; i++ {
+		p.offStart[i] = int32(k)
+		for _, e := range p.off[i] {
+			p.offEnt[k] = csrEnt{int32(e.col), e.w}
+			k++
+		}
+	}
+	p.offStart[n] = int32(k)
+	for i := 0; i < n; i++ {
+		p.invDiag[i] = 0
+		if p.diag[i] > 0 {
+			p.invDiag[i] = 1 / p.diag[i]
+		}
 	}
 }
 
@@ -332,18 +455,25 @@ type pinc struct {
 }
 
 // appendNetSprings computes the B2B spring actions of one net against the
-// current (frozen) positions. It only reads placer state, so calls for
-// different nets may run concurrently. pins is a reusable scratch buffer.
-func (p *placer) appendNetSprings(net *netlist.Net, xAxis bool, pins []pinc,
+// current (frozen) positions, reading the flat pin snapshot. It only reads
+// placer state, so calls for different nets may run concurrently. pins is a
+// reusable scratch buffer.
+func (p *placer) appendNetSprings(ni int, xAxis bool, pins []pinc,
 	out []springAction) ([]pinc, []springAction) {
 
-	if len(net.Pins) < 2 || len(net.Pins) > 2000 {
-		return pins, out
+	lo, hi := p.cm.NetStart[ni], p.cm.NetStart[ni+1]
+	pos, fix := p.x, p.pinCX
+	if !xAxis {
+		pos, fix = p.y, p.pinCY
 	}
 	pins = pins[:0]
 	minI, maxI := 0, 0
-	for _, pr := range net.Pins {
-		c, vi := p.pinCoord(pr, xAxis)
+	for k := lo; k < hi; k++ {
+		vi := int(p.pinVar[k])
+		c := fix[k]
+		if vi >= 0 {
+			c = pos[vi]
+		}
 		pins = append(pins, pinc{c, vi})
 		if c < pins[minI].c {
 			minI = len(pins) - 1
@@ -356,8 +486,9 @@ func (p *placer) appendNetSprings(net *netlist.Net, xAxis bool, pins []pinc,
 	if P < 2 {
 		return pins, out
 	}
+	wNet := p.netW[ni]
 	// B2B: connect every pin to both boundary pins.
-	for _, bi := range []int{minI, maxI} {
+	for _, bi := range [2]int{minI, maxI} {
 		b := pins[bi]
 		for i, q := range pins {
 			if i == bi || (bi == maxI && i == minI) {
@@ -367,7 +498,7 @@ func (p *placer) appendNetSprings(net *netlist.Net, xAxis bool, pins []pinc,
 			if dist < 1e-3 {
 				dist = 1e-3
 			}
-			w := net.Weight * 2 / (float64(P-1) * dist)
+			w := wNet * 2 / (float64(P-1) * dist)
 			out = append(out, springAction{q.vi, b.vi, q.c, b.c, w})
 		}
 	}
@@ -396,47 +527,42 @@ func (p *placer) addSpring(vi, vj int, ci, cj float64, w float64) {
 }
 
 // cg solves (D - O) x = rhs with Jacobi-preconditioned conjugate gradient,
-// warm-started from the current positions.
+// warm-started from the current positions. Work vectors live on the placer
+// and are reused across solves; the returned slice is p.cgX, valid until the
+// next call. Solves stop at CGIterations, at an absolute residual floor, or
+// once the preconditioned residual norm drops below cgRelTol times the
+// right-hand side's — the textbook relative criterion, which lets
+// warm-started solves (coarse-init refinement, incremental mode) exit after
+// a handful of iterations.
 func (p *placer) cg(xAxis bool) []float64 {
 	n := len(p.movable)
-	x := make([]float64, n)
+	x := p.cgX
 	if xAxis {
 		copy(x, p.x)
 	} else {
 		copy(x, p.y)
 	}
-	ax := make([]float64, n)
-	// Row-parallel matvec: each row's dot product keeps its sequential term
-	// order and lands in its own slot, so any worker count is bit-identical
-	// (ForEach runs inline when workers <= 1).
-	mulA := func(v, out []float64) {
-		par.ForEach(p.workers, n, func(i int) {
-			s := p.diag[i] * v[i]
-			for _, e := range p.off[i] {
-				s -= e.w * v[e.col]
-			}
-			out[i] = s
-		})
-	}
-	r := make([]float64, n)
-	z := make([]float64, n)
-	d := make([]float64, n)
-	mulA(x, ax)
-	var rz float64
+	ax := p.cgAx
+	r := p.cgR
+	d := p.cgD
+	rhs := p.rhs
+	iv := p.invDiag
+	p.mulA(x, ax)
+	var rz, bz float64
 	for i := 0; i < n; i++ {
-		r[i] = p.rhs[i] - ax[i]
-		if p.diag[i] > 0 {
-			z[i] = r[i] / p.diag[i]
-		}
-		d[i] = z[i]
-		rz += r[i] * z[i]
+		ri := rhs[i] - ax[i]
+		r[i] = ri
+		d[i] = ri * iv[i]
+		rz += ri * (ri * iv[i])
+		bz += rhs[i] * rhs[i] * iv[i]
 	}
-	for it := 0; it < p.opt.CGIterations && rz > 1e-20; it++ {
-		mulA(d, ax)
-		var dad float64
-		for i := 0; i < n; i++ {
-			dad += d[i] * ax[i]
-		}
+	floor := cgRelTol * cgRelTol * bz
+	if floor < 1e-20 {
+		floor = 1e-20
+	}
+	it := 0
+	for ; it < p.opt.CGIterations && rz > floor; it++ {
+		dad := p.mulADot(d, ax)
 		if dad <= 0 {
 			break
 		}
@@ -444,19 +570,80 @@ func (p *placer) cg(xAxis bool) []float64 {
 		var rzNew float64
 		for i := 0; i < n; i++ {
 			x[i] += alpha * d[i]
-			r[i] -= alpha * ax[i]
-			if p.diag[i] > 0 {
-				z[i] = r[i] / p.diag[i]
-			}
-			rzNew += r[i] * z[i]
+			ri := r[i] - alpha*ax[i]
+			r[i] = ri
+			rzNew += ri * (ri * iv[i])
 		}
 		beta := rzNew / rz
 		rz = rzNew
 		for i := 0; i < n; i++ {
-			d[i] = z[i] + beta*d[i]
+			d[i] = r[i]*iv[i] + beta*d[i]
 		}
 	}
+	p.cgIters += it
 	return x
+}
+
+// mulA computes out = (D - O) v on the flat CSR. Rows are independent slots
+// and every row keeps its sequential term order, so any worker count is
+// bit-identical to the plain loop.
+func (p *placer) mulA(v, out []float64) {
+	if p.workers <= 1 {
+		p.mulARange(v, out, 0, len(p.movable))
+		return
+	}
+	par.Blocks(p.workers, len(p.movable), func(w, lo, hi int) {
+		p.mulARange(v, out, lo, hi)
+	})
+}
+
+// csrEnt is one off-diagonal matrix entry: the column paired with its weight
+// in a single 8-byte record, so the matvec streams one array instead of two.
+type csrEnt struct {
+	col int32
+	w   float64
+}
+
+func (p *placer) mulARange(v, out []float64, lo, hi int) {
+	diag := p.diag
+	offStart := p.offStart
+	offEnt := p.offEnt
+	for i := lo; i < hi; i++ {
+		out[i] = rowDot(diag[i]*v[i], offEnt[offStart[i]:offStart[i+1]], v)
+	}
+}
+
+// rowDot computes s - sum(ent.w * v[ent.col]) in entry order — the one
+// association every caller shares, fused or parallel, any worker count.
+func rowDot(s float64, row []csrEnt, v []float64) float64 {
+	for _, e := range row {
+		s -= e.w * v[e.col]
+	}
+	return s
+}
+
+// mulADot is mulA fused with the d·Ad dot product. The dot accumulates in
+// ascending row order on both the sequential (fused) and parallel (separate
+// reduction pass) paths, so the result is bit-identical either way.
+func (p *placer) mulADot(d, ax []float64) float64 {
+	n := len(p.movable)
+	var dad float64
+	if p.workers <= 1 {
+		diag := p.diag
+		offStart := p.offStart
+		offEnt := p.offEnt
+		for i := 0; i < n; i++ {
+			s := rowDot(diag[i]*d[i], offEnt[offStart[i]:offStart[i+1]], d)
+			ax[i] = s
+			dad += d[i] * s
+		}
+		return dad
+	}
+	p.mulA(d, ax)
+	for i := 0; i < n; i++ {
+		dad += d[i] * ax[i]
+	}
+	return dad
 }
 
 // clampAll keeps cells inside the core and, for hard regions, inside their
@@ -514,11 +701,25 @@ func (p *placer) computeSpreadTargets() float64 {
 	}
 	of := g.overflow()
 
-	idx := make([]int, len(p.movable))
-	for i := range idx {
-		idx[i] = i
+	n := len(p.movable)
+	if n <= 3 {
+		// Degenerate top level: distribute along x in index order, matching
+		// the recursive leaf rule on the identity ordering.
+		cy := (p.core.Y0 + p.core.Y1) / 2
+		for i := 0; i < n; i++ {
+			f := (float64(i) + 0.5) / float64(n)
+			p.anchX[i] = p.core.X0 + f*p.core.W()
+			p.anchY[i] = cy
+		}
+	} else {
+		// Sort once per axis; the recursion below splits these orderings with
+		// stable partitions instead of re-sorting every level. The radix sort
+		// is stable over an ascending-index fill, so ties resolve by index —
+		// the same (coord, index) total order a comparator sort would produce.
+		p.sortByCoord(p.byX, p.x)
+		p.sortByCoord(p.byY, p.y)
+		p.bisect(p.core, p.byX, p.byY, p.partBuf, true, p.workers)
 	}
-	p.bisect(p.core, idx, true, p.workers)
 	// Keep region cells anchored inside their region.
 	if p.opt.Regions != nil {
 		for vi, id := range p.movable {
@@ -531,21 +732,101 @@ func (p *placer) computeSpreadTargets() float64 {
 	return of
 }
 
+// Radix-sort digit width: 16-bit digits, four LSD passes over uint64 keys.
+const (
+	radDigitBits = 16
+	radBuckets   = 1 << radDigitBits
+)
+
+// sortableBits maps a float64 to a uint64 whose unsigned order matches the
+// float order: negatives have all bits flipped, positives get the sign bit
+// set. Negative zero maps to the positive-zero key so the two compare equal,
+// exactly as float comparison treats them. Placement coordinates are finite,
+// so NaN handling is not needed.
+func sortableBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		if b == 1<<63 {
+			return 1 << 63
+		}
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// sortByCoord fills ord with 0..n-1 and sorts it by coord with a stable LSD
+// radix sort on the sortableBits key image. Stability over the ascending
+// fill resolves ties by index, the strict total order the bisection
+// recursion depends on. Passes whose 16-bit digit is constant across all
+// keys are skipped after counting — common for placements confined to the
+// core, where high exponent bits barely vary. Purely sequential and
+// comparator-free, so it costs O(n) per pass and is trivially deterministic.
+func (p *placer) sortByCoord(ord []int32, coord []float64) {
+	n := len(ord)
+	srcK, dstK := p.radKey[:n], p.radKeyTmp[:n]
+	srcV, dstV := ord, p.radVal[:n]
+	for i := 0; i < n; i++ {
+		srcV[i] = int32(i)
+		srcK[i] = sortableBits(coord[i])
+	}
+	hist := p.radHist
+	for pass := 0; pass < 64/radDigitBits; pass++ {
+		shift := uint(pass * radDigitBits)
+		clear(hist)
+		for i := 0; i < n; i++ {
+			hist[(srcK[i]>>shift)&(radBuckets-1)]++
+		}
+		if hist[(srcK[0]>>shift)&(radBuckets-1)] == int32(n) {
+			continue
+		}
+		sum := int32(0)
+		for d := 0; d < radBuckets; d++ {
+			c := hist[d]
+			hist[d] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := (srcK[i] >> shift) & (radBuckets - 1)
+			j := hist[d]
+			hist[d] = j + 1
+			dstK[j] = srcK[i]
+			dstV[j] = srcV[i]
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcV[0] != &ord[0] {
+		copy(ord, srcV)
+	}
+}
+
 // bisect recursively splits the cell set between the two halves of r in
 // proportion to their free capacity, alternating axes, and assigns leaf
-// region centers as anchor targets. The two halves touch disjoint cell
-// subslices and anchor slots, so with workers > 1 the top of the recursion
-// forks; the anchors written are identical either way.
-func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool, workers int) {
-	if len(cells) == 0 {
+// region centers as anchor targets.
+//
+// act holds the set sorted by the active axis (ties by index); oth holds the
+// same set sorted by the other axis — the order the child recursion needs —
+// and buf is partition scratch of the same length. Splitting act is a slice
+// cut; oth is split by a stable partition on membership, which keeps both
+// children's orderings sorted without any per-level re-sort. A stable
+// partition of a (coord, index)-sorted sequence is exactly the sort the
+// per-level algorithm would compute, so the anchors are identical to it.
+//
+// The two halves touch disjoint cell subslices, scratch ranges and anchor
+// slots, so with workers > 1 the top of the recursion forks; the anchors
+// written are identical either way.
+func (p *placer) bisect(r netlist.Rect, act, oth, buf []int32, xAxis bool, workers int) {
+	n := len(act)
+	if n == 0 {
 		return
 	}
-	if len(cells) <= 3 || (r.W() < 2*p.bins.bw && r.H() < 2*p.bins.bh) {
-		// Distribute the few remaining cells across the region.
+	if n <= 3 || (r.W() < 2*p.bins.bw && r.H() < 2*p.bins.bh) {
+		// Distribute the few remaining cells across the region, in the
+		// parent ordering they arrived in.
 		cx := (r.X0 + r.X1) / 2
 		cy := (r.Y0 + r.Y1) / 2
-		for i, vi := range cells {
-			f := (float64(i) + 0.5) / float64(len(cells))
+		for i, vi := range oth {
+			f := (float64(i) + 0.5) / float64(n)
 			if xAxis {
 				p.anchX[vi] = r.X0 + f*r.W()
 				p.anchY[vi] = cy
@@ -571,41 +852,46 @@ func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool, workers int) {
 	if capLo+capHi <= 0 {
 		capLo, capHi = 1, 1
 	}
-	// Sort cells by current coordinate to preserve relative order.
-	sort.Slice(cells, func(a, b int) bool {
-		if xAxis {
-			if p.x[cells[a]] != p.x[cells[b]] {
-				return p.x[cells[a]] < p.x[cells[b]]
-			}
-		} else {
-			if p.y[cells[a]] != p.y[cells[b]] {
-				return p.y[cells[a]] < p.y[cells[b]]
-			}
-		}
-		return cells[a] < cells[b]
-	})
 	var totalArea float64
-	for _, vi := range cells {
+	for _, vi := range act {
 		totalArea += p.w[vi] * p.h[vi]
 	}
 	wantLo := totalArea * capLo / (capLo + capHi)
 	var acc float64
 	cut := 0
-	for cut < len(cells)-1 {
-		a := p.w[cells[cut]] * p.h[cells[cut]]
+	for cut < n-1 {
+		a := p.w[act[cut]] * p.h[act[cut]]
 		if acc+a > wantLo && cut > 0 {
 			break
 		}
 		acc += a
 		cut++
 	}
-	if workers > 1 && cut > 0 && cut < len(cells) && len(cells) > 128 {
+	// Stable-partition oth by membership in the low half.
+	for _, vi := range act[:cut] {
+		p.sideLo[vi] = true
+	}
+	nl, nh := 0, 0
+	for _, vi := range oth {
+		if p.sideLo[vi] {
+			oth[nl] = vi
+			nl++
+		} else {
+			buf[nh] = vi
+			nh++
+		}
+	}
+	copy(oth[nl:], buf[:nh])
+	for _, vi := range act[:cut] {
+		p.sideLo[vi] = false
+	}
+	if workers > 1 && cut > 0 && cut < n && n > 128 {
 		done := make(chan any, 1)
 		go func() {
 			defer func() { done <- recover() }()
-			p.bisect(lo, cells[:cut], !xAxis, workers/2)
+			p.bisect(lo, oth[:cut], act[:cut], buf[:cut], !xAxis, workers/2)
 		}()
-		p.bisect(hi, cells[cut:], !xAxis, workers-workers/2)
+		p.bisect(hi, oth[cut:], act[cut:], buf[cut:], !xAxis, workers-workers/2)
 		if pv := <-done; pv != nil {
 			// Re-raise the forked child's panic on the parent goroutine —
 			// the same propagation contract internal/par implements.
@@ -613,8 +899,8 @@ func (p *placer) bisect(r netlist.Rect, cells []int, xAxis bool, workers int) {
 		}
 		return
 	}
-	p.bisect(lo, cells[:cut], !xAxis, 1)
-	p.bisect(hi, cells[cut:], !xAxis, 1)
+	p.bisect(lo, oth[:cut], act[:cut], buf[:cut], !xAxis, 1)
+	p.bisect(hi, oth[cut:], act[cut:], buf[cut:], !xAxis, 1)
 }
 
 func (p *placer) writeBack() {

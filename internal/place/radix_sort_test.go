@@ -1,0 +1,47 @@
+package place
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestSortByCoordMatchesComparator checks the stable radix sort against the
+// comparator sort it replaced, including negative coordinates, duplicates
+// (index tie-break), and signed zeros.
+func TestSortByCoordMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 5, 17, 100, 1000} {
+		coord := make([]float64, n)
+		for i := range coord {
+			coord[i] = float64(rng.Intn(20)) * 1.5
+			if rng.Intn(4) == 0 {
+				coord[i] = -coord[i] // exercises -0.0 == +0.0 ties too
+			}
+		}
+		p := &placer{
+			radKey:    make([]uint64, n),
+			radKeyTmp: make([]uint64, n),
+			radVal:    make([]int32, n),
+			radHist:   make([]int32, radBuckets),
+		}
+		got := make([]int32, n)
+		p.sortByCoord(got, coord)
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = int32(i)
+		}
+		slices.SortFunc(want, func(a, b int32) int {
+			switch {
+			case coord[a] < coord[b]:
+				return -1
+			case coord[a] > coord[b]:
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d got %v want %v", n, got, want)
+		}
+	}
+}

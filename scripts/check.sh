@@ -16,8 +16,9 @@ go build ./...
 
 # Project-contract lint: determinism (maporder), no-panic (nopanic),
 # bounds-checked parsing (rawindex), no dropped parser errors (errdrop), no
-# stdout writes from libraries (printlib). Runs in both modes, ahead of the
-# test sweep, so a contract violation fails fast with file:line provenance.
+# stdout writes from libraries (printlib), no unpreallocated append loops in
+# hot-path packages (prealloc). Runs in both modes, ahead of the test sweep,
+# so a contract violation fails fast with file:line provenance.
 echo "==> ppalint ./..."
 go run ./cmd/ppalint ./...
 
@@ -43,6 +44,15 @@ PPACLUST_WORKERS=4 go test -race \
 # perturbs testing.AllocsPerRun counts).
 echo "==> steady-state allocation assertions"
 go test -run 'AllocFree' ./internal/netlist/ ./internal/hypergraph/
+
+if [[ "${1:-}" != "quick" ]]; then
+    # Scale smoke: one 10k-cell generate+place row through the sweep harness,
+    # so the scale path (ScaleSpec, the JSON schema, the RSS probe) stays
+    # exercised without the multi-minute 100k/1M rows.
+    echo "==> scale-sweep smoke row (10k cells)"
+    go run ./cmd/ppabench -scale 10k -scale-out /tmp/ppaclust_scale_smoke.json
+    rm -f /tmp/ppaclust_scale_smoke.json
+fi
 
 if [[ "${1:-}" != "quick" ]]; then
     # Crash-resistance contract: each format reader has one Go-native fuzz
