@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ppaclust/internal/cluster"
+	"ppaclust/internal/cts"
+	"ppaclust/internal/designs"
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/par"
+	"ppaclust/internal/place"
+	"ppaclust/internal/route"
+	"ppaclust/internal/sta"
+)
+
+// flowRow is one design size of the -scale-flow sweep: every stage of the
+// paper flow timed separately on the same design, plus the headline PPA
+// numbers the stages produce.
+type flowRow struct {
+	Cells int `json:"cells"` // requested cell count
+	Insts int `json:"insts"`
+	Nets  int `json:"nets"`
+	Pins  int `json:"pins"`
+
+	GenMS     float64 `json:"gen_ms"`     // synthetic design generation
+	ClusterMS float64 `json:"cluster_ms"` // MultilevelFC over the netlist
+	PlaceMS   float64 `json:"place_ms"`   // global placement
+	STAMS     float64 `json:"sta_ms"`     // analyzer build + full timing
+	RouteMS   float64 `json:"route_ms"`   // global routing + congestion
+	CTSMS     float64 `json:"cts_ms"`     // clock-tree synthesis + propagated STA
+
+	Clusters   int     `json:"clusters"`
+	PlaceIters int     `json:"place_iters"`
+	CGIters    int     `json:"cg_iters"`
+	HPWL       float64 `json:"hpwl"`
+	Overflow   int     `json:"route_overflow"` // routed demand above capacity
+	MaxCong    float64 `json:"max_congestion"` // highest GCell edge utilization
+	BinOvf     float64 `json:"bin_overflow"`   // placer bin overflow at stop
+	WNSPS      float64 `json:"wns_ps"`       // post-CTS propagated-clock WNS
+	TNSPS      float64 `json:"tns_ps"`
+	PeakRSSMB  float64 `json:"peak_rss_mb"` // VmHWM after the row, 0 if unknown
+}
+
+// flowRun is the BENCH_scale_flow.json document.
+type flowRun struct {
+	CPUs       int       `json:"cpus"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Workers    int       `json:"workers"`
+	Seed       int64     `json:"seed"`
+	Rows       []flowRow `json:"rows"`
+}
+
+// ms converts an elapsed duration to milliseconds with microsecond grain.
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// runScaleFlow runs every flow stage — generate, cluster, place, STA, route,
+// CTS — once per requested size, timing each stage on its own, and writes
+// the machine-readable sweep to outPath. Unlike -scale (placement only),
+// this answers "which stage falls over first" as designs grow.
+func runScaleFlow(sizes []int, seed int64, workers int, outPath string) {
+	f, err := os.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+		os.Exit(1)
+	}
+	run := flowRun{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(workers),
+		Seed:       seed,
+	}
+	for _, cells := range sizes {
+		spec := designs.ScaleSpec(cells, 4242+seed)
+
+		t0 := time.Now()
+		b := designs.Generate(spec)
+		genMS := ms(time.Since(t0))
+		d := b.Design
+
+		t1 := time.Now()
+		hv := d.ToHypergraph()
+		cres := cluster.MultilevelFC(hv.H, cluster.Options{
+			Seed:    seed,
+			Workers: workers,
+		})
+		clusterMS := ms(time.Since(t1))
+
+		t2 := time.Now()
+		pres := place.Global(d, place.Options{Seed: 7, Workers: workers})
+		placeMS := ms(time.Since(t2))
+
+		t3 := time.Now()
+		an := sta.New(d, b.Cons)
+		an.Workers = workers
+		sum := an.Timing()
+		staMS := ms(time.Since(t3))
+
+		t4 := time.Now()
+		rres := route.GlobalRoute(d, route.Options{})
+		routeMS := ms(time.Since(t4))
+
+		t5 := time.Now()
+		var clk *netlist.Net
+		for _, n := range d.Nets {
+			if n.Clock {
+				clk = n
+				break
+			}
+		}
+		if clk != nil {
+			copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2"), SkipArrivalMap: true}
+			ctsRes := cts.Synthesize(d, clk, copt)
+			if len(ctsRes.ArrivalList) > 0 {
+				an.SetClockArrivalList(ctsRes.ArrivalList)
+				sum = an.Timing()
+			}
+		}
+		ctsMS := ms(time.Since(t5))
+
+		row := flowRow{
+			Cells:      cells,
+			Insts:      len(d.Insts),
+			Nets:       len(d.Nets),
+			Pins:       countPins(d),
+			GenMS:      genMS,
+			ClusterMS:  clusterMS,
+			PlaceMS:    placeMS,
+			STAMS:      staMS,
+			RouteMS:    routeMS,
+			CTSMS:      ctsMS,
+			Clusters:   cres.NumClusters,
+			PlaceIters: pres.Iterations,
+			CGIters:    pres.CGIterations,
+			HPWL:       pres.HPWL,
+			Overflow:   rres.Overflow,
+			MaxCong:    rres.MaxCongestion,
+			BinOvf:     pres.Overflow,
+			WNSPS:      sum.WNS * 1e12,
+			TNSPS:      sum.TNS * 1e12,
+			PeakRSSMB:  peakRSSMB(),
+		}
+		run.Rows = append(run.Rows, row)
+		fmt.Printf("flow %8d cells: gen %7.0f cluster %7.0f place %7.0f sta %7.0f route %7.0f cts %7.0f ms, wns %.1f ps, rss %.0f MB\n",
+			cells, genMS, clusterMS, placeMS, staMS, routeMS, ctsMS, row.WNSPS, row.PeakRSSMB)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(run); err != nil {
+		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("flow-scale sweep written to %s\n", outPath)
+}

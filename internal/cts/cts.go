@@ -5,13 +5,20 @@
 // (fed to the STA as propagated clock arrivals), skew, buffer count and
 // clock wirelength. The host netlist is not mutated; the tree is virtual,
 // which is sufficient for post-route WNS/TNS/power evaluation.
+//
+// The sink set is collected through the netlist.Compact CSR view and stored
+// as flat arrays; the bisection runs over two coordinate orderings presorted
+// once with the shared radix sort and split by stable partition at each
+// level — O(n log n) total with no per-level sorting or copying, which is
+// what makes million-sink clock nets tractable. Fully deterministic: every
+// ordering is a strict (coordinate, sink-index) total order.
 package cts
 
 import (
 	"math"
-	"sort"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/sortx"
 	"ppaclust/internal/sta"
 )
 
@@ -23,6 +30,11 @@ type Options struct {
 	BufMaster *netlist.Master
 	// InputSlew is the slew assumed at each buffer input. Default 20ps.
 	InputSlew float64
+	// SkipArrivalMap leaves Result.Arrivals nil and reports insertion delays
+	// only through Result.ArrivalList, skipping the per-sink map insert and
+	// pin-name hashing — the mode the scale flow uses with
+	// sta.SetClockArrivalList.
+	SkipArrivalMap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -37,8 +49,12 @@ func (o Options) withDefaults() Options {
 
 // Result reports the synthesized clock tree.
 type Result struct {
-	// Arrivals maps each clock sink pin to its insertion delay.
+	// Arrivals maps each clock sink pin to its insertion delay. Nil when
+	// Options.SkipArrivalMap is set — use ArrivalList instead.
 	Arrivals map[sta.PinID]float64
+	// ArrivalList holds the same insertion delays as a flat slice (leaf
+	// traversal order), ready for sta.SetClockArrivalList.
+	ArrivalList []sta.ClockArrival
 	// Buffers is the number of (virtual) clock buffers inserted.
 	Buffers int
 	// WirelengthUM is the total clock-tree wirelength.
@@ -56,16 +72,20 @@ type Result struct {
 // Skew returns max - min insertion delay.
 func (r *Result) Skew() float64 { return r.MaxInsertion - r.MinInsertion }
 
-type sink struct {
-	pin  sta.PinID
-	x, y float64
-	cap  float64
+// builder holds the flat sink arrays and the bisection scratch.
+type builder struct {
+	// Sink SoA, in clock-net pin order.
+	x, y, cap []float64
+	inst      []int32
+	mp        []int32 // master-pin index (for the pin name at emit time)
+
+	sideLo []bool // membership marks for the stable partitions
 }
 
 type node struct {
 	x, y     float64
 	children []*node
-	sinks    []sink // leaf nodes only
+	sinks    []int32 // leaf nodes: sink indices
 	loadCap  float64
 	wireLen  float64 // wire from this node to children/sinks
 }
@@ -73,87 +93,146 @@ type node struct {
 // Synthesize builds the clock tree for the given clock net.
 func Synthesize(d *netlist.Design, clockNet *netlist.Net, opt Options) *Result {
 	opt = opt.withDefaults()
-	var sinks []sink
+	c := d.Compact()
+	ni := clockNet.ID
+
+	var b builder
 	var rootX, rootY float64
 	haveRoot := false
-	for _, pr := range clockNet.Pins {
-		if pr.IsPort() {
-			p := d.Port(pr.Pin)
-			if p != nil && p.Dir == netlist.DirInput {
+	nPins := c.NumNetPins(ni)
+	b.x = make([]float64, 0, nPins)
+	b.y = make([]float64, 0, nPins)
+	b.cap = make([]float64, 0, nPins)
+	b.inst = make([]int32, 0, nPins)
+	b.mp = make([]int32, 0, nPins)
+	for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+		id := c.PinInst[k]
+		if id < 0 {
+			if id == netlist.CompactNoPort {
+				continue
+			}
+			p := d.Ports[-1-id]
+			if p.Dir == netlist.DirInput {
 				rootX, rootY = p.X, p.Y
 				haveRoot = true
 			}
 			continue
 		}
-		mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
-		if mp == nil || mp.Dir != netlist.DirInput {
+		mpIdx := c.PinMP[k]
+		if mpIdx < 0 {
 			continue
 		}
-		x, y := d.PinPos(pr)
-		sinks = append(sinks, sink{pin: sta.PinID{Inst: pr.Inst, Pin: pr.Pin}, x: x, y: y, cap: mp.Cap})
+		mp := &d.Insts[id].Master.Pins[mpIdx]
+		if mp.Dir != netlist.DirInput {
+			continue
+		}
+		b.x = append(b.x, d.Insts[id].X+c.PinDX[k])
+		b.y = append(b.y, d.Insts[id].Y+c.PinDY[k])
+		b.cap = append(b.cap, mp.Cap)
+		b.inst = append(b.inst, id)
+		b.mp = append(b.mp, mpIdx)
 	}
-	res := &Result{Arrivals: make(map[sta.PinID]float64, len(sinks))}
-	if len(sinks) == 0 {
+	res := &Result{}
+	if !opt.SkipArrivalMap {
+		res.Arrivals = make(map[sta.PinID]float64, len(b.x))
+	}
+	if len(b.x) == 0 {
 		return res
 	}
 	if !haveRoot {
-		rootX, rootY = centroid(sinks)
+		rootX, rootY = centroid(&b, nil)
 	}
 
-	tree := build(sinks, opt.MaxFanout)
+	// Presort both coordinate orders once; the recursion splits them with
+	// stable partitions instead of re-sorting every level.
+	n := len(b.x)
+	byX := make([]int32, n)
+	byY := make([]int32, n)
+	var sorter sortx.Sorter
+	sorter.IndexByFloat64(byX, b.x)
+	sorter.IndexByFloat64(byY, b.y)
+	b.sideLo = make([]bool, n)
+	buf := make([]int32, n)
+
+	tree := b.build(byX, byY, buf, opt.MaxFanout)
 	res.Levels = depth(tree)
 
 	// Root wire from the clock source to the tree root.
 	rootWire := math.Abs(tree.x-rootX) + math.Abs(tree.y-rootY)
 	res.WirelengthUM += rootWire
-	annotate(tree, opt, res, wireDelay(rootWire, nodeCap(tree, opt)), 0)
+	annotate(&b, d, tree, opt, res, wireDelay(rootWire, bufInCap(opt)), 0)
 	return res
 }
 
-func centroid(sinks []sink) (float64, float64) {
+// centroid averages sink positions; idx == nil means all sinks.
+func centroid(b *builder, idx []int32) (float64, float64) {
 	var sx, sy float64
-	for _, s := range sinks {
-		sx += s.x
-		sy += s.y
+	if idx == nil {
+		for i := range b.x {
+			sx += b.x[i]
+			sy += b.y[i]
+		}
+		n := float64(len(b.x))
+		return sx / n, sy / n
 	}
-	n := float64(len(sinks))
+	for _, i := range idx {
+		sx += b.x[i]
+		sy += b.y[i]
+	}
+	n := float64(len(idx))
 	return sx / n, sy / n
 }
 
 // build recursively bisects the sink set along its wider spread dimension.
-func build(sinks []sink, maxFanout int) *node {
-	cx, cy := centroid(sinks)
-	n := &node{x: cx, y: cy}
-	if len(sinks) <= maxFanout {
-		n.sinks = sinks
-		return n
+// bx and by hold the same sink set sorted by x and by y (ties by index); at
+// each level the chosen axis order is cut at its midpoint and the other
+// order is split by a stable partition on membership, so both children
+// inherit both orderings without sorting or extra allocation.
+func (b *builder) build(bx, by, buf []int32, maxFanout int) *node {
+	n := len(bx)
+	cx, cy := centroid(b, bx)
+	nd := &node{x: cx, y: cy}
+	if n <= maxFanout {
+		nd.sinks = bx
+		return nd
 	}
-	minX, maxX := sinks[0].x, sinks[0].x
-	minY, maxY := sinks[0].y, sinks[0].y
-	for _, s := range sinks {
-		minX = math.Min(minX, s.x)
-		maxX = math.Max(maxX, s.x)
-		minY = math.Min(minY, s.y)
-		maxY = math.Max(maxY, s.y)
+	// Spread per axis from the sorted extremes.
+	spreadX := b.x[bx[n-1]] - b.x[bx[0]]
+	spreadY := b.y[by[n-1]] - b.y[by[0]]
+	actIsX := spreadX >= spreadY
+	act, oth := bx, by
+	if !actIsX {
+		act, oth = by, bx
 	}
-	byX := maxX-minX >= maxY-minY
-	sorted := make([]sink, len(sinks))
-	copy(sorted, sinks)
-	sort.Slice(sorted, func(i, j int) bool {
-		if byX {
-			if sorted[i].x != sorted[j].x {
-				return sorted[i].x < sorted[j].x
-			}
+	mid := n / 2
+	for _, v := range act[:mid] {
+		b.sideLo[v] = true
+	}
+	lo, hi := buf[:0], buf[mid:mid]
+	for _, v := range oth {
+		if b.sideLo[v] {
+			lo = append(lo, v)
 		} else {
-			if sorted[i].y != sorted[j].y {
-				return sorted[i].y < sorted[j].y
-			}
+			hi = append(hi, v)
 		}
-		return sorted[i].pin.Inst < sorted[j].pin.Inst
-	})
-	mid := len(sorted) / 2
-	n.children = []*node{build(sorted[:mid], maxFanout), build(sorted[mid:], maxFanout)}
-	return n
+	}
+	copy(oth, buf[:n])
+	for _, v := range act[:mid] {
+		b.sideLo[v] = false
+	}
+	actLo, actHi := act[:mid], act[mid:]
+	othLo, othHi := oth[:mid], oth[mid:]
+	bufLo, bufHi := buf[:mid], buf[mid:]
+	var cLo, cHi *node
+	if actIsX {
+		cLo = b.build(actLo, othLo, bufLo, maxFanout)
+		cHi = b.build(actHi, othHi, bufHi, maxFanout)
+	} else {
+		cLo = b.build(othLo, actLo, bufLo, maxFanout)
+		cHi = b.build(othHi, actHi, bufHi, maxFanout)
+	}
+	nd.children = []*node{cLo, cHi}
+	return nd
 }
 
 func depth(n *node) int {
@@ -169,9 +248,9 @@ func depth(n *node) int {
 	return d + 1
 }
 
-// nodeCap returns the input load a node presents to its parent: the buffer
-// input cap (every internal and leaf node hosts a buffer).
-func nodeCap(n *node, opt Options) float64 {
+// bufInCap returns the input load a tree node presents to its parent: the
+// buffer input cap (every internal and leaf node hosts a buffer).
+func bufInCap(opt Options) float64 {
 	for pi := range opt.BufMaster.Pins {
 		mp := &opt.BufMaster.Pins[pi]
 		if mp.Dir == netlist.DirInput {
@@ -186,7 +265,7 @@ func wireDelay(length, loadCap float64) float64 {
 }
 
 // annotate walks the tree computing insertion delays.
-func annotate(n *node, opt Options, res *Result, at float64, level int) {
+func annotate(b *builder, d *netlist.Design, n *node, opt Options, res *Result, at float64, level int) {
 	res.Buffers++
 	// Load seen by this node's buffer: wires + child buffer inputs or sinks.
 	var load, wl float64
@@ -194,13 +273,13 @@ func annotate(n *node, opt Options, res *Result, at float64, level int) {
 		for _, c := range n.children {
 			l := math.Abs(c.x-n.x) + math.Abs(c.y-n.y)
 			wl += l
-			load += sta.WireCapPerMicron*l + nodeCap(c, opt)
+			load += sta.WireCapPerMicron*l + bufInCap(opt)
 		}
 	} else {
-		for _, s := range n.sinks {
-			l := math.Abs(s.x-n.x) + math.Abs(s.y-n.y)
+		for _, si := range n.sinks {
+			l := math.Abs(b.x[si]-n.x) + math.Abs(b.y[si]-n.y)
 			wl += l
-			load += sta.WireCapPerMicron*l + s.cap
+			load += sta.WireCapPerMicron*l + b.cap[si]
 		}
 	}
 	n.loadCap = load
@@ -212,14 +291,19 @@ func annotate(n *node, opt Options, res *Result, at float64, level int) {
 	if len(n.children) > 0 {
 		for _, c := range n.children {
 			l := math.Abs(c.x-n.x) + math.Abs(c.y-n.y)
-			annotate(c, opt, res, out+wireDelay(l, nodeCap(c, opt)), level+1)
+			annotate(b, d, c, opt, res, out+wireDelay(l, bufInCap(opt)), level+1)
 		}
 		return
 	}
-	for _, s := range n.sinks {
-		l := math.Abs(s.x-n.x) + math.Abs(s.y-n.y)
-		ins := out + wireDelay(l, s.cap)
-		res.Arrivals[s.pin] = ins
+	for _, si := range n.sinks {
+		l := math.Abs(b.x[si]-n.x) + math.Abs(b.y[si]-n.y)
+		ins := out + wireDelay(l, b.cap[si])
+		inst := b.inst[si]
+		pin := d.Insts[inst].Master.Pins[b.mp[si]].Name
+		res.ArrivalList = append(res.ArrivalList, sta.ClockArrival{Inst: int(inst), Pin: pin, T: ins})
+		if res.Arrivals != nil {
+			res.Arrivals[sta.PinID{Inst: int(inst), Pin: pin}] = ins
+		}
 		if ins > res.MaxInsertion {
 			res.MaxInsertion = ins
 		}
@@ -254,7 +338,7 @@ func (r *Result) EstimatePower(opt Options, clockPeriod, vdd float64) {
 	opt = opt.withDefaults()
 	freq := 1 / clockPeriod
 	wireCap := sta.WireCapPerMicron * r.WirelengthUM
-	bufCap := float64(r.Buffers) * nodeCapMaster(opt)
+	bufCap := float64(r.Buffers) * bufInCap(opt)
 	var energy float64
 	for pi := range opt.BufMaster.Pins {
 		mp := &opt.BufMaster.Pins[pi]
@@ -264,14 +348,4 @@ func (r *Result) EstimatePower(opt Options, clockPeriod, vdd float64) {
 	}
 	// Activity 2 toggles/cycle on every clock node.
 	r.Power = (0.5*(wireCap+bufCap)*vdd*vdd)*2*freq + float64(r.Buffers)*energy*2*freq
-}
-
-func nodeCapMaster(opt Options) float64 {
-	for pi := range opt.BufMaster.Pins {
-		mp := &opt.BufMaster.Pins[pi]
-		if mp.Dir == netlist.DirInput {
-			return mp.Cap
-		}
-	}
-	return 1e-15
 }

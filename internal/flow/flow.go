@@ -535,10 +535,10 @@ func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result,
 		if !n.Clock {
 			continue
 		}
-		copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2")}
+		copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2"), SkipArrivalMap: true}
 		cres := cts.Synthesize(d, n, copt)
-		if len(cres.Arrivals) > 0 {
-			an.SetClockArrivals(cres.Arrivals)
+		if len(cres.ArrivalList) > 0 {
+			an.SetClockArrivalList(cres.ArrivalList)
 			cres.EstimatePower(copt, cons.ClockPeriod, power.DefaultVdd)
 			clockPower += cres.Power
 			res.ClockWL += cres.WirelengthUM

@@ -6,6 +6,7 @@
 package liberty
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -162,16 +163,18 @@ func ParseWith(r io.Reader, o Options) (*netlist.Library, []*scan.ParseError, er
 	if file == "" {
 		file = "liberty"
 	}
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, nil, scan.Errorf(file, 0, "", "read: %v", err)
-	}
 	b := &builder{file: file, strict: !o.Lenient}
 	if o.Lenient {
 		b.warns = &scan.Warnings{}
 	}
-	p := &parser{toks: tokenize(string(data)), file: file}
+	p := &parser{lx: newLexer(r), file: file}
 	g, err := p.parseGroup(0)
+	// A mid-file read failure surfaces to the parser as plain token
+	// exhaustion; report the I/O error rather than a bogus EOF diagnosis (or,
+	// worse, accept a statement-style truncation of the library group).
+	if lerr := p.lx.err; lerr != nil {
+		return nil, b.warns.List(), scan.Errorf(file, p.lx.line, "", "read: %v", lerr)
+	}
 	if err != nil {
 		return nil, b.warns.List(), err
 	}
@@ -436,86 +439,166 @@ type tok struct {
 	line int
 }
 
+// lexer streams tokens straight off the reader: a multi-MB liberty file is
+// parsed without ever holding the raw bytes or a whole-file token slice, so
+// peak memory tracks the library being built, not the file size. The empty
+// token text marks exhaustion — EOF, or a read failure left sticky in err.
+type lexer struct {
+	br   *bufio.Reader
+	line int
+	last int    // line of the last real token; exhaustion reports here
+	err  error  // sticky non-EOF read error
+	buf  []byte // scratch for multi-byte tokens
+}
+
+func newLexer(r io.Reader) *lexer {
+	return &lexer{br: bufio.NewReaderSize(r, 64<<10), line: 1}
+}
+
+func (lx *lexer) readByte() (byte, bool) {
+	if lx.err != nil {
+		return 0, false
+	}
+	c, err := lx.br.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			lx.err = err
+		}
+		return 0, false
+	}
+	return c, true
+}
+
+func (lx *lexer) next() tok {
+	t := lx.scanToken()
+	if t.text != "" {
+		lx.last = t.line
+	}
+	return t
+}
+
+func (lx *lexer) scanToken() tok {
+	for {
+		c, ok := lx.readByte()
+		if !ok {
+			return tok{"", lx.last}
+		}
+		switch {
+		case c == '\n':
+			lx.line++
+		case c == ' ' || c == '\t' || c == '\r':
+		case c == '\\': // line continuation
+		case c == '/':
+			d, ok := lx.readByte()
+			if !ok {
+				return lx.word(c)
+			}
+			if d != '*' {
+				lx.br.UnreadByte()
+				return lx.word(c)
+			}
+			prev := byte(0)
+			for {
+				c, ok := lx.readByte()
+				if !ok {
+					return tok{"", lx.last}
+				}
+				if c == '\n' {
+					lx.line++
+				}
+				if prev == '*' && c == '/' {
+					break
+				}
+				prev = c
+			}
+		case c == '(' || c == ')' || c == '{' || c == '}' || c == ';' || c == ':' || c == ',':
+			return tok{string(c), lx.line}
+		case c == '"': // quotes kept in the token; unterminated runs to EOF
+			ln := lx.line
+			lx.buf = append(lx.buf[:0], c)
+			for {
+				c, ok := lx.readByte()
+				if !ok {
+					break
+				}
+				if c == '\n' {
+					lx.line++
+				}
+				lx.buf = append(lx.buf, c)
+				if c == '"' {
+					break
+				}
+			}
+			return tok{string(lx.buf), ln}
+		default:
+			return lx.word(c)
+		}
+	}
+}
+
+// word accumulates an ordinary token starting with c, up to the next
+// whitespace, punctuation, continuation or quote byte (left unread).
+func (lx *lexer) word(c byte) tok {
+	ln := lx.line
+	lx.buf = append(lx.buf[:0], c)
+	for {
+		c, ok := lx.readByte()
+		if !ok {
+			break
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+			c == '(' || c == ')' || c == '{' || c == '}' || c == ';' || c == ':' || c == ',' ||
+			c == '\\' || c == '"' {
+			lx.br.UnreadByte()
+			break
+		}
+		lx.buf = append(lx.buf, c)
+	}
+	return tok{string(lx.buf), ln}
+}
+
+// parser pulls tokens from the lexer through a two-slot lookahead buffer:
+// slot 0 is the next token, and unread pushes the most recently consumed
+// token back in front (parseGroup rewinds one token to re-parse "name (" as
+// a sub-group after the attribute lookahead).
 type parser struct {
-	toks []tok
-	pos  int
+	lx   *lexer
+	pend [2]tok
+	npnd int
+	prev tok // most recently consumed, for unread
 	file string
 }
 
-func tokenize(s string) []tok {
-	var toks []tok
-	line := 1
-	i := 0
-	for i < len(s) {
-		c := s[i]
-		switch {
-		case c == '\n':
-			line++
-			i++
-		case c == ' ' || c == '\t' || c == '\r':
-			i++
-		case c == '\\': // line continuation
-			i++
-		case c == '/' && i+1 < len(s) && s[i+1] == '*':
-			i += 2
-			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
-				if s[i] == '\n' {
-					line++
-				}
-				i++
-			}
-			i += 2
-		case strings.ContainsRune("(){};:,", rune(c)):
-			toks = append(toks, tok{string(c), line})
-			i++
-		case c == '"':
-			j := i + 1
-			for j < len(s) && s[j] != '"' {
-				if s[j] == '\n' {
-					line++
-				}
-				j++
-			}
-			if j >= len(s) { // unterminated string: take to EOF
-				toks = append(toks, tok{s[i:], line})
-				i = len(s)
-			} else {
-				toks = append(toks, tok{s[i : j+1], line})
-				i = j + 1
-			}
-		default:
-			j := i
-			for j < len(s) && !strings.ContainsRune(" \t\r\n(){};:,\\\"", rune(s[j])) {
-				j++
-			}
-			toks = append(toks, tok{s[i:j], line})
-			i = j
-		}
+func (p *parser) peekTok() tok {
+	if p.npnd == 0 {
+		p.pend[0] = p.lx.next()
+		p.npnd = 1
 	}
-	return toks
+	return p.pend[0]
 }
 
-func (p *parser) peek() string {
-	if p.pos < len(p.toks) {
-		return p.toks[p.pos].text
-	}
-	return ""
-}
+func (p *parser) peek() string { return p.peekTok().text }
 
 func (p *parser) line() int {
-	if p.pos < len(p.toks) {
-		return p.toks[p.pos].line
+	t := p.peekTok()
+	if t.text == "" {
+		return p.lx.last
 	}
-	if len(p.toks) > 0 {
-		return p.toks[len(p.toks)-1].line
-	}
-	return 0
+	return t.line
 }
 
 func (p *parser) next() string {
-	t := p.peek()
-	p.pos++
-	return t
+	t := p.peekTok()
+	p.pend[0] = p.pend[1]
+	p.npnd--
+	p.prev = t
+	return t.text
+}
+
+func (p *parser) unread() {
+	p.pend[1] = p.pend[0]
+	p.pend[0] = p.prev
+	p.npnd++
 }
 
 // parseGroup parses name ( args ) { body }.
@@ -570,7 +653,7 @@ func (p *parser) parseGroup(depth int) (*group, error) {
 			g.attrs[name] = attrVal{s: strings.TrimSpace(val.String()), line: nameLine}
 		case "(":
 			// Sub-group or complex attribute: rewind and parse as group.
-			p.pos--
+			p.unread()
 			sub, err := p.parseGroup(depth + 1)
 			if err != nil {
 				return nil, err

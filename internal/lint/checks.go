@@ -63,13 +63,14 @@ func isFloat(t types.Type) bool {
 var mapOrderCritical = map[string]bool{
 	"sta": true, "cluster": true, "place": true,
 	"hypergraph": true, "netlist": true, "flow": true, "designs": true,
+	"route": true, "cts": true,
 }
 
 var mapOrderCheck = &Check{
 	Name: "maporder",
 	Doc: "for-range over a map whose body accumulates floats, appends, or dispatches to internal/par " +
-		"in a determinism-critical package (sta, cluster, place, hypergraph, netlist, flow, designs); " +
-		"collect keys, sort, then iterate the sorted slice",
+		"in a determinism-critical package (sta, cluster, place, hypergraph, netlist, flow, designs, " +
+		"route, cts); collect keys, sort, then iterate the sorted slice",
 	Run: runMapOrder,
 }
 
@@ -390,14 +391,14 @@ func runErrDrop(p *Package, report func(pos token.Pos, format string, args ...an
 // O(log n) times and copies O(n) memory for no reason.
 var preallocPkgs = map[string]bool{
 	"netlist": true, "hypergraph": true, "cluster": true,
-	"place": true, "designs": true,
+	"place": true, "designs": true, "route": true, "cts": true,
 }
 
 var preallocCheck = &Check{
 	Name: "prealloc",
 	Doc: "append inside a loop into a slice declared nil or empty (var s []T " +
 		"or s := []T{}) in a hot-path package (netlist, hypergraph, cluster, " +
-		"place, designs); pre-size with make(..., 0, n). A slice later " +
+		"place, designs, route, cts); pre-size with make(..., 0, n). A slice later " +
 		"reassigned from make, a slicing expression (s = buf[:0] reuse), or " +
 		"any other non-append source is treated as sized and not flagged.",
 	Run: runPrealloc,

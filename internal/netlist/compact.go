@@ -36,6 +36,14 @@ type Compact struct {
 	PinInst  []int32
 	PinDX    []float64
 	PinDY    []float64
+	// PinMP[k] is the master-pin index of pin k within its instance's master
+	// (Master.PinIndex), or -1 for port pins and unknown instance pins.
+	PinMP []int32
+
+	// NetDrv[n] is the pin slot (index into PinInst) of net n's driver under
+	// Design.Driver's rule — first instance pin whose master pin is an output,
+	// else first pin naming an input port — or -1 for undriven nets.
+	NetDrv []int32
 
 	// Instance -> distinct incident nets CSR.
 	InstStart []int32
@@ -90,22 +98,40 @@ func buildCompact(d *Design, gen uint64) *Compact {
 	c.PinInst = make([]int32, 0, nPins)
 	c.PinDX = make([]float64, 0, nPins)
 	c.PinDY = make([]float64, 0, nPins)
+	c.PinMP = make([]int32, 0, nPins)
+	c.NetDrv = make([]int32, len(d.Nets))
 	for ni, n := range d.Nets {
 		c.NetStart[ni] = int32(len(c.PinInst))
+		drvSlot := int32(-1)      // first output instance pin
+		portDrvSlot := int32(-1)  // first input-port pin (fallback)
 		for _, p := range n.Pins {
 			var id int32
+			var mpIdx int32 = -1
 			var dx, dy float64
+			slot := int32(len(c.PinInst))
 			if p.IsPort() {
 				if pi := d.PortIndex(p.Pin); pi >= 0 {
 					id = -1 - int32(pi)
+					if portDrvSlot < 0 && d.Ports[pi].Dir == DirInput {
+						portDrvSlot = slot
+					}
 				} else {
 					id = CompactNoPort
 				}
 			} else {
 				id = int32(p.Inst)
 				m := d.Insts[p.Inst].Master
-				if mp := m.Pin(p.Pin); mp != nil && (mp.OffsetX != 0 || mp.OffsetY != 0) {
-					dx, dy = mp.OffsetX, mp.OffsetY
+				if i := m.PinIndex(p.Pin); i >= 0 {
+					mpIdx = int32(i)
+					mp := &m.Pins[i]
+					if mp.OffsetX != 0 || mp.OffsetY != 0 {
+						dx, dy = mp.OffsetX, mp.OffsetY
+					} else {
+						dx, dy = m.Width/2, m.Height/2
+					}
+					if drvSlot < 0 && mp.Dir == DirOutput {
+						drvSlot = slot
+					}
 				} else {
 					dx, dy = m.Width/2, m.Height/2
 				}
@@ -113,6 +139,12 @@ func buildCompact(d *Design, gen uint64) *Compact {
 			c.PinInst = append(c.PinInst, id)
 			c.PinDX = append(c.PinDX, dx)
 			c.PinDY = append(c.PinDY, dy)
+			c.PinMP = append(c.PinMP, mpIdx)
+		}
+		if drvSlot >= 0 {
+			c.NetDrv[ni] = drvSlot
+		} else {
+			c.NetDrv[ni] = portDrvSlot
 		}
 	}
 	c.NetStart[len(d.Nets)] = int32(len(c.PinInst))

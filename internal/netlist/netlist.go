@@ -159,6 +159,16 @@ func (m *Master) Pin(name string) *MasterPin {
 	return nil
 }
 
+// PinIndex returns the index of the named pin in Pins, or -1. Flat consumers
+// (the compact STA graph) key per-instance pin arrays by this index instead
+// of hashing pin-name strings.
+func (m *Master) PinIndex(name string) int {
+	if i, ok := m.pinIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
 // Area returns the footprint area of the master.
 func (m *Master) Area() float64 { return m.Width * m.Height }
 

@@ -59,6 +59,10 @@ func (p *placer) coarseInit() {
 	if len(d.Insts) <= 2*k {
 		return
 	}
+	// The warm start clusters on its own, with its own target: the
+	// preconditioner's shared hierarchy (precond.go) coarsens ~20x per
+	// level, so its stored levels land far from the k this model needs and
+	// the granularity mismatch measurably hurts the interpolated start.
 	hv := d.ToHypergraph()
 	cres := cluster.MultilevelFC(hv.H, cluster.Options{
 		TargetClusters: k,
@@ -164,6 +168,7 @@ func (p *placer) coarseInit() {
 		Seed:          p.opt.Seed,
 		Workers:       p.opt.Workers,
 		CoarseInit:    -1,
+		noStall:       true,
 	})
 	p.cgIters += cres2.CGIterations
 

@@ -23,6 +23,7 @@ import (
 
 	"ppaclust/internal/netlist"
 	"ppaclust/internal/par"
+	"ppaclust/internal/sortx"
 )
 
 // Options configures a placement run.
@@ -69,12 +70,25 @@ type Options struct {
 	// exact sequential path. All parallel paths reduce in fixed order, so the
 	// placement is bit-identical for every worker count.
 	Workers int
+	// Precond selects the CG preconditioner: 0 = auto (multilevel
+	// aggregation over the MultilevelFC cluster hierarchy in the large
+	// no-warm-start band, Jacobi otherwise — the multigrid warm start and
+	// the aggregation ladder are alternative cures for the same smooth
+	// modes and do not stack profitably), 1 = force the aggregation
+	// preconditioner, -1 = force plain Jacobi. See precond.go.
+	Precond int
 	// CoarseInit controls the cluster-hierarchy (multigrid-style) warm
 	// start for from-scratch placement: 0 = auto (on for large designs),
 	// 1 = force on, -1 = force off. The warm start coarse-places the
 	// MultilevelFC cluster hierarchy, interpolates positions down to the
 	// cells, and then refines — deterministic for every worker count.
 	CoarseInit int
+	// noStall disables the overflow-stagnation stop. Only the coarse
+	// warm-start recursion sets it: the coarse model's huge cluster-cells
+	// floor its quantized overflow immediately, yet the later rounds keep
+	// improving the positions the fine problem interpolates from, and the
+	// coarse solve is too cheap for early exit to matter.
+	noStall bool
 }
 
 func (o Options) withDefaults(d *netlist.Design) Options {
@@ -116,6 +130,19 @@ func (o Options) withDefaults(d *netlist.Design) Options {
 // spreading, so squeezing the last digits out of an intermediate solve buys
 // nothing — this cuts iterations sharply once warm starts get good.
 const cgRelTol = 1e-5
+
+// Overflow stagnation cut. The density grid quantizes overflow: with n x n
+// bins over nCells cells (n ~ sqrt(nCells/4), clamped to [4,128]), a small
+// design's overflow floor can sit well above OverflowStop — at 10k cells the
+// 52x52 grid floors near 0.196 and the OverflowStop=0.12 exit never fires,
+// so the loop used to burn all 24 rounds grinding an already-converged
+// placement. Instead, once past the mandatory two rounds, stop after the
+// overflow has failed to beat its best value by more than
+// overflowStallRelImprove for overflowStallRounds consecutive rounds.
+const (
+	overflowStallRelImprove = 0.01
+	overflowStallRounds     = 3
+)
 
 // Result reports the outcome of a placement run.
 type Result struct {
@@ -169,12 +196,15 @@ type placer struct {
 
 	// solver and spreading scratch, allocated once per run
 	cgX, cgAx, cgR, cgD []float64
-	byX, byY, partBuf   []int32  // bisection orderings + partition scratch
-	radKey, radKeyTmp   []uint64 // radix-sort keys (ping-pong)
-	radVal              []int32  // radix-sort value scratch
-	radHist             []int32  // radix-sort bucket histogram
-	sideLo              []bool   // bisection membership marks
+	cgZ                 []float64 // preconditioned residual (aggregation path)
+	pre                 *aggPre   // multilevel preconditioner, nil = Jacobi
+	hierAssigns         [][]int   // MultilevelFC per-level labels (shared by
+	hierCounts          []int     // the preconditioner and coarse-init)
+	byX, byY, partBuf   []int32      // bisection orderings + partition scratch
+	sorter              sortx.Sorter // shared radix-sort scratch
+	sideLo              []bool       // bisection membership marks
 	cgIters             int
+	iter                int // current outer round (for the precond dispatch)
 
 	netActs [][]springAction // per-net spring actions (parallel assembly)
 	binIdx  []int32          // per-cell bin index (parallel density pass)
@@ -209,13 +239,18 @@ func Global(d *netlist.Design, opt Options) Result {
 		return Result{HPWL: d.HPWL()}
 	}
 	p.initPositions()
+	p.setupAggregates()
 	if p.useCoarseInit() {
 		p.coarseInit()
 	}
+	p.hierAssigns, p.hierCounts = nil, nil // raw level maps no longer needed
 
 	iter := 0
 	overflow := 1.0
+	best := math.Inf(1)
+	stall := 0
 	for ; iter < opt.Iterations; iter++ {
+		p.iter = iter
 		if opt.RegionIterations > 0 && iter == opt.RegionIterations {
 			p.opt.Regions = nil // constraints removed after the guided phase
 		}
@@ -227,6 +262,21 @@ func Global(d *netlist.Design, opt Options) Result {
 		if overflow < opt.OverflowStop && iter >= 2 {
 			iter++
 			break
+		}
+		// Overflow has a floor set by the bin quantization (see DESIGN.md):
+		// a small design on a coarse grid can sit above OverflowStop forever.
+		// Stop once overflow fails to improve on its best by >1% for three
+		// consecutive rounds — pure function of the overflow sequence, so the
+		// cut is bit-identical across worker counts.
+		if overflow < best*(1-overflowStallRelImprove) {
+			best = overflow
+			stall = 0
+		} else if iter >= 2 && !opt.noStall {
+			stall++
+			if stall >= overflowStallRounds {
+				iter++
+				break
+			}
 		}
 	}
 	p.writeBack()
@@ -276,10 +326,6 @@ func (p *placer) collect() {
 	p.byY = make([]int32, n)
 	p.partBuf = make([]int32, n)
 	p.sideLo = make([]bool, n)
-	p.radKey = make([]uint64, n)
-	p.radKeyTmp = make([]uint64, n)
-	p.radVal = make([]int32, n)
-	p.radHist = make([]int32, radBuckets)
 	p.bins = newBinGrid(p.core, n, p.opt.TargetDensity)
 	// Fixed macro area reduces bin capacity.
 	for _, inst := range d.Insts {
@@ -535,6 +581,9 @@ func (p *placer) addSpring(vi, vj int, ci, cj float64, w float64) {
 // warm-started solves (coarse-init refinement, incremental mode) exit after
 // a handful of iterations.
 func (p *placer) cg(xAxis bool) []float64 {
+	if p.pre != nil && p.iter >= aggFirstRound {
+		return p.cgAgg(xAxis)
+	}
 	n := len(p.movable)
 	x := p.cgX
 	if xAxis {
@@ -732,72 +781,12 @@ func (p *placer) computeSpreadTargets() float64 {
 	return of
 }
 
-// Radix-sort digit width: 16-bit digits, four LSD passes over uint64 keys.
-const (
-	radDigitBits = 16
-	radBuckets   = 1 << radDigitBits
-)
-
-// sortableBits maps a float64 to a uint64 whose unsigned order matches the
-// float order: negatives have all bits flipped, positives get the sign bit
-// set. Negative zero maps to the positive-zero key so the two compare equal,
-// exactly as float comparison treats them. Placement coordinates are finite,
-// so NaN handling is not needed.
-func sortableBits(f float64) uint64 {
-	b := math.Float64bits(f)
-	if b>>63 != 0 {
-		if b == 1<<63 {
-			return 1 << 63
-		}
-		return ^b
-	}
-	return b | 1<<63
-}
-
-// sortByCoord fills ord with 0..n-1 and sorts it by coord with a stable LSD
-// radix sort on the sortableBits key image. Stability over the ascending
-// fill resolves ties by index, the strict total order the bisection
-// recursion depends on. Passes whose 16-bit digit is constant across all
-// keys are skipped after counting — common for placements confined to the
-// core, where high exponent bits barely vary. Purely sequential and
-// comparator-free, so it costs O(n) per pass and is trivially deterministic.
+// sortByCoord fills ord with 0..n-1 and sorts it by coord with the shared
+// stable LSD radix sort (sortx.Sorter). Stability over the ascending fill
+// resolves ties by index, the strict total order the bisection recursion
+// depends on; see internal/sortx for the determinism argument.
 func (p *placer) sortByCoord(ord []int32, coord []float64) {
-	n := len(ord)
-	srcK, dstK := p.radKey[:n], p.radKeyTmp[:n]
-	srcV, dstV := ord, p.radVal[:n]
-	for i := 0; i < n; i++ {
-		srcV[i] = int32(i)
-		srcK[i] = sortableBits(coord[i])
-	}
-	hist := p.radHist
-	for pass := 0; pass < 64/radDigitBits; pass++ {
-		shift := uint(pass * radDigitBits)
-		clear(hist)
-		for i := 0; i < n; i++ {
-			hist[(srcK[i]>>shift)&(radBuckets-1)]++
-		}
-		if hist[(srcK[0]>>shift)&(radBuckets-1)] == int32(n) {
-			continue
-		}
-		sum := int32(0)
-		for d := 0; d < radBuckets; d++ {
-			c := hist[d]
-			hist[d] = sum
-			sum += c
-		}
-		for i := 0; i < n; i++ {
-			d := (srcK[i] >> shift) & (radBuckets - 1)
-			j := hist[d]
-			hist[d] = j + 1
-			dstK[j] = srcK[i]
-			dstV[j] = srcV[i]
-		}
-		srcK, dstK = dstK, srcK
-		srcV, dstV = dstV, srcV
-	}
-	if &srcV[0] != &ord[0] {
-		copy(ord, srcV)
-	}
+	p.sorter.IndexByFloat64(ord, coord)
 }
 
 // bisect recursively splits the cell set between the two halves of r in

@@ -1,0 +1,705 @@
+package place
+
+import (
+	"ppaclust/internal/cluster"
+)
+
+// Multilevel aggregation preconditioner for the axis solves.
+//
+// Jacobi handles the locally stiff part of the B2B operator but is blind to
+// its smooth, global error modes — exactly the modes a quadratic placement
+// system is full of, since it is a graph Laplacian plus a (initially weak)
+// anchor diagonal. Those modes are what pin the early solves at the CG
+// iteration cap. The cure is the standard smoothed-aggregation AMG one: a
+// ladder of coarse spaces. We reuse the MultilevelFC cluster hierarchy as
+// that ladder (the paper's clustering is connectivity-driven, so its levels
+// are exactly the nested strongly-coupled groups an AMG aggregation pass
+// would form), smooth each piecewise-constant prolongation one damped-Jacobi
+// step, Galerkin-coarsen level by level, and apply one symmetric V(2,2)
+// cycle per CG iteration: forward Gauss-Seidel pre-smoothing, coarse-grid
+// correction, backward Gauss-Seidel post-smoothing, with A_c = Pᵀ A P,
+// P = (I − ω D⁻¹ A) P₀ and ω = 2/3, bottoming out in a dense LDLᵀ solve at
+// the coarsest level. The forward/backward sweeps are adjoint pairs, so the
+// cycle is a symmetric positive definite operator and plain CG applies
+// unchanged.
+//
+// The V-cycle path handles rounds ≥ aggFirstRound only: the anchor-free
+// round-0 solve deliberately stays on truncated Jacobi-CG (see
+// aggFirstRound for why exactness there hurts placement quality).
+//
+// The aggregate ladder is computed once per placement run (connectivity does
+// not change); the prolongations and Galerkin operators are rebuilt per axis
+// solve, since the B2B weights are position-dependent. Setup is O(nnz) per
+// level with small constants, and every stage — clustering, triple products,
+// the cycle, the direct coarsest solve — is sequential or fixed-order, so
+// placements remain bit-identical across worker counts.
+
+const (
+	// aggMinCells is the movable-cell count at which auto mode switches from
+	// Jacobi to the aggregation preconditioner. Below it the flat solves are
+	// cheap and the clustering pass would dominate. The auto band is
+	// bounded above too: once the multigrid warm start engages
+	// (coarseInitMinCells) auto mode stays on Jacobi — see setupAggregates.
+	aggMinCells = 20000
+	// aggTargetCoarsest is the MultilevelFC target when the hierarchy is
+	// built: coarsening runs until roughly this many clusters remain, and
+	// every intermediate level is kept for the ladder.
+	aggTargetCoarsest = 64
+	// aggLevelFactor is the minimum fine/coarse size ratio between adjacent
+	// ladder levels; FC levels that shrink less are skipped.
+	aggLevelFactor = 3
+	// aggMaxDirect bounds the coarsest level solved with dense LDLᵀ. A
+	// hierarchy whose coarsest level stalls above it falls back to Jacobi.
+	aggMaxDirect = 1024
+	// aggOmega is the damped-Jacobi weight used for both the prolongation
+	// smoothing and the V-cycle smoothers.
+	aggOmega = 2.0 / 3.0
+	// aggSmoothDegCap bounds the row degree up to which prolongation rows
+	// are smoothed. Heavier rows (boundary pins of huge nets) keep their
+	// piecewise-constant row, which caps the Galerkin fill-in.
+	aggSmoothDegCap = 48
+	// aggRelTol is the aggregation path's relative stopping tolerance,
+	// deliberately looser than cgRelTol. The two floors are not comparable:
+	// each path measures the residual in its own M⁻¹ norm, and the V-cycle
+	// norm tracks the A-norm within a small constant while the Jacobi norm
+	// is far weaker. Measured at 100k cells, 50 Jacobi iterations leave the
+	// hard mid-flow solves at a residual reduction of only ~1.5e-1 in the
+	// weak norm; a V-cycle-preconditioned solve to aggRelTol lands well past
+	// that in the strong norm — a tighter terminal state for a fraction of
+	// the iterations. The placer interleaves solves with spreading, so the
+	// extra digits Jacobi never reached buy nothing.
+	aggRelTol = 5e-2
+	// aggSmoothSweeps is the number of Gauss-Seidel sweeps per pre/post
+	// smoothing leg — a V(2,2) cycle. The second sweep costs one extra
+	// O(nnz) pass but measurably cuts outer CG iterations.
+	aggSmoothSweeps = 2
+	// aggFirstRound is the first outer round the V-cycle path handles;
+	// earlier rounds run plain truncated Jacobi-CG. The round-0 system has
+	// no spreading anchors, and the cap-truncated Jacobi solve leaves the
+	// seeded jitter in the smooth modes — spatial diversity the bisection
+	// spreading unfolds into a good placement. An exact round-0 solve
+	// collapses cells onto the quadratic optimum's clump and the flow
+	// recovers measurably worse wirelength, so exactness there is a bug,
+	// not a feature.
+	aggFirstRound = 1
+)
+
+// csrMat is one level's operator with the diagonal split out. Off-diagonal
+// values carry their true (negative) sign, unlike the placer's offEnt.
+type csrMat struct {
+	n       int
+	diag    []float64
+	invDiag []float64
+	start   []int32
+	col     []int32
+	val     []float64
+}
+
+func (m *csrMat) mul(v, out []float64) {
+	for i := 0; i < m.n; i++ {
+		s := m.diag[i] * v[i]
+		for k := m.start[i]; k < m.start[i+1]; k++ {
+			s += m.val[k] * v[m.col[k]]
+		}
+		out[i] = s
+	}
+}
+
+// gsForward runs one forward Gauss-Seidel sweep on z from a zero start
+// (caller zeroes z); gsBackward runs the adjoint backward sweep in place.
+// The pair keeps the V-cycle symmetric. Both are strictly sequential in a
+// fixed row order, hence bit-identical everywhere.
+func (m *csrMat) gsForward(r, z []float64) {
+	for i := 0; i < m.n; i++ {
+		s := r[i]
+		for k := m.start[i]; k < m.start[i+1]; k++ {
+			s -= m.val[k] * z[m.col[k]]
+		}
+		z[i] = s * m.invDiag[i]
+	}
+}
+
+func (m *csrMat) gsBackward(r, z []float64) {
+	for i := m.n - 1; i >= 0; i-- {
+		s := r[i]
+		for k := m.start[i]; k < m.start[i+1]; k++ {
+			s -= m.val[k] * z[m.col[k]]
+		}
+		z[i] = s * m.invDiag[i]
+	}
+}
+
+// csrP is a prolongation (rows = finer level, cols = coarser) or its
+// transpose.
+type csrP struct {
+	start []int32
+	col   []int32
+	val   []float64
+}
+
+// aggPre holds the preconditioner ladder and scratch.
+type aggPre struct {
+	nlev int       // number of prolongation levels
+	nsz  []int     // level sizes: nsz[0] = fine n .. nsz[nlev] = coarsest
+	agg  [][]int32 // agg[k]: level-k index -> level-(k+1) aggregate
+
+	A []csrMat // A[0..nlev]; A[0] mirrors the placer system
+	P []csrP   // P[k] prolongates level k+1 to level k
+	T []csrP   // P[k]ᵀ (finer rows ascending within each coarse row)
+	w csrP     // W = A·P build scratch, reused across levels
+
+	chol  []float64 // dense LDLᵀ factor at the coarsest level (lower part)
+	cholD []float64 // pivots (0 = skipped null row)
+
+	rv, zv, tv [][]float64 // per-level cycle vectors
+
+	// Dense accumulation scratch (first-touch ordered flush), sized nsz[1].
+	accVal  []float64
+	accUsed []bool
+	touched []int32
+}
+
+// add accumulates v into the dense scratch, recording first touches.
+func (a *aggPre) add(c int32, v float64) {
+	if !a.accUsed[c] {
+		a.accUsed[c] = true
+		a.touched = append(a.touched, c)
+	}
+	a.accVal[c] += v
+}
+
+// flushRow drains the dense scratch into a CSR row in first-touch order.
+func (a *aggPre) flushRow(cols *[]int32, vals *[]float64) {
+	for _, t := range a.touched {
+		*cols = append(*cols, t)
+		*vals = append(*vals, a.accVal[t])
+		a.accUsed[t] = false
+		a.accVal[t] = 0
+	}
+	a.touched = a.touched[:0]
+}
+
+// buildHierarchy runs MultilevelFC once, keeping every level, for both the
+// preconditioner ladder and the coarse-init warm start. At most once per run.
+func (p *placer) buildHierarchy() {
+	if p.hierAssigns != nil {
+		return
+	}
+	hv := p.d.ToHypergraph()
+	cres := cluster.MultilevelFC(hv.H, cluster.Options{
+		TargetClusters:   aggTargetCoarsest,
+		Seed:             p.opt.Seed,
+		Workers:          p.opt.Workers,
+		KeepLevelAssigns: true,
+	})
+	p.hierAssigns = cres.LevelAssigns
+	p.hierCounts = cres.LevelCounts
+	if p.hierAssigns == nil {
+		p.hierAssigns = [][]int{} // mark built even when FC yields no levels
+	}
+}
+
+// hierPickAssign returns the stored hierarchy level whose cluster count is
+// closest to k, for reuse by the coarse-init warm start. Nil when the
+// hierarchy is empty.
+func (p *placer) hierPickAssign(k int) []int {
+	best := -1
+	for j, c := range p.hierCounts {
+		if best < 0 || abs(c-k) < abs(p.hierCounts[best]-k) {
+			best = j
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return p.hierAssigns[best]
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// setupAggregates selects the ladder levels over the movable variables and
+// allocates the per-level solve state. Any degenerate outcome leaves p.pre
+// nil, falling back to plain Jacobi.
+func (p *placer) setupAggregates() {
+	if p.opt.Precond < 0 {
+		return
+	}
+	n := len(p.movable)
+	if p.opt.Precond == 0 && (n < aggMinCells || p.useCoarseInit()) {
+		// The multigrid warm start and this preconditioner are alternative
+		// cures for the same smooth-mode stiffness: once the warm start
+		// engages (auto at >=200k movable cells) the fine solves start from
+		// interpolated coarse positions and truncated Jacobi-CG's implicit
+		// trust region preserves them — layering near-exact V-cycle solves
+		// on top measured slightly worse HPWL (+1.8% at 1M) for twice the
+		// setup cost. Auto mode therefore uses aggregation only in the
+		// no-warm-start band; Precond=1 still forces it anywhere.
+		return
+	}
+	p.buildHierarchy()
+	if len(p.hierAssigns) == 0 {
+		return
+	}
+
+	// Compress each stored level to labels over movable variables and keep a
+	// subsequence that coarsens by at least aggLevelFactor per step. The
+	// coarsest stored level always terminates the ladder so the direct solve
+	// stays small even when the last FC passes shrink slowly.
+	labs := make([][]int32, 0, len(p.hierAssigns))
+	counts := make([]int, 0, len(p.hierAssigns))
+	prev := n
+	for li, assign := range p.hierAssigns {
+		lab, cnt := p.compressOverMovable(assign)
+		last := li == len(p.hierAssigns)-1
+		if cnt*aggLevelFactor <= prev || (last && (len(counts) == 0 || cnt < counts[len(counts)-1])) {
+			labs = append(labs, lab)
+			counts = append(counts, cnt)
+			prev = cnt
+		}
+	}
+	if len(counts) == 0 || counts[0] >= n || counts[len(counts)-1] > aggMaxDirect {
+		return
+	}
+
+	a := &aggPre{nlev: len(counts)}
+	a.nsz = make([]int, a.nlev+1)
+	a.nsz[0] = n
+	copy(a.nsz[1:], counts)
+	// Chain the per-variable labels into level-to-level aggregate maps. The
+	// FC hierarchy nests, so the map from level k to level k+1 is well
+	// defined: every level-k cluster has a single level-(k+1) parent.
+	a.agg = make([][]int32, a.nlev)
+	a.agg[0] = labs[0]
+	for k := 1; k < a.nlev; k++ {
+		m := make([]int32, counts[k-1])
+		for vi := 0; vi < n; vi++ {
+			m[labs[k-1][vi]] = labs[k][vi]
+		}
+		a.agg[k] = m
+	}
+
+	a.A = make([]csrMat, a.nlev+1)
+	a.P = make([]csrP, a.nlev)
+	a.T = make([]csrP, a.nlev)
+	a.rv = make([][]float64, a.nlev+1)
+	a.zv = make([][]float64, a.nlev+1)
+	a.tv = make([][]float64, a.nlev+1)
+	for k := 0; k <= a.nlev; k++ {
+		sz := a.nsz[k]
+		a.A[k].start = make([]int32, sz+1)
+		if k > 0 {
+			a.A[k].diag = make([]float64, sz)
+			a.A[k].invDiag = make([]float64, sz)
+			a.rv[k] = make([]float64, sz)
+			a.zv[k] = make([]float64, sz)
+		}
+		a.tv[k] = make([]float64, sz)
+		if k < a.nlev {
+			a.P[k].start = make([]int32, sz+1)
+			a.T[k].start = make([]int32, a.nsz[k+1]+1)
+		}
+	}
+	a.w.start = make([]int32, n+1)
+	nc1 := a.nsz[1]
+	a.accVal = make([]float64, nc1)
+	a.accUsed = make([]bool, nc1)
+	a.touched = make([]int32, 0, nc1)
+	ncL := a.nsz[a.nlev]
+	a.chol = make([]float64, ncL*ncL)
+	a.cholD = make([]float64, ncL)
+	p.pre = a
+	p.cgZ = make([]float64, n)
+}
+
+// compressOverMovable remaps one hierarchy level's labels to dense ids over
+// the movable variables, in first-touch (ascending variable) order.
+func (p *placer) compressOverMovable(assign []int) ([]int32, int) {
+	remap := make(map[int]int32, 1024)
+	lab := make([]int32, len(p.movable))
+	for vi, id := range p.movable {
+		c := assign[id]
+		r, ok := remap[c]
+		if !ok {
+			r = int32(len(remap))
+			remap[c] = r
+		}
+		lab[vi] = r
+	}
+	return lab, len(remap)
+}
+
+// aggBuild rebuilds the ladder from the freshly assembled system: mirrors
+// the fine operator, builds smoothed P and the Galerkin product level by
+// level, and factors the coarsest operator. Called once per axis solve,
+// after flattenSystem.
+func (p *placer) aggBuild() {
+	a := p.pre
+	n := len(p.movable)
+
+	// Level 0 mirrors the placer CSR (off-diagonals negated to true values).
+	a0 := &a.A[0]
+	a0.n = n
+	a0.diag = p.diag
+	a0.invDiag = p.invDiag
+	copy(a0.start, p.offStart)
+	nnz := len(p.offEnt)
+	if cap(a0.col) < nnz {
+		a0.col = make([]int32, nnz)
+		a0.val = make([]float64, nnz)
+	}
+	a0.col = a0.col[:nnz]
+	a0.val = a0.val[:nnz]
+	for k, e := range p.offEnt {
+		a0.col[k] = e.col
+		a0.val[k] = -e.w
+	}
+
+	for k := 0; k < a.nlev; k++ {
+		a.buildP(k)
+		a.galerkin(k)
+	}
+	a.factorCoarsest()
+}
+
+// buildP constructs the smoothed prolongation P[k] = (I − ωD⁻¹A)P₀ and its
+// transpose. Row i of P is (1−ω) at its own aggregate plus −ω·D⁻¹ᵢᵢ·a_ij at
+// each neighbor's aggregate, collapsed by aggregate in first-touch order.
+// Heavy or zero-diagonal rows keep the unit P₀ row.
+func (a *aggPre) buildP(k int) {
+	A := &a.A[k]
+	P := &a.P[k]
+	agg := a.agg[k]
+	P.col = P.col[:0]
+	P.val = P.val[:0]
+	P.start[0] = 0
+	for i := 0; i < A.n; i++ {
+		lo, hi := A.start[i], A.start[i+1]
+		if int(hi-lo) > aggSmoothDegCap || A.invDiag[i] == 0 {
+			P.col = append(P.col, agg[i])
+			P.val = append(P.val, 1)
+		} else {
+			a.add(agg[i], 1-aggOmega)
+			s := -aggOmega * A.invDiag[i]
+			for e := lo; e < hi; e++ {
+				a.add(agg[A.col[e]], s*A.val[e])
+			}
+			a.flushRow(&P.col, &P.val)
+		}
+		P.start[i+1] = int32(len(P.col))
+	}
+
+	// Transpose by counting sort; finer rows stay ascending per aggregate.
+	T := &a.T[k]
+	nc := a.nsz[k+1]
+	for c := 0; c <= nc; c++ {
+		T.start[c] = 0
+	}
+	for _, c := range P.col {
+		T.start[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		T.start[c+1] += T.start[c]
+	}
+	nnzP := len(P.col)
+	if cap(T.col) < nnzP {
+		T.col = make([]int32, nnzP)
+		T.val = make([]float64, nnzP)
+	}
+	T.col = T.col[:nnzP]
+	T.val = T.val[:nnzP]
+	fill := a.rv[k+1] // borrow a coarse vector as the fill cursor
+	for c := 0; c < nc; c++ {
+		fill[c] = float64(T.start[c])
+	}
+	for i := 0; i < A.n; i++ {
+		for e := P.start[i]; e < P.start[i+1]; e++ {
+			c := P.col[e]
+			at := int(fill[c])
+			T.col[at] = int32(i)
+			T.val[at] = P.val[e]
+			fill[c]++
+		}
+	}
+}
+
+// galerkin computes A[k+1] = P[k]ᵀ A[k] P[k], one coarse row at a time:
+// row c is Σ_{i : P[i][c]≠0} P[i][c]·W_i with W = A·P, accumulated in
+// ascending fine-row order — a fixed association, hence deterministic.
+func (a *aggPre) galerkin(k int) {
+	A := &a.A[k]
+	P := &a.P[k]
+	T := &a.T[k]
+	W := &a.w
+	W.col = W.col[:0]
+	W.val = W.val[:0]
+	W.start[0] = 0
+	for i := 0; i < A.n; i++ {
+		di := A.diag[i]
+		for e := P.start[i]; e < P.start[i+1]; e++ {
+			a.add(P.col[e], di*P.val[e])
+		}
+		for e := A.start[i]; e < A.start[i+1]; e++ {
+			j := A.col[e]
+			v := A.val[e]
+			for q := P.start[j]; q < P.start[j+1]; q++ {
+				a.add(P.col[q], v*P.val[q])
+			}
+		}
+		a.flushRow(&W.col, &W.val)
+		W.start[i+1] = int32(len(W.col))
+	}
+
+	C := &a.A[k+1]
+	nc := a.nsz[k+1]
+	C.n = nc
+	C.col = C.col[:0]
+	C.val = C.val[:0]
+	C.start[0] = 0
+	for c := 0; c < nc; c++ {
+		for t := T.start[c]; t < T.start[c+1]; t++ {
+			i := T.col[t]
+			pv := T.val[t]
+			for e := W.start[i]; e < W.start[i+1]; e++ {
+				a.add(W.col[e], pv*W.val[e])
+			}
+		}
+		// Split the diagonal out of the flush.
+		d := 0.0
+		if a.accUsed[int32(c)] {
+			d = a.accVal[int32(c)]
+		}
+		for _, t := range a.touched {
+			if t == int32(c) {
+				continue
+			}
+			C.col = append(C.col, t)
+			C.val = append(C.val, a.accVal[t])
+		}
+		for _, t := range a.touched {
+			a.accUsed[t] = false
+			a.accVal[t] = 0
+		}
+		a.touched = a.touched[:0]
+		C.diag[c] = d
+		C.start[c+1] = int32(len(C.col))
+		if d > 0 {
+			C.invDiag[c] = 1 / d
+		} else {
+			C.invDiag[c] = 0
+		}
+	}
+}
+
+// factorCoarsest builds a dense LDLᵀ factorization of the coarsest operator.
+// Non-positive pivots (null modes of an unanchored system) are skipped,
+// which projects them out of the correction — the cycle stays PSD.
+func (a *aggPre) factorCoarsest() {
+	A := &a.A[a.nlev]
+	n := A.n
+	L := a.chol
+	for i := range L {
+		L[i] = 0
+	}
+	maxd := 0.0
+	for i := 0; i < n; i++ {
+		L[i*n+i] = A.diag[i]
+		if A.diag[i] > maxd {
+			maxd = A.diag[i]
+		}
+		for e := A.start[i]; e < A.start[i+1]; e++ {
+			L[i*n+int(A.col[e])] = A.val[e]
+		}
+	}
+	eps := 1e-12 * maxd
+	for j := 0; j < n; j++ {
+		d := L[j*n+j]
+		for k := 0; k < j; k++ {
+			if a.cholD[k] != 0 {
+				ljk := L[j*n+k]
+				d -= ljk * ljk / a.cholD[k]
+			}
+		}
+		if d <= eps {
+			a.cholD[j] = 0
+			continue
+		}
+		a.cholD[j] = d
+		for i := j + 1; i < n; i++ {
+			s := L[i*n+j]
+			for k := 0; k < j; k++ {
+				if a.cholD[k] != 0 {
+					s -= L[i*n+k] * L[j*n+k] / a.cholD[k]
+				}
+			}
+			L[i*n+j] = s
+		}
+	}
+}
+
+// coarseSolve solves the coarsest system with the LDLᵀ factor. Skipped
+// (null) pivots zero the corresponding solution entry.
+func (a *aggPre) coarseSolve(r, z []float64) {
+	A := &a.A[a.nlev]
+	n := A.n
+	L := a.chol
+	copy(z, r)
+	for j := 0; j < n; j++ {
+		if a.cholD[j] == 0 {
+			z[j] = 0
+			continue
+		}
+		zj := z[j] / a.cholD[j]
+		for i := j + 1; i < n; i++ {
+			z[i] -= L[i*n+j] * zj
+		}
+	}
+	for j := 0; j < n; j++ {
+		if a.cholD[j] != 0 {
+			z[j] /= a.cholD[j]
+		}
+	}
+	for j := n - 1; j >= 0; j-- {
+		if a.cholD[j] == 0 {
+			continue
+		}
+		var s float64
+		for i := j + 1; i < n; i++ {
+			s += L[i*n+j] * z[i]
+		}
+		z[j] -= s / a.cholD[j]
+	}
+}
+
+// vcycle applies one symmetric V(1,1) cycle at level k: forward
+// Gauss-Seidel pre-smooth from zero, coarse-grid correction, backward
+// Gauss-Seidel post-smooth (the adjoint pair keeps M symmetric). Level-0
+// residual matvecs go through the placer's parallel (fixed-order,
+// bit-identical) kernel; smoothing and coarser levels run sequentially.
+func (p *placer) vcycle(k int, r, z []float64) {
+	a := p.pre
+	if k == a.nlev {
+		a.coarseSolve(r, z)
+		return
+	}
+	A := &a.A[k]
+	n := A.n
+	t := a.tv[k]
+	for i := 0; i < n; i++ {
+		z[i] = 0
+	}
+	for s := 0; s < aggSmoothSweeps; s++ {
+		A.gsForward(r, z)
+	}
+	p.levelMul(k, z, t)
+	for i := 0; i < n; i++ {
+		t[i] = r[i] - t[i]
+	}
+	// Restrict the residual and recurse.
+	P := &a.P[k]
+	rc := a.rv[k+1]
+	for c := range rc {
+		rc[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		ti := t[i]
+		for e := P.start[i]; e < P.start[i+1]; e++ {
+			rc[P.col[e]] += P.val[e] * ti
+		}
+	}
+	p.vcycle(k+1, rc, a.zv[k+1])
+	zc := a.zv[k+1]
+	for i := 0; i < n; i++ {
+		s := z[i]
+		for e := P.start[i]; e < P.start[i+1]; e++ {
+			s += P.val[e] * zc[P.col[e]]
+		}
+		z[i] = s
+	}
+	for s := 0; s < aggSmoothSweeps; s++ {
+		A.gsBackward(r, z)
+	}
+}
+
+// levelMul multiplies by the level-k operator. Level 0 uses the shared
+// parallel matvec (same values, same fixed accumulation order).
+func (p *placer) levelMul(k int, v, out []float64) {
+	if k == 0 {
+		p.mulA(v, out)
+		return
+	}
+	p.pre.A[k].mul(v, out)
+}
+
+// aggApply computes z = M⁻¹ r with one V-cycle.
+func (p *placer) aggApply(r, z []float64) {
+	p.vcycle(0, r, z)
+}
+
+// cgAgg is the aggregation-preconditioned variant of cg. The Jacobi path in
+// cg is kept verbatim so runs without the preconditioner stay bit-identical
+// to previous releases.
+func (p *placer) cgAgg(xAxis bool) []float64 {
+	n := len(p.movable)
+	x := p.cgX
+	if xAxis {
+		copy(x, p.x)
+	} else {
+		copy(x, p.y)
+	}
+	p.aggBuild()
+	ax, r, d, z := p.cgAx, p.cgR, p.cgD, p.cgZ
+	rhs := p.rhs
+
+	p.mulA(x, ax)
+	for i := 0; i < n; i++ {
+		r[i] = rhs[i] - ax[i]
+	}
+	p.aggApply(r, z)
+	var rz float64
+	for i := 0; i < n; i++ {
+		rz += r[i] * z[i]
+	}
+	copy(d, z)
+
+	// Relative floor on the initial residual in the M⁻¹ norm. The Jacobi
+	// path floors on the right-hand-side norm, but under proximal damping
+	// the rhs carries the (large) μ·diag·x_prev shift while the residual is
+	// exactly the undamped one, so the initial residual is the meaningful
+	// reference (see aggRelTol for why the constant differs from cgRelTol).
+	floor := aggRelTol * aggRelTol * rz
+	if floor < 1e-20 {
+		floor = 1e-20
+	}
+
+	it := 0
+	for ; it < p.opt.CGIterations && rz > floor; it++ {
+		dad := p.mulADot(d, ax)
+		if dad <= 0 {
+			break
+		}
+		alpha := rz / dad
+		for i := 0; i < n; i++ {
+			x[i] += alpha * d[i]
+			r[i] -= alpha * ax[i]
+		}
+		p.aggApply(r, z)
+		var rzNew float64
+		for i := 0; i < n; i++ {
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			d[i] = z[i] + beta*d[i]
+		}
+	}
+	p.cgIters += it
+	return x
+}
+
+

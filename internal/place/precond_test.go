@@ -1,0 +1,69 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"ppaclust/internal/designs"
+)
+
+func arianeSpec(t *testing.T) designs.Spec {
+	t.Helper()
+	spec, ok := designs.Named("ariane")
+	if !ok {
+		t.Fatal("ariane spec missing")
+	}
+	return spec
+}
+
+// TestAggPrecondMatchesJacobiQuality forces the aggregation preconditioner
+// on a mid-size benchmark and checks the tentpole contract: it must spend
+// strictly fewer CG iterations than Jacobi while landing on an
+// equal-quality placement. Both solvers stop at the same cgRelTol relative
+// criterion, so the placements agree to well under a percent of HPWL even
+// though the CG trajectories differ.
+func TestAggPrecondMatchesJacobiQuality(t *testing.T) {
+	jac := designs.Generate(arianeSpec(t))
+	agg := designs.Generate(arianeSpec(t))
+
+	rJac := Global(jac.Design, Options{Seed: 5, Precond: -1})
+	rAgg := Global(agg.Design, Options{Seed: 5, Precond: 1})
+
+	if rAgg.CGIterations >= rJac.CGIterations {
+		t.Fatalf("aggregation preconditioner did not cut CG iterations: agg=%d jacobi=%d",
+			rAgg.CGIterations, rJac.CGIterations)
+	}
+	rel := math.Abs(rAgg.HPWL-rJac.HPWL) / rJac.HPWL
+	if rel > 0.02 {
+		t.Fatalf("HPWL diverged: agg=%.4g jacobi=%.4g (rel %.4f)", rAgg.HPWL, rJac.HPWL, rel)
+	}
+	t.Logf("CG iterations: jacobi=%d agg=%d (%.2fx); HPWL rel diff %.5f",
+		rJac.CGIterations, rAgg.CGIterations,
+		float64(rJac.CGIterations)/float64(rAgg.CGIterations), rel)
+}
+
+// TestAggPrecondDeterministicAcrossWorkers checks the preconditioned solve
+// keeps the placer's bit-identity contract: every worker count must produce
+// exactly the same positions.
+func TestAggPrecondDeterministicAcrossWorkers(t *testing.T) {
+	b1 := designs.Generate(arianeSpec(t))
+	b4 := designs.Generate(arianeSpec(t))
+
+	r1 := Global(b1.Design, Options{Seed: 5, Precond: 1, Workers: 1})
+	r4 := Global(b4.Design, Options{Seed: 5, Precond: 1, Workers: 4})
+
+	if math.Float64bits(r1.HPWL) != math.Float64bits(r4.HPWL) {
+		t.Fatalf("HPWL differs across workers: %v vs %v", r1.HPWL, r4.HPWL)
+	}
+	if r1.CGIterations != r4.CGIterations {
+		t.Fatalf("CG iterations differ across workers: %d vs %d", r1.CGIterations, r4.CGIterations)
+	}
+	for i := range b1.Design.Insts {
+		a, b := b1.Design.Insts[i], b4.Design.Insts[i]
+		if math.Float64bits(a.X) != math.Float64bits(b.X) ||
+			math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+			t.Fatalf("inst %d position differs across workers: (%v,%v) vs (%v,%v)",
+				i, a.X, a.Y, b.X, b.Y)
+		}
+	}
+}

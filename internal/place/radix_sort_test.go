@@ -6,9 +6,11 @@ import (
 	"testing"
 )
 
-// TestSortByCoordMatchesComparator checks the stable radix sort against the
-// comparator sort it replaced, including negative coordinates, duplicates
-// (index tie-break), and signed zeros.
+// TestSortByCoordMatchesComparator checks the placer's ordering primitive
+// (now backed by the shared sortx radix sort) against the comparator sort it
+// replaced, including negative coordinates, duplicates (index tie-break),
+// and signed zeros. The full algorithmic suite lives in internal/sortx; this
+// guards the placer-side wiring.
 func TestSortByCoordMatchesComparator(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{4, 5, 17, 100, 1000} {
@@ -19,12 +21,7 @@ func TestSortByCoordMatchesComparator(t *testing.T) {
 				coord[i] = -coord[i] // exercises -0.0 == +0.0 ties too
 			}
 		}
-		p := &placer{
-			radKey:    make([]uint64, n),
-			radKeyTmp: make([]uint64, n),
-			radVal:    make([]int32, n),
-			radHist:   make([]int32, radBuckets),
-		}
+		p := &placer{}
 		got := make([]int32, n)
 		p.sortByCoord(got, coord)
 		want := make([]int32, n)

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/sortx"
 )
 
 // Options configures global routing.
@@ -283,22 +284,62 @@ func (s segRoute) bends() int {
 }
 
 // GlobalRoute routes all nets of a placed design.
+//
+// Net pins are resolved through the netlist.Compact CSR view against
+// positions gathered once up front, and deduplicated to GCells with a
+// generation-stamped flat bin grid — no per-net map allocation and no
+// pointer-API walks, which is what keeps the congestion estimate tractable at
+// millions of nets. The routing itself (pattern routing + rip-up/reroute) is
+// unchanged and processes nets in ID order, so results are deterministic.
 func GlobalRoute(d *netlist.Design, opt Options) *Result {
 	opt = opt.withDefaults(d)
 	g := NewGrid(d.Core, opt.GCellSize, opt.CapacityH, opt.CapacityV)
+	c := d.Compact()
+
+	instX := make([]float64, len(d.Insts))
+	instY := make([]float64, len(d.Insts))
+	for i, inst := range d.Insts {
+		instX[i] = inst.X
+		instY[i] = inst.Y
+	}
+	// stamp[cell] holds the last net that claimed the GCell; comparing
+	// against the current net ID dedups without clearing between nets.
+	stamp := make([]int32, g.nx*g.ny)
+	for i := range stamp {
+		stamp[i] = -1
+	}
 
 	type netRoute struct {
 		netID int
 		segs  []segRoute
 	}
-	var routes []netRoute
-	for _, net := range d.Nets {
-		cells := netCells(d, net, g)
+	routes := make([]netRoute, 0, len(d.Nets))
+	var cells [][2]int // reused across nets
+	for ni := range d.Nets {
+		cells = cells[:0]
+		for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+			var x, y float64
+			if id := c.PinInst[k]; id >= 0 {
+				x, y = instX[id]+c.PinDX[k], instY[id]+c.PinDY[k]
+			} else if id == netlist.CompactNoPort {
+				x, y = 0, 0
+			} else {
+				p := d.Ports[-1-id]
+				x, y = p.X, p.Y
+			}
+			i, j := g.Cell(x, y)
+			idx := j*g.nx + i
+			if stamp[idx] == int32(ni) {
+				continue
+			}
+			stamp[idx] = int32(ni)
+			cells = append(cells, [2]int{i, j})
+		}
 		if len(cells) < 2 {
 			continue
 		}
 		segs := steinerDecompose(cells, opt.MaxNetPins)
-		nr := netRoute{netID: net.ID}
+		nr := netRoute{netID: ni}
 		for _, sp := range segs {
 			s := g.route(sp[0], sp[1], sp[2], sp[3])
 			g.apply(s, 1)
@@ -387,37 +428,26 @@ func (g *Grid) segmentOverflowed(s segRoute) bool {
 	return over
 }
 
-// netCells maps a net's pins to deduplicated GCell coordinates.
-func netCells(d *netlist.Design, net *netlist.Net, g *Grid) [][2]int {
-	seen := map[[2]int]bool{}
-	var out [][2]int
-	for _, pr := range net.Pins {
-		x, y := d.PinPos(pr)
-		i, j := g.Cell(x, y)
-		key := [2]int{i, j}
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, key)
-		}
-	}
-	return out
-}
-
 // decompose splits a multi-terminal net into 2-pin segments: Prim MST for
 // small nets, a sorted chain for huge nets (e.g. the unsynthesized clock).
+// The chain ordering uses the shared radix sort on (i+j, i) keys — unique per
+// deduplicated GCell, so the chain matches the comparator sort it replaced.
 func decompose(cells [][2]int, maxPins int) [][4]int {
 	if len(cells) > maxPins {
-		sort.Slice(cells, func(a, b int) bool {
-			sa := cells[a][0] + cells[a][1]
-			sb := cells[b][0] + cells[b][1]
-			if sa != sb {
-				return sa < sb
-			}
-			return cells[a][0] < cells[b][0]
-		})
-		out := make([][4]int, 0, len(cells)-1)
-		for i := 1; i < len(cells); i++ {
-			out = append(out, [4]int{cells[i-1][0], cells[i-1][1], cells[i][0], cells[i][1]})
+		n := len(cells)
+		keys := make([]uint64, n)
+		for i, c := range cells {
+			keys[i] = uint64(uint32(c[0]+c[1]))<<32 | uint64(uint32(c[0]))
+		}
+		ord := make([]int32, n)
+		var s sortx.Sorter
+		s.IndexByKeys(ord, keys)
+		out := make([][4]int, 0, n-1)
+		prev := cells[ord[0]]
+		for i := 1; i < n; i++ {
+			cur := cells[ord[i]]
+			out = append(out, [4]int{prev[0], prev[1], cur[0], cur[1]})
+			prev = cur
 		}
 		return out
 	}

@@ -1,0 +1,116 @@
+// Package sortx provides the stable LSD radix-sort infrastructure shared by
+// the scale-critical packages (place's bisection orderings, route's huge-net
+// chain decomposition, cts's sink clustering). Sorting indices rather than
+// records keeps the payloads in place; stability over an ascending-index fill
+// gives every sort the strict (key, index) total order the deterministic
+// divide-and-conquer passes depend on. Purely sequential and comparator-free:
+// O(n) per 16-bit digit pass, identical output on every run.
+package sortx
+
+import "math"
+
+// Digit width: 16-bit digits, four LSD passes over uint64 keys.
+const (
+	digitBits = 16
+	buckets   = 1 << digitBits
+)
+
+// Bits maps a float64 to a uint64 whose unsigned order matches the float
+// order: negatives have all bits flipped, positives get the sign bit set.
+// Negative zero maps to the positive-zero key so the two compare equal,
+// exactly as float comparison treats them. Callers sort finite geometry, so
+// NaN handling is not needed.
+func Bits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		if b == 1<<63 {
+			return 1 << 63
+		}
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// Sorter owns the reusable key/value/histogram scratch of the radix sort.
+// The zero value is ready to use; buffers grow on demand and are retained
+// across calls. A Sorter is not safe for concurrent use.
+type Sorter struct {
+	key, keyTmp []uint64
+	val         []int32
+	hist        []int32
+}
+
+func (s *Sorter) grow(n int) {
+	if cap(s.key) < n {
+		s.key = make([]uint64, n)
+		s.keyTmp = make([]uint64, n)
+		s.val = make([]int32, n)
+	}
+	if s.hist == nil {
+		s.hist = make([]int32, buckets)
+	}
+}
+
+// IndexByFloat64 fills ord with 0..len(ord)-1 and stable-sorts it ascending
+// by coord[i] (ties resolve by index). len(coord) must be >= len(ord).
+func (s *Sorter) IndexByFloat64(ord []int32, coord []float64) {
+	n := len(ord)
+	s.grow(n)
+	for i := 0; i < n; i++ {
+		s.key[i] = Bits(coord[i])
+	}
+	s.run(ord, n)
+}
+
+// IndexByKeys fills ord with 0..len(ord)-1 and stable-sorts it ascending by
+// keys[i] (ties resolve by index). len(keys) must be >= len(ord).
+func (s *Sorter) IndexByKeys(ord []int32, keys []uint64) {
+	n := len(ord)
+	s.grow(n)
+	copy(s.key[:n], keys[:n])
+	s.run(ord, n)
+}
+
+// run executes the LSD passes over s.key, leaving the sorted index
+// permutation in ord. Passes whose 16-bit digit is constant across all keys
+// are skipped after counting — common for geometry confined to one core
+// region, where high exponent bits barely vary.
+func (s *Sorter) run(ord []int32, n int) {
+	if n == 0 {
+		return
+	}
+	srcK, dstK := s.key[:n], s.keyTmp[:n]
+	srcV, dstV := ord, s.val[:n]
+	for i := 0; i < n; i++ {
+		srcV[i] = int32(i)
+	}
+	hist := s.hist
+	for pass := 0; pass < 64/digitBits; pass++ {
+		shift := uint(pass * digitBits)
+		clear(hist)
+		for i := 0; i < n; i++ {
+			hist[(srcK[i]>>shift)&(buckets-1)]++
+		}
+		if hist[(srcK[0]>>shift)&(buckets-1)] == int32(n) {
+			continue
+		}
+		sum := int32(0)
+		for d := 0; d < buckets; d++ {
+			c := hist[d]
+			hist[d] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := (srcK[i] >> shift) & (buckets - 1)
+			j := hist[d]
+			hist[d] = j + 1
+			dstK[j] = srcK[i]
+			dstV[j] = srcV[i]
+		}
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcV[0] != &ord[0] {
+		copy(ord, srcV)
+	}
+}

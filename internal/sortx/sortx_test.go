@@ -1,0 +1,85 @@
+package sortx
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestIndexByFloat64MatchesComparator checks the stable radix sort against a
+// comparator sort, including negative coordinates, duplicates (index
+// tie-break), and signed zeros.
+func TestIndexByFloat64MatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sorter
+	for _, n := range []int{0, 1, 4, 5, 17, 100, 1000} {
+		coord := make([]float64, n)
+		for i := range coord {
+			coord[i] = float64(rng.Intn(20)) * 1.5
+			if rng.Intn(4) == 0 {
+				coord[i] = -coord[i] // exercises -0.0 == +0.0 ties too
+			}
+		}
+		got := make([]int32, n)
+		s.IndexByFloat64(got, coord)
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = int32(i)
+		}
+		slices.SortFunc(want, func(a, b int32) int {
+			switch {
+			case coord[a] < coord[b]:
+				return -1
+			case coord[a] > coord[b]:
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d got %v want %v", n, got, want)
+		}
+	}
+}
+
+// TestIndexByKeysStable checks integer-key sorting with explicit duplicate
+// runs: equal keys must keep ascending index order.
+func TestIndexByKeysStable(t *testing.T) {
+	keys := []uint64{5, 2, 5, 2, 1, 5, 1 << 40, 0, 1 << 40}
+	ord := make([]int32, len(keys))
+	var s Sorter
+	s.IndexByKeys(ord, keys)
+	want := []int32{7, 4, 1, 3, 0, 2, 5, 6, 8}
+	if !slices.Equal(ord, want) {
+		t.Fatalf("got %v want %v", ord, want)
+	}
+}
+
+// TestBitsOrder checks the float64 -> uint64 monotone key map.
+func TestBitsOrder(t *testing.T) {
+	vals := []float64{-1e30, -2.5, -1, -0.0, 0.0, 1e-300, 1, 2.5, 1e30}
+	for i := 1; i < len(vals); i++ {
+		a, b := Bits(vals[i-1]), Bits(vals[i])
+		if vals[i-1] == vals[i] {
+			if a != b {
+				t.Fatalf("equal floats %v %v map to different keys", vals[i-1], vals[i])
+			}
+		} else if a >= b {
+			t.Fatalf("order violated at %v < %v: %x >= %x", vals[i-1], vals[i], a, b)
+		}
+	}
+}
+
+func BenchmarkIndexByFloat64_100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100_000
+	coord := make([]float64, n)
+	for i := range coord {
+		coord[i] = rng.Float64() * 1e4
+	}
+	ord := make([]int32, n)
+	var s Sorter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IndexByFloat64(ord, coord)
+	}
+}

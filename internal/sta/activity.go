@@ -37,61 +37,72 @@ func (a *Analyzer) runActivity() {
 	if a.actDone {
 		return
 	}
-	act := make([]float64, len(a.nodes))
+	n := a.numNodes()
+	act := make([]float64, n)
+	// Per-master activity factors, memoized by master identity so the hot
+	// loop never re-parses cell-name prefixes.
+	factors := make(map[*netlist.Master]float64)
+	factorOf := func(m *netlist.Master) float64 {
+		if f, ok := factors[m]; ok {
+			return f
+		}
+		f := activityFactor(m.Name)
+		factors[m] = f
+		return f
+	}
 	// Seeds.
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.kind != nodePortIn {
+	for i := 0; i < n; i++ {
+		if a.kind[i] != nodePortIn {
 			continue
 		}
-		if nd.isClk {
+		if a.isClk[i] {
 			act[i] = clockActivity
 		} else {
 			act[i] = a.cons.InputActivity
 		}
 	}
 	for _, v := range a.topo {
-		nd := &a.nodes[v]
 		// Registers resample: Q toggles at most once per cycle, at half the
 		// data rate (lag-one model), regardless of clock activity.
-		for _, ei := range a.in[v] {
-			e := &a.edges[ei]
-			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
-				// Find the D-pin activity of the same instance.
-				dAct := a.cons.InputActivity
-				inst := a.d.Insts[nd.id.Inst]
-				for pi := range inst.Master.Pins {
-					mp := &inst.Master.Pins[pi]
-					if mp.Dir != netlist.DirInput || mp.Clock {
-						continue
-					}
-					if n, ok := a.nodeOf[PinID{nd.id.Inst, mp.Name}]; ok {
-						dAct = act[n]
-						break
-					}
-				}
-				q := 0.5 * dAct
-				if q > 1 {
-					q = 1
-				}
-				if q > act[v] {
-					act[v] = q
-				}
-			}
-		}
-		for _, ei := range a.out[v] {
-			e := &a.edges[ei]
-			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+		for _, ei := range a.inEdge[a.inOff[v]:a.inOff[v+1]] {
+			if !a.isLaunchEdge(ei) {
 				continue
 			}
-			to := e.to
+			// Find the D-pin activity of the same instance.
+			dAct := a.cons.InputActivity
+			inst := a.nodeInst[v]
+			m := a.d.Insts[inst].Master
+			base := a.instPinStart[inst]
+			for pi := range m.Pins {
+				mp := &m.Pins[pi]
+				if mp.Dir != netlist.DirInput || mp.Clock {
+					continue
+				}
+				if dn := a.pinNode[base+int32(pi)]; dn >= 0 {
+					dAct = act[dn]
+					break
+				}
+			}
+			q := 0.5 * dAct
+			if q > 1 {
+				q = 1
+			}
+			if q > act[v] {
+				act[v] = q
+			}
+		}
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+			if a.isLaunchEdge(ei) {
+				continue
+			}
+			to := a.eTo[ei]
 			var propagated float64
-			if e.isCell {
-				propagated = act[v] * activityFactor(a.d.Insts[a.nodes[to].id.Inst].Master.Name)
+			if a.eArc[ei] != nil {
+				propagated = act[v] * factorOf(a.d.Insts[a.nodeInst[to]].Master)
 			} else {
 				propagated = act[v] // wires carry activity unchanged
 			}
-			if a.nodes[to].isClk {
+			if a.isClk[to] {
 				propagated = clockActivity
 			}
 			if propagated > act[to] {
@@ -108,17 +119,16 @@ func (a *Analyzer) runActivity() {
 // report the clock activity.
 func (a *Analyzer) NetActivity() []float64 {
 	a.runActivity()
+	c := a.d.Compact()
 	out := make([]float64, len(a.d.Nets))
-	for _, net := range a.d.Nets {
-		drv, ok := a.d.Driver(net)
-		if !ok {
-			continue
-		}
-		if n, found := a.nodeOf[PinID{drv.Inst, drv.Pin}]; found {
-			out[net.ID] = a.activity[n]
+	for ni, net := range a.d.Nets {
+		if kd := c.NetDrv[ni]; kd >= 0 {
+			if dn := a.nodeOfSlot(c, kd); dn >= 0 {
+				out[ni] = a.activity[dn]
+			}
 		}
 		if net.Clock {
-			out[net.ID] = clockActivity
+			out[ni] = clockActivity
 		}
 	}
 	return out
@@ -127,7 +137,7 @@ func (a *Analyzer) NetActivity() []float64 {
 // PinActivity returns the switching activity at one pin (0 if unknown).
 func (a *Analyzer) PinActivity(id PinID) float64 {
 	a.runActivity()
-	if n, ok := a.nodeOf[id]; ok {
+	if n, ok := a.nodeOfPin(id); ok {
 		return a.activity[n]
 	}
 	return 0

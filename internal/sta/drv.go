@@ -27,17 +27,22 @@ const DefaultMaxSlew = 300e-12
 func (a *Analyzer) DRV() DRVReport {
 	a.Run()
 	var rep DRVReport
-	for _, net := range a.d.Nets {
-		drv, ok := a.d.Driver(net)
-		if !ok || drv.IsPort() {
+	c := a.d.Compact()
+	for ni := range a.d.Nets {
+		kd := c.NetDrv[ni]
+		if kd < 0 || c.PinInst[kd] < 0 {
+			continue // undriven or port-driven
+		}
+		mpIdx := c.PinMP[kd]
+		if mpIdx < 0 {
 			continue
 		}
-		mp := a.d.Insts[drv.Inst].Master.Pin(drv.Pin)
-		if mp == nil || mp.MaxCap <= 0 {
+		mp := &a.d.Insts[c.PinInst[kd]].Master.Pins[mpIdx]
+		if mp.MaxCap <= 0 {
 			continue
 		}
 		rep.CheckedDrivers++
-		ratio := a.netLoad[net.ID] / mp.MaxCap
+		ratio := a.netLoad[ni] / mp.MaxCap
 		if ratio > rep.WorstCapRatio {
 			rep.WorstCapRatio = ratio
 		}
@@ -45,15 +50,14 @@ func (a *Analyzer) DRV() DRVReport {
 			rep.MaxCapViolations++
 		}
 	}
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if !nd.hasAT {
+	for i := 0; i < a.numNodes(); i++ {
+		if !a.hasAT[i] {
 			continue
 		}
-		if nd.slew > rep.WorstSlew {
-			rep.WorstSlew = nd.slew
+		if a.slew[i] > rep.WorstSlew {
+			rep.WorstSlew = a.slew[i]
 		}
-		if nd.slew > DefaultMaxSlew {
+		if a.slew[i] > DefaultMaxSlew {
 			rep.MaxSlewViolations++
 		}
 	}

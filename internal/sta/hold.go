@@ -24,17 +24,17 @@ type HoldSummary struct {
 //
 //	slack_hold = AT_min(D) - (clk_arrival + t_hold)
 func (a *Analyzer) HoldTiming() HoldSummary {
-	minAT := make([]float64, len(a.nodes))
-	hasMin := make([]bool, len(a.nodes))
+	n := a.numNodes()
+	minAT := make([]float64, n)
+	hasMin := make([]bool, n)
 	for i := range minAT {
 		minAT[i] = math.Inf(1)
 	}
 	// Seed startpoints: input ports at their input delay, launch clk->Q at
 	// clock arrival + min clk-to-q.
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.kind == nodePortIn {
-			if nd.isClk {
+	for i := 0; i < n; i++ {
+		if a.kind[i] == nodePortIn {
+			if a.isClk[i] {
 				minAT[i] = 0
 			} else {
 				minAT[i] = a.cons.InputDelay
@@ -43,15 +43,14 @@ func (a *Analyzer) HoldTiming() HoldSummary {
 		}
 	}
 	for _, v := range a.topo {
-		nd := &a.nodes[v]
-		for _, ei := range a.in[v] {
-			e := &a.edges[ei]
-			if !e.isCell || e.arc.Kind != netlist.ArcClkToQ {
+		for _, ei := range a.inEdge[a.inOff[v]:a.inOff[v+1]] {
+			if !a.isLaunchEdge(ei) {
 				continue
 			}
+			arc := a.eArc[ei]
 			load := a.loadOf(v)
-			clkAt := a.clockAtInst(nd.id.Inst, e.arc.From)
-			at := clkAt + a.derate.early()*e.arc.Delay.Lookup(a.cons.InputSlew, load)
+			clkAt := a.clockAtNode(a.eFrom[ei])
+			at := clkAt + a.derate.early()*arc.Delay.Lookup(a.cons.InputSlew, load)
 			if at < minAT[v] {
 				minAT[v] = at
 				hasMin[v] = true
@@ -60,42 +59,40 @@ func (a *Analyzer) HoldTiming() HoldSummary {
 		if !hasMin[v] {
 			continue
 		}
-		for _, ei := range a.out[v] {
-			e := &a.edges[ei]
-			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+			if a.isLaunchEdge(ei) {
 				continue
 			}
+			arc := a.eArc[ei]
+			to := a.eTo[ei]
 			var at float64
-			if e.isCell {
-				at = minAT[v] + a.derate.early()*e.arc.Delay.Lookup(a.cons.InputSlew, a.loadOf(e.to))
+			if arc != nil {
+				at = minAT[v] + a.derate.early()*arc.Delay.Lookup(a.cons.InputSlew, a.loadOf(to))
 			} else {
-				sinkCap := a.sinkCap(e.to)
-				at = minAT[v] + a.derate.early()*WireResPerMicron*e.wireLen*(WireCapPerMicron*e.wireLen/2+sinkCap)
+				sinkCap := a.nodeCap[to]
+				at = minAT[v] + a.derate.early()*WireResPerMicron*a.eWire[ei]*(WireCapPerMicron*a.eWire[ei]/2+sinkCap)
 			}
-			if at < minAT[e.to] {
-				minAT[e.to] = at
-				hasMin[e.to] = true
+			if at < minAT[to] {
+				minAT[to] = at
+				hasMin[to] = true
 			}
 		}
 	}
 
 	var sum HoldSummary
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.kind != nodeInput || !nd.endp || !hasMin[i] {
+	for i := 0; i < n; i++ {
+		if a.kind[i] != nodeInput || !a.endp[i] || !hasMin[i] {
 			continue
 		}
-		mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-		if mp == nil {
-			continue
-		}
+		inst := a.nodeInst[i]
+		mp := &a.d.Insts[inst].Master.Pins[a.nodeMP[i]]
 		for ai := range mp.Arcs {
 			arc := &mp.Arcs[ai]
 			if arc.Kind != netlist.ArcHold {
 				continue
 			}
 			hold := arc.Delay.Lookup(a.cons.InputSlew, 0)
-			clkAt := a.clockAtInst(nd.id.Inst, arc.From)
+			clkAt := a.clockAtInst(inst, arc.From)
 			slack := minAT[i] - (clkAt + hold)
 			sum.Endpoints++
 			if slack < 0 {

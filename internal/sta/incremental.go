@@ -44,8 +44,9 @@ import (
 // buffers of the incremental engine.
 type incState struct {
 	built     bool
-	netEdges  [][]int32 // net -> net-arc edge ids
-	netDriver []int32   // net -> driver node, -1 when undriven
+	neOff     []int32 // net -> offset into neEdge (net-arc edge CSR)
+	neEdge    []int32 // net-arc edge ids grouped by net
+	netDriver []int32 // net -> driver node, -1 when undriven
 
 	levelOf []int32 // node -> level of the parallel schedule
 
@@ -60,8 +61,8 @@ type incState struct {
 	lastNodes int // nodes repropagated by the last Update, -1 after a full one
 }
 
-// ensureIncIndex builds (once) the net -> {driver node, net-arc edges} index
-// the dirty-set machinery needs.
+// ensureIncIndex builds (once) the net -> {driver node, net-arc edges} CSR
+// index the dirty-set machinery needs.
 func (a *Analyzer) ensureIncIndex() {
 	if a.inc.built {
 		return
@@ -69,30 +70,45 @@ func (a *Analyzer) ensureIncIndex() {
 	a.inc.built = true
 	a.inc.lastNodes = -1
 	d := a.d
-	a.inc.netEdges = make([][]int32, len(d.Nets))
-	a.inc.netDriver = make([]int32, len(d.Nets))
-	for i := range a.inc.netDriver {
-		a.inc.netDriver[i] = -1
-	}
-	for ei := range a.edges {
-		e := &a.edges[ei]
-		if e.isCell {
+	c := d.Compact()
+	nNets := len(d.Nets)
+	a.inc.neOff = make([]int32, nNets+1)
+	for ei := range a.eFrom {
+		if a.eArc[ei] != nil {
 			continue
 		}
-		if netID := a.nodes[e.from].net; netID >= 0 {
-			a.inc.netEdges[netID] = append(a.inc.netEdges[netID], int32(ei))
+		if netID := a.net[a.eFrom[ei]]; netID >= 0 {
+			a.inc.neOff[netID+1]++
 		}
 	}
-	for _, net := range d.Nets {
-		drv, ok := d.Driver(net)
-		if !ok {
+	for i := 1; i <= nNets; i++ {
+		a.inc.neOff[i] += a.inc.neOff[i-1]
+	}
+	a.inc.neEdge = make([]int32, a.inc.neOff[nNets])
+	fill := append([]int32(nil), a.inc.neOff[:nNets]...)
+	for ei := range a.eFrom {
+		if a.eArc[ei] != nil {
 			continue
 		}
-		if n, found := a.nodeOf[PinID{drv.Inst, drv.Pin}]; found {
-			a.inc.netDriver[net.ID] = int32(n)
+		if netID := a.net[a.eFrom[ei]]; netID >= 0 {
+			a.inc.neEdge[fill[netID]] = int32(ei)
+			fill[netID]++
 		}
 	}
-	a.inc.netDirty = make([]bool, len(d.Nets))
+	a.inc.netDriver = make([]int32, nNets)
+	for ni := 0; ni < nNets; ni++ {
+		if kd := c.NetDrv[ni]; kd >= 0 {
+			a.inc.netDriver[ni] = a.nodeOfSlot(c, kd)
+		} else {
+			a.inc.netDriver[ni] = -1
+		}
+	}
+	a.inc.netDirty = make([]bool, nNets)
+}
+
+// netArcEdges returns the net-arc edge ids of one net.
+func (a *Analyzer) netArcEdges(netID int) []int32 {
+	return a.inc.neEdge[a.inc.neOff[netID]:a.inc.neOff[netID+1]]
 }
 
 // InvalidateNets marks nets whose pin positions (or connectivity-independent
@@ -113,21 +129,22 @@ func (a *Analyzer) InvalidateNets(nets ...int) {
 // after moving a cell.
 func (a *Analyzer) InvalidateInst(id int) {
 	a.ensureIncIndex()
-	for _, n := range a.d.NetsOf(id) {
+	c := a.d.Compact()
+	for _, n := range c.InstNets[c.InstStart[id]:c.InstStart[id+1]] {
 		if a.inc.netDirty[n] {
 			continue
 		}
 		a.inc.netDirty[n] = true
-		a.inc.dirtyNets = append(a.inc.dirtyNets, int32(n))
+		a.inc.dirtyNets = append(a.inc.dirtyNets, n)
 	}
 }
 
 // InvalidatePin marks the net of one pin dirty.
 func (a *Analyzer) InvalidatePin(id PinID) {
 	a.ensureIncIndex()
-	if n, ok := a.nodeOf[id]; ok {
-		if netID := a.nodes[n].net; netID >= 0 {
-			a.InvalidateNets(netID)
+	if n, ok := a.nodeOfPin(id); ok {
+		if netID := a.net[n]; netID >= 0 {
+			a.InvalidateNets(int(netID))
 		}
 	}
 }
@@ -168,9 +185,7 @@ func (a *Analyzer) Update() {
 		a.inc.dirtyAll = true
 	}
 	if a.inc.dirtyAll || !a.timeDone || !a.ensureSched() {
-		for _, net := range a.d.Nets {
-			a.refreshNet(net)
-		}
+		a.refreshAllNets()
 		a.clearDirty()
 		a.inc.lastNodes = -1
 		a.timeDone = false
@@ -188,51 +203,75 @@ func (a *Analyzer) clearDirty() {
 	a.inc.dirtyAll = false
 }
 
+// refreshAllNets refreshes every net's geometry over freshly gathered
+// positions — the full-update path, flat over the compact CSR.
+func (a *Analyzer) refreshAllNets() {
+	a.gatherPositions()
+	c := a.d.Compact()
+	for ni := range a.d.Nets {
+		a.refreshNet(c, ni)
+	}
+}
+
 // refreshNet recomputes one net's load, HPWL and per-sink wire lengths from
-// current pin positions. The pin-cap accumulation mirrors build exactly
+// the gathered pin positions. The pin-cap accumulation mirrors build exactly
 // (same pin order, same skip rules), so a refreshed analyzer is bit-identical
-// to a freshly built one.
-func (a *Analyzer) refreshNet(net *netlist.Net) {
+// to a freshly built one. Callers must gatherPositions first.
+func (a *Analyzer) refreshNet(c *netlist.Compact, ni int) {
 	d := a.d
-	drv, ok := d.Driver(net)
-	if !ok {
+	kd := c.NetDrv[ni]
+	if kd < 0 {
 		return
 	}
+	drvID, drvMP := c.PinInst[kd], c.PinMP[kd]
 	var load float64
-	for _, pr := range net.Pins {
-		if pr == drv {
+	for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+		if c.PinInst[k] == drvID && (drvID < 0 || c.PinMP[k] == drvMP) {
 			continue
 		}
-		if pr.IsPort() {
-			port := d.Port(pr.Pin)
-			if port == nil || port.Dir != netlist.DirOutput {
+		id := c.PinInst[k]
+		if id < 0 {
+			if id == netlist.CompactNoPort {
+				continue
+			}
+			if d.Ports[-1-id].Dir != netlist.DirOutput {
 				continue
 			}
 			load += a.cons.PortCap
 		} else {
-			mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
-			if mp == nil || mp.Dir == netlist.DirOutput {
+			mpIdx := c.PinMP[k]
+			if mpIdx < 0 {
+				continue
+			}
+			mp := &d.Insts[id].Master.Pins[mpIdx]
+			if mp.Dir == netlist.DirOutput {
 				continue
 			}
 			load += mp.Cap
 		}
 	}
 	if a.cons.ZeroWire {
-		a.netLoad[net.ID] = load
-		a.netLen[net.ID] = 0
-		for _, ei := range a.inc.netEdges[net.ID] {
-			a.edges[ei].wireLen = 0
+		a.netLoad[ni] = load
+		a.netLen[ni] = 0
+		for _, ei := range a.netArcEdges(ni) {
+			a.eWire[ei] = 0
 		}
 		return
 	}
-	hp := d.NetHPWL(net)
-	a.netLoad[net.ID] = load + WireCapPerMicron*hp
-	a.netLen[net.ID] = hp
-	dx, dy := d.PinPos(drv)
-	for _, ei := range a.inc.netEdges[net.ID] {
-		e := &a.edges[ei]
-		sx, sy := a.pinPosOf(e.to)
-		e.wireLen = math.Abs(sx-dx) + math.Abs(sy-dy)
+	hp := a.netHPWLGathered(c, ni)
+	a.netLoad[ni] = load + WireCapPerMicron*hp
+	a.netLen[ni] = hp
+	dx, dy := a.posOfSlot(c, kd)
+	for _, ei := range a.netArcEdges(ni) {
+		to := a.eTo[ei]
+		var sx, sy float64
+		if id := a.nodeInst[to]; id >= 0 {
+			sx, sy = a.gInstX[id]+a.nodeDX[to], a.gInstY[id]+a.nodeDY[to]
+		} else {
+			p := d.Ports[-1-id]
+			sx, sy = p.X, p.Y
+		}
+		a.eWire[ei] = math.Abs(sx-dx) + math.Abs(sy-dy)
 	}
 }
 
@@ -241,7 +280,7 @@ func (a *Analyzer) ensureLevels() {
 	if a.inc.levelOf != nil {
 		return
 	}
-	a.inc.levelOf = make([]int32, len(a.nodes))
+	a.inc.levelOf = make([]int32, a.numNodes())
 	for li := 0; li+1 < len(a.sched.levelOff); li++ {
 		for _, v := range a.sched.levelNodes[a.sched.levelOff[li]:a.sched.levelOff[li+1]] {
 			a.inc.levelOf[v] = int32(li)
@@ -251,17 +290,17 @@ func (a *Analyzer) ensureLevels() {
 		a.inc.buckets = make([][]int32, len(a.sched.levelOff)-1)
 	}
 	if a.inc.pend == nil {
-		a.inc.pend = make([]bool, len(a.nodes))
+		a.inc.pend = make([]bool, a.numNodes())
 	}
 }
 
-func (a *Analyzer) enqueue(v int) {
+func (a *Analyzer) enqueue(v int32) {
 	if a.inc.pend[v] {
 		return
 	}
 	a.inc.pend[v] = true
 	l := a.inc.levelOf[v]
-	a.inc.buckets[l] = append(a.inc.buckets[l], int32(v))
+	a.inc.buckets[l] = append(a.inc.buckets[l], v)
 }
 
 // updateIncremental refreshes the dirty nets' geometry and repropagates
@@ -269,23 +308,25 @@ func (a *Analyzer) enqueue(v int) {
 // level schedule exists, timing is propagated, and the dirty set is partial.
 func (a *Analyzer) updateIncremental() {
 	a.ensureLevels()
+	a.gatherPositions()
+	c := a.d.Compact()
 	bwdSeed := a.inc.bwdSeed[:0]
 
 	// Geometry refresh + seeding.
 	for _, netID32 := range a.inc.dirtyNets {
 		netID := int(netID32)
-		a.refreshNet(a.d.Nets[netID])
+		a.refreshNet(c, netID)
 		if drvNode := a.inc.netDriver[netID]; drvNode >= 0 {
-			a.enqueue(int(drvNode))
+			a.enqueue(drvNode)
 			bwdSeed = append(bwdSeed, drvNode)
-			for _, ei := range a.in[int(drvNode)] {
-				if e := &a.edges[ei]; e.isCell && !e.isLaunch() {
-					bwdSeed = append(bwdSeed, int32(e.from))
+			for _, ei := range a.inEdge[a.inOff[drvNode]:a.inOff[drvNode+1]] {
+				if a.eArc[ei] != nil && !a.isLaunchEdge(ei) {
+					bwdSeed = append(bwdSeed, a.eFrom[ei])
 				}
 			}
 		}
-		for _, ei := range a.inc.netEdges[netID] {
-			a.enqueue(a.edges[ei].to)
+		for _, ei := range a.netArcEdges(netID) {
+			a.enqueue(a.eTo[ei])
 		}
 	}
 
@@ -294,33 +335,31 @@ func (a *Analyzer) updateIncremental() {
 	// strictly higher level, so each bucket is complete when reached.
 	for li := 0; li < len(a.inc.buckets); li++ {
 		bucket := a.inc.buckets[li]
-		for _, v32 := range bucket {
-			v := int(v32)
+		for _, v := range bucket {
 			a.inc.pend[v] = false
 			recomputed++
-			nd := &a.nodes[v]
-			oldAT, oldSlew := math.Float64bits(nd.at), math.Float64bits(nd.slew)
-			oldHas := nd.hasAT
-			nd.at = math.Inf(-1)
-			nd.hasAT = false
-			nd.worstIn = -1
-			nd.slew = a.cons.InputSlew
-			if nd.kind == nodePortIn {
-				if nd.isClk {
-					nd.at = 0
+			oldAT, oldSlew := math.Float64bits(a.at[v]), math.Float64bits(a.slew[v])
+			oldHas := a.hasAT[v]
+			a.at[v] = math.Inf(-1)
+			a.hasAT[v] = false
+			a.worstIn[v] = -1
+			a.slew[v] = a.cons.InputSlew
+			if a.kind[v] == nodePortIn {
+				if a.isClk[v] {
+					a.at[v] = 0
 				} else {
-					nd.at = a.cons.InputDelay
+					a.at[v] = a.cons.InputDelay
 				}
-				nd.hasAT = true
+				a.hasAT[v] = true
 			}
 			a.pullArrival(v)
-			slewChanged := math.Float64bits(nd.slew) != oldSlew
+			slewChanged := math.Float64bits(a.slew[v]) != oldSlew
 			if slewChanged {
-				bwdSeed = append(bwdSeed, v32)
+				bwdSeed = append(bwdSeed, v)
 			}
-			if slewChanged || math.Float64bits(nd.at) != oldAT || nd.hasAT != oldHas {
-				for _, ei := range a.out[v] {
-					a.enqueue(a.edges[ei].to)
+			if slewChanged || math.Float64bits(a.at[v]) != oldAT || a.hasAT[v] != oldHas {
+				for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+					a.enqueue(a.eTo[ei])
 				}
 			}
 		}
@@ -329,45 +368,24 @@ func (a *Analyzer) updateIncremental() {
 
 	// Backward cone, descending levels.
 	for _, v := range bwdSeed {
-		a.enqueue(int(v))
+		a.enqueue(v)
 	}
 	for li := len(a.inc.buckets) - 1; li >= 0; li-- {
 		bucket := a.inc.buckets[li]
-		for _, u32 := range bucket {
-			u := int(u32)
+		for _, u := range bucket {
 			a.inc.pend[u] = false
 			recomputed++
-			nd := &a.nodes[u]
-			oldRAT, oldHas := math.Float64bits(nd.rat), nd.hasRAT
-			nd.rat = math.Inf(1)
-			nd.hasRAT = false
-			if nd.endp {
-				switch nd.kind {
-				case nodePortOut:
-					nd.rat = a.cons.ClockPeriod - a.cons.OutputDelay
-					nd.hasRAT = true
-				case nodeInput:
-					mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-					for ai := range mp.Arcs {
-						arc := &mp.Arcs[ai]
-						if arc.Kind != netlist.ArcSetup {
-							continue
-						}
-						setup := arc.Delay.Lookup(nd.slew, 0)
-						captureClk := a.clockAtInst(nd.id.Inst, arc.From)
-						rat := a.cons.ClockPeriod + captureClk - setup
-						if rat < nd.rat {
-							nd.rat = rat
-							nd.hasRAT = true
-						}
-					}
-				}
+			oldRAT, oldHas := math.Float64bits(a.rat[u]), a.hasRAT[u]
+			a.rat[u] = math.Inf(1)
+			a.hasRAT[u] = false
+			if a.endp[u] {
+				a.seedRequired(u, a.cons.ClockPeriod)
 			}
 			a.pullRequired(u)
-			if math.Float64bits(nd.rat) != oldRAT || nd.hasRAT != oldHas {
-				for _, ei := range a.in[u] {
-					if e := &a.edges[ei]; !e.isLaunch() {
-						a.enqueue(e.from)
+			if math.Float64bits(a.rat[u]) != oldRAT || a.hasRAT[u] != oldHas {
+				for _, ei := range a.inEdge[a.inOff[u]:a.inOff[u+1]] {
+					if !a.isLaunchEdge(ei) {
+						a.enqueue(a.eFrom[ei])
 					}
 				}
 			}

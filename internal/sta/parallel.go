@@ -46,10 +46,6 @@ type parSched struct {
 	pullOut    []int32 // out-edge ids in sequential backward relax order
 }
 
-func (e *edge) isLaunch() bool {
-	return e.isCell && e.arc.Kind == netlist.ArcClkToQ
-}
-
 // ParallelScheduled reports whether the timing graph admits the levelized
 // parallel propagation; when false, Run silently uses the sequential passes
 // whatever Workers says. Diagnostic, and used by equivalence tests to prove
@@ -66,7 +62,7 @@ func (a *Analyzer) ensureSched() bool {
 	if a.cyclic {
 		return false
 	}
-	n := len(a.nodes)
+	n := a.numNodes()
 	rank := make([]int32, n)
 	for i, v := range a.topo {
 		rank[v] = int32(i)
@@ -75,8 +71,8 @@ func (a *Analyzer) ensureSched() bool {
 	// Longest-path levels over the full edge set (launch arcs included, so
 	// a launch's clock-pin slew is final before its target level runs).
 	indeg := make([]int32, n)
-	for _, e := range a.edges {
-		indeg[e.to]++
+	for _, t := range a.eTo {
+		indeg[t]++
 	}
 	level := make([]int32, n)
 	queue := make([]int32, 0, n)
@@ -86,14 +82,14 @@ func (a *Analyzer) ensureSched() bool {
 		}
 	}
 	for qi := 0; qi < len(queue); qi++ {
-		v := int(queue[qi])
-		for _, ei := range a.out[v] {
-			t := a.edges[ei].to
+		v := queue[qi]
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+			t := a.eTo[ei]
 			if l := level[v] + 1; l > level[t] {
 				level[t] = l
 			}
 			if indeg[t]--; indeg[t] == 0 {
-				queue = append(queue, int32(t))
+				queue = append(queue, t)
 			}
 		}
 	}
@@ -104,13 +100,13 @@ func (a *Analyzer) ensureSched() bool {
 	// Launch-safety: when a launch arc's clock pin c ranks after its target
 	// v, the sequential pass samples c.slew mid-relaxation unless every
 	// writer of c (its in-edge sources) ranks before v.
-	for ei := range a.edges {
-		e := &a.edges[ei]
-		if !e.isLaunch() || rank[e.from] <= rank[e.to] {
+	for ei := range a.eFrom {
+		if !a.isLaunchEdge(int32(ei)) || rank[a.eFrom[ei]] <= rank[a.eTo[ei]] {
 			continue
 		}
-		for _, ci := range a.in[e.from] {
-			if rank[a.edges[ci].from] > rank[e.to] {
+		from := a.eFrom[ei]
+		for _, ci := range a.inEdge[a.inOff[from]:a.inOff[from+1]] {
+			if rank[a.eFrom[ci]] > rank[a.eTo[ei]] {
 				return false
 			}
 		}
@@ -141,26 +137,26 @@ func (a *Analyzer) ensureSched() bool {
 	// — the order their sources' visits relaxed this node — then launch arcs
 	// in in-list order (they fire at the node's own visit).
 	a.sched.pullInOff = make([]int32, n+1)
-	a.sched.pullIn = make([]int32, 0, len(a.edges))
+	a.sched.pullIn = make([]int32, 0, len(a.eFrom))
 	var tmp []int32
 	for v := 0; v < n; v++ {
 		tmp = tmp[:0]
-		for _, ei := range a.in[v] {
-			if !a.edges[ei].isLaunch() {
-				tmp = append(tmp, int32(ei))
+		for _, ei := range a.inEdge[a.inOff[v]:a.inOff[v+1]] {
+			if !a.isLaunchEdge(ei) {
+				tmp = append(tmp, ei)
 			}
 		}
 		sort.Slice(tmp, func(i, j int) bool {
-			ri, rj := rank[a.edges[tmp[i]].from], rank[a.edges[tmp[j]].from]
+			ri, rj := rank[a.eFrom[tmp[i]]], rank[a.eFrom[tmp[j]]]
 			if ri != rj {
 				return ri < rj
 			}
 			return tmp[i] < tmp[j]
 		})
 		a.sched.pullIn = append(a.sched.pullIn, tmp...)
-		for _, ei := range a.in[v] {
-			if a.edges[ei].isLaunch() {
-				a.sched.pullIn = append(a.sched.pullIn, int32(ei))
+		for _, ei := range a.inEdge[a.inOff[v]:a.inOff[v+1]] {
+			if a.isLaunchEdge(ei) {
+				a.sched.pullIn = append(a.sched.pullIn, ei)
 			}
 		}
 		a.sched.pullInOff[v+1] = int32(len(a.sched.pullIn))
@@ -170,16 +166,16 @@ func (a *Analyzer) ensureSched() bool {
 	// sequential pass) by (descending sink rank, edge id) — the order the
 	// sinks' reverse-topo visits relaxed this node.
 	a.sched.pullOutOff = make([]int32, n+1)
-	a.sched.pullOut = make([]int32, 0, len(a.edges))
+	a.sched.pullOut = make([]int32, 0, len(a.eFrom))
 	for v := 0; v < n; v++ {
 		tmp = tmp[:0]
-		for _, ei := range a.out[v] {
-			if !a.edges[ei].isLaunch() {
-				tmp = append(tmp, int32(ei))
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+			if !a.isLaunchEdge(ei) {
+				tmp = append(tmp, ei)
 			}
 		}
 		sort.Slice(tmp, func(i, j int) bool {
-			ri, rj := rank[a.edges[tmp[i]].to], rank[a.edges[tmp[j]].to]
+			ri, rj := rank[a.eTo[tmp[i]]], rank[a.eTo[tmp[j]]]
 			if ri != rj {
 				return ri > rj
 			}
@@ -194,132 +190,106 @@ func (a *Analyzer) ensureSched() bool {
 }
 
 func (a *Analyzer) propagateArrivalsPar(workers int) {
-	par.ForEach(workers, len(a.nodes), func(i int) {
-		nd := &a.nodes[i]
-		nd.at = math.Inf(-1)
-		nd.hasAT = false
-		nd.worstIn = -1
-		nd.slew = a.cons.InputSlew
-		if nd.kind == nodePortIn {
-			if nd.isClk {
-				nd.at = 0
+	par.ForEach(workers, a.numNodes(), func(i int) {
+		a.at[i] = math.Inf(-1)
+		a.hasAT[i] = false
+		a.worstIn[i] = -1
+		a.slew[i] = a.cons.InputSlew
+		if a.kind[i] == nodePortIn {
+			if a.isClk[i] {
+				a.at[i] = 0
 			} else {
-				nd.at = a.cons.InputDelay
+				a.at[i] = a.cons.InputDelay
 			}
-			nd.hasAT = true
+			a.hasAT[i] = true
 		}
 	})
 	for li := 0; li+1 < len(a.sched.levelOff); li++ {
 		lo, hi := a.sched.levelOff[li], a.sched.levelOff[li+1]
 		par.ForEach(workers, hi-lo, func(k int) {
-			a.pullArrival(int(a.sched.levelNodes[lo+k]))
+			a.pullArrival(a.sched.levelNodes[lo+k])
 		})
 	}
 }
 
 // pullArrival applies every in-candidate of v in sequential relax order.
-func (a *Analyzer) pullArrival(v int) {
-	nd := &a.nodes[v]
-	for _, ei32 := range a.sched.pullIn[a.sched.pullInOff[v]:a.sched.pullInOff[v+1]] {
-		ei := int(ei32)
-		e := &a.edges[ei]
-		if e.isLaunch() {
+func (a *Analyzer) pullArrival(v int32) {
+	for _, ei := range a.sched.pullIn[a.sched.pullInOff[v]:a.sched.pullInOff[v+1]] {
+		arc := a.eArc[ei]
+		if arc != nil && arc.Kind == netlist.ArcClkToQ {
 			load := a.loadOf(v)
-			clkAt := a.clockAtInst(nd.id.Inst, e.arc.From)
-			slewIn := a.nodes[e.from].slew
-			at := clkAt + a.derate.late()*e.arc.Delay.Lookup(slewIn, load)
-			if at > nd.at {
-				nd.at = at
-				nd.hasAT = true
-				nd.worstIn = ei
-				nd.slew = e.arc.Slew.Lookup(slewIn, load)
+			clkAt := a.clockAtNode(a.eFrom[ei])
+			slewIn := a.slew[a.eFrom[ei]]
+			at := clkAt + a.derate.late()*arc.Delay.Lookup(slewIn, load)
+			if at > a.at[v] {
+				a.at[v] = at
+				a.hasAT[v] = true
+				a.worstIn[v] = ei
+				a.slew[v] = arc.Slew.Lookup(slewIn, load)
 			}
 			continue
 		}
-		from := &a.nodes[e.from]
-		if !from.hasAT {
+		from := a.eFrom[ei]
+		if !a.hasAT[from] {
 			continue
 		}
 		var at, slew float64
-		if e.isCell {
+		if arc != nil {
 			load := a.loadOf(v)
-			at = from.at + a.derate.late()*e.arc.Delay.Lookup(from.slew, load)
-			slew = e.arc.Slew.Lookup(from.slew, load)
+			at = a.at[from] + a.derate.late()*arc.Delay.Lookup(a.slew[from], load)
+			slew = arc.Slew.Lookup(a.slew[from], load)
 		} else {
-			sinkCap := a.sinkCap(v)
-			wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
-			at = from.at + wd
-			slew = from.slew + 0.2*wd
+			sinkCap := a.nodeCap[v]
+			wd := a.derate.late() * WireResPerMicron * a.eWire[ei] * (WireCapPerMicron*a.eWire[ei]/2 + sinkCap)
+			at = a.at[from] + wd
+			slew = a.slew[from] + 0.2*wd
 		}
-		if at > nd.at {
-			nd.at = at
-			nd.hasAT = true
-			nd.worstIn = ei
-			nd.slew = slew
+		if at > a.at[v] {
+			a.at[v] = at
+			a.hasAT[v] = true
+			a.worstIn[v] = ei
+			a.slew[v] = slew
 		}
 	}
 }
 
 func (a *Analyzer) propagateRequiredPar(workers int) {
 	T := a.cons.ClockPeriod
-	par.ForEach(workers, len(a.nodes), func(i int) {
-		nd := &a.nodes[i]
-		nd.rat = math.Inf(1)
-		nd.hasRAT = false
-		if !nd.endp {
-			return
-		}
-		switch nd.kind {
-		case nodePortOut:
-			nd.rat = T - a.cons.OutputDelay
-			nd.hasRAT = true
-		case nodeInput:
-			mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-			for ai := range mp.Arcs {
-				arc := &mp.Arcs[ai]
-				if arc.Kind != netlist.ArcSetup {
-					continue
-				}
-				setup := arc.Delay.Lookup(nd.slew, 0)
-				captureClk := a.clockAtInst(nd.id.Inst, arc.From)
-				rat := T + captureClk - setup
-				if rat < nd.rat {
-					nd.rat = rat
-					nd.hasRAT = true
-				}
-			}
+	par.ForEach(workers, a.numNodes(), func(i int) {
+		a.rat[i] = math.Inf(1)
+		a.hasRAT[i] = false
+		if a.endp[i] {
+			a.seedRequired(int32(i), T)
 		}
 	})
 	for li := len(a.sched.levelOff) - 2; li >= 0; li-- {
 		lo, hi := a.sched.levelOff[li], a.sched.levelOff[li+1]
 		par.ForEach(workers, hi-lo, func(k int) {
-			a.pullRequired(int(a.sched.levelNodes[lo+k]))
+			a.pullRequired(a.sched.levelNodes[lo+k])
 		})
 	}
 }
 
 // pullRequired applies every out-candidate of u in sequential relax order.
-func (a *Analyzer) pullRequired(u int) {
-	un := &a.nodes[u]
-	for _, ei32 := range a.sched.pullOut[a.sched.pullOutOff[u]:a.sched.pullOutOff[u+1]] {
-		ei := int(ei32)
-		e := &a.edges[ei]
-		nd := &a.nodes[e.to]
-		if !nd.hasRAT {
+func (a *Analyzer) pullRequired(u int32) {
+	for _, ei := range a.sched.pullOut[a.sched.pullOutOff[u]:a.sched.pullOutOff[u+1]] {
+		to := a.eTo[ei]
+		if !a.hasRAT[to] {
 			continue
 		}
+		arc := a.eArc[ei]
 		var rat float64
-		if e.isCell {
-			load := a.loadOf(e.to)
-			rat = nd.rat - a.derate.late()*e.arc.Delay.Lookup(un.slew, load)
+		if arc != nil {
+			load := a.loadOf(to)
+			rat = a.rat[to] - a.derate.late()*arc.Delay.Lookup(a.slew[u], load)
 		} else {
-			sinkCap := a.sinkCap(e.to)
-			wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
-			rat = nd.rat - wd
+			sinkCap := a.nodeCap[to]
+			wd := a.derate.late() * WireResPerMicron * a.eWire[ei] * (WireCapPerMicron*a.eWire[ei]/2 + sinkCap)
+			rat = a.rat[to] - wd
 		}
-		if rat < un.rat {
-			un.rat = rat
-			un.hasRAT = true
+		if rat < a.rat[u] {
+			a.rat[u] = rat
+			a.hasRAT[u] = true
 		}
 	}
 }

@@ -38,20 +38,19 @@ func TestParallelPropagationMatchesSequential(t *testing.T) {
 		seq.Run()
 		pp.Run()
 
-		if len(seq.nodes) != len(pp.nodes) {
+		if seq.numNodes() != pp.numNodes() {
 			t.Fatal("node count mismatch")
 		}
-		for i := range seq.nodes {
-			s, p := &seq.nodes[i], &pp.nodes[i]
-			if s.hasAT != p.hasAT || s.hasRAT != p.hasRAT || s.worstIn != p.worstIn {
+		for i := 0; i < seq.numNodes(); i++ {
+			if seq.hasAT[i] != pp.hasAT[i] || seq.hasRAT[i] != pp.hasRAT[i] || seq.worstIn[i] != pp.worstIn[i] {
 				t.Fatalf("zeroWire=%v node %v: flags differ (hasAT %v/%v hasRAT %v/%v worstIn %d/%d)",
-					zeroWire, s.id, s.hasAT, p.hasAT, s.hasRAT, p.hasRAT, s.worstIn, p.worstIn)
+					zeroWire, seq.pinIDOf(i), seq.hasAT[i], pp.hasAT[i], seq.hasRAT[i], pp.hasRAT[i], seq.worstIn[i], pp.worstIn[i])
 			}
-			if math.Float64bits(s.at) != math.Float64bits(p.at) ||
-				math.Float64bits(s.rat) != math.Float64bits(p.rat) ||
-				math.Float64bits(s.slew) != math.Float64bits(p.slew) {
+			if math.Float64bits(seq.at[i]) != math.Float64bits(pp.at[i]) ||
+				math.Float64bits(seq.rat[i]) != math.Float64bits(pp.rat[i]) ||
+				math.Float64bits(seq.slew[i]) != math.Float64bits(pp.slew[i]) {
 				t.Fatalf("zeroWire=%v node %v: at %v/%v rat %v/%v slew %v/%v",
-					zeroWire, s.id, s.at, p.at, s.rat, p.rat, s.slew, p.slew)
+					zeroWire, seq.pinIDOf(i), seq.at[i], pp.at[i], seq.rat[i], pp.rat[i], seq.slew[i], pp.slew[i])
 			}
 		}
 	}

@@ -4,6 +4,13 @@
 // equivalent of OpenSTA's findPathEnds with endpoint_count=1), and propagates
 // vectorless switching activity (the equivalent of findClkedActivity).
 //
+// The timing graph is built from the netlist.Compact CSR view and stored as
+// flat struct-of-arrays: int32 node/edge identifiers, per-node float64
+// arrival/required/slew arrays, and int32 in/out adjacency CSR. Pin lookup
+// uses a dense (instance, master-pin-index) -> node table instead of a
+// map[PinID]int, and CTS clock arrivals live in a dense per-node array, so a
+// million-cell graph builds and propagates without per-pin hashing.
+//
 // Units: seconds, farads, watts, microns.
 package sta
 
@@ -63,7 +70,7 @@ func (p PinID) String() string {
 	return fmt.Sprintf("%d/%s", p.Inst, p.Pin)
 }
 
-type nodeKind int
+type nodeKind uint8
 
 const (
 	nodeInput   nodeKind = iota // instance input pin
@@ -71,28 +78,6 @@ const (
 	nodePortIn                  // top-level input port
 	nodePortOut                 // top-level output port
 )
-
-type edge struct {
-	from, to int
-	isCell   bool // cell arc (from input pin to output pin) vs net arc
-	arc      *netlist.TimingArc
-	wireLen  float64 // net arcs: driver-to-sink manhattan distance
-}
-
-type node struct {
-	id      PinID
-	kind    nodeKind
-	net     int // net this pin connects to, -1 if none
-	at      float64
-	rat     float64
-	slew    float64
-	hasAT   bool
-	hasRAT  bool
-	worstIn int // edge index achieving the worst (max) arrival, -1 if none
-	isClk   bool
-	endp    bool // timing endpoint (reg D or output port)
-	startp  bool // timing startpoint (reg CK->Q origin or input port)
-}
 
 // Analyzer holds the timing graph of one design under one set of constraints.
 type Analyzer struct {
@@ -105,30 +90,67 @@ type Analyzer struct {
 	// parallel.go for the determinism argument).
 	Workers int
 
-	nodes   []node
-	edges   []edge
-	in      [][]int // node -> incoming edge indices
-	out     [][]int // node -> outgoing edge indices
-	nodeOf  map[PinID]int
-	topo    []int
+	// Node SoA. Node i's identity is (nodeInst[i], nodeMP[i]): an instance
+	// ID plus master-pin index, or a port encoded as -1-portIdx with
+	// nodeMP = -1. Ports occupy nodes [0, len(d.Ports)) in port order.
+	nodeInst []int32
+	nodeMP   []int32
+	kind     []nodeKind
+	net      []int32 // net the pin connects to, -1 if none
+	isClk    []bool
+	endp     []bool // timing endpoint (reg D or output port)
+	startp   []bool // timing startpoint (reg CK->Q origin or input port)
+	nodeCap  []float64 // sink load contribution: input-pin cap or PortCap
+	nodeDX   []float64 // pin offset from instance origin (0 for ports)
+	nodeDY   []float64
+
+	at, rat, slew  []float64
+	hasAT, hasRAT  []bool
+	worstIn        []int32 // in-edge achieving the worst (max) arrival, -1
+
+	// Edge SoA. eArc == nil marks a net arc; cell arcs carry the library arc.
+	eFrom, eTo []int32
+	eWire      []float64 // net arcs: driver-to-sink manhattan distance
+	eArc       []*netlist.TimingArc
+
+	// Adjacency CSR, edge ids in insertion order (matching the sequential
+	// relax order of the original push propagation).
+	inOff, inEdge   []int32
+	outOff, outEdge []int32
+
+	// Dense pin -> node index: instPinStart[i]+mpIdx slots pinNode, -1 when
+	// the pin never appears on a net.
+	instPinStart []int32
+	pinNode      []int32
+
+	// Setup-check CSR per endpoint node: the setup arcs of the node's master
+	// pin (in mp.Arcs order) with their capture-clock nodes preresolved.
+	setupOff []int32
+	setupArc []*netlist.TimingArc
+	setupClk []int32
+
+	topo    []int32
 	cyclic  bool      // topo order was incomplete (combinational loop)
 	sched   parSched  // cached level schedule for parallel propagation
 	netLoad []float64 // total load capacitance per net
 	netLen  []float64 // HPWL per net (for wire delay)
 
-	clockArrival map[int]float64 // optional per-node clock arrival (from CTS)
-	derate       Derate          // OCV scale factors
-	inc          incState        // dirty-net set for incremental updates
+	clockAt []float64 // per-node clock arrival (from CTS); nil = ideal clock
+	derate  Derate    // OCV scale factors
+	inc     incState  // dirty-net set for incremental updates
 
 	activity []float64 // per-node switching activity (toggles/cycle)
 	actDone  bool
 	timeDone bool
+
+	// Position gather scratch for full geometry refresh.
+	gInstX, gInstY []float64
 }
 
 // New builds the timing graph for the design. The graph uses current pin
 // positions for wire delays; call Update after moving cells.
 func New(d *netlist.Design, cons Constraints) *Analyzer {
-	a := &Analyzer{d: d, cons: cons, nodeOf: make(map[PinID]int)}
+	a := &Analyzer{d: d, cons: cons}
 	a.build()
 	return a
 }
@@ -139,120 +161,200 @@ func (a *Analyzer) Design() *netlist.Design { return a.d }
 // Constraints returns the analyzer's constraints.
 func (a *Analyzer) Constraints() Constraints { return a.cons }
 
-func (a *Analyzer) addNode(id PinID, kind nodeKind) int {
-	if idx, ok := a.nodeOf[id]; ok {
-		return idx
+func (a *Analyzer) numNodes() int { return len(a.nodeInst) }
+
+// pinIDOf reconstructs the public PinID of a node.
+func (a *Analyzer) pinIDOf(v int) PinID {
+	id := a.nodeInst[v]
+	if id < 0 {
+		return PinID{Inst: -1, Pin: a.d.Ports[-1-id].Name}
 	}
-	idx := len(a.nodes)
-	a.nodes = append(a.nodes, node{id: id, kind: kind, net: -1, worstIn: -1})
-	a.nodeOf[id] = idx
+	return PinID{Inst: int(id), Pin: a.d.Insts[id].Master.Pins[a.nodeMP[v]].Name}
+}
+
+// nodeOfPin resolves a PinID to its node index (false when the pin has no
+// node). Ports resolve through the design's port index; instance pins through
+// the master pin index and the dense pin-node table.
+func (a *Analyzer) nodeOfPin(id PinID) (int, bool) {
+	if id.Inst < 0 {
+		pi := a.d.PortIndex(id.Pin)
+		if pi < 0 || pi >= len(a.d.Ports) {
+			return 0, false
+		}
+		return pi, true // ports occupy nodes [0, len(Ports)) in order
+	}
+	if id.Inst >= len(a.d.Insts) {
+		return 0, false
+	}
+	mpIdx := a.d.Insts[id.Inst].Master.PinIndex(id.Pin)
+	if mpIdx < 0 {
+		return 0, false
+	}
+	n := a.pinNode[a.instPinStart[id.Inst]+int32(mpIdx)]
+	if n < 0 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+func (a *Analyzer) addNode(inst, mpIdx int32, k nodeKind) int32 {
+	idx := int32(len(a.nodeInst))
+	a.nodeInst = append(a.nodeInst, inst)
+	a.nodeMP = append(a.nodeMP, mpIdx)
+	a.kind = append(a.kind, k)
+	a.net = append(a.net, -1)
+	a.isClk = append(a.isClk, false)
+	a.endp = append(a.endp, false)
+	a.startp = append(a.startp, false)
+	a.nodeCap = append(a.nodeCap, 0)
+	a.nodeDX = append(a.nodeDX, 0)
+	a.nodeDY = append(a.nodeDY, 0)
 	return idx
 }
 
-func (a *Analyzer) addEdge(e edge) {
-	idx := len(a.edges)
-	a.edges = append(a.edges, e)
-	a.out[e.from] = append(a.out[e.from], idx)
-	a.in[e.to] = append(a.in[e.to], idx)
+func (a *Analyzer) addEdge(from, to int32, arc *netlist.TimingArc, wireLen float64) {
+	a.eFrom = append(a.eFrom, from)
+	a.eTo = append(a.eTo, to)
+	a.eArc = append(a.eArc, arc)
+	a.eWire = append(a.eWire, wireLen)
 }
 
 // build constructs nodes for every connected pin and port, then net arcs and
-// cell arcs.
+// cell arcs, entirely over the compact CSR view: one pass assigns node ids in
+// the same first-seen order as the original map-based construction, so the
+// graph (and therefore every propagated value) is bit-identical to it.
 func (a *Analyzer) build() {
 	d := a.d
+	c := d.Compact()
 	clockPorts := make(map[string]bool)
 	for _, p := range a.cons.ClockPorts {
 		clockPorts[p] = true
 	}
 
-	// Nodes for ports.
-	for _, p := range d.Ports {
-		kind := nodePortIn
+	// Dense (instance, master-pin-index) -> node table.
+	a.instPinStart = make([]int32, len(d.Insts)+1)
+	var totalSlots int32
+	for i, inst := range d.Insts {
+		a.instPinStart[i] = totalSlots
+		totalSlots += int32(len(inst.Master.Pins))
+	}
+	a.instPinStart[len(d.Insts)] = totalSlots
+	a.pinNode = make([]int32, totalSlots)
+	for i := range a.pinNode {
+		a.pinNode[i] = -1
+	}
+
+	// Nodes for ports (node i == port i).
+	for pi, p := range d.Ports {
+		k := nodePortIn
 		if p.Dir == netlist.DirOutput {
-			kind = nodePortOut
+			k = nodePortOut
 		}
-		n := a.addNode(PinID{Inst: -1, Pin: p.Name}, kind)
+		n := a.addNode(int32(-1-pi), -1, k)
+		a.nodeCap[n] = a.cons.PortCap
 		if clockPorts[p.Name] {
-			a.nodes[n].isClk = true
+			a.isClk[n] = true
 		}
 	}
-	// Nodes for instance pins that appear on nets.
-	for _, net := range d.Nets {
-		for _, pr := range net.Pins {
-			if pr.IsPort() {
+	// Nodes for instance pins that appear on nets, in net/pin order.
+	for ni := range d.Nets {
+		for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+			id := c.PinInst[k]
+			if id < 0 {
 				continue
 			}
-			mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
-			if mp == nil {
+			mpIdx := c.PinMP[k]
+			if mpIdx < 0 {
 				continue
 			}
+			slot := a.instPinStart[id] + mpIdx
+			if a.pinNode[slot] >= 0 {
+				continue
+			}
+			mp := &d.Insts[id].Master.Pins[mpIdx]
 			kind := nodeInput
 			if mp.Dir == netlist.DirOutput {
 				kind = nodeOutput
 			}
-			a.addNode(PinID{pr.Inst, pr.Pin}, kind)
+			n := a.addNode(id, mpIdx, kind)
+			a.pinNode[slot] = n
+			a.nodeCap[n] = mp.Cap
+			a.nodeDX[n] = c.PinDX[k]
+			a.nodeDY[n] = c.PinDY[k]
 		}
 	}
-	a.in = make([][]int, len(a.nodes))
-	a.out = make([][]int, len(a.nodes))
+
 	a.netLoad = make([]float64, len(d.Nets))
 	a.netLen = make([]float64, len(d.Nets))
 
-	// Net arcs: driver -> each sink.
-	for _, net := range d.Nets {
-		drv, ok := d.Driver(net)
-		if !ok {
+	// Net arcs: driver -> each sink, over the compact pin CSR.
+	a.gatherPositions()
+	for ni := range d.Nets {
+		kd := c.NetDrv[ni]
+		if kd < 0 {
 			continue
 		}
-		drvNode := a.nodeOf[PinID{drv.Inst, drv.Pin}]
-		dx, dy := d.PinPos(drv)
+		drvNode := a.nodeOfSlot(c, kd)
+		dx, dy := a.posOfSlot(c, kd)
+		drvID, drvMP := c.PinInst[kd], c.PinMP[kd]
 		var load float64
-		for _, pr := range net.Pins {
-			if pr == drv {
+		for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+			// Skip every pin equal (by value) to the driver reference.
+			if c.PinInst[k] == drvID && (drvID < 0 || c.PinMP[k] == drvMP) {
 				continue
 			}
-			var sinkNode int
-			if pr.IsPort() {
-				port := d.Port(pr.Pin)
-				if port == nil || port.Dir != netlist.DirOutput {
+			id := c.PinInst[k]
+			var sinkNode int32
+			if id < 0 {
+				if id == netlist.CompactNoPort {
 					continue
 				}
-				sinkNode = a.nodeOf[PinID{-1, pr.Pin}]
+				pidx := -1 - id
+				if d.Ports[pidx].Dir != netlist.DirOutput {
+					continue
+				}
+				sinkNode = pidx
 				load += a.cons.PortCap
 			} else {
-				mp := d.Insts[pr.Inst].Master.Pin(pr.Pin)
-				if mp == nil || mp.Dir == netlist.DirOutput {
+				mpIdx := c.PinMP[k]
+				if mpIdx < 0 {
 					continue
 				}
-				sinkNode = a.nodeOf[PinID{pr.Inst, pr.Pin}]
+				mp := &d.Insts[id].Master.Pins[mpIdx]
+				if mp.Dir == netlist.DirOutput {
+					continue
+				}
+				sinkNode = a.pinNode[a.instPinStart[id]+mpIdx]
 				load += mp.Cap
 			}
 			wl := 0.0
 			if !a.cons.ZeroWire {
-				sx, sy := d.PinPos(pr)
+				sx, sy := a.posOfSlot(c, k)
 				wl = math.Abs(sx-dx) + math.Abs(sy-dy)
 			}
-			a.addEdge(edge{from: drvNode, to: sinkNode, wireLen: wl})
-			a.nodes[sinkNode].net = net.ID
+			a.addEdge(drvNode, sinkNode, nil, wl)
+			a.net[sinkNode] = int32(ni)
 		}
-		a.nodes[drvNode].net = net.ID
+		a.net[drvNode] = int32(ni)
 		if a.cons.ZeroWire {
-			a.netLoad[net.ID] = load
+			a.netLoad[ni] = load
 		} else {
-			a.netLoad[net.ID] = load + WireCapPerMicron*d.NetHPWL(net)
-			a.netLen[net.ID] = d.NetHPWL(net)
+			hp := a.netHPWLGathered(c, ni)
+			a.netLoad[ni] = load + WireCapPerMicron*hp
+			a.netLen[ni] = hp
 		}
 	}
 
 	// Cell arcs: combinational and clk->Q edges within each instance.
 	for _, inst := range d.Insts {
+		base := a.instPinStart[inst.ID]
 		for pi := range inst.Master.Pins {
 			mp := &inst.Master.Pins[pi]
 			if mp.Dir != netlist.DirOutput {
 				continue
 			}
-			toNode, ok := a.nodeOf[PinID{inst.ID, mp.Name}]
-			if !ok {
+			toNode := a.pinNode[base+int32(pi)]
+			if toNode < 0 {
 				continue
 			}
 			for ai := range mp.Arcs {
@@ -260,81 +362,219 @@ func (a *Analyzer) build() {
 				if arc.Kind != netlist.ArcComb && arc.Kind != netlist.ArcClkToQ {
 					continue
 				}
-				fromNode, ok := a.nodeOf[PinID{inst.ID, arc.From}]
-				if !ok {
+				fi := inst.Master.PinIndex(arc.From)
+				if fi < 0 {
 					continue
 				}
-				a.addEdge(edge{from: fromNode, to: toNode, isCell: true, arc: arc})
+				fromNode := a.pinNode[base+int32(fi)]
+				if fromNode < 0 {
+					continue
+				}
+				a.addEdge(fromNode, toNode, arc, 0)
 			}
 		}
 	}
 
+	a.buildAdjacency()
+	a.buildSetupIndex()
+	a.initValueArrays()
 	a.markSpecialNodes(clockPorts)
 	a.topoSort()
+}
+
+// nodeOfSlot resolves a compact pin slot to its node.
+func (a *Analyzer) nodeOfSlot(c *netlist.Compact, k int32) int32 {
+	id := c.PinInst[k]
+	if id < 0 {
+		return -1 - id // port index == node index
+	}
+	return a.pinNode[a.instPinStart[id]+c.PinMP[k]]
+}
+
+// gatherPositions snapshots instance origins into contiguous scratch; port
+// coordinates are read directly (few ports).
+func (a *Analyzer) gatherPositions() {
+	d := a.d
+	if len(a.gInstX) != len(d.Insts) {
+		a.gInstX = make([]float64, len(d.Insts))
+		a.gInstY = make([]float64, len(d.Insts))
+	}
+	for i, inst := range d.Insts {
+		a.gInstX[i] = inst.X
+		a.gInstY[i] = inst.Y
+	}
+}
+
+// posOfSlot resolves a compact pin slot's position against the gathered
+// instance origins. The arithmetic (origin + precomputed offset) matches
+// Design.PinPos bit for bit.
+func (a *Analyzer) posOfSlot(c *netlist.Compact, k int32) (float64, float64) {
+	id := c.PinInst[k]
+	if id >= 0 {
+		return a.gInstX[id] + c.PinDX[k], a.gInstY[id] + c.PinDY[k]
+	}
+	if id == netlist.CompactNoPort {
+		return 0, 0
+	}
+	p := a.d.Ports[-1-id]
+	return p.X, p.Y
+}
+
+// netHPWLGathered computes a net's HPWL over the gathered positions with the
+// same comparison structure as Design.NetHPWL, so the result is bit-identical.
+func (a *Analyzer) netHPWLGathered(c *netlist.Compact, ni int) float64 {
+	lo, hi := c.NetStart[ni], c.NetStart[ni+1]
+	if hi-lo < 2 {
+		return 0
+	}
+	minX, minY := 1e308, 1e308
+	maxX, maxY := -1e308, -1e308
+	for k := lo; k < hi; k++ {
+		x, y := a.posOfSlot(c, k)
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// buildAdjacency converts the edge lists into in/out CSR with edge ids in
+// insertion order per node.
+func (a *Analyzer) buildAdjacency() {
+	n := a.numNodes()
+	nE := len(a.eFrom)
+	a.inOff = make([]int32, n+1)
+	a.outOff = make([]int32, n+1)
+	for ei := 0; ei < nE; ei++ {
+		a.outOff[a.eFrom[ei]+1]++
+		a.inOff[a.eTo[ei]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		a.inOff[i] += a.inOff[i-1]
+		a.outOff[i] += a.outOff[i-1]
+	}
+	a.inEdge = make([]int32, nE)
+	a.outEdge = make([]int32, nE)
+	inFill := append([]int32(nil), a.inOff[:n]...)
+	outFill := append([]int32(nil), a.outOff[:n]...)
+	for ei := 0; ei < nE; ei++ {
+		f, t := a.eFrom[ei], a.eTo[ei]
+		a.outEdge[outFill[f]] = int32(ei)
+		outFill[f]++
+		a.inEdge[inFill[t]] = int32(ei)
+		inFill[t]++
+	}
+}
+
+// buildSetupIndex collects, per endpoint data pin, the setup arcs of its
+// master pin (in mp.Arcs order) with preresolved capture-clock nodes, so the
+// required-time seeds run without any name lookups.
+func (a *Analyzer) buildSetupIndex() {
+	n := a.numNodes()
+	a.setupOff = make([]int32, n+1)
+	a.setupArc = a.setupArc[:0]
+	a.setupClk = a.setupClk[:0]
+	for v := 0; v < n; v++ {
+		a.setupOff[v] = int32(len(a.setupArc))
+		if a.kind[v] != nodeInput {
+			continue
+		}
+		inst := a.nodeInst[v]
+		m := a.d.Insts[inst].Master
+		mp := &m.Pins[a.nodeMP[v]]
+		for ai := range mp.Arcs {
+			arc := &mp.Arcs[ai]
+			if arc.Kind != netlist.ArcSetup {
+				continue
+			}
+			clkNode := int32(-1)
+			if fi := m.PinIndex(arc.From); fi >= 0 {
+				clkNode = a.pinNode[a.instPinStart[inst]+int32(fi)]
+			}
+			a.setupArc = append(a.setupArc, arc)
+			a.setupClk = append(a.setupClk, clkNode)
+		}
+	}
+	a.setupOff[n] = int32(len(a.setupArc))
+}
+
+func (a *Analyzer) initValueArrays() {
+	n := a.numNodes()
+	a.at = make([]float64, n)
+	a.rat = make([]float64, n)
+	a.slew = make([]float64, n)
+	a.hasAT = make([]bool, n)
+	a.hasRAT = make([]bool, n)
+	a.worstIn = make([]int32, n)
+}
+
+// isLaunchEdge reports whether edge ei is a clk->Q launch arc.
+func (a *Analyzer) isLaunchEdge(ei int32) bool {
+	arc := a.eArc[ei]
+	return arc != nil && arc.Kind == netlist.ArcClkToQ
 }
 
 // markSpecialNodes labels clock pins, startpoints and endpoints.
 func (a *Analyzer) markSpecialNodes(clockPorts map[string]bool) {
 	d := a.d
 	// Propagate clock from clock ports through net arcs and buffers/inverters.
-	var queue []int
-	for i := range a.nodes {
-		if a.nodes[i].isClk {
-			queue = append(queue, i)
+	var queue []int32
+	for i := 0; i < a.numNodes(); i++ {
+		if a.isClk[i] {
+			queue = append(queue, int32(i))
 		}
 	}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, ei := range a.out[n] {
-			e := &a.edges[ei]
-			to := &a.nodes[e.to]
-			if to.isClk {
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+			to := a.eTo[ei]
+			if a.isClk[to] {
 				continue
 			}
-			if e.isCell && e.arc.Kind != netlist.ArcComb {
+			if arc := a.eArc[ei]; arc != nil && arc.Kind != netlist.ArcComb {
 				continue // clk->Q is a data launch, not clock propagation
 			}
-			to.isClk = true
-			queue = append(queue, e.to)
+			a.isClk[to] = true
+			queue = append(queue, to)
 		}
 	}
-	// Also mark clock input pins of sequential cells on nets flagged Clock.
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.id.Inst >= 0 {
-			mp := d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-			if mp != nil && mp.Clock {
-				nd.isClk = true
+	// Also mark clock input pins of sequential cells.
+	for i := 0; i < a.numNodes(); i++ {
+		if inst := a.nodeInst[i]; inst >= 0 {
+			if d.Insts[inst].Master.Pins[a.nodeMP[i]].Clock {
+				a.isClk[i] = true
 			}
 		}
 	}
 	// Startpoints and endpoints.
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		switch nd.kind {
+	for i := 0; i < a.numNodes(); i++ {
+		switch a.kind[i] {
 		case nodePortIn:
-			if !clockPorts[nd.id.Pin] {
-				nd.startp = true
+			if !clockPorts[d.Ports[-1-a.nodeInst[i]].Name] {
+				a.startp[i] = true
 			}
 		case nodePortOut:
-			nd.endp = true
+			a.endp[i] = true
 		case nodeOutput:
 			// Output fed by a clk->Q arc is a launch point.
-			for _, ei := range a.in[i] {
-				if a.edges[ei].isCell && a.edges[ei].arc.Kind == netlist.ArcClkToQ {
-					nd.startp = true
+			for _, ei := range a.inEdge[a.inOff[i]:a.inOff[i+1]] {
+				if a.isLaunchEdge(ei) {
+					a.startp[i] = true
 				}
 			}
 		case nodeInput:
 			// Data input with a setup arc is an endpoint.
-			mp := d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-			if mp != nil {
-				for ai := range mp.Arcs {
-					if mp.Arcs[ai].Kind == netlist.ArcSetup {
-						nd.endp = true
-					}
-				}
+			if a.setupOff[i+1] > a.setupOff[i] {
+				a.endp[i] = true
 			}
 		}
 	}
@@ -346,34 +586,33 @@ func (a *Analyzer) markSpecialNodes(clockPorts map[string]bool) {
 // feed back into their own clock pins in well-formed designs; genuinely
 // cyclic combinational paths are broken by dropping the closing edge.
 func (a *Analyzer) topoSort() {
-	n := len(a.nodes)
-	indeg := make([]int, n)
-	enabled := make([]bool, len(a.edges))
-	for ei, e := range a.edges {
+	n := a.numNodes()
+	indeg := make([]int32, n)
+	enabled := make([]bool, len(a.eFrom))
+	for ei := range a.eFrom {
 		// Clk->Q arcs start a new timing frame: treat the Q output as a
 		// source rather than ordering it after the clock pin.
-		if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+		if a.isLaunchEdge(int32(ei)) {
 			continue
 		}
 		enabled[ei] = true
-		indeg[e.to]++
+		indeg[a.eTo[ei]]++
 	}
-	queue := make([]int, 0, n)
+	queue := make([]int32, 0, n)
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			queue = append(queue, i)
+			queue = append(queue, int32(i))
 		}
 	}
-	order := make([]int, 0, n)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	order := make([]int32, 0, n)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		order = append(order, v)
-		for _, ei := range a.out[v] {
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
 			if !enabled[ei] {
 				continue
 			}
-			t := a.edges[ei].to
+			t := a.eTo[ei]
 			indeg[t]--
 			if indeg[t] == 0 {
 				queue = append(queue, t)
@@ -390,7 +629,7 @@ func (a *Analyzer) topoSort() {
 		}
 		for i := 0; i < n; i++ {
 			if !seen[i] {
-				order = append(order, i)
+				order = append(order, int32(i))
 			}
 		}
 	}
@@ -401,41 +640,76 @@ func (a *Analyzer) topoSort() {
 // clock pins of sequential cells. Passing nil restores the ideal clock.
 func (a *Analyzer) SetClockArrivals(arrivals map[PinID]float64) {
 	if arrivals == nil {
-		a.clockArrival = nil
+		a.clockAt = nil
 		a.timeDone = false
 		return
 	}
-	a.clockArrival = make(map[int]float64, len(arrivals))
+	a.clockAt = make([]float64, a.numNodes())
 	for id, t := range arrivals {
-		if n, ok := a.nodeOf[id]; ok {
-			a.clockArrival[n] = t
+		if n, ok := a.nodeOfPin(id); ok {
+			a.clockAt[n] = t
 		}
 	}
 	a.timeDone = false
 }
 
-func (a *Analyzer) clockAt(nodeIdx int) float64 {
-	if a.clockArrival == nil {
-		return 0
-	}
-	return a.clockArrival[nodeIdx]
+// ClockArrival is one CTS-computed clock arrival, the allocation-light
+// alternative to the map form of SetClockArrivals.
+type ClockArrival struct {
+	Inst int
+	Pin  string
+	T    float64
 }
 
-// clockAtInst returns the clock arrival at the clock pin of the instance
-// owning the given node (used for launch/capture of clk->Q and setup arcs).
-func (a *Analyzer) clockAtInst(inst int, clkPin string) float64 {
-	if a.clockArrival == nil {
+// SetClockArrivalList installs clock arrivals from a slice, avoiding the
+// map[PinID] allocation and string hashing of SetClockArrivals on large
+// designs. Passing an empty list restores the ideal clock.
+func (a *Analyzer) SetClockArrivalList(list []ClockArrival) {
+	if len(list) == 0 {
+		a.clockAt = nil
+		a.timeDone = false
+		return
+	}
+	a.clockAt = make([]float64, a.numNodes())
+	for _, ca := range list {
+		if n, ok := a.nodeOfPin(PinID{Inst: ca.Inst, Pin: ca.Pin}); ok {
+			a.clockAt[n] = ca.T
+		}
+	}
+	a.timeDone = false
+}
+
+// clockAtNode returns the clock arrival at a node (0 under the ideal clock
+// or for unresolved nodes).
+func (a *Analyzer) clockAtNode(n int32) float64 {
+	if a.clockAt == nil || n < 0 {
 		return 0
 	}
-	if n, ok := a.nodeOf[PinID{inst, clkPin}]; ok {
-		return a.clockArrival[n]
+	return a.clockAt[n]
+}
+
+// clockAtInst returns the clock arrival at the named pin of an instance
+// (used by the cold-path hold checks, which resolve arc.From by name).
+func (a *Analyzer) clockAtInst(inst int32, clkPin string) float64 {
+	if a.clockAt == nil {
+		return 0
+	}
+	if n, ok := a.nodeOfPin(PinID{Inst: int(inst), Pin: clkPin}); ok {
+		return a.clockAt[n]
 	}
 	return 0
 }
 
-func (a *Analyzer) pinPosOf(nodeIdx int) (float64, float64) {
-	id := a.nodes[nodeIdx].id
-	return a.d.PinPos(netlist.PinRef{Inst: id.Inst, Pin: id.Pin})
+// nodePos returns the physical position of a node from current design
+// coordinates (instance origin + precomputed offset, or port position).
+func (a *Analyzer) nodePos(v int32) (float64, float64) {
+	id := a.nodeInst[v]
+	if id < 0 {
+		p := a.d.Ports[-1-id]
+		return p.X, p.Y
+	}
+	inst := a.d.Insts[id]
+	return inst.X + a.nodeDX[v], inst.Y + a.nodeDY[v]
 }
 
 // Run performs arrival/required propagation if stale. With Workers != 1 the
@@ -456,155 +730,138 @@ func (a *Analyzer) Run() {
 }
 
 func (a *Analyzer) propagateArrivals() {
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		nd.at = math.Inf(-1)
-		nd.hasAT = false
-		nd.worstIn = -1
-		nd.slew = a.cons.InputSlew
+	for i := 0; i < a.numNodes(); i++ {
+		a.at[i] = math.Inf(-1)
+		a.hasAT[i] = false
+		a.worstIn[i] = -1
+		a.slew[i] = a.cons.InputSlew
 	}
 	// Seed startpoints.
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.kind == nodePortIn {
-			if nd.isClk {
-				nd.at = 0
-				nd.hasAT = true
+	for i := 0; i < a.numNodes(); i++ {
+		if a.kind[i] == nodePortIn {
+			if a.isClk[i] {
+				a.at[i] = 0
 			} else {
-				nd.at = a.cons.InputDelay
-				nd.hasAT = true
+				a.at[i] = a.cons.InputDelay
 			}
+			a.hasAT[i] = true
 		}
 	}
 	for _, v := range a.topo {
-		nd := &a.nodes[v]
 		// Launch clk->Q arcs: arrival = clock arrival + arc delay.
-		for _, ei := range a.in[v] {
-			e := &a.edges[ei]
-			if !e.isCell || e.arc.Kind != netlist.ArcClkToQ {
+		for _, ei := range a.inEdge[a.inOff[v]:a.inOff[v+1]] {
+			arc := a.eArc[ei]
+			if arc == nil || arc.Kind != netlist.ArcClkToQ {
 				continue
 			}
 			load := a.loadOf(v)
-			clkAt := a.clockAtInst(nd.id.Inst, e.arc.From)
-			slewIn := a.nodes[e.from].slew
-			at := clkAt + a.derate.late()*e.arc.Delay.Lookup(slewIn, load)
-			if at > nd.at {
-				nd.at = at
-				nd.hasAT = true
-				nd.worstIn = ei
-				nd.slew = e.arc.Slew.Lookup(slewIn, load)
+			clkAt := a.clockAtNode(a.eFrom[ei])
+			slewIn := a.slew[a.eFrom[ei]]
+			at := clkAt + a.derate.late()*arc.Delay.Lookup(slewIn, load)
+			if at > a.at[v] {
+				a.at[v] = at
+				a.hasAT[v] = true
+				a.worstIn[v] = ei
+				a.slew[v] = arc.Slew.Lookup(slewIn, load)
 			}
 		}
-		if !nd.hasAT {
+		if !a.hasAT[v] {
 			continue
 		}
-		for _, ei := range a.out[v] {
-			e := &a.edges[ei]
-			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+		for _, ei := range a.outEdge[a.outOff[v]:a.outOff[v+1]] {
+			arc := a.eArc[ei]
+			if arc != nil && arc.Kind == netlist.ArcClkToQ {
 				continue // handled at the target via clock arrival
 			}
-			to := &a.nodes[e.to]
+			to := a.eTo[ei]
 			var at, slew float64
-			if e.isCell {
-				load := a.loadOf(e.to)
-				at = nd.at + a.derate.late()*e.arc.Delay.Lookup(nd.slew, load)
-				slew = e.arc.Slew.Lookup(nd.slew, load)
+			if arc != nil {
+				load := a.loadOf(to)
+				at = a.at[v] + a.derate.late()*arc.Delay.Lookup(a.slew[v], load)
+				slew = arc.Slew.Lookup(a.slew[v], load)
 			} else {
 				// Net arc: Elmore-style wire delay to this sink.
-				sinkCap := a.sinkCap(e.to)
-				wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
-				at = nd.at + wd
-				slew = nd.slew + 0.2*wd
+				sinkCap := a.nodeCap[to]
+				wd := a.derate.late() * WireResPerMicron * a.eWire[ei] * (WireCapPerMicron*a.eWire[ei]/2 + sinkCap)
+				at = a.at[v] + wd
+				slew = a.slew[v] + 0.2*wd
 			}
-			if at > to.at {
-				to.at = at
-				to.hasAT = true
-				to.worstIn = ei
-				to.slew = slew
+			if at > a.at[to] {
+				a.at[to] = at
+				a.hasAT[to] = true
+				a.worstIn[to] = ei
+				a.slew[to] = slew
 			}
 		}
 	}
 }
 
-func (a *Analyzer) loadOf(outNode int) float64 {
-	netID := a.nodes[outNode].net
+func (a *Analyzer) loadOf(outNode int32) float64 {
+	netID := a.net[outNode]
 	if netID < 0 {
 		return 0
 	}
 	return a.netLoad[netID]
 }
 
-func (a *Analyzer) sinkCap(sinkNode int) float64 {
-	nd := &a.nodes[sinkNode]
-	if nd.id.Inst < 0 {
-		return a.cons.PortCap
-	}
-	mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-	if mp == nil {
-		return 0
-	}
-	return mp.Cap
-}
-
 func (a *Analyzer) propagateRequired() {
 	T := a.cons.ClockPeriod
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		nd.rat = math.Inf(1)
-		nd.hasRAT = false
+	for i := 0; i < a.numNodes(); i++ {
+		a.rat[i] = math.Inf(1)
+		a.hasRAT[i] = false
 	}
 	// Seed endpoints.
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if !nd.endp {
-			continue
-		}
-		switch nd.kind {
-		case nodePortOut:
-			nd.rat = T - a.cons.OutputDelay
-			nd.hasRAT = true
-		case nodeInput:
-			mp := a.d.Insts[nd.id.Inst].Master.Pin(nd.id.Pin)
-			for ai := range mp.Arcs {
-				arc := &mp.Arcs[ai]
-				if arc.Kind != netlist.ArcSetup {
-					continue
-				}
-				setup := arc.Delay.Lookup(nd.slew, 0)
-				captureClk := a.clockAtInst(nd.id.Inst, arc.From)
-				rat := T + captureClk - setup
-				if rat < nd.rat {
-					nd.rat = rat
-					nd.hasRAT = true
-				}
-			}
+	for i := 0; i < a.numNodes(); i++ {
+		if a.endp[i] {
+			a.seedRequired(int32(i), T)
 		}
 	}
 	// Backward pass over reverse topological order.
 	for i := len(a.topo) - 1; i >= 0; i-- {
 		v := a.topo[i]
-		nd := &a.nodes[v]
-		if !nd.hasRAT {
+		if !a.hasRAT[v] {
 			continue
 		}
-		for _, ei := range a.in[v] {
-			e := &a.edges[ei]
-			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+		for _, ei := range a.inEdge[a.inOff[v]:a.inOff[v+1]] {
+			arc := a.eArc[ei]
+			if arc != nil && arc.Kind == netlist.ArcClkToQ {
 				continue
 			}
-			from := &a.nodes[e.from]
+			from := a.eFrom[ei]
 			var rat float64
-			if e.isCell {
+			if arc != nil {
 				load := a.loadOf(v)
-				rat = nd.rat - a.derate.late()*e.arc.Delay.Lookup(from.slew, load)
+				rat = a.rat[v] - a.derate.late()*arc.Delay.Lookup(a.slew[from], load)
 			} else {
-				sinkCap := a.sinkCap(v)
-				wd := a.derate.late() * WireResPerMicron * e.wireLen * (WireCapPerMicron*e.wireLen/2 + sinkCap)
-				rat = nd.rat - wd
+				sinkCap := a.nodeCap[v]
+				wd := a.derate.late() * WireResPerMicron * a.eWire[ei] * (WireCapPerMicron*a.eWire[ei]/2 + sinkCap)
+				rat = a.rat[v] - wd
 			}
-			if rat < from.rat {
-				from.rat = rat
-				from.hasRAT = true
+			if rat < a.rat[from] {
+				a.rat[from] = rat
+				a.hasRAT[from] = true
+			}
+		}
+	}
+}
+
+// seedRequired applies the endpoint required-time seed of node v: output
+// ports get T minus the output delay; register data pins get the worst setup
+// check over their preresolved setup arcs.
+func (a *Analyzer) seedRequired(v int32, T float64) {
+	switch a.kind[v] {
+	case nodePortOut:
+		a.rat[v] = T - a.cons.OutputDelay
+		a.hasRAT[v] = true
+	case nodeInput:
+		for s := a.setupOff[v]; s < a.setupOff[v+1]; s++ {
+			arc := a.setupArc[s]
+			setup := arc.Delay.Lookup(a.slew[v], 0)
+			captureClk := a.clockAtNode(a.setupClk[s])
+			rat := T + captureClk - setup
+			if rat < a.rat[v] {
+				a.rat[v] = rat
+				a.hasRAT[v] = true
 			}
 		}
 	}
@@ -613,26 +870,24 @@ func (a *Analyzer) propagateRequired() {
 // SlackAt returns the slack at a pin, or +Inf if the pin is not constrained.
 func (a *Analyzer) SlackAt(id PinID) float64 {
 	a.Run()
-	n, ok := a.nodeOf[id]
+	n, ok := a.nodeOfPin(id)
 	if !ok {
 		return math.Inf(1)
 	}
-	nd := &a.nodes[n]
-	if !nd.hasAT || !nd.hasRAT {
+	if !a.hasAT[n] || !a.hasRAT[n] {
 		return math.Inf(1)
 	}
-	return nd.rat - nd.at
+	return a.rat[n] - a.at[n]
 }
 
 // ArrivalAt returns the arrival time at a pin; ok is false when unreached.
 func (a *Analyzer) ArrivalAt(id PinID) (float64, bool) {
 	a.Run()
-	n, found := a.nodeOf[id]
+	n, found := a.nodeOfPin(id)
 	if !found {
 		return 0, false
 	}
-	nd := &a.nodes[n]
-	return nd.at, nd.hasAT
+	return a.at[n], a.hasAT[n]
 }
 
 // Summary is the WNS/TNS report over all endpoints.
@@ -647,13 +902,12 @@ type Summary struct {
 func (a *Analyzer) Timing() Summary {
 	a.Run()
 	var s Summary
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if !nd.endp || !nd.hasAT || !nd.hasRAT {
+	for i := 0; i < a.numNodes(); i++ {
+		if !a.endp[i] || !a.hasAT[i] || !a.hasRAT[i] {
 			continue
 		}
 		s.Endpoints++
-		slack := nd.rat - nd.at
+		slack := a.rat[i] - a.at[i]
 		if slack < 0 {
 			s.Failing++
 			s.TNS += slack
@@ -677,14 +931,14 @@ func (a *Analyzer) NetSlack() []float64 {
 	for i := range out {
 		out[i] = math.Inf(1)
 	}
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.net < 0 || !nd.hasAT || !nd.hasRAT {
+	for i := 0; i < a.numNodes(); i++ {
+		netID := a.net[i]
+		if netID < 0 || !a.hasAT[i] || !a.hasRAT[i] {
 			continue
 		}
-		slack := nd.rat - nd.at
-		if slack < out[nd.net] {
-			out[nd.net] = slack
+		slack := a.rat[i] - a.at[i]
+		if slack < out[netID] {
+			out[netID] = slack
 		}
 	}
 	return out
@@ -704,14 +958,13 @@ type Path struct {
 func (a *Analyzer) TopPaths(maxPaths int) []Path {
 	a.Run()
 	type endSlack struct {
-		node  int
+		node  int32
 		slack float64
 	}
 	ends := make([]endSlack, 0, 256)
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if nd.endp && nd.hasAT && nd.hasRAT {
-			ends = append(ends, endSlack{i, nd.rat - nd.at})
+	for i := 0; i < a.numNodes(); i++ {
+		if a.endp[i] && a.hasAT[i] && a.hasRAT[i] {
+			ends = append(ends, endSlack{int32(i), a.rat[i] - a.at[i]})
 		}
 	}
 	sort.Slice(ends, func(i, j int) bool {
@@ -725,25 +978,25 @@ func (a *Analyzer) TopPaths(maxPaths int) []Path {
 	}
 	paths := make([]Path, 0, len(ends))
 	for _, es := range ends {
-		p := Path{Slack: es.slack, Endpoint: a.nodes[es.node].id}
+		p := Path{Slack: es.slack, Endpoint: a.pinIDOf(int(es.node))}
 		// Backtrack via worst-arrival predecessor edges.
 		cur := es.node
 		for cur >= 0 {
-			p.Pins = append(p.Pins, a.nodes[cur].id)
-			ei := a.nodes[cur].worstIn
+			p.Pins = append(p.Pins, a.pinIDOf(int(cur)))
+			ei := a.worstIn[cur]
 			if ei < 0 {
 				break
 			}
-			e := &a.edges[ei]
-			if !e.isCell {
-				p.Nets = append(p.Nets, a.nodes[cur].net)
+			arc := a.eArc[ei]
+			if arc == nil {
+				p.Nets = append(p.Nets, int(a.net[cur]))
 			}
-			if e.isCell && e.arc.Kind == netlist.ArcClkToQ {
+			if arc != nil && arc.Kind == netlist.ArcClkToQ {
 				// Launch point reached.
-				p.Pins = append(p.Pins, a.nodes[e.from].id)
+				p.Pins = append(p.Pins, a.pinIDOf(int(a.eFrom[ei])))
 				break
 			}
-			cur = e.from
+			cur = a.eFrom[ei]
 		}
 		// Reverse to startpoint-first order.
 		for l, r := 0, len(p.Pins)-1; l < r; l, r = l+1, r-1 {

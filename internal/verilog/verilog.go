@@ -6,6 +6,7 @@
 package verilog
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -142,11 +143,7 @@ func ParseWith(r io.Reader, lib *netlist.Library, o Options) (*netlist.Design, [
 	if file == "" {
 		file = "verilog"
 	}
-	toks, err := tokenize(r)
-	if err != nil {
-		return nil, nil, scan.Errorf(file, 0, "", "read: %v", err)
-	}
-	p := &parser{toks: toks, lib: lib, file: file, strict: !o.Lenient}
+	p := &parser{lx: newLexer(r), lib: lib, file: file, strict: !o.Lenient}
 	if o.Lenient {
 		p.warns = &scan.Warnings{}
 	}
@@ -159,81 +156,165 @@ type token struct {
 	line int
 }
 
-func tokenize(r io.Reader) ([]token, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
+// lexer streams tokens from the reader one at a time, so parsing a
+// multi-hundred-MB netlist never holds the raw file bytes or a whole-file
+// token slice — peak memory is one bufio window plus the design being built.
+// The empty token text marks exhaustion: EOF, or a read failure left sticky
+// in err.
+type lexer struct {
+	br   *bufio.Reader
+	line int
+	last int    // line of the last real token; exhaustion reports here
+	err  error  // sticky non-EOF read error
+	buf  []byte // scratch for multi-byte tokens
+}
+
+func newLexer(r io.Reader) *lexer {
+	return &lexer{br: bufio.NewReaderSize(r, 64<<10), line: 1}
+}
+
+func (lx *lexer) readByte() (byte, bool) {
+	if lx.err != nil {
+		return 0, false
 	}
-	var toks []token
-	line := 1
-	i := 0
-	s := string(data)
-	for i < len(s) {
-		c := s[i]
+	c, err := lx.br.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			lx.err = err
+		}
+		return 0, false
+	}
+	return c, true
+}
+
+func (lx *lexer) next() token {
+	t := lx.scanToken()
+	if t.text != "" {
+		lx.last = t.line
+	}
+	return t
+}
+
+func (lx *lexer) scanToken() token {
+	for {
+		c, ok := lx.readByte()
+		if !ok {
+			return token{"", lx.last}
+		}
 		switch {
 		case c == '\n':
-			line++
-			i++
+			lx.line++
 		case c == ' ' || c == '\t' || c == '\r':
-			i++
-		case c == '/' && i+1 < len(s) && s[i+1] == '/':
-			for i < len(s) && s[i] != '\n' {
-				i++
+		case c == '/':
+			d, ok := lx.readByte()
+			if !ok {
+				return token{"/", lx.line}
 			}
-		case c == '/' && i+1 < len(s) && s[i+1] == '*':
-			i += 2
-			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
-				if s[i] == '\n' {
-					line++
+			switch d {
+			case '/':
+				for {
+					c, ok := lx.readByte()
+					if !ok {
+						return token{"", lx.last}
+					}
+					if c == '\n' {
+						lx.line++
+						break
+					}
 				}
-				i++
+			case '*':
+				prev := byte(0)
+				for {
+					c, ok := lx.readByte()
+					if !ok {
+						return token{"", lx.last}
+					}
+					if c == '\n' {
+						lx.line++
+					}
+					if prev == '*' && c == '/' {
+						break
+					}
+					prev = c
+				}
+			default:
+				lx.br.UnreadByte()
+				return lx.word(c)
 			}
-			i += 2
-		case c == '\\': // escaped identifier: up to whitespace
-			j := i + 1
-			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' {
-				j++
+		case c == '\\': // escaped identifier: up to whitespace, backslash dropped
+			ln := lx.line
+			lx.buf = lx.buf[:0]
+			for {
+				c, ok := lx.readByte()
+				if !ok {
+					break
+				}
+				if c == ' ' || c == '\t' || c == '\n' {
+					lx.br.UnreadByte()
+					break
+				}
+				lx.buf = append(lx.buf, c)
 			}
-			toks = append(toks, token{s[i+1 : j], line})
-			i = j
-		case strings.ContainsRune("(),.;=", rune(c)):
-			toks = append(toks, token{string(c), line})
-			i++
+			return token{string(lx.buf), ln}
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';' || c == '=':
+			return token{string(c), lx.line}
 		default:
-			j := i
-			for j < len(s) && !strings.ContainsRune(" \t\r\n(),.;=\\", rune(s[j])) {
-				j++
-			}
-			toks = append(toks, token{s[i:j], line})
-			i = j
+			return lx.word(c)
 		}
 	}
-	return toks, nil
+}
+
+// word accumulates an ordinary token starting with c, up to the next
+// whitespace or punctuation byte (which stays unread for the next call).
+func (lx *lexer) word(c byte) token {
+	ln := lx.line
+	lx.buf = append(lx.buf[:0], c)
+	for {
+		c, ok := lx.readByte()
+		if !ok {
+			break
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+			c == '(' || c == ')' || c == ',' || c == '.' || c == ';' || c == '=' || c == '\\' {
+			lx.br.UnreadByte()
+			break
+		}
+		lx.buf = append(lx.buf, c)
+	}
+	return token{string(lx.buf), ln}
 }
 
 type parser struct {
-	toks   []token
-	pos    int
-	lib    *netlist.Library
-	file   string
-	strict bool
-	warns  *scan.Warnings
+	lx      *lexer
+	pend    token
+	hasPend bool
+	lib     *netlist.Library
+	file    string
+	strict  bool
+	warns   *scan.Warnings
 }
 
 func (p *parser) peek() token {
-	if p.pos < len(p.toks) {
-		return p.toks[p.pos]
+	if !p.hasPend {
+		p.pend = p.lx.next()
+		p.hasPend = true
 	}
-	if len(p.toks) > 0 {
-		return token{"", p.toks[len(p.toks)-1].line}
-	}
-	return token{}
+	return p.pend
 }
 
 func (p *parser) next() token {
 	t := p.peek()
-	p.pos++
+	p.hasPend = false
 	return t
+}
+
+// eofErr reports token exhaustion: the underlying read error when one is
+// pending, otherwise the parse-level message.
+func (p *parser) eofErr(line int, format string, args ...any) *scan.ParseError {
+	if p.lx.err != nil {
+		return p.errf(p.lx.line, "", "read: %v", p.lx.err)
+	}
+	return p.errf(line, "", format, args...)
 }
 
 func (p *parser) errf(line int, tok, format string, args ...any) *scan.ParseError {
@@ -243,6 +324,9 @@ func (p *parser) errf(line int, tok, format string, args ...any) *scan.ParseErro
 func (p *parser) expect(text string) error {
 	t := p.next()
 	if t.text != text {
+		if t.text == "" && p.lx.err != nil {
+			return p.eofErr(t.line, "")
+		}
 		return p.errf(t.line, t.text, "expected %q", text)
 	}
 	return nil
@@ -300,7 +384,7 @@ func (p *parser) parseModule() (*netlist.Design, error) {
 			}
 			return d, nil
 		case "":
-			return nil, p.errf(t.line, "", "unexpected end of file before endmodule")
+			return nil, p.eofErr(t.line, "unexpected end of file before endmodule")
 		case "input", "output", "inout":
 			dir := netlist.DirInput
 			if t.text == "output" {
@@ -386,7 +470,7 @@ func (p *parser) parseModule() (*netlist.Design, error) {
 			}
 			for p.peek().text != ")" {
 				if p.peek().text == "" {
-					return nil, p.errf(p.peek().line, "", "unexpected end of file in instance %s", instName.text)
+					return nil, p.eofErr(p.peek().line, "unexpected end of file in instance %s", instName.text)
 				}
 				if err := p.expect("."); err != nil {
 					return nil, err

@@ -52,6 +52,13 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "==> scale-sweep smoke row (10k cells)"
     go run ./cmd/ppabench -scale 10k -scale-out /tmp/ppaclust_scale_smoke.json
     rm -f /tmp/ppaclust_scale_smoke.json
+
+    # Flow-scale smoke: the same 10k design through every stage of the flow
+    # (gen/cluster/place/sta/route/cts), so the per-stage harness and its
+    # JSON schema stay exercised alongside the placement-only sweep.
+    echo "==> flow-scale smoke row (10k cells)"
+    go run ./cmd/ppabench -scale-flow 10k -scale-flow-out /tmp/ppaclust_flow_smoke.json
+    rm -f /tmp/ppaclust_flow_smoke.json
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
