@@ -14,6 +14,7 @@
 //	ppabench -json out.json  # machine-readable per-table wall-clock + metrics
 //	ppabench -scale 10k,100k,1m -scale-out BENCH_scale.json   # scale sweep
 //	ppabench -scale-flow 10k,100k,1m   # per-stage flow sweep -> BENCH_scale_flow.json
+//	ppabench -scale-flow 10k,100k,1m -workers-sweep   # same, at W=1/2/4/8 with speedups
 //	ppabench -scale 100k -memstats   # one size, with Go heap counters
 //	ppabench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles
 package main
@@ -53,9 +54,13 @@ func main() {
 	scale := flag.String("scale", "",
 		"run the scale sweep over a size list like \"10k,100k,1m\" instead of the paper suite")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "scale sweep output path")
+	scaleCompare := flag.Bool("scale-compare", false,
+		"also place each -scale row with Jacobi-PCG forced, recording the reference wall-clock")
 	scaleFlow := flag.String("scale-flow", "",
 		"run the per-stage flow sweep (gen/cluster/place/sta/route/cts) over a size list")
 	scaleFlowOut := flag.String("scale-flow-out", "BENCH_scale_flow.json", "flow sweep output path")
+	workersSweep := flag.Bool("workers-sweep", false,
+		"with -scale-flow: run each size at workers=1,2,4,8, check quality fields bit-identical, record per-stage speedups")
 	memstats := flag.Bool("memstats", false, "print Go heap counters after each scale row")
 	out := flag.String("o", "EXPERIMENTS.md", "report output path (full runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -77,9 +82,9 @@ func main() {
 	s := experiments.NewSuite(*fast, *seed, *workers)
 	switch {
 	case *scaleFlow != "":
-		runScaleFlow(check(parseScaleSizes(*scaleFlow)), *seed, *workers, *scaleFlowOut)
+		runScaleFlow(check(parseScaleSizes(*scaleFlow)), *seed, *workers, *workersSweep, *scaleFlowOut)
 	case *scale != "":
-		runScale(check(parseScaleSizes(*scale)), *seed, *workers, *memstats, *scaleOut)
+		runScale(check(parseScaleSizes(*scale)), *seed, *workers, *memstats, *scaleCompare, *scaleOut)
 	case *jsonOut != "":
 		runJSON(s, *jsonOut)
 	case *table != "":

@@ -16,20 +16,30 @@ import (
 	"ppaclust/internal/place"
 )
 
-// scaleRow is one design size of the -scale sweep.
+// scaleRow is one design size of the -scale sweep. This sweep times the
+// placement core only; the per-throughput field is named place_cells_per_sec
+// so it cannot be confused with a whole-flow rate (the flow sweep in
+// BENCH_scale_flow.json reports per-stage rates under distinct keys).
 type scaleRow struct {
-	Cells       int     `json:"cells"`    // requested cell count
-	Insts       int     `json:"insts"`    // generated instance count
-	Nets        int     `json:"nets"`     // generated net count
-	Pins        int     `json:"pins"`     // generated pin count
-	GenMS       float64 `json:"gen_ms"`   // design generation wall clock
-	PlaceMS     float64 `json:"place_ms"` // global placement wall clock
-	CellsPerSec float64 `json:"cells_per_sec"`
-	PlaceIters  int     `json:"place_iters"` // outer solve+spread rounds
-	CGIters     int     `json:"cg_iters"`    // total CG iterations across solves
-	HPWL        float64 `json:"hpwl"`
-	Overflow    float64 `json:"overflow"`
-	PeakRSSMB   float64 `json:"peak_rss_mb"` // VmHWM after the run, 0 if unknown
+	Cells            int     `json:"cells"`    // requested cell count
+	Insts            int     `json:"insts"`    // generated instance count
+	Nets             int     `json:"nets"`     // generated net count
+	Pins             int     `json:"pins"`     // generated pin count
+	GenMS            float64 `json:"gen_ms"`   // design generation wall clock
+	PlaceMS          float64 `json:"place_ms"` // global placement wall clock
+	PlaceCellsPerSec float64 `json:"place_cells_per_sec"`
+	PlaceIters       int     `json:"place_iters"` // outer solve+spread rounds
+	CGIters          int     `json:"cg_iters"`    // total CG iterations across solves
+	HPWL             float64 `json:"hpwl"`
+	Overflow         float64 `json:"overflow"`
+	PeakRSSMB        float64 `json:"peak_rss_mb"` // VmHWM after the run, 0 if unknown
+
+	// Jacobi-PCG reference run of the same system (recorded when the sweep
+	// is invoked with -scale-compare): the aggregation preconditioner must
+	// beat this wall-clock, not just its iteration count.
+	PlaceJacobiMS float64 `json:"place_jacobi_ms,omitempty"`
+	JacobiCGIters int     `json:"jacobi_cg_iters,omitempty"`
+	JacobiHPWL    float64 `json:"jacobi_hpwl,omitempty"`
 }
 
 // scaleRun is the BENCH_scale.json document.
@@ -118,8 +128,10 @@ func countPins(d *netlist.Design) int {
 }
 
 // runScale generates each requested size and times global placement on it,
-// writing the machine-readable sweep to outPath.
-func runScale(sizes []int, seed int64, workers int, memstats bool, outPath string) {
+// writing the machine-readable sweep to outPath. With compare set, each row
+// is also placed with the preconditioner forced to Jacobi-PCG so the
+// aggregation path's wall-clock advantage is recorded next to its own time.
+func runScale(sizes []int, seed int64, workers int, memstats, compare bool, outPath string) {
 	f, err := os.Create(outPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
@@ -134,7 +146,7 @@ func runScale(sizes []int, seed int64, workers int, memstats bool, outPath strin
 	for _, cells := range sizes {
 		spec := designs.ScaleSpec(cells, 4242+seed)
 		t0 := time.Now()
-		b := designs.Generate(spec)
+		b := designs.GenerateWorkers(spec, workers)
 		genMS := float64(time.Since(t0).Microseconds()) / 1000
 
 		d := b.Design
@@ -143,22 +155,33 @@ func runScale(sizes []int, seed int64, workers int, memstats bool, outPath strin
 		placeMS := float64(time.Since(t1).Microseconds()) / 1000
 
 		row := scaleRow{
-			Cells:       cells,
-			Insts:       len(d.Insts),
-			Nets:        len(d.Nets),
-			Pins:        countPins(d),
-			GenMS:       genMS,
-			PlaceMS:     placeMS,
-			CellsPerSec: float64(len(d.Insts)) / (placeMS / 1000),
-			PlaceIters:  res.Iterations,
-			CGIters:     res.CGIterations,
-			HPWL:        res.HPWL,
-			Overflow:    res.Overflow,
-			PeakRSSMB:   peakRSSMB(),
+			Cells:            cells,
+			Insts:            len(d.Insts),
+			Nets:             len(d.Nets),
+			Pins:             countPins(d),
+			GenMS:            genMS,
+			PlaceMS:          placeMS,
+			PlaceCellsPerSec: float64(len(d.Insts)) / (placeMS / 1000),
+			PlaceIters:       res.Iterations,
+			CGIters:          res.CGIterations,
+			HPWL:             res.HPWL,
+			Overflow:         res.Overflow,
+			PeakRSSMB:        peakRSSMB(),
+		}
+		if compare {
+			t2 := time.Now()
+			jres := place.Global(d, place.Options{Seed: 7, Workers: workers, Precond: -1})
+			row.PlaceJacobiMS = float64(time.Since(t2).Microseconds()) / 1000
+			row.JacobiCGIters = jres.CGIterations
+			row.JacobiHPWL = jres.HPWL
 		}
 		run.Rows = append(run.Rows, row)
 		fmt.Printf("scale %8d cells: gen %8.1f ms, place %9.1f ms (%7.0f cells/s), hpwl %.4g, rss %.0f MB\n",
-			cells, genMS, placeMS, row.CellsPerSec, row.HPWL, row.PeakRSSMB)
+			cells, genMS, placeMS, row.PlaceCellsPerSec, row.HPWL, row.PeakRSSMB)
+		if compare {
+			fmt.Printf("  jacobi-pcg reference: place %9.1f ms, cg_iters %d, hpwl %.4g\n",
+				row.PlaceJacobiMS, row.JacobiCGIters, row.JacobiHPWL)
+		}
 		if memstats {
 			printMemStats(spec.Name)
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -17,14 +18,18 @@ import (
 	"ppaclust/internal/sta"
 )
 
-// flowRow is one design size of the -scale-flow sweep: every stage of the
-// paper flow timed separately on the same design, plus the headline PPA
-// numbers the stages produce.
+// flowRow is one (size, workers) point of the -scale-flow sweep: every stage
+// of the paper flow timed separately on the same design, per-stage throughput
+// in cells/sec, and the headline PPA numbers the stages produce. In
+// -workers-sweep mode the speedup fields compare against the W=1 row of the
+// same size; quality fields are bit-identical across worker counts by the
+// repo's determinism contract (the sweep aborts if they are not).
 type flowRow struct {
-	Cells int `json:"cells"` // requested cell count
-	Insts int `json:"insts"`
-	Nets  int `json:"nets"`
-	Pins  int `json:"pins"`
+	Cells   int `json:"cells"` // requested cell count
+	Workers int `json:"workers"`
+	Insts   int `json:"insts"`
+	Nets    int `json:"nets"`
+	Pins    int `json:"pins"`
 
 	GenMS     float64 `json:"gen_ms"`     // synthetic design generation
 	ClusterMS float64 `json:"cluster_ms"` // MultilevelFC over the netlist
@@ -32,6 +37,14 @@ type flowRow struct {
 	STAMS     float64 `json:"sta_ms"`     // analyzer build + full timing
 	RouteMS   float64 `json:"route_ms"`   // global routing + congestion
 	CTSMS     float64 `json:"cts_ms"`     // clock-tree synthesis + propagated STA
+	FlowMS    float64 `json:"flow_ms"`    // sum of the six stages
+
+	GenCellsPerSec     float64 `json:"gen_cells_per_sec"`
+	ClusterCellsPerSec float64 `json:"cluster_cells_per_sec"`
+	PlaceCellsPerSec   float64 `json:"place_cells_per_sec"`
+	STACellsPerSec     float64 `json:"sta_cells_per_sec"`
+	RouteCellsPerSec   float64 `json:"route_cells_per_sec"`
+	CTSCellsPerSec     float64 `json:"cts_cells_per_sec"`
 
 	Clusters   int     `json:"clusters"`
 	PlaceIters int     `json:"place_iters"`
@@ -40,9 +53,18 @@ type flowRow struct {
 	Overflow   int     `json:"route_overflow"` // routed demand above capacity
 	MaxCong    float64 `json:"max_congestion"` // highest GCell edge utilization
 	BinOvf     float64 `json:"bin_overflow"`   // placer bin overflow at stop
-	WNSPS      float64 `json:"wns_ps"`       // post-CTS propagated-clock WNS
+	WNSPS      float64 `json:"wns_ps"`         // post-CTS propagated-clock WNS
 	TNSPS      float64 `json:"tns_ps"`
 	PeakRSSMB  float64 `json:"peak_rss_mb"` // VmHWM after the row, 0 if unknown
+
+	// Speedups vs the W=1 row of the same size (-workers-sweep only).
+	FlowSpeedup    float64 `json:"flow_speedup,omitempty"`
+	GenSpeedup     float64 `json:"gen_speedup,omitempty"`
+	ClusterSpeedup float64 `json:"cluster_speedup,omitempty"`
+	PlaceSpeedup   float64 `json:"place_speedup,omitempty"`
+	STASpeedup     float64 `json:"sta_speedup,omitempty"`
+	RouteSpeedup   float64 `json:"route_speedup,omitempty"`
+	CTSSpeedup     float64 `json:"cts_speedup,omitempty"`
 }
 
 // flowRun is the BENCH_scale_flow.json document.
@@ -59,11 +81,142 @@ func ms(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000
 }
 
-// runScaleFlow runs every flow stage — generate, cluster, place, STA, route,
-// CTS — once per requested size, timing each stage on its own, and writes
-// the machine-readable sweep to outPath. Unlike -scale (placement only),
-// this answers "which stage falls over first" as designs grow.
-func runScaleFlow(sizes []int, seed int64, workers int, outPath string) {
+// runFlowOnce runs the six flow stages — generate, cluster, place, STA,
+// route, CTS — on one freshly generated design at one worker count, timing
+// each stage on its own. Generation bypasses the benchmark cache so repeat
+// runs of the same size (the workers sweep) never time a cache hit.
+func runFlowOnce(cells int, seed int64, workers int) flowRow {
+	spec := designs.ScaleSpec(cells, 4242+seed)
+
+	t0 := time.Now()
+	b := designs.GenerateWorkers(spec, workers)
+	genMS := ms(time.Since(t0))
+	d := b.Design
+
+	t1 := time.Now()
+	hv := d.ToHypergraph()
+	cres := cluster.MultilevelFC(hv.H, cluster.Options{
+		Seed:    seed,
+		Workers: workers,
+	})
+	clusterMS := ms(time.Since(t1))
+
+	t2 := time.Now()
+	pres := place.Global(d, place.Options{Seed: 7, Workers: workers})
+	placeMS := ms(time.Since(t2))
+
+	t3 := time.Now()
+	an := sta.New(d, b.Cons)
+	an.Workers = workers
+	sum := an.Timing()
+	staMS := ms(time.Since(t3))
+
+	t4 := time.Now()
+	rres := route.GlobalRoute(d, route.Options{Workers: workers})
+	routeMS := ms(time.Since(t4))
+
+	t5 := time.Now()
+	var clk *netlist.Net
+	for _, n := range d.Nets {
+		if n.Clock {
+			clk = n
+			break
+		}
+	}
+	if clk != nil {
+		copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2"), SkipArrivalMap: true, Workers: workers}
+		ctsRes := cts.Synthesize(d, clk, copt)
+		if len(ctsRes.ArrivalList) > 0 {
+			an.SetClockArrivalList(ctsRes.ArrivalList)
+			sum = an.Timing()
+		}
+	}
+	ctsMS := ms(time.Since(t5))
+
+	rate := func(stageMS float64) float64 {
+		if stageMS <= 0 {
+			return 0
+		}
+		return float64(len(d.Insts)) / (stageMS / 1000)
+	}
+	return flowRow{
+		Cells:              cells,
+		Workers:            par.Workers(workers),
+		Insts:              len(d.Insts),
+		Nets:               len(d.Nets),
+		Pins:               countPins(d),
+		GenMS:              genMS,
+		ClusterMS:          clusterMS,
+		PlaceMS:            placeMS,
+		STAMS:              staMS,
+		RouteMS:            routeMS,
+		CTSMS:              ctsMS,
+		FlowMS:             genMS + clusterMS + placeMS + staMS + routeMS + ctsMS,
+		GenCellsPerSec:     rate(genMS),
+		ClusterCellsPerSec: rate(clusterMS),
+		PlaceCellsPerSec:   rate(placeMS),
+		STACellsPerSec:     rate(staMS),
+		RouteCellsPerSec:   rate(routeMS),
+		CTSCellsPerSec:     rate(ctsMS),
+		Clusters:           cres.NumClusters,
+		PlaceIters:         pres.Iterations,
+		CGIters:            pres.CGIterations,
+		HPWL:               pres.HPWL,
+		Overflow:           rres.Overflow,
+		MaxCong:            rres.MaxCongestion,
+		BinOvf:             pres.Overflow,
+		WNSPS:              sum.WNS * 1e12,
+		TNSPS:              sum.TNS * 1e12,
+		PeakRSSMB:          peakRSSMB(),
+	}
+}
+
+// printFlowRow is the one-line progress report for a finished flow row.
+func printFlowRow(row flowRow) {
+	fmt.Printf("flow %8d cells W=%d: gen %7.0f cluster %7.0f place %7.0f sta %7.0f route %7.0f cts %7.0f ms, wns %.1f ps, rss %.0f MB\n",
+		row.Cells, row.Workers, row.GenMS, row.ClusterMS, row.PlaceMS, row.STAMS, row.RouteMS, row.CTSMS, row.WNSPS, row.PeakRSSMB)
+}
+
+// checkSweepIdentity compares the quality fields of a multi-worker row
+// against the W=1 reference of the same size. The determinism contract says
+// they must match to the bit; a mismatch is a correctness bug, so the sweep
+// dies loudly rather than recording tainted numbers.
+func checkSweepIdentity(base, row flowRow) error {
+	if row.Insts != base.Insts || row.Nets != base.Nets || row.Pins != base.Pins {
+		return fmt.Errorf("netlist differs: insts/nets/pins %d/%d/%d vs %d/%d/%d",
+			row.Insts, row.Nets, row.Pins, base.Insts, base.Nets, base.Pins)
+	}
+	if row.Clusters != base.Clusters || row.CGIters != base.CGIters || row.PlaceIters != base.PlaceIters {
+		return fmt.Errorf("trajectory differs: clusters/cg/rounds %d/%d/%d vs %d/%d/%d",
+			row.Clusters, row.CGIters, row.PlaceIters, base.Clusters, base.CGIters, base.PlaceIters)
+	}
+	if math.Float64bits(row.HPWL) != math.Float64bits(base.HPWL) {
+		return fmt.Errorf("hpwl differs: %v vs %v", row.HPWL, base.HPWL)
+	}
+	if row.Overflow != base.Overflow ||
+		math.Float64bits(row.MaxCong) != math.Float64bits(base.MaxCong) ||
+		math.Float64bits(row.BinOvf) != math.Float64bits(base.BinOvf) {
+		return fmt.Errorf("congestion differs: ovf %d/%v/%v vs %d/%v/%v",
+			row.Overflow, row.MaxCong, row.BinOvf, base.Overflow, base.MaxCong, base.BinOvf)
+	}
+	if math.Float64bits(row.WNSPS) != math.Float64bits(base.WNSPS) ||
+		math.Float64bits(row.TNSPS) != math.Float64bits(base.TNSPS) {
+		return fmt.Errorf("timing differs: wns/tns %v/%v vs %v/%v",
+			row.WNSPS, row.TNSPS, base.WNSPS, base.TNSPS)
+	}
+	return nil
+}
+
+// sweepWorkerCounts are the worker counts a -workers-sweep row set covers.
+var sweepWorkerCounts = []int{1, 2, 4, 8}
+
+// runScaleFlow runs every flow stage once per requested size, timing each
+// stage on its own, and writes the machine-readable sweep to outPath. Unlike
+// -scale (placement only), this answers "which stage falls over first" as
+// designs grow. With sweep set, every size runs at workers=1/2/4/8: the
+// quality fields are checked bit-identical across worker counts and each row
+// records its per-stage speedup over the W=1 reference.
+func runScaleFlow(sizes []int, seed int64, workers int, sweep bool, outPath string) {
 	f, err := os.Create(outPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppabench: %v\n", err)
@@ -75,79 +228,38 @@ func runScaleFlow(sizes []int, seed int64, workers int, outPath string) {
 		Workers:    par.Workers(workers),
 		Seed:       seed,
 	}
+	speedup := func(baseMS, rowMS float64) float64 {
+		if rowMS <= 0 {
+			return 0
+		}
+		return baseMS / rowMS
+	}
 	for _, cells := range sizes {
-		spec := designs.ScaleSpec(cells, 4242+seed)
-
-		t0 := time.Now()
-		b := designs.Generate(spec)
-		genMS := ms(time.Since(t0))
-		d := b.Design
-
-		t1 := time.Now()
-		hv := d.ToHypergraph()
-		cres := cluster.MultilevelFC(hv.H, cluster.Options{
-			Seed:    seed,
-			Workers: workers,
-		})
-		clusterMS := ms(time.Since(t1))
-
-		t2 := time.Now()
-		pres := place.Global(d, place.Options{Seed: 7, Workers: workers})
-		placeMS := ms(time.Since(t2))
-
-		t3 := time.Now()
-		an := sta.New(d, b.Cons)
-		an.Workers = workers
-		sum := an.Timing()
-		staMS := ms(time.Since(t3))
-
-		t4 := time.Now()
-		rres := route.GlobalRoute(d, route.Options{})
-		routeMS := ms(time.Since(t4))
-
-		t5 := time.Now()
-		var clk *netlist.Net
-		for _, n := range d.Nets {
-			if n.Clock {
-				clk = n
-				break
+		if !sweep {
+			row := runFlowOnce(cells, seed, workers)
+			run.Rows = append(run.Rows, row)
+			printFlowRow(row)
+			continue
+		}
+		var base flowRow
+		for i, w := range sweepWorkerCounts {
+			row := runFlowOnce(cells, seed, w)
+			if i == 0 {
+				base = row
+			} else if err := checkSweepIdentity(base, row); err != nil {
+				fmt.Fprintf(os.Stderr, "ppabench: workers-sweep W=%d not bit-identical to W=1 at %d cells: %v\n", w, cells, err)
+				os.Exit(1)
 			}
+			row.FlowSpeedup = speedup(base.FlowMS, row.FlowMS)
+			row.GenSpeedup = speedup(base.GenMS, row.GenMS)
+			row.ClusterSpeedup = speedup(base.ClusterMS, row.ClusterMS)
+			row.PlaceSpeedup = speedup(base.PlaceMS, row.PlaceMS)
+			row.STASpeedup = speedup(base.STAMS, row.STAMS)
+			row.RouteSpeedup = speedup(base.RouteMS, row.RouteMS)
+			row.CTSSpeedup = speedup(base.CTSMS, row.CTSMS)
+			run.Rows = append(run.Rows, row)
+			printFlowRow(row)
 		}
-		if clk != nil {
-			copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2"), SkipArrivalMap: true}
-			ctsRes := cts.Synthesize(d, clk, copt)
-			if len(ctsRes.ArrivalList) > 0 {
-				an.SetClockArrivalList(ctsRes.ArrivalList)
-				sum = an.Timing()
-			}
-		}
-		ctsMS := ms(time.Since(t5))
-
-		row := flowRow{
-			Cells:      cells,
-			Insts:      len(d.Insts),
-			Nets:       len(d.Nets),
-			Pins:       countPins(d),
-			GenMS:      genMS,
-			ClusterMS:  clusterMS,
-			PlaceMS:    placeMS,
-			STAMS:      staMS,
-			RouteMS:    routeMS,
-			CTSMS:      ctsMS,
-			Clusters:   cres.NumClusters,
-			PlaceIters: pres.Iterations,
-			CGIters:    pres.CGIterations,
-			HPWL:       pres.HPWL,
-			Overflow:   rres.Overflow,
-			MaxCong:    rres.MaxCongestion,
-			BinOvf:     pres.Overflow,
-			WNSPS:      sum.WNS * 1e12,
-			TNSPS:      sum.TNS * 1e12,
-			PeakRSSMB:  peakRSSMB(),
-		}
-		run.Rows = append(run.Rows, row)
-		fmt.Printf("flow %8d cells: gen %7.0f cluster %7.0f place %7.0f sta %7.0f route %7.0f cts %7.0f ms, wns %.1f ps, rss %.0f MB\n",
-			cells, genMS, clusterMS, placeMS, staMS, routeMS, ctsMS, row.WNSPS, row.PeakRSSMB)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")

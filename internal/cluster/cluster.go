@@ -150,7 +150,7 @@ func MultilevelFC(h *hypergraph.Hypergraph, opt Options) Result {
 			budget = 0 // far from target: unrestricted pass
 		}
 		merge := fcPass(cur, groups, tCost, sCost, opt, maxW, budget, rng)
-		con, err := cur.Contract(merge)
+		con, err := cur.ContractWorkers(merge, opt.Workers)
 		if err != nil {
 			break
 		}

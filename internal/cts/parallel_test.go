@@ -1,0 +1,105 @@
+package cts
+
+import (
+	"math"
+	"testing"
+
+	"ppaclust/internal/netlist"
+	"ppaclust/internal/sta"
+)
+
+// TestSynthesizeWorkersEquivalent checks CTS's bit-identity contract: tree
+// topology, buffer count, wirelength, skew bounds, and every per-sink
+// insertion delay must match exactly at any worker count. The fixed
+// annotateForkDepth keeps the wirelength accumulation order worker-
+// independent; everything else is per-node pure computation.
+func TestSynthesizeWorkersEquivalent(t *testing.T) {
+	d, clk, opt := placedBench(t, 47)
+	opt.Workers = 1
+	ref := Synthesize(d, clk, opt)
+	for _, w := range []int{2, 8} {
+		ow := opt
+		ow.Workers = w
+		got := Synthesize(d, clk, ow)
+		if got.Buffers != ref.Buffers || got.Levels != ref.Levels {
+			t.Fatalf("W=%d tree shape: buffers %d/%d levels %d/%d",
+				w, got.Buffers, ref.Buffers, got.Levels, ref.Levels)
+		}
+		if math.Float64bits(got.WirelengthUM) != math.Float64bits(ref.WirelengthUM) {
+			t.Fatalf("W=%d wirelength %v != %v", w, got.WirelengthUM, ref.WirelengthUM)
+		}
+		if math.Float64bits(got.MaxInsertion) != math.Float64bits(ref.MaxInsertion) ||
+			math.Float64bits(got.MinInsertion) != math.Float64bits(ref.MinInsertion) {
+			t.Fatalf("W=%d insertion bounds differ", w)
+		}
+		if len(got.ArrivalList) != len(ref.ArrivalList) {
+			t.Fatalf("W=%d arrival count %d != %d", w, len(got.ArrivalList), len(ref.ArrivalList))
+		}
+		for i := range ref.ArrivalList {
+			a, b := got.ArrivalList[i], ref.ArrivalList[i]
+			if a.Inst != b.Inst || a.Pin != b.Pin || math.Float64bits(a.T) != math.Float64bits(b.T) {
+				t.Fatalf("W=%d arrival %d differs: %+v vs %+v", w, i, a, b)
+			}
+		}
+	}
+}
+
+// TestAnnotateHotLoopAllocFree gates the annotation walk: once a subtree
+// task's partial has warmed arrival capacity, re-annotating must not
+// allocate (the walk is the CTS O(sinks) hot path).
+func TestAnnotateHotLoopAllocFree(t *testing.T) {
+	d, clk, opt := placedBench(t, 48)
+	res := Synthesize(d, clk, opt)
+	if res.Buffers == 0 {
+		t.Fatal("no tree")
+	}
+
+	// Rebuild the sink arrays and tree directly to get a subtree handle.
+	opt = opt.withDefaults()
+	var b builder
+	c := d.Compact()
+	ni := clk.ID
+	for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+		id := c.PinInst[k]
+		if id < 0 {
+			continue
+		}
+		mpIdx := c.PinMP[k]
+		if mpIdx < 0 {
+			continue
+		}
+		mp := &d.Insts[id].Master.Pins[mpIdx]
+		if mp.Dir != netlist.DirInput {
+			continue
+		}
+		b.x = append(b.x, d.Insts[id].X+c.PinDX[k])
+		b.y = append(b.y, d.Insts[id].Y+c.PinDY[k])
+		b.cap = append(b.cap, mp.Cap)
+		b.inst = append(b.inst, id)
+		b.mp = append(b.mp, mpIdx)
+	}
+	n := len(b.x)
+	if n == 0 {
+		t.Fatal("no sinks")
+	}
+	byX := make([]int32, n)
+	byY := make([]int32, n)
+	for i := range byX {
+		byX[i] = int32(i)
+		byY[i] = int32(i)
+	}
+	b.sideLo = make([]bool, n)
+	tree := b.build(byX, byY, make([]int32, n), opt.MaxFanout, 0)
+
+	p := annPartial{arrivals: make([]sta.ClockArrival, 0, n), minIns: math.Inf(1)}
+	b.annotateSub(d, tree, opt, &p, 1e-12) // warm capacity
+	avg := testing.AllocsPerRun(20, func() {
+		p.arrivals = p.arrivals[:0]
+		p.buffers, p.wl = 0, 0
+		p.maxIns, p.minIns = 0, math.Inf(1)
+		b.annotateSub(d, tree, opt, &p, 1e-12)
+	})
+	if avg != 0 {
+		t.Fatalf("annotate allocates %.1f times per walk, want 0", avg)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ppaclust/internal/netlist"
+	"ppaclust/internal/par"
 	"ppaclust/internal/sta"
 )
 
@@ -83,22 +84,24 @@ func TinySpec(seed int64) Spec {
 	}
 }
 
-// driver is an available signal source during generation.
+// driver is an available signal source during generation. Combinational
+// depths live in the record pass (leafRecorder.depths); by materialization
+// time only the pin reference and the lazily created net matter.
 type driver struct {
-	ref   netlist.PinRef
-	net   *netlist.Net // nil until first sink connects
-	leaf  int          // producing leaf module index, -1 for primary inputs
-	depth int          // combinational depth since the last register stage
+	ref  netlist.PinRef
+	net  *netlist.Net // nil until first sink connects
+	leaf int          // producing leaf module index, -1 for primary inputs
 }
 
 type generator struct {
-	rng   *rand.Rand
-	d     *netlist.Design
-	lib   *netlist.Library
-	spec  Spec
-	gates []*netlist.Master // comb masters, sampled by weight; resolved once
-	dff   *netlist.Master
-	ram   *netlist.Master
+	rng     *rand.Rand
+	workers int
+	d       *netlist.Design
+	lib     *netlist.Library
+	spec    Spec
+	gates   []*netlist.Master // comb masters, sampled by weight; resolved once
+	dff     *netlist.Master
+	ram     *netlist.Master
 
 	clockNet  *netlist.Net
 	netCount  int
@@ -106,9 +109,9 @@ type generator struct {
 
 	// exported drivers per leaf, available to later leaves for cross wiring
 	exports    [][]driver
+	expCount   int // exports per leaf, fixed a priori (every leaf is perLeaf cells)
 	leafParent []int
 	broadcast  []driver // global control signals (register outputs)
-	candBuf    []int    // pickDriver sibling-candidate scratch, reused per call
 }
 
 // Generate builds the benchmark for a spec. The same spec always yields the
@@ -128,17 +131,27 @@ type genEntry struct {
 func Generate(spec Spec) *Benchmark {
 	e, _ := genCache.LoadOrStore(spec, &genEntry{})
 	entry := e.(*genEntry)
-	entry.once.Do(func() { entry.b = generate(spec) })
+	entry.once.Do(func() { entry.b = generate(spec, 0) })
 	cons := entry.b.Cons
 	cons.ClockPorts = append([]string(nil), cons.ClockPorts...)
 	return &Benchmark{Design: entry.b.Design.Clone(), Cons: cons, Spec: entry.b.Spec}
 }
 
-func generate(spec Spec) *Benchmark {
+// GenerateWorkers builds the benchmark with an explicit worker count and
+// without the cache. The result is bit-identical at every worker count
+// (leaf records come from per-leaf RNG streams, and materialization is a
+// fixed serial order — gated by TestGenerateWorkersEquivalent). Benchmarks
+// that time generation use this so repeat runs do not measure a cache hit.
+func GenerateWorkers(spec Spec, workers int) *Benchmark {
+	return generate(spec, workers)
+}
+
+func generate(spec Spec, workers int) *Benchmark {
 	g := &generator{
-		rng:  rand.New(rand.NewSource(spec.Seed)),
-		lib:  Lib(),
-		spec: spec,
+		rng:     rand.New(rand.NewSource(spec.Seed)),
+		workers: par.Workers(workers),
+		lib:     Lib(),
+		spec:    spec,
 	}
 	// Pre-size the design for the requested cell count: instances get the
 	// target plus control registers and macros, nets track instances nearly
@@ -260,11 +273,29 @@ func (g *generator) build() {
 	if perLeaf < 12 {
 		perLeaf = 12
 	}
-	g.exports = make([][]driver, 0, len(leaves))
+	// Every leaf is exactly perLeaf cells, so its export count is known
+	// before any leaf is built — cross-module picks in the record phase can
+	// index another leaf's exports without waiting for them to materialize.
+	g.expCount = perLeaf / 8
+	if g.expCount < 4 {
+		g.expCount = 4
+	}
+	g.exports = make([][]driver, len(leaves))
 
+	// Phase B: record every leaf's synthesis decisions in parallel. Each
+	// leaf draws from its own seeded RNG stream and consults only a-priori
+	// facts about the others (parent indices, the fixed export count), so
+	// the records are identical at every worker count.
+	plans := make([]leafPlan, len(leaves))
+	par.ForEach(g.workers, len(leaves), func(li int) {
+		g.recordLeaf(li, perLeaf, len(primary), &plans[li])
+	})
+
+	// Phase C: materialize the records serially in leaf order — instance,
+	// net, and name counters advance in one fixed sequence regardless of
+	// how the records were produced.
 	for li, path := range leaves {
-		g.exports = append(g.exports, nil)
-		g.buildLeaf(li, path, perLeaf, primary)
+		g.materializeLeaf(li, path, &plans[li], primary)
 	}
 
 	// Macros: attach each to a leaf's exported signals.
@@ -294,55 +325,94 @@ func (g *generator) build() {
 	g.floorplan()
 }
 
-// pickDriver selects a signal source for a sink in leaf li, honoring the
-// cross-module fraction and sibling bias.
-func (g *generator) pickDriver(li int, local []driver, primary []driver) *driver {
-	r := g.rng.Float64()
+// driverRef names a signal source chosen during the leaf record pass,
+// before any instance or net exists.
+type driverRef struct {
+	kind int8  // refBroadcast, refCross, refPrimary, refLocal
+	a    int32 // broadcast/primary/local index, or the source leaf for refCross
+	b    int32 // export index within the source leaf (refCross only)
+}
+
+const (
+	refBroadcast = int8(iota)
+	refCross
+	refPrimary
+	refLocal
+)
+
+// leafPlan is one leaf module's recorded synthesis: which comb masters to
+// instantiate, where every input pin connects, how register D inputs close,
+// and which local drivers the leaf exports. Records reference other leaves
+// only as (leaf, export-slot) pairs, so they can be produced in parallel.
+type leafPlan struct {
+	gates  []int32     // comb cell master index into generator.gates
+	picks  []driverRef // input pin sources, in gate-then-pin order
+	dClose []int32     // local driver index closing each register D input
+	exps   []int32     // local driver indices exported for cross wiring
+}
+
+// leafRecorder holds the leaf-local state the driver-selection distribution
+// needs: the per-driver combinational depths and a sibling-candidate scratch.
+type leafRecorder struct {
+	g      *generator
+	rng    *rand.Rand
+	li     int
+	nPrim  int
+	nBcast int
+	depths []int32 // local driver depths; registers occupy the front at 0
+	cand   []int32
+}
+
+// pick selects a signal source for one sink, honoring the broadcast
+// fraction, the cross-module fraction, and the sibling bias — the same
+// distribution the serial generator used, restated over record indices.
+// Cross-module drivers are assumed to sit at the depth cap, so a crossing
+// immediately stops local chain extension; that bounds register-to-register
+// depth without needing the source leaf's actual depths, which is what lets
+// every leaf record independently.
+func (lr *leafRecorder) pick() driverRef {
+	g := lr.g
+	r := lr.rng.Float64()
 	// Global control broadcast (enable/select fanout).
-	if r < g.spec.BroadcastFrac && len(g.broadcast) > 0 {
-		return &g.broadcast[g.rng.Intn(len(g.broadcast))]
+	if r < g.spec.BroadcastFrac && lr.nBcast > 0 {
+		return driverRef{kind: refBroadcast, a: int32(lr.rng.Intn(lr.nBcast))}
 	}
-	r = g.rng.Float64()
-	// Cross-module selection from earlier leaves.
-	if r < g.spec.CrossFrac && li > 0 {
-		// Prefer a sibling (same parent) leaf. The candidate scratch is
-		// reused across calls; this loop runs once per cross-module sink.
-		candidates := g.candBuf[:0]
-		if g.rng.Float64() < g.spec.SiblingBias {
-			for lj := 0; lj < li; lj++ {
-				if g.leafParent[lj] == g.leafParent[li] && len(g.exports[lj]) > 0 {
-					candidates = append(candidates, lj)
+	r = lr.rng.Float64()
+	// Cross-module selection from earlier leaves (every leaf exports
+	// expCount drivers, so earlier leaves are always valid candidates).
+	if r < g.spec.CrossFrac && lr.li > 0 {
+		candidates := lr.cand[:0]
+		if lr.rng.Float64() < g.spec.SiblingBias {
+			for lj := 0; lj < lr.li; lj++ {
+				if g.leafParent[lj] == g.leafParent[lr.li] {
+					candidates = append(candidates, int32(lj))
 				}
 			}
 		}
 		if len(candidates) == 0 {
-			for lj := 0; lj < li; lj++ {
-				if len(g.exports[lj]) > 0 {
-					candidates = append(candidates, lj)
-				}
+			for lj := 0; lj < lr.li; lj++ {
+				candidates = append(candidates, int32(lj))
 			}
 		}
-		g.candBuf = candidates[:0]
-		if len(candidates) > 0 {
-			lj := candidates[g.rng.Intn(len(candidates))]
-			return &g.exports[lj][g.rng.Intn(len(g.exports[lj]))]
-		}
+		lr.cand = candidates[:0]
+		lj := candidates[lr.rng.Intn(len(candidates))]
+		return driverRef{kind: refCross, a: lj, b: int32(lr.rng.Intn(g.expCount))}
 	}
-	if len(local) == 0 || g.rng.Float64() < 0.04 {
-		return &primary[g.rng.Intn(len(primary))]
+	if len(lr.depths) == 0 || lr.rng.Float64() < 0.04 {
+		return driverRef{kind: refPrimary, a: int32(lr.rng.Intn(lr.nPrim))}
 	}
 	// Locality: geometric bias toward recent drivers; the depth cap bounds
 	// register-to-register combinational depth so the design's critical
 	// paths track the spec's target clock period.
 	for try := 0; try < 4; try++ {
-		idx := len(local) - 1 - geometric(g.rng, 0.25, len(local))
-		if local[idx].depth < g.spec.LogicDepth {
-			return &local[idx]
+		idx := len(lr.depths) - 1 - geometric(lr.rng, 0.25, len(lr.depths))
+		if int(lr.depths[idx]) < g.spec.LogicDepth {
+			return driverRef{kind: refLocal, a: int32(idx)}
 		}
 	}
 	// Fall back to a shallow driver (register outputs live at the front).
-	lo := g.rng.Intn(len(local)/4 + 1)
-	return &local[lo]
+	lo := lr.rng.Intn(len(lr.depths)/4 + 1)
+	return driverRef{kind: refLocal, a: int32(lo)}
 }
 
 func geometric(rng *rand.Rand, p float64, bound int) int {
@@ -353,18 +423,84 @@ func geometric(rng *rand.Rand, p float64, bound int) int {
 	return k
 }
 
-// buildLeaf generates one leaf module: registers seed local drivers, a
-// combinational cloud consumes and extends them, and register D inputs close
-// the loops.
-func (g *generator) buildLeaf(li int, path string, nCells int, primary []driver) {
-	d := g.d
+// recordLeaf plays out one leaf module's synthesis against leaf-local state
+// only: registers seed the depth array, a combinational cloud consumes and
+// extends it, register D closes and exports sample the finished driver set.
+// The RNG stream is private to the leaf (seeded from spec.Seed and li), so
+// any number of leaves can record concurrently.
+func (g *generator) recordLeaf(li, nCells, nPrim int, plan *leafPlan) {
 	nReg := int(float64(nCells) * g.spec.SeqRatio)
 	if nReg < 2 {
 		nReg = 2
 	}
 	nComb := nCells - nReg
 
-	local := make([]driver, 0, nReg+nComb)
+	lr := leafRecorder{
+		g:      g,
+		rng:    rand.New(rand.NewSource(leafSeed(g.spec.Seed, li))),
+		li:     li,
+		nPrim:  nPrim,
+		nBcast: len(g.broadcast),
+		depths: make([]int32, nReg, nReg+nComb), // registers start at depth 0
+	}
+	plan.gates = make([]int32, 0, nComb)
+	plan.picks = make([]driverRef, 0, 2*nComb)
+	for i := 0; i < nComb; i++ {
+		gi := lr.rng.Intn(len(g.gates))
+		plan.gates = append(plan.gates, int32(gi))
+		m := g.gates[gi]
+		maxDepth := int32(0)
+		for pi := range m.Pins {
+			if m.Pins[pi].Dir != netlist.DirInput {
+				continue
+			}
+			ref := lr.pick()
+			plan.picks = append(plan.picks, ref)
+			var dep int32
+			switch ref.kind {
+			case refLocal:
+				dep = lr.depths[ref.a]
+			case refCross:
+				dep = int32(g.spec.LogicDepth - 1)
+			}
+			if dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+		lr.depths = append(lr.depths, maxDepth+1)
+	}
+	// Close register D inputs from late drivers (deep paths).
+	nLocal := len(lr.depths)
+	lo := nLocal * 3 / 4
+	plan.dClose = make([]int32, 0, nReg)
+	for i := 0; i < nReg; i++ {
+		plan.dClose = append(plan.dClose, int32(lo+lr.rng.Intn(nLocal-lo)))
+	}
+	// Export a sample of drivers for cross-module wiring.
+	plan.exps = make([]int32, 0, g.expCount)
+	for i := 0; i < g.expCount; i++ {
+		plan.exps = append(plan.exps, int32(lr.rng.Intn(nLocal)))
+	}
+}
+
+// leafSeed derives leaf li's private RNG stream from the spec seed using a
+// splitmix64-style finalizer, so nearby (seed, li) pairs land on unrelated
+// streams.
+func leafSeed(seed int64, li int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(li+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// materializeLeaf turns one leaf's record into instances, nets, and
+// connections. It must run in leaf order on one goroutine: the design's
+// instance and net counters, and the lazily created nets shared through
+// broadcast/export/primary driver structs, all advance in record order.
+func (g *generator) materializeLeaf(li int, path string, plan *leafPlan, primary []driver) {
+	d := g.d
+	nReg := len(plan.dClose)
+	local := make([]driver, 0, nReg+len(plan.gates))
 	regs := make([]*netlist.Instance, 0, nReg)
 	for i := 0; i < nReg; i++ {
 		ff := g.addInst(path, g.dff)
@@ -372,42 +508,40 @@ func (g *generator) buildLeaf(li int, path string, nCells int, primary []driver)
 		d.Connect(g.clockNet, netlist.PinRef{Inst: ff.ID, Pin: "CK"})
 		local = append(local, driver{ref: netlist.PinRef{Inst: ff.ID, Pin: "Q"}, leaf: li})
 	}
-	for i := 0; i < nComb; i++ {
-		inst := g.addInst(path, g.gates[g.rng.Intn(len(g.gates))])
-		m := inst.Master
-		maxDepth := 0
+	pk := 0
+	for _, gi := range plan.gates {
+		m := g.gates[gi]
+		inst := g.addInst(path, m)
 		for pi := range m.Pins {
 			mp := &m.Pins[pi]
 			if mp.Dir != netlist.DirInput {
 				continue
 			}
-			drv := g.pickDriver(li, local, primary)
-			if drv.depth > maxDepth {
-				maxDepth = drv.depth
+			ref := plan.picks[pk]
+			pk++
+			var drv *driver
+			switch ref.kind {
+			case refBroadcast:
+				drv = &g.broadcast[ref.a]
+			case refCross:
+				drv = &g.exports[ref.a][ref.b]
+			case refPrimary:
+				drv = &primary[ref.a]
+			default:
+				drv = &local[ref.a]
 			}
 			n := g.newNetFor(drv)
 			d.Connect(n, netlist.PinRef{Inst: inst.ID, Pin: mp.Name})
 		}
-		local = append(local, driver{
-			ref:   netlist.PinRef{Inst: inst.ID, Pin: "ZN"},
-			leaf:  li,
-			depth: maxDepth + 1,
-		})
+		local = append(local, driver{ref: netlist.PinRef{Inst: inst.ID, Pin: "ZN"}, leaf: li})
 	}
-	// Close register D inputs from late drivers (deep paths).
-	for _, ff := range regs {
-		lo := len(local) * 3 / 4
-		drv := &local[lo+g.rng.Intn(len(local)-lo)]
+	for i, ff := range regs {
+		drv := &local[plan.dClose[i]]
 		n := g.newNetFor(drv)
 		d.Connect(n, netlist.PinRef{Inst: ff.ID, Pin: "D"})
 	}
-	// Export a sample of drivers for cross-module wiring.
-	nExp := len(local) / 8
-	if nExp < 4 {
-		nExp = 4
-	}
-	for i := 0; i < nExp; i++ {
-		g.exports[li] = append(g.exports[li], local[g.rng.Intn(len(local))])
+	for _, idx := range plan.exps {
+		g.exports[li] = append(g.exports[li], local[idx])
 	}
 }
 

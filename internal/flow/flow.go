@@ -124,9 +124,9 @@ type Options struct {
 	// high-fanout nets before evaluation (the opt_design analogue). Applied
 	// identically by Run and RunDefault so comparisons stay fair.
 	RepairBuffers bool
-	// Workers bounds the goroutines used by the STA, clustering and placement
-	// kernels: 0 = auto (PPACLUST_WORKERS, else GOMAXPROCS), 1 = sequential.
-	// Results are bit-identical for every worker count.
+	// Workers bounds the goroutines used by the STA, clustering, placement,
+	// routing and CTS kernels: 0 = auto (PPACLUST_WORKERS, else GOMAXPROCS),
+	// 1 = sequential. Results are bit-identical for every worker count.
 	Workers int
 }
 
@@ -518,7 +518,7 @@ func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result,
 		return
 	}
 	t0 := time.Now()
-	rres := route.GlobalRoute(d, route.Options{})
+	rres := route.GlobalRoute(d, route.Options{Workers: opt.Workers})
 	res.RouteTime = time.Since(t0)
 	res.Overflow = rres.Overflow
 
@@ -535,7 +535,7 @@ func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result,
 		if !n.Clock {
 			continue
 		}
-		copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2"), SkipArrivalMap: true}
+		copt := cts.Options{BufMaster: d.Lib.Master("CLKBUF_X2"), SkipArrivalMap: true, Workers: opt.Workers}
 		cres := cts.Synthesize(d, n, copt)
 		if len(cres.ArrivalList) > 0 {
 			an.SetClockArrivalList(cres.ArrivalList)

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ppaclust/internal/par"
 )
 
 // Hypergraph is a weighted hypergraph over dense vertex IDs.
@@ -243,51 +245,111 @@ type Contraction struct {
 // summed per cluster. Parallel coarse edges are merged with weights summed;
 // edges fully inside one cluster are dropped.
 func (h *Hypergraph) Contract(clusterOf []int) (*Contraction, error) {
+	return h.ContractWorkers(clusterOf, 1)
+}
+
+// ContractWorkers is Contract with an explicit worker count (0 = auto). The
+// per-edge work — mapping pins through the cluster map, sorting, deduping,
+// hashing — is sharded over workers into per-edge slots of a flat array; the
+// first-seen merge then replays those slots serially in edge order, so the
+// result is byte-identical to Contract at every worker count (gated by
+// TestContractWorkersEquivalent).
+func (h *Hypergraph) ContractWorkers(clusterOf []int, workers int) (*Contraction, error) {
 	if len(clusterOf) != h.NumVertices() {
 		return nil, fmt.Errorf("hypergraph: cluster map has %d entries for %d vertices", len(clusterOf), h.NumVertices())
 	}
+	workers = par.Workers(workers)
+	n := len(clusterOf)
+
 	// Densify labels in first-seen order so results are deterministic.
-	dense := make(map[int]int)
-	vmap := make([]int, len(clusterOf))
-	for v, c := range clusterOf {
-		id, ok := dense[c]
-		if !ok {
-			id = len(dense)
-			dense[c] = id
+	// Non-negative labels bounded by a small multiple of n (the common case:
+	// merge maps and cluster assignments are vertex-indexed) take a stamp
+	// array; anything else falls back to a map with the same first-seen order.
+	vmap := make([]int, n)
+	nc := 0
+	minL, maxL := 0, -1
+	for _, c := range clusterOf {
+		if maxL < 0 {
+			minL, maxL = c, c
+			continue
 		}
-		vmap[v] = id
+		if c < minL {
+			minL = c
+		}
+		if c > maxL {
+			maxL = c
+		}
 	}
-	coarse := NewWithCap(len(dense), h.NumEdges(), h.NumPins())
+	if n > 0 && minL >= 0 && maxL < 2*n {
+		seen := make([]int32, maxL+1)
+		for i := range seen {
+			seen[i] = -1
+		}
+		for v, c := range clusterOf {
+			if seen[c] < 0 {
+				seen[c] = int32(nc)
+				nc++
+			}
+			vmap[v] = int(seen[c])
+		}
+	} else {
+		dense := make(map[int]int)
+		for v, c := range clusterOf {
+			id, ok := dense[c]
+			if !ok {
+				id = len(dense)
+				dense[c] = id
+			}
+			vmap[v] = id
+		}
+		nc = len(dense)
+	}
+
+	coarse := NewWithCap(nc, h.NumEdges(), h.NumPins())
 	for v, cv := range vmap {
 		coarse.vertexWeight[cv] += h.vertexWeight[v]
 	}
-	// Merge parallel edges via an integer hash over the sorted coarse vertex
-	// ids (no per-edge string key). Hash buckets hold candidate coarse-edge
-	// ids and every hit is confirmed by exact vertex comparison, so hash
-	// collisions cannot merge distinct edges, and the first-seen coarse edge
-	// order — hence the result — is deterministic.
-	byKey := make(map[uint64][]int)
-	emap := make([]int, h.NumEdges())
-	var scratch []int
-	for e := range h.edgeWeight {
-		scratch = scratch[:0]
-		for _, v := range h.Edge(e) {
-			scratch = append(scratch, vmap[v])
+
+	// Parallel per-edge phase: map every edge's pins through vmap, sort,
+	// dedup, and hash, writing into the edge's own slot of a flat array that
+	// mirrors the pin CSR offsets. Each edge is owned by exactly one worker.
+	m := h.NumEdges()
+	outPins := make([]int, h.NumPins())
+	mLen := make([]int32, m)
+	keys := make([]uint64, m)
+	par.ForEach(workers, m, func(e int) {
+		base := h.edgeStart[e]
+		pins := h.edgePins[base:h.edgeStart[e+1]]
+		out := outPins[base : base+int32(len(pins))]
+		for i, v := range pins {
+			out[i] = vmap[v]
 		}
-		sort.Ints(scratch)
-		m := 0
-		for i, v := range scratch {
-			if i == 0 || v != scratch[m-1] {
-				scratch[m] = v
-				m++
+		slices.Sort(out)
+		k := 0
+		for i, v := range out {
+			if i == 0 || v != out[k-1] {
+				out[k] = v
+				k++
 			}
 		}
-		mapped := scratch[:m]
+		mLen[e] = int32(k)
+		keys[e] = hashInts(out[:k])
+	})
+
+	// Serial merge in edge order via the precomputed integer hashes (no
+	// per-edge string key). Hash buckets hold candidate coarse-edge ids and
+	// every hit is confirmed by exact vertex comparison, so hash collisions
+	// cannot merge distinct edges, and the first-seen coarse edge order —
+	// hence the result — is deterministic.
+	byKey := make(map[uint64][]int)
+	emap := make([]int, m)
+	for e := 0; e < m; e++ {
+		mapped := outPins[h.edgeStart[e] : h.edgeStart[e]+mLen[e]]
 		if len(mapped) < 2 {
 			emap[e] = -1
 			continue
 		}
-		key := hashInts(mapped)
+		key := keys[e]
 		merged := false
 		for _, id := range byKey[key] {
 			if equalInts(coarse.Edge(id), mapped) {

@@ -496,3 +496,44 @@ func TestNeighborsMatchesNaive(t *testing.T) {
 		}
 	}
 }
+
+// TestContractWorkersEquivalent checks the sharded per-edge phase keeps
+// ContractWorkers byte-identical to the sequential Contract: same coarse
+// edges in the same order, same weights, same vertex/edge maps, at every
+// worker count and for both the stamp-array and map densify paths.
+func TestContractWorkersEquivalent(t *testing.T) {
+	f := func(seed int64, sparse bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 5 + rng.Intn(60)
+		h := randomHypergraph(rng, nv, nv*3)
+		clusterOf := make([]int, nv)
+		k := 1 + rng.Intn(8)
+		for v := range clusterOf {
+			clusterOf[v] = rng.Intn(k)
+			if sparse {
+				clusterOf[v] = clusterOf[v]*1000 - 3 // forces the map densify path
+			}
+		}
+		ref, err := h.Contract(clusterOf)
+		if err != nil {
+			return false
+		}
+		for _, w := range []int{2, 8} {
+			got, err := h.ContractWorkers(clusterOf, w)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(got.VertexMap, ref.VertexMap) ||
+				!reflect.DeepEqual(got.EdgeMap, ref.EdgeMap) ||
+				!sameEdges(got.Coarse, ref.Coarse) ||
+				!reflect.DeepEqual(got.Coarse.edgeWeight, ref.Coarse.edgeWeight) ||
+				!reflect.DeepEqual(got.Coarse.vertexWeight, ref.Coarse.vertexWeight) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -77,3 +77,27 @@ func SuppressedSum(m map[int]float64) float64 {
 	}
 	return total
 }
+
+// ShardedOrderedMerge is the route/CTS parallel idiom: collect and sort the
+// keys, shard the sorted work list over per-worker partial accumulators via
+// internal/par, then merge the partials in fixed block order. The only map
+// range is the key-collection loop; accumulation and dispatch both run over
+// slices, so nothing is flagged.
+func ShardedOrderedMerge(m map[int]float64, workers int) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]float64, workers)
+	par.Blocks(workers, len(keys), func(w, lo, hi int) {
+		for _, k := range keys[lo:hi] {
+			parts[w] += m[k]
+		}
+	})
+	var total float64
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}

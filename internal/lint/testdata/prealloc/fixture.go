@@ -3,6 +3,8 @@
 // code.
 package place
 
+import "ppaclust/internal/par"
+
 // GrowNil appends into a nil-declared slice across loop iterations: flagged.
 func GrowNil(nets [][]int) []int {
 	var pins []int
@@ -73,6 +75,25 @@ func Suppressed(nets [][]int, keep func(int) bool) []int {
 				out = append(out, v)
 			}
 		}
+	}
+	return out
+}
+
+// WorkerPartials is the sharded-accumulate-then-ordered-merge idiom from the
+// route/CTS/designs parallel paths: each worker appends into its own arena
+// slot, and the slots are concatenated in block order afterwards. The
+// indexed appends carry no single pre-sizable declaration (shard sizes are
+// workload-dependent), and the merge target is pre-sized: not flagged.
+func WorkerPartials(nets [][]int, workers int) []int {
+	parts := make([][]int, workers)
+	par.Blocks(workers, len(nets), func(w, lo, hi int) {
+		for _, n := range nets[lo:hi] {
+			parts[w] = append(parts[w], n...)
+		}
+	})
+	out := make([]int, 0, len(nets))
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
 }

@@ -69,7 +69,7 @@ func (p *placer) coarseInit() {
 		Seed:           p.opt.Seed,
 		Workers:        p.opt.Workers,
 	})
-	con, err := hv.H.Contract(cres.Assign)
+	con, err := hv.H.ContractWorkers(cres.Assign, p.opt.Workers)
 	if err != nil || con.Coarse.NumVertices() < 2 {
 		return
 	}

@@ -198,8 +198,7 @@ type placer struct {
 	cgX, cgAx, cgR, cgD []float64
 	cgZ                 []float64 // preconditioned residual (aggregation path)
 	pre                 *aggPre   // multilevel preconditioner, nil = Jacobi
-	hierAssigns         [][]int   // MultilevelFC per-level labels (shared by
-	hierCounts          []int     // the preconditioner and coarse-init)
+	aggPending          bool      // ladder build deferred to the first agg solve
 	byX, byY, partBuf   []int32      // bisection orderings + partition scratch
 	sorter              sortx.Sorter // shared radix-sort scratch
 	sideLo              []bool       // bisection membership marks
@@ -243,7 +242,6 @@ func Global(d *netlist.Design, opt Options) Result {
 	if p.useCoarseInit() {
 		p.coarseInit()
 	}
-	p.hierAssigns, p.hierCounts = nil, nil // raw level maps no longer needed
 
 	iter := 0
 	overflow := 1.0
@@ -581,8 +579,13 @@ func (p *placer) addSpring(vi, vj int, ci, cj float64, w float64) {
 // warm-started solves (coarse-init refinement, incremental mode) exit after
 // a handful of iterations.
 func (p *placer) cg(xAxis bool) []float64 {
-	if p.pre != nil && p.iter >= aggFirstRound {
-		return p.cgAgg(xAxis)
+	if p.iter >= aggFirstRound {
+		if p.aggPending {
+			p.ensureAggLadder()
+		}
+		if p.pre != nil {
+			return p.cgAgg(xAxis)
+		}
 	}
 	n := len(p.movable)
 	x := p.cgX

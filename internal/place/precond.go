@@ -1,7 +1,7 @@
 package place
 
 import (
-	"ppaclust/internal/cluster"
+	"ppaclust/internal/par"
 )
 
 // Multilevel aggregation preconditioner for the axis solves.
@@ -10,68 +10,90 @@ import (
 // its smooth, global error modes — exactly the modes a quadratic placement
 // system is full of, since it is a graph Laplacian plus a (initially weak)
 // anchor diagonal. Those modes are what pin the early solves at the CG
-// iteration cap. The cure is the standard smoothed-aggregation AMG one: a
-// ladder of coarse spaces. We reuse the MultilevelFC cluster hierarchy as
-// that ladder (the paper's clustering is connectivity-driven, so its levels
-// are exactly the nested strongly-coupled groups an AMG aggregation pass
-// would form), smooth each piecewise-constant prolongation one damped-Jacobi
-// step, Galerkin-coarsen level by level, and apply one symmetric V(2,2)
-// cycle per CG iteration: forward Gauss-Seidel pre-smoothing, coarse-grid
-// correction, backward Gauss-Seidel post-smoothing, with A_c = Pᵀ A P,
-// P = (I − ω D⁻¹ A) P₀ and ω = 2/3, bottoming out in a dense LDLᵀ solve at
-// the coarsest level. The forward/backward sweeps are adjoint pairs, so the
-// cycle is a symmetric positive definite operator and plain CG applies
-// unchanged.
+// iteration cap. The cure is the standard aggregation-AMG one: a ladder of
+// coarse spaces.
 //
-// The V-cycle path handles rounds ≥ aggFirstRound only: the anchor-free
+// The ladder is built by operator-strength pairwise aggregation (the AGMG
+// recipe): when the first preconditioned solve runs, the freshly assembled
+// B2B matrix itself is aggregated — two greedy strongest-neighbor pairing
+// passes per level, so each level coarsens ~4x — until fewer than ~100 rows
+// remain. Aggregating the operator instead of reusing the FC cluster
+// hierarchy (the PR-6 design) keeps the same iteration counts while deleting
+// the MultilevelFC run from the placement hot path, which at 100k cells cost
+// more than the entire Jacobi-PCG reference solve. The FC hierarchy remains
+// the basis of the multigrid warm start (multigrid.go), where cluster
+// quality, not setup time, dominates.
+//
+// Prolongation is piecewise constant (P₀): restriction sums a residual over
+// each aggregate and prolongation copies the coarse correction to the
+// members, so both transfers are O(n) and the Galerkin product A_c = P₀ᵀAP₀
+// collapses to summing each fine entry into its aggregate pair — one O(nnz)
+// pass per level per rebuild, no smoothed-basis fill-in. The cycle
+// compensates for the flatter basis exactly the way the truncated Jacobi
+// path does: solves stop early (aggRelTol, aggMaxIters), because the placer
+// interleaves solves with spreading and pays for exactness it cannot use.
+//
+// One symmetric V-cycle runs per CG iteration. Level 0 — the only level
+// whose size matters — smooths with a parallel fused damped-Jacobi V(1,1)
+// leg (see vcycleFine); coarser levels keep sequential forward/backward
+// Gauss-Seidel V(2,2) legs, an adjoint pair. Both smoothers are symmetric
+// and convergent, and the coarse correction is symmetric PSD, so the cycle
+// is a symmetric positive definite operator and plain CG applies unchanged.
+//
+// The V-cycle path handles rounds >= aggFirstRound only: the anchor-free
 // round-0 solve deliberately stays on truncated Jacobi-CG (see
 // aggFirstRound for why exactness there hurts placement quality).
 //
-// The aggregate ladder is computed once per placement run (connectivity does
-// not change); the prolongations and Galerkin operators are rebuilt per axis
-// solve, since the B2B weights are position-dependent. Setup is O(nnz) per
-// level with small constants, and every stage — clustering, triple products,
-// the cycle, the direct coarsest solve — is sequential or fixed-order, so
-// placements remain bit-identical across worker counts.
+// The aggregates and member lists (T) are computed once per placement run;
+// the Galerkin operators, per-level diagonals, and the coarsest dense
+// factorization are rebuilt once per axis solve — cached across all CG
+// iterations of that solve — since the B2B weights are position-dependent.
+// Every stage is sequential or fixed-order/fixed-association, so placements
+// remain bit-identical across worker counts.
 
 const (
 	// aggMinCells is the movable-cell count at which auto mode switches from
 	// Jacobi to the aggregation preconditioner. Below it the flat solves are
-	// cheap and the clustering pass would dominate. The auto band is
+	// cheap and the ladder setup would dominate. The auto band is
 	// bounded above too: once the multigrid warm start engages
 	// (coarseInitMinCells) auto mode stays on Jacobi — see setupAggregates.
 	aggMinCells = 20000
-	// aggTargetCoarsest is the MultilevelFC target when the hierarchy is
-	// built: coarsening runs until roughly this many clusters remain, and
-	// every intermediate level is kept for the ladder.
-	aggTargetCoarsest = 64
-	// aggLevelFactor is the minimum fine/coarse size ratio between adjacent
-	// ladder levels; FC levels that shrink less are skipped.
-	aggLevelFactor = 3
+	// aggCoarseTarget stops the pairing recursion: a level at most this size
+	// becomes the coarsest and is solved directly.
+	aggCoarseTarget = 96
 	// aggMaxDirect bounds the coarsest level solved with dense LDLᵀ. A
-	// hierarchy whose coarsest level stalls above it falls back to Jacobi.
+	// ladder whose pairing stalls above it falls back to Jacobi.
 	aggMaxDirect = 1024
-	// aggOmega is the damped-Jacobi weight used for both the prolongation
-	// smoothing and the V-cycle smoothers.
+	// aggMaxLevels bounds the ladder depth (a 4x-per-level ladder reaches
+	// aggCoarseTarget from far beyond any practical design size first).
+	aggMaxLevels = 16
+	// aggAbsorbCap bounds the aggregate size one pairing pass can form. Rows
+	// whose neighbors are all matched (the spokes of star nets, after their
+	// hub pairs) would otherwise stay singletons forever and stall the
+	// coarsening; instead they join their strongest existing aggregate up to
+	// this cap.
+	aggAbsorbCap = 4
+	// aggOmega is the damped-Jacobi weight used by the level-0 smoother.
 	aggOmega = 2.0 / 3.0
-	// aggSmoothDegCap bounds the row degree up to which prolongation rows
-	// are smoothed. Heavier rows (boundary pins of huge nets) keep their
-	// piecewise-constant row, which caps the Galerkin fill-in.
-	aggSmoothDegCap = 48
 	// aggRelTol is the aggregation path's relative stopping tolerance,
-	// deliberately looser than cgRelTol. The two floors are not comparable:
-	// each path measures the residual in its own M⁻¹ norm, and the V-cycle
-	// norm tracks the A-norm within a small constant while the Jacobi norm
-	// is far weaker. Measured at 100k cells, 50 Jacobi iterations leave the
-	// hard mid-flow solves at a residual reduction of only ~1.5e-1 in the
-	// weak norm; a V-cycle-preconditioned solve to aggRelTol lands well past
-	// that in the strong norm — a tighter terminal state for a fraction of
-	// the iterations. The placer interleaves solves with spreading, so the
-	// extra digits Jacobi never reached buy nothing.
-	aggRelTol = 5e-2
+	// deliberately far looser than cgRelTol. The Jacobi path never reaches
+	// its own tolerance on large designs — it runs to the iteration cap and
+	// the placer's spread/solve interleaving absorbs the truncation. The
+	// V-cycle solves therefore only need to land at a comparable terminal
+	// state, and each of their iterations contracts the error by a large
+	// constant factor, so a loose tolerance converts directly into fewer
+	// O(nnz) passes. Measured at 100k cells the flow quality matches the
+	// PR-6 (5e-2) setting while the solve time halves.
+	aggRelTol = 1.5e-1
+	// aggMaxIters truncates each aggregation-preconditioned solve, the
+	// direct analogue of the Jacobi path running to its cap: past a handful
+	// of V-cycles the remaining error is spatial detail the next spreading
+	// round reshuffles anyway.
+	aggMaxIters = 20
 	// aggSmoothSweeps is the number of Gauss-Seidel sweeps per pre/post
-	// smoothing leg — a V(2,2) cycle. The second sweep costs one extra
-	// O(nnz) pass but measurably cuts outer CG iterations.
+	// smoothing leg on the coarse levels (k >= 1) — a V(2,2) cycle there.
+	// Level 0 uses the fused damped-Jacobi V(1,1) leg instead; coarse rows
+	// are few enough that the stronger sequential smoother is free.
 	aggSmoothSweeps = 2
 	// aggFirstRound is the first outer round the V-cycle path handles;
 	// earlier rounds run plain truncated Jacobi-CG. The round-0 system has
@@ -129,34 +151,38 @@ func (m *csrMat) gsBackward(r, z []float64) {
 	}
 }
 
-// csrP is a prolongation (rows = finer level, cols = coarser) or its
-// transpose.
-type csrP struct {
+// aggT lists each aggregate's member rows, ascending — the transpose of the
+// piecewise-constant prolongation, cached for the whole run.
+type aggT struct {
 	start []int32
-	col   []int32
-	val   []float64
+	idx   []int32
 }
 
 // aggPre holds the preconditioner ladder and scratch.
 type aggPre struct {
-	nlev int       // number of prolongation levels
+	nlev int       // number of aggregation levels
 	nsz  []int     // level sizes: nsz[0] = fine n .. nsz[nlev] = coarsest
-	agg  [][]int32 // agg[k]: level-k index -> level-(k+1) aggregate
+	agg  [][]int32 // agg[k]: level-k row -> level-(k+1) aggregate
+	T    []aggT    // T[k]: level-(k+1) aggregate -> level-k member rows
 
 	A []csrMat // A[0..nlev]; A[0] mirrors the placer system
-	P []csrP   // P[k] prolongates level k+1 to level k
-	T []csrP   // P[k]ᵀ (finer rows ascending within each coarse row)
-	w csrP     // W = A·P build scratch, reused across levels
 
 	chol  []float64 // dense LDLᵀ factor at the coarsest level (lower part)
 	cholD []float64 // pivots (0 = skipped null row)
 
 	rv, zv, tv [][]float64 // per-level cycle vectors
 
-	// Dense accumulation scratch (first-touch ordered flush), sized nsz[1].
+	// Dense accumulation scratch (first-touch ordered flush) for the
+	// Galerkin contractions, sized for the largest coarse space ever
+	// contracted into (the ladder build's first pairing pass).
 	accVal  []float64
 	accUsed []bool
 	touched []int32
+
+	// fresh marks the Galerkin operators as already matching the current
+	// assembled system (set by the ladder build, which runs inside the
+	// first preconditioned solve), so that solve skips its rebuild.
+	fresh bool
 }
 
 // add accumulates v into the dense scratch, recording first touches.
@@ -168,63 +194,124 @@ func (a *aggPre) add(c int32, v float64) {
 	a.accVal[c] += v
 }
 
-// flushRow drains the dense scratch into a CSR row in first-touch order.
-func (a *aggPre) flushRow(cols *[]int32, vals *[]float64) {
-	for _, t := range a.touched {
-		*cols = append(*cols, t)
-		*vals = append(*vals, a.accVal[t])
-		a.accUsed[t] = false
-		a.accVal[t] = 0
+// pairPass greedily aggregates rows with their strongest (most negative
+// off-diagonal) unmatched neighbor: ascending row order, first-strongest
+// entry wins ties. A row with no free neighbor joins its strongest existing
+// aggregate instead, up to aggAbsorbCap members (without this, star-shaped
+// nets stall the coarsening: once the hub pairs, every remaining spoke's
+// only neighbor is matched). Aggregate ids come out in first-touch
+// (ascending row) order and sizes update sequentially, so the pass is
+// deterministic. sz is caller scratch of length >= n; returns the aggregate
+// count.
+func pairPass(n int, start, col []int32, val []float64, out, sz []int32) int {
+	for i := 0; i < n; i++ {
+		out[i] = -1
 	}
-	a.touched = a.touched[:0]
-}
-
-// buildHierarchy runs MultilevelFC once, keeping every level, for both the
-// preconditioner ladder and the coarse-init warm start. At most once per run.
-func (p *placer) buildHierarchy() {
-	if p.hierAssigns != nil {
-		return
-	}
-	hv := p.d.ToHypergraph()
-	cres := cluster.MultilevelFC(hv.H, cluster.Options{
-		TargetClusters:   aggTargetCoarsest,
-		Seed:             p.opt.Seed,
-		Workers:          p.opt.Workers,
-		KeepLevelAssigns: true,
-	})
-	p.hierAssigns = cres.LevelAssigns
-	p.hierCounts = cres.LevelCounts
-	if p.hierAssigns == nil {
-		p.hierAssigns = [][]int{} // mark built even when FC yields no levels
-	}
-}
-
-// hierPickAssign returns the stored hierarchy level whose cluster count is
-// closest to k, for reuse by the coarse-init warm start. Nil when the
-// hierarchy is empty.
-func (p *placer) hierPickAssign(k int) []int {
-	best := -1
-	for j, c := range p.hierCounts {
-		if best < 0 || abs(c-k) < abs(p.hierCounts[best]-k) {
-			best = j
+	nc := int32(0)
+	for i := 0; i < n; i++ {
+		if out[i] >= 0 {
+			continue
+		}
+		bestFree, bestAgg := int32(-1), int32(-1)
+		bwFree, bwAgg := 0.0, 0.0
+		for e := start[i]; e < start[i+1]; e++ {
+			j := col[e]
+			if int(j) == i {
+				continue
+			}
+			w := -val[e]
+			if out[j] < 0 {
+				if w > bwFree {
+					bwFree, bestFree = w, j
+				}
+			} else if sz[out[j]] < aggAbsorbCap && w > bwAgg {
+				bwAgg, bestAgg = w, j
+			}
+		}
+		switch {
+		case bestFree >= 0:
+			out[i] = nc
+			out[bestFree] = nc
+			sz[nc] = 2
+			nc++
+		case bestAgg >= 0:
+			c := out[bestAgg]
+			out[i] = c
+			sz[c]++
+		default:
+			out[i] = nc
+			sz[nc] = 1
+			nc++
 		}
 	}
-	if best < 0 {
-		return nil
-	}
-	return p.hierAssigns[best]
+	return int(nc)
 }
 
-func abs(v int) int {
-	if v < 0 {
-		return -v
+// buildT counting-sorts an aggregate map into member lists, ascending rows
+// within each aggregate.
+func buildT(agg []int32, nc int, t *aggT) {
+	t.start = make([]int32, nc+1)
+	t.idx = make([]int32, len(agg))
+	for _, c := range agg {
+		t.start[c+1]++
 	}
-	return v
+	for c := 0; c < nc; c++ {
+		t.start[c+1] += t.start[c]
+	}
+	fill := make([]int32, nc)
+	copy(fill, t.start[:nc])
+	for i, c := range agg {
+		t.idx[fill[c]] = int32(i)
+		fill[c]++
+	}
 }
 
-// setupAggregates selects the ladder levels over the movable variables and
-// allocates the per-level solve state. Any degenerate outcome leaves p.pre
-// nil, falling back to plain Jacobi.
+// contract computes the piecewise-constant Galerkin product C = P₀ᵀ A P₀:
+// every fine entry lands on its aggregate pair, accumulated per coarse row
+// over ascending member rows in entry order — a fixed association, hence
+// deterministic. C.start must be presized to len(t.start); col/val capacity
+// is reused across rebuilds.
+func (a *aggPre) contract(A *csrMat, t *aggT, agg []int32, C *csrMat) {
+	nc := len(t.start) - 1
+	C.n = nc
+	C.col = C.col[:0]
+	C.val = C.val[:0]
+	C.start[0] = 0
+	for c := 0; c < nc; c++ {
+		d := 0.0
+		for q := t.start[c]; q < t.start[c+1]; q++ {
+			i := t.idx[q]
+			d += A.diag[i]
+			for e := A.start[i]; e < A.start[i+1]; e++ {
+				cc := agg[A.col[e]]
+				if int(cc) == c {
+					d += A.val[e]
+				} else {
+					a.add(cc, A.val[e])
+				}
+			}
+		}
+		for _, tc := range a.touched {
+			C.col = append(C.col, tc)
+			C.val = append(C.val, a.accVal[tc])
+			a.accUsed[tc] = false
+			a.accVal[tc] = 0
+		}
+		a.touched = a.touched[:0]
+		C.diag[c] = d
+		C.start[c+1] = int32(len(C.col))
+		if d > 0 {
+			C.invDiag[c] = 1 / d
+		} else {
+			C.invDiag[c] = 0
+		}
+	}
+}
+
+// setupAggregates decides whether this run should use the aggregation
+// preconditioner. The ladder itself is built lazily by the first
+// preconditioned solve (ensureAggLadder), which aggregates the actual
+// assembled operator instead of a connectivity proxy.
 func (p *placer) setupAggregates() {
 	if p.opt.Precond < 0 {
 		return
@@ -241,109 +328,112 @@ func (p *placer) setupAggregates() {
 		// no-warm-start band; Precond=1 still forces it anywhere.
 		return
 	}
-	p.buildHierarchy()
-	if len(p.hierAssigns) == 0 {
-		return
+	p.aggPending = true
+}
+
+// ensureAggLadder builds the aggregate ladder from the operator of the
+// current (first preconditioned) solve: double pairwise aggregation per
+// level until aggCoarseTarget rows remain. Any degenerate outcome — pairing
+// stalls, coarsest level too large for the direct solve — leaves p.pre nil
+// and the run falls back to Jacobi. Runs at most once per placement.
+func (p *placer) ensureAggLadder() {
+	p.aggPending = false
+	n := len(p.movable)
+	a := &aggPre{}
+
+	// Level-0 mirror of the placer CSR (off-diagonals negated to true
+	// values). The arrays stay on the ladder and are refreshed per solve.
+	a0 := csrMat{n: n, diag: p.diag, invDiag: p.invDiag}
+	a0.start = make([]int32, n+1)
+	copy(a0.start, p.offStart)
+	a0.col = make([]int32, len(p.offEnt))
+	a0.val = make([]float64, len(p.offEnt))
+	for k, e := range p.offEnt {
+		a0.col[k] = e.col
+		a0.val[k] = -e.w
 	}
 
-	// Compress each stored level to labels over movable variables and keep a
-	// subsequence that coarsens by at least aggLevelFactor per step. The
-	// coarsest stored level always terminates the ladder so the direct solve
-	// stays small even when the last FC passes shrink slowly.
-	labs := make([][]int32, 0, len(p.hierAssigns))
-	counts := make([]int, 0, len(p.hierAssigns))
-	prev := n
-	for li, assign := range p.hierAssigns {
-		lab, cnt := p.compressOverMovable(assign)
-		last := li == len(p.hierAssigns)-1
-		if cnt*aggLevelFactor <= prev || (last && (len(counts) == 0 || cnt < counts[len(counts)-1])) {
-			labs = append(labs, lab)
-			counts = append(counts, cnt)
-			prev = cnt
+	m1 := make([]int32, n)
+	m2 := make([]int32, n)
+	sz := make([]int32, n)
+	mats := []csrMat{a0}
+	cur := &mats[0]
+	for cur.n > aggCoarseTarget && a.nlev < aggMaxLevels {
+		nc1 := pairPass(cur.n, cur.start, cur.col, cur.val, m1, sz)
+		if a.accVal == nil {
+			// First pairing of the finest level: the largest coarse space
+			// any contraction will ever touch.
+			a.accVal = make([]float64, nc1)
+			a.accUsed = make([]bool, nc1)
+			a.touched = make([]int32, 0, nc1)
 		}
+		// Contract to the pair graph and pair once more (double pairwise,
+		// ~4x per ladder level), then compose the two maps.
+		var t1 aggT
+		buildT(m1[:cur.n], nc1, &t1)
+		aux := csrMat{
+			diag:    make([]float64, nc1),
+			invDiag: make([]float64, nc1),
+			start:   make([]int32, nc1+1),
+		}
+		a.contract(cur, &t1, m1[:cur.n], &aux)
+		nc2 := pairPass(nc1, aux.start, aux.col, aux.val, m2, sz)
+		if nc2*4 > cur.n*3 {
+			break // pairing stalled; keep the ladder built so far
+		}
+		agg := make([]int32, cur.n)
+		for i := 0; i < cur.n; i++ {
+			agg[i] = m2[m1[i]]
+		}
+		a.agg = append(a.agg, agg)
+		var t aggT
+		buildT(agg, nc2, &t)
+		a.T = append(a.T, t)
+		next := csrMat{
+			diag:    make([]float64, nc2),
+			invDiag: make([]float64, nc2),
+			start:   make([]int32, nc2+1),
+		}
+		a.contract(cur, &t, agg, &next)
+		mats = append(mats, next)
+		a.nlev++
+		cur = &mats[a.nlev]
 	}
-	if len(counts) == 0 || counts[0] >= n || counts[len(counts)-1] > aggMaxDirect {
+	if a.nlev == 0 || cur.n > aggMaxDirect {
 		return
 	}
 
-	a := &aggPre{nlev: len(counts)}
+	a.A = mats
 	a.nsz = make([]int, a.nlev+1)
-	a.nsz[0] = n
-	copy(a.nsz[1:], counts)
-	// Chain the per-variable labels into level-to-level aggregate maps. The
-	// FC hierarchy nests, so the map from level k to level k+1 is well
-	// defined: every level-k cluster has a single level-(k+1) parent.
-	a.agg = make([][]int32, a.nlev)
-	a.agg[0] = labs[0]
-	for k := 1; k < a.nlev; k++ {
-		m := make([]int32, counts[k-1])
-		for vi := 0; vi < n; vi++ {
-			m[labs[k-1][vi]] = labs[k][vi]
-		}
-		a.agg[k] = m
-	}
-
-	a.A = make([]csrMat, a.nlev+1)
-	a.P = make([]csrP, a.nlev)
-	a.T = make([]csrP, a.nlev)
 	a.rv = make([][]float64, a.nlev+1)
 	a.zv = make([][]float64, a.nlev+1)
 	a.tv = make([][]float64, a.nlev+1)
 	for k := 0; k <= a.nlev; k++ {
-		sz := a.nsz[k]
-		a.A[k].start = make([]int32, sz+1)
+		sz := a.A[k].n
+		a.nsz[k] = sz
 		if k > 0 {
-			a.A[k].diag = make([]float64, sz)
-			a.A[k].invDiag = make([]float64, sz)
 			a.rv[k] = make([]float64, sz)
 			a.zv[k] = make([]float64, sz)
 		}
 		a.tv[k] = make([]float64, sz)
-		if k < a.nlev {
-			a.P[k].start = make([]int32, sz+1)
-			a.T[k].start = make([]int32, a.nsz[k+1]+1)
-		}
 	}
-	a.w.start = make([]int32, n+1)
-	nc1 := a.nsz[1]
-	a.accVal = make([]float64, nc1)
-	a.accUsed = make([]bool, nc1)
-	a.touched = make([]int32, 0, nc1)
 	ncL := a.nsz[a.nlev]
 	a.chol = make([]float64, ncL*ncL)
 	a.cholD = make([]float64, ncL)
+	a.factorCoarsest()
+	a.fresh = true
 	p.pre = a
 	p.cgZ = make([]float64, n)
 }
 
-// compressOverMovable remaps one hierarchy level's labels to dense ids over
-// the movable variables, in first-touch (ascending variable) order.
-func (p *placer) compressOverMovable(assign []int) ([]int32, int) {
-	remap := make(map[int]int32, 1024)
-	lab := make([]int32, len(p.movable))
-	for vi, id := range p.movable {
-		c := assign[id]
-		r, ok := remap[c]
-		if !ok {
-			r = int32(len(remap))
-			remap[c] = r
-		}
-		lab[vi] = r
-	}
-	return lab, len(remap)
-}
-
-// aggBuild rebuilds the ladder from the freshly assembled system: mirrors
-// the fine operator, builds smoothed P and the Galerkin product level by
-// level, and factors the coarsest operator. Called once per axis solve,
-// after flattenSystem.
+// aggBuild refreshes the ladder from the freshly assembled system: mirrors
+// the fine operator, re-contracts every Galerkin level over the frozen
+// aggregates, and factors the coarsest operator. Called once per axis solve,
+// after flattenSystem; all products are cached across that solve's CG
+// iterations.
 func (p *placer) aggBuild() {
 	a := p.pre
-	n := len(p.movable)
-
-	// Level 0 mirrors the placer CSR (off-diagonals negated to true values).
 	a0 := &a.A[0]
-	a0.n = n
 	a0.diag = p.diag
 	a0.invDiag = p.invDiag
 	copy(a0.start, p.offStart)
@@ -360,139 +450,9 @@ func (p *placer) aggBuild() {
 	}
 
 	for k := 0; k < a.nlev; k++ {
-		a.buildP(k)
-		a.galerkin(k)
+		a.contract(&a.A[k], &a.T[k], a.agg[k], &a.A[k+1])
 	}
 	a.factorCoarsest()
-}
-
-// buildP constructs the smoothed prolongation P[k] = (I − ωD⁻¹A)P₀ and its
-// transpose. Row i of P is (1−ω) at its own aggregate plus −ω·D⁻¹ᵢᵢ·a_ij at
-// each neighbor's aggregate, collapsed by aggregate in first-touch order.
-// Heavy or zero-diagonal rows keep the unit P₀ row.
-func (a *aggPre) buildP(k int) {
-	A := &a.A[k]
-	P := &a.P[k]
-	agg := a.agg[k]
-	P.col = P.col[:0]
-	P.val = P.val[:0]
-	P.start[0] = 0
-	for i := 0; i < A.n; i++ {
-		lo, hi := A.start[i], A.start[i+1]
-		if int(hi-lo) > aggSmoothDegCap || A.invDiag[i] == 0 {
-			P.col = append(P.col, agg[i])
-			P.val = append(P.val, 1)
-		} else {
-			a.add(agg[i], 1-aggOmega)
-			s := -aggOmega * A.invDiag[i]
-			for e := lo; e < hi; e++ {
-				a.add(agg[A.col[e]], s*A.val[e])
-			}
-			a.flushRow(&P.col, &P.val)
-		}
-		P.start[i+1] = int32(len(P.col))
-	}
-
-	// Transpose by counting sort; finer rows stay ascending per aggregate.
-	T := &a.T[k]
-	nc := a.nsz[k+1]
-	for c := 0; c <= nc; c++ {
-		T.start[c] = 0
-	}
-	for _, c := range P.col {
-		T.start[c+1]++
-	}
-	for c := 0; c < nc; c++ {
-		T.start[c+1] += T.start[c]
-	}
-	nnzP := len(P.col)
-	if cap(T.col) < nnzP {
-		T.col = make([]int32, nnzP)
-		T.val = make([]float64, nnzP)
-	}
-	T.col = T.col[:nnzP]
-	T.val = T.val[:nnzP]
-	fill := a.rv[k+1] // borrow a coarse vector as the fill cursor
-	for c := 0; c < nc; c++ {
-		fill[c] = float64(T.start[c])
-	}
-	for i := 0; i < A.n; i++ {
-		for e := P.start[i]; e < P.start[i+1]; e++ {
-			c := P.col[e]
-			at := int(fill[c])
-			T.col[at] = int32(i)
-			T.val[at] = P.val[e]
-			fill[c]++
-		}
-	}
-}
-
-// galerkin computes A[k+1] = P[k]ᵀ A[k] P[k], one coarse row at a time:
-// row c is Σ_{i : P[i][c]≠0} P[i][c]·W_i with W = A·P, accumulated in
-// ascending fine-row order — a fixed association, hence deterministic.
-func (a *aggPre) galerkin(k int) {
-	A := &a.A[k]
-	P := &a.P[k]
-	T := &a.T[k]
-	W := &a.w
-	W.col = W.col[:0]
-	W.val = W.val[:0]
-	W.start[0] = 0
-	for i := 0; i < A.n; i++ {
-		di := A.diag[i]
-		for e := P.start[i]; e < P.start[i+1]; e++ {
-			a.add(P.col[e], di*P.val[e])
-		}
-		for e := A.start[i]; e < A.start[i+1]; e++ {
-			j := A.col[e]
-			v := A.val[e]
-			for q := P.start[j]; q < P.start[j+1]; q++ {
-				a.add(P.col[q], v*P.val[q])
-			}
-		}
-		a.flushRow(&W.col, &W.val)
-		W.start[i+1] = int32(len(W.col))
-	}
-
-	C := &a.A[k+1]
-	nc := a.nsz[k+1]
-	C.n = nc
-	C.col = C.col[:0]
-	C.val = C.val[:0]
-	C.start[0] = 0
-	for c := 0; c < nc; c++ {
-		for t := T.start[c]; t < T.start[c+1]; t++ {
-			i := T.col[t]
-			pv := T.val[t]
-			for e := W.start[i]; e < W.start[i+1]; e++ {
-				a.add(W.col[e], pv*W.val[e])
-			}
-		}
-		// Split the diagonal out of the flush.
-		d := 0.0
-		if a.accUsed[int32(c)] {
-			d = a.accVal[int32(c)]
-		}
-		for _, t := range a.touched {
-			if t == int32(c) {
-				continue
-			}
-			C.col = append(C.col, t)
-			C.val = append(C.val, a.accVal[t])
-		}
-		for _, t := range a.touched {
-			a.accUsed[t] = false
-			a.accVal[t] = 0
-		}
-		a.touched = a.touched[:0]
-		C.diag[c] = d
-		C.start[c+1] = int32(len(C.col))
-		if d > 0 {
-			C.invDiag[c] = 1 / d
-		} else {
-			C.invDiag[c] = 0
-		}
-	}
 }
 
 // factorCoarsest builds a dense LDLᵀ factorization of the coarsest operator.
@@ -575,15 +535,20 @@ func (a *aggPre) coarseSolve(r, z []float64) {
 	}
 }
 
-// vcycle applies one symmetric V(1,1) cycle at level k: forward
-// Gauss-Seidel pre-smooth from zero, coarse-grid correction, backward
-// Gauss-Seidel post-smooth (the adjoint pair keeps M symmetric). Level-0
-// residual matvecs go through the placer's parallel (fixed-order,
-// bit-identical) kernel; smoothing and coarser levels run sequentially.
+// vcycle applies one symmetric cycle at level k. Level 0 — the only level
+// whose row count matters — runs the restructured parallel damped-Jacobi
+// V(1,1) leg (see vcycleFine); coarser levels keep sequential Gauss-Seidel
+// V(2,2) legs, whose forward/backward sweeps are adjoint pairs. Both
+// smoothers are symmetric, so the whole cycle remains a symmetric positive
+// definite operator and plain CG applies unchanged.
 func (p *placer) vcycle(k int, r, z []float64) {
 	a := p.pre
 	if k == a.nlev {
 		a.coarseSolve(r, z)
+		return
+	}
+	if k == 0 {
+		p.vcycleFine(r, z)
 		return
 	}
 	A := &a.A[k]
@@ -599,30 +564,106 @@ func (p *placer) vcycle(k int, r, z []float64) {
 	for i := 0; i < n; i++ {
 		t[i] = r[i] - t[i]
 	}
-	// Restrict the residual and recurse.
-	P := &a.P[k]
+	// Restrict the residual through the piecewise-constant basis (scatter
+	// over ascending rows) and recurse.
+	agg := a.agg[k]
 	rc := a.rv[k+1]
 	for c := range rc {
 		rc[c] = 0
 	}
 	for i := 0; i < n; i++ {
-		ti := t[i]
-		for e := P.start[i]; e < P.start[i+1]; e++ {
-			rc[P.col[e]] += P.val[e] * ti
-		}
+		rc[agg[i]] += t[i]
 	}
 	p.vcycle(k+1, rc, a.zv[k+1])
 	zc := a.zv[k+1]
 	for i := 0; i < n; i++ {
-		s := z[i]
-		for e := P.start[i]; e < P.start[i+1]; e++ {
-			s += P.val[e] * zc[P.col[e]]
-		}
-		z[i] = s
+		z[i] += zc[agg[i]]
 	}
 	for s := 0; s < aggSmoothSweeps; s++ {
 		A.gsBackward(r, z)
 	}
+}
+
+// vcycleFine is the level-0 leg of the V-cycle, restructured from the PR-6
+// sequential Gauss-Seidel V(2,2) into a parallel damped-Jacobi V(1,1). Three
+// structural savings pay for the weaker smoother:
+//
+//   - the zero-start pre-smooth collapses to z = ωD⁻¹r — a diagonal scale,
+//     no matvec at all;
+//   - the post-smooth folds its residual into the sweep itself,
+//     z ← u + ωD⁻¹(r − Au), one fused O(nnz) pass instead of sweep+matvec;
+//   - the prolongation u = z + zc[agg] lands directly in the post-smooth's
+//     input buffer, so no separate correction pass runs.
+//
+// That is 2 O(nnz) passes per cycle against the Gauss-Seidel leg's 5. Every
+// pass is per-row parallel with the rowDot fixed association, and the
+// restriction gathers each aggregate's members in ascending row order — the
+// exact association of the sequential scatter it replaces — so results are
+// bit-identical at any worker count. The damped-Jacobi sweep operator ωD⁻¹
+// is symmetric, pre and post legs use one sweep each, and the cycle stays
+// symmetric positive definite.
+func (p *placer) vcycleFine(r, z []float64) {
+	a := p.pre
+	n := len(p.movable)
+	t := a.tv[0]
+	diag, iv := p.diag, p.invDiag
+	offStart, offEnt := p.offStart, p.offEnt
+
+	// Pre-smooth from zero, then the residual t = r − Az in one fused pass.
+	p.blocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			z[i] = aggOmega * iv[i] * r[i]
+		}
+	})
+	p.blocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t[i] = r[i] - rowDot(diag[i]*z[i], offEnt[offStart[i]:offStart[i+1]], z)
+		}
+	})
+
+	// Restrict rc = P₀ᵀt by summing each aggregate's members in ascending
+	// row order (T is built that way), matching the sequential scatter's
+	// association exactly.
+	T := &a.T[0]
+	rc := a.rv[1]
+	p.blocks(a.nsz[1], func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var s float64
+			for e := T.start[c]; e < T.start[c+1]; e++ {
+				s += t[T.idx[e]]
+			}
+			rc[c] = s
+		}
+	})
+
+	p.vcycle(1, rc, a.zv[1])
+
+	// Prolongate u = z + zc[agg] into the scratch buffer, then post-smooth
+	// z = u + ωD⁻¹(r − Au) two-buffered (reads t, writes z).
+	agg := a.agg[0]
+	zc := a.zv[1]
+	p.blocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t[i] = z[i] + zc[agg[i]]
+		}
+	})
+	p.blocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			au := rowDot(diag[i]*t[i], offEnt[offStart[i]:offStart[i+1]], t)
+			z[i] = t[i] + aggOmega*iv[i]*(r[i]-au)
+		}
+	})
+}
+
+// blocks runs fn over contiguous row ranges of [0,n), on the caller's
+// goroutine when the worker budget is 1. Writes must stay within each range;
+// any cross-row reduction belongs in a separate fixed-order pass.
+func (p *placer) blocks(n int, fn func(lo, hi int)) {
+	if p.workers <= 1 {
+		fn(0, n)
+		return
+	}
+	par.Blocks(p.workers, n, func(w, lo, hi int) { fn(lo, hi) })
 }
 
 // levelMul multiplies by the level-k operator. Level 0 uses the shared
@@ -651,7 +692,11 @@ func (p *placer) cgAgg(xAxis bool) []float64 {
 	} else {
 		copy(x, p.y)
 	}
-	p.aggBuild()
+	if p.pre.fresh {
+		p.pre.fresh = false
+	} else {
+		p.aggBuild()
+	}
 	ax, r, d, z := p.cgAx, p.cgR, p.cgD, p.cgZ
 	rhs := p.rhs
 
@@ -675,9 +720,13 @@ func (p *placer) cgAgg(xAxis bool) []float64 {
 	if floor < 1e-20 {
 		floor = 1e-20
 	}
+	itCap := p.opt.CGIterations
+	if itCap > aggMaxIters {
+		itCap = aggMaxIters
+	}
 
 	it := 0
-	for ; it < p.opt.CGIterations && rz > floor; it++ {
+	for ; it < itCap && rz > floor; it++ {
 		dad := p.mulADot(d, ax)
 		if dad <= 0 {
 			break
@@ -701,5 +750,3 @@ func (p *placer) cgAgg(xAxis bool) []float64 {
 	p.cgIters += it
 	return x
 }
-
-

@@ -44,26 +44,31 @@ func TestAggPrecondMatchesJacobiQuality(t *testing.T) {
 
 // TestAggPrecondDeterministicAcrossWorkers checks the preconditioned solve
 // keeps the placer's bit-identity contract: every worker count must produce
-// exactly the same positions.
+// exactly the same positions. The multi-worker runs engage the parallel
+// fused-Jacobi level-0 smoother (vcycleFine), whose restriction gathers
+// aggregate members in ascending order — the same association as the
+// sequential pass — so the placements must match to the bit.
 func TestAggPrecondDeterministicAcrossWorkers(t *testing.T) {
 	b1 := designs.Generate(arianeSpec(t))
-	b4 := designs.Generate(arianeSpec(t))
-
 	r1 := Global(b1.Design, Options{Seed: 5, Precond: 1, Workers: 1})
-	r4 := Global(b4.Design, Options{Seed: 5, Precond: 1, Workers: 4})
 
-	if math.Float64bits(r1.HPWL) != math.Float64bits(r4.HPWL) {
-		t.Fatalf("HPWL differs across workers: %v vs %v", r1.HPWL, r4.HPWL)
-	}
-	if r1.CGIterations != r4.CGIterations {
-		t.Fatalf("CG iterations differ across workers: %d vs %d", r1.CGIterations, r4.CGIterations)
-	}
-	for i := range b1.Design.Insts {
-		a, b := b1.Design.Insts[i], b4.Design.Insts[i]
-		if math.Float64bits(a.X) != math.Float64bits(b.X) ||
-			math.Float64bits(a.Y) != math.Float64bits(b.Y) {
-			t.Fatalf("inst %d position differs across workers: (%v,%v) vs (%v,%v)",
-				i, a.X, a.Y, b.X, b.Y)
+	for _, w := range []int{4, 8} {
+		bw := designs.Generate(arianeSpec(t))
+		rw := Global(bw.Design, Options{Seed: 5, Precond: 1, Workers: w})
+
+		if math.Float64bits(r1.HPWL) != math.Float64bits(rw.HPWL) {
+			t.Fatalf("HPWL differs at W=%d: %v vs %v", w, r1.HPWL, rw.HPWL)
+		}
+		if r1.CGIterations != rw.CGIterations {
+			t.Fatalf("CG iterations differ at W=%d: %d vs %d", w, r1.CGIterations, rw.CGIterations)
+		}
+		for i := range b1.Design.Insts {
+			a, b := b1.Design.Insts[i], bw.Design.Insts[i]
+			if math.Float64bits(a.X) != math.Float64bits(b.X) ||
+				math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+				t.Fatalf("inst %d position differs at W=%d: (%v,%v) vs (%v,%v)",
+					i, w, a.X, a.Y, b.X, b.Y)
+			}
 		}
 	}
 }

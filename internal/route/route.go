@@ -12,7 +12,7 @@ import (
 	"sort"
 
 	"ppaclust/internal/netlist"
-	"ppaclust/internal/sortx"
+	"ppaclust/internal/par"
 )
 
 // Options configures global routing.
@@ -27,6 +27,10 @@ type Options struct {
 	// MaxNetPins skips decomposition quality for huge nets (chain routing).
 	// Default 64.
 	MaxNetPins int
+	// Workers caps the worker goroutines used for net decomposition and
+	// batched initial routing (0 = PPACLUST_WORKERS or GOMAXPROCS). Results
+	// are bit-identical at every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(d *netlist.Design) Options {
@@ -132,29 +136,6 @@ func edgeCost(use, cap int) float64 {
 	return 1 + 20*over*over + 4*over
 }
 
-// hCost/vCost of a straight run; addH/addV apply usage.
-func (g *Grid) runCostH(i0, i1, j int) float64 {
-	if i0 > i1 {
-		i0, i1 = i1, i0
-	}
-	var c float64
-	for i := i0; i < i1; i++ {
-		c += edgeCost(g.hUse[g.hIdx(i, j)], g.hCap)
-	}
-	return c
-}
-
-func (g *Grid) runCostV(j0, j1, i int) float64 {
-	if j0 > j1 {
-		j0, j1 = j1, j0
-	}
-	var c float64
-	for j := j0; j < j1; j++ {
-		c += edgeCost(g.vUse[g.vIdx(i, j)], g.vCap)
-	}
-	return c
-}
-
 func (g *Grid) applyH(i0, i1, j, delta int) {
 	if i0 > i1 {
 		i0, i1 = i1, i0
@@ -194,20 +175,122 @@ func (g *Grid) apply(s segRoute, delta int) {
 	}
 }
 
-func (g *Grid) cost(s segRoute) float64 {
-	if s.hFirst {
-		return g.runCostH(s.i0, s.im, s.j0) + g.runCostV(s.j0, s.j1, s.im) + g.runCostH(s.im, s.i1, s.j1)
-	}
-	return g.runCostV(s.j0, s.im, s.i0) + g.runCostH(s.i0, s.i1, s.im) + g.runCostV(s.im, s.j1, s.i1)
+// routeCtx prices candidate routes against the grid plus an optional overlay
+// of one net's own, not-yet-merged usage. Batched initial routing freezes
+// the grid for a whole batch — every net prices edges against the same
+// snapshot, which is what makes the batch independent of how its nets are
+// split across workers — and the overlay lets a net's later segments still
+// see its earlier ones, exactly what the serial walk saw. The overlay counts
+// are generation-stamped with the net ID, so switching nets never clears the
+// tiny grid-sized arrays. A zero ctx (nil overlay) reads the live grid.
+type routeCtx struct {
+	g          *Grid
+	ownH, ownV []int32 // own-usage counts, valid where the stamp matches gen
+	stH, stV   []int32
+	gen        int32
 }
 
-// route finds the best L/Z route for a 2-pin segment.
-func (g *Grid) route(i0, j0, i1, j1 int) segRoute {
+func (c *routeCtx) useH(idx int) int {
+	u := c.g.hUse[idx]
+	if c.stH != nil && c.stH[idx] == c.gen {
+		u += int(c.ownH[idx])
+	}
+	return u
+}
+
+func (c *routeCtx) useV(idx int) int {
+	u := c.g.vUse[idx]
+	if c.stV != nil && c.stV[idx] == c.gen {
+		u += int(c.ownV[idx])
+	}
+	return u
+}
+
+// runCostH/runCostV price a straight run; addOwnH/addOwnV record one into
+// the overlay.
+func (c *routeCtx) runCostH(i0, i1, j int) float64 {
+	if i0 > i1 {
+		i0, i1 = i1, i0
+	}
+	g := c.g
+	var cost float64
+	for i := i0; i < i1; i++ {
+		cost += edgeCost(c.useH(g.hIdx(i, j)), g.hCap)
+	}
+	return cost
+}
+
+func (c *routeCtx) runCostV(j0, j1, i int) float64 {
+	if j0 > j1 {
+		j0, j1 = j1, j0
+	}
+	g := c.g
+	var cost float64
+	for j := j0; j < j1; j++ {
+		cost += edgeCost(c.useV(g.vIdx(i, j)), g.vCap)
+	}
+	return cost
+}
+
+func (c *routeCtx) addOwnH(i0, i1, j int) {
+	if i0 > i1 {
+		i0, i1 = i1, i0
+	}
+	g := c.g
+	for i := i0; i < i1; i++ {
+		idx := g.hIdx(i, j)
+		if c.stH[idx] != c.gen {
+			c.stH[idx] = c.gen
+			c.ownH[idx] = 0
+		}
+		c.ownH[idx]++
+	}
+}
+
+func (c *routeCtx) addOwnV(j0, j1, i int) {
+	if j0 > j1 {
+		j0, j1 = j1, j0
+	}
+	g := c.g
+	for j := j0; j < j1; j++ {
+		idx := g.vIdx(i, j)
+		if c.stV[idx] != c.gen {
+			c.stV[idx] = c.gen
+			c.ownV[idx] = 0
+		}
+		c.ownV[idx]++
+	}
+}
+
+func (c *routeCtx) addOwn(s segRoute) {
+	if s.hFirst {
+		c.addOwnH(s.i0, s.im, s.j0)
+		c.addOwnV(s.j0, s.j1, s.im)
+		c.addOwnH(s.im, s.i1, s.j1)
+	} else {
+		c.addOwnV(s.j0, s.im, s.i0)
+		c.addOwnH(s.i0, s.i1, s.im)
+		c.addOwnV(s.im, s.j1, s.i1)
+	}
+}
+
+func (c *routeCtx) cost(s segRoute) float64 {
+	if s.hFirst {
+		return c.runCostH(s.i0, s.im, s.j0) + c.runCostV(s.j0, s.j1, s.im) + c.runCostH(s.im, s.i1, s.j1)
+	}
+	return c.runCostV(s.j0, s.im, s.i0) + c.runCostH(s.i0, s.i1, s.im) + c.runCostV(s.im, s.j1, s.i1)
+}
+
+// route finds the best L/Z/U route for a 2-pin segment. Candidates are
+// tried in a fixed order and strict improvement wins, so the choice is a
+// pure function of the ctx's view of edge usage.
+func (c *routeCtx) route(i0, j0, i1, j1 int) segRoute {
+	g := c.g
 	best := segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: i1, hFirst: true} // L: H then V
-	bestCost := g.cost(best)
+	bestCost := c.cost(best)
 	try := func(s segRoute) {
-		if c := g.cost(s); c < bestCost {
-			best, bestCost = s, c
+		if cc := c.cost(s); cc < bestCost {
+			best, bestCost = s, cc
 		}
 	}
 	try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: i0, hFirst: true})  // V then H (im=i0)
@@ -237,6 +320,18 @@ func (g *Grid) route(i0, j0, i1, j1 int) segRoute {
 		try(segRoute{i0: i0, j0: j0, i1: i1, j1: j1, im: im, hFirst: true})
 	}
 	return best
+}
+
+// route and cost against the live grid (no overlay): the rip-up passes and
+// the tests use this serial view.
+func (g *Grid) route(i0, j0, i1, j1 int) segRoute {
+	c := routeCtx{g: g}
+	return c.route(i0, j0, i1, j1)
+}
+
+func (g *Grid) cost(s segRoute) float64 {
+	c := routeCtx{g: g}
+	return c.cost(s)
 }
 
 func clampInt(v, lo, hi int) int {
@@ -283,78 +378,227 @@ func (s segRoute) bends() int {
 	return b
 }
 
+// routeBatch is the number of nets initial routing prices against one
+// frozen grid snapshot before merging their usage. Smaller batches track
+// the serial congestion estimate more closely; larger ones amortize the
+// merge. The size is a fixed constant — never derived from the worker
+// count — so batch boundaries, and therefore results, are identical at
+// every worker count.
+const routeBatch = 1024
+
+// routeScratch is one worker's reusable state: the GCell dedup stamps, the
+// pin-cell buffer, the decomposition scratch, the own-usage overlay, and
+// the partial usage grid the worker's batch share accumulates into. All of
+// it is allocated once per GlobalRoute call (the grids involved are tiny —
+// the ~40x40 GCell grid, not the design) and reused across every net and
+// batch the worker touches.
+type routeScratch struct {
+	cellStamp    []int32 // last net to claim each GCell (pin dedup)
+	cells        [][2]int
+	dec          decScratch
+	ctx          routeCtx
+	partH, partV []int32 // per-worker usage accumulated during a batch
+}
+
+func newRouteScratch(g *Grid) *routeScratch {
+	sc := &routeScratch{
+		cellStamp: make([]int32, g.nx*g.ny),
+		partH:     make([]int32, len(g.hUse)),
+		partV:     make([]int32, len(g.vUse)),
+	}
+	for i := range sc.cellStamp {
+		sc.cellStamp[i] = -1
+	}
+	sc.ctx = routeCtx{
+		g:    g,
+		ownH: make([]int32, len(g.hUse)), stH: make([]int32, len(g.hUse)),
+		ownV: make([]int32, len(g.vUse)), stV: make([]int32, len(g.vUse)),
+	}
+	for i := range sc.ctx.stH {
+		sc.ctx.stH[i] = -1
+	}
+	for i := range sc.ctx.stV {
+		sc.ctx.stV[i] = -1
+	}
+	return sc
+}
+
+// applyPart mirrors Grid.apply into the worker's partial usage grid.
+func (sc *routeScratch) applyPart(s segRoute) {
+	g := sc.ctx.g
+	addH := func(i0, i1, j int) {
+		if i0 > i1 {
+			i0, i1 = i1, i0
+		}
+		for i := i0; i < i1; i++ {
+			sc.partH[g.hIdx(i, j)]++
+		}
+	}
+	addV := func(j0, j1, i int) {
+		if j0 > j1 {
+			j0, j1 = j1, j0
+		}
+		for j := j0; j < j1; j++ {
+			sc.partV[g.vIdx(i, j)]++
+		}
+	}
+	if s.hFirst {
+		addH(s.i0, s.im, s.j0)
+		addV(s.j0, s.j1, s.im)
+		addH(s.im, s.i1, s.j1)
+	} else {
+		addV(s.j0, s.im, s.i0)
+		addH(s.i0, s.i1, s.im)
+		addV(s.im, s.j1, s.i1)
+	}
+}
+
 // GlobalRoute routes all nets of a placed design.
 //
-// Net pins are resolved through the netlist.Compact CSR view against
-// positions gathered once up front, and deduplicated to GCells with a
-// generation-stamped flat bin grid — no per-net map allocation and no
-// pointer-API walks, which is what keeps the congestion estimate tractable at
-// millions of nets. The routing itself (pattern routing + rip-up/reroute) is
-// unchanged and processes nets in ID order, so results are deterministic.
+// The phases and their determinism contract:
+//
+//  1. Decomposition (parallel): each net's pins are resolved through the
+//     netlist.Compact CSR view, deduplicated to GCells with a per-worker
+//     generation-stamped bin grid, and split into 2-pin segments over a
+//     Steiner tree. Per-net results depend on nothing but the net, and the
+//     per-worker segment arenas are concatenated in ascending block order,
+//     so the flat segment list is identical at every worker count.
+//
+//  2. Initial routing (parallel, batched): nets are processed in fixed-size
+//     batches (routeBatch). Within a batch every net prices candidates
+//     against the grid as it stood when the batch started, plus its own
+//     earlier segments (routeCtx overlay); each worker accumulates the usage
+//     of the nets it routed into a private partial grid, and the partials
+//     are merged into the shared grid in worker order after the batch.
+//     The merge is pure integer addition, so the grid state entering the
+//     next batch — and hence every routing decision — is independent of how
+//     nets were split across workers.
+//
+//  3. Rip-up and reroute (serial): nets touching overflowed edges are
+//     rerouted in net ID order against the live grid, exactly the classic
+//     sequential sweep. Congestion relief converges like the serial router;
+//     only the (already deterministic) initial state differs.
+//
+// Wirelength and via totals are integer sums over segments, reduced per
+// worker and then in worker order — exact arithmetic, so parallel totals
+// match serial ones bit for bit.
 func GlobalRoute(d *netlist.Design, opt Options) *Result {
 	opt = opt.withDefaults(d)
 	g := NewGrid(d.Core, opt.GCellSize, opt.CapacityH, opt.CapacityV)
 	c := d.Compact()
+	workers := par.Workers(opt.Workers)
 
 	instX := make([]float64, len(d.Insts))
 	instY := make([]float64, len(d.Insts))
-	for i, inst := range d.Insts {
-		instX[i] = inst.X
-		instY[i] = inst.Y
-	}
-	// stamp[cell] holds the last net that claimed the GCell; comparing
-	// against the current net ID dedups without clearing between nets.
-	stamp := make([]int32, g.nx*g.ny)
-	for i := range stamp {
-		stamp[i] = -1
+	par.Blocks(workers, len(d.Insts), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			instX[i] = d.Insts[i].X
+			instY[i] = d.Insts[i].Y
+		}
+	})
+
+	scratch := make([]*routeScratch, workers)
+	for w := range scratch {
+		scratch[w] = newRouteScratch(g)
 	}
 
-	type netRoute struct {
-		netID int
-		segs  []segRoute
-	}
-	routes := make([]netRoute, 0, len(d.Nets))
-	var cells [][2]int // reused across nets
-	for ni := range d.Nets {
-		cells = cells[:0]
-		for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
-			var x, y float64
-			if id := c.PinInst[k]; id >= 0 {
-				x, y = instX[id]+c.PinDX[k], instY[id]+c.PinDY[k]
-			} else if id == netlist.CompactNoPort {
-				x, y = 0, 0
-			} else {
-				p := d.Ports[-1-id]
-				x, y = p.X, p.Y
+	// Phase 1: pin gather + GCell dedup + Steiner decomposition.
+	nNets := len(d.Nets)
+	segStart := make([]int32, nNets+1)
+	arenas := make([][][4]int, workers)
+	par.Blocks(workers, nNets, func(w, lo, hi int) {
+		sc := scratch[w]
+		var arena [][4]int
+		for ni := lo; ni < hi; ni++ {
+			cells := sc.cells[:0]
+			for k := c.NetStart[ni]; k < c.NetStart[ni+1]; k++ {
+				var x, y float64
+				if id := c.PinInst[k]; id >= 0 {
+					x, y = instX[id]+c.PinDX[k], instY[id]+c.PinDY[k]
+				} else if id == netlist.CompactNoPort {
+					x, y = 0, 0
+				} else {
+					p := d.Ports[-1-id]
+					x, y = p.X, p.Y
+				}
+				i, j := g.Cell(x, y)
+				idx := j*g.nx + i
+				if sc.cellStamp[idx] == int32(ni) {
+					continue
+				}
+				sc.cellStamp[idx] = int32(ni)
+				cells = append(cells, [2]int{i, j})
 			}
-			i, j := g.Cell(x, y)
-			idx := j*g.nx + i
-			if stamp[idx] == int32(ni) {
+			sc.cells = cells
+			if len(cells) < 2 {
 				continue
 			}
-			stamp[idx] = int32(ni)
-			cells = append(cells, [2]int{i, j})
+			pre := len(arena)
+			arena = sc.dec.steiner(cells, opt.MaxNetPins, arena)
+			segStart[ni+1] = int32(len(arena) - pre)
 		}
-		if len(cells) < 2 {
-			continue
-		}
-		segs := steinerDecompose(cells, opt.MaxNetPins)
-		nr := netRoute{netID: ni}
-		for _, sp := range segs {
-			s := g.route(sp[0], sp[1], sp[2], sp[3])
-			g.apply(s, 1)
-			nr.segs = append(nr.segs, s)
-		}
-		routes = append(routes, nr)
+		arenas[w] = arena
+	})
+	for i := 0; i < nNets; i++ {
+		segStart[i+1] += segStart[i]
+	}
+	total := int(segStart[nNets])
+	flat := make([][4]int, 0, total)
+	for _, a := range arenas {
+		flat = append(flat, a...)
 	}
 
-	// Rip-up and reroute nets that touch overflowed edges.
+	// Phase 2: batched initial routing against frozen grid snapshots.
+	routed := make([]segRoute, total)
+	for b0 := 0; b0 < nNets; b0 += routeBatch {
+		b1 := b0 + routeBatch
+		if b1 > nNets {
+			b1 = nNets
+		}
+		par.Blocks(workers, b1-b0, func(w, lo, hi int) {
+			sc := scratch[w]
+			ctx := &sc.ctx
+			for ni := b0 + lo; ni < b0+hi; ni++ {
+				s0, s1 := segStart[ni], segStart[ni+1]
+				if s0 == s1 {
+					continue
+				}
+				ctx.gen = int32(ni)
+				for k := s0; k < s1; k++ {
+					sp := flat[k]
+					s := ctx.route(sp[0], sp[1], sp[2], sp[3])
+					routed[k] = s
+					ctx.addOwn(s)
+					sc.applyPart(s)
+				}
+			}
+		})
+		for _, sc := range scratch {
+			for i, v := range sc.partH {
+				if v != 0 {
+					g.hUse[i] += int(v)
+					sc.partH[i] = 0
+				}
+			}
+			for i, v := range sc.partV {
+				if v != 0 {
+					g.vUse[i] += int(v)
+					sc.partV[i] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 3: serial rip-up and reroute of nets touching overflow.
 	for pass := 1; pass < opt.Passes; pass++ {
-		for ri := range routes {
-			nr := &routes[ri]
+		for ni := 0; ni < nNets; ni++ {
+			s0, s1 := segStart[ni], segStart[ni+1]
+			if s0 == s1 {
+				continue
+			}
 			touches := false
-			for _, s := range nr.segs {
-				if g.segmentOverflowed(s) {
+			for k := s0; k < s1; k++ {
+				if g.segmentOverflowed(routed[k]) {
 					touches = true
 					break
 				}
@@ -362,24 +606,36 @@ func GlobalRoute(d *netlist.Design, opt Options) *Result {
 			if !touches {
 				continue
 			}
-			for si, s := range nr.segs {
+			for k := s0; k < s1; k++ {
+				s := routed[k]
 				g.apply(s, -1)
 				ns := g.route(s.i0, s.j0, s.i1, s.j1)
 				g.apply(ns, 1)
-				nr.segs[si] = ns
+				routed[k] = ns
 			}
 		}
 	}
 
 	res := &Result{Grid: g}
-	for _, nr := range routes {
-		for _, s := range nr.segs {
-			res.WirelengthUM += float64(s.length()) * g.size
-			res.Vias += s.bends()
+	lenSum := make([]int64, workers)
+	viaSum := make([]int64, workers)
+	par.Blocks(workers, total, func(w, lo, hi int) {
+		var wl, vias int64
+		for k := lo; k < hi; k++ {
+			wl += int64(routed[k].length())
+			vias += int64(routed[k].bends())
 		}
+		lenSum[w] = wl
+		viaSum[w] = vias
+	})
+	var wl, vias int64
+	for w := 0; w < workers; w++ {
+		wl += lenSum[w]
+		vias += viaSum[w]
 	}
-	for i, u := range g.hUse {
-		_ = i
+	res.WirelengthUM = float64(wl) * g.size
+	res.Vias = int(vias)
+	for _, u := range g.hUse {
 		if u > g.hCap {
 			res.Overflow += u - g.hCap
 		}
@@ -426,66 +682,6 @@ func (g *Grid) segmentOverflowed(s segRoute) bool {
 		walk('v', s.im, s.j1, s.i1)
 	}
 	return over
-}
-
-// decompose splits a multi-terminal net into 2-pin segments: Prim MST for
-// small nets, a sorted chain for huge nets (e.g. the unsynthesized clock).
-// The chain ordering uses the shared radix sort on (i+j, i) keys — unique per
-// deduplicated GCell, so the chain matches the comparator sort it replaced.
-func decompose(cells [][2]int, maxPins int) [][4]int {
-	if len(cells) > maxPins {
-		n := len(cells)
-		keys := make([]uint64, n)
-		for i, c := range cells {
-			keys[i] = uint64(uint32(c[0]+c[1]))<<32 | uint64(uint32(c[0]))
-		}
-		ord := make([]int32, n)
-		var s sortx.Sorter
-		s.IndexByKeys(ord, keys)
-		out := make([][4]int, 0, n-1)
-		prev := cells[ord[0]]
-		for i := 1; i < n; i++ {
-			cur := cells[ord[i]]
-			out = append(out, [4]int{prev[0], prev[1], cur[0], cur[1]})
-			prev = cur
-		}
-		return out
-	}
-	n := len(cells)
-	inTree := make([]bool, n)
-	dist := make([]int, n)
-	from := make([]int, n)
-	for i := range dist {
-		dist[i] = math.MaxInt32
-	}
-	inTree[0] = true
-	for i := 1; i < n; i++ {
-		dist[i] = manhattan(cells[0], cells[i])
-		from[i] = 0
-	}
-	out := make([][4]int, 0, n-1)
-	for k := 1; k < n; k++ {
-		best, bestD := -1, math.MaxInt32
-		for i := 0; i < n; i++ {
-			if !inTree[i] && dist[i] < bestD {
-				best, bestD = i, dist[i]
-			}
-		}
-		if best < 0 {
-			break
-		}
-		inTree[best] = true
-		out = append(out, [4]int{cells[from[best]][0], cells[from[best]][1], cells[best][0], cells[best][1]})
-		for i := 0; i < n; i++ {
-			if !inTree[i] {
-				if d := manhattan(cells[best], cells[i]); d < dist[i] {
-					dist[i] = d
-					from[i] = best
-				}
-			}
-		}
-	}
-	return out
 }
 
 func manhattan(a, b [2]int) int {

@@ -37,13 +37,15 @@ echo "==> equivalence tests with PPACLUST_WORKERS=4"
 PPACLUST_WORKERS=4 go test -race \
     -run 'WorkersEquivalent|ParallelPropagation|ParallelSchedule|Deterministic|Incremental|WirelenCache|ContractMatchesReference|NeighborsMatchesNaive' \
     ./internal/sta/ ./internal/cluster/ ./internal/place/ ./internal/flow/ \
-    ./internal/par/ ./internal/netlist/ ./internal/hypergraph/
+    ./internal/par/ ./internal/netlist/ ./internal/hypergraph/ \
+    ./internal/route/ ./internal/cts/ ./internal/designs/
 
 # Allocation contract: the placer/clustering inner-loop primitives must be
 # allocation-free in steady state. Run without -race (its instrumentation
 # perturbs testing.AllocsPerRun counts).
 echo "==> steady-state allocation assertions"
-go test -run 'AllocFree' ./internal/netlist/ ./internal/hypergraph/
+go test -run 'AllocFree' ./internal/netlist/ ./internal/hypergraph/ \
+    ./internal/route/ ./internal/cts/
 
 if [[ "${1:-}" != "quick" ]]; then
     # Scale smoke: one 10k-cell generate+place row through the sweep harness,
