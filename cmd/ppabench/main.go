@@ -15,6 +15,8 @@
 //	ppabench -scale 10k,100k,1m -scale-out BENCH_scale.json   # scale sweep
 //	ppabench -scale-flow 10k,100k,1m   # per-stage flow sweep -> BENCH_scale_flow.json
 //	ppabench -scale-flow 10k,100k,1m -workers-sweep   # same, at W=1/2/4/8 with speedups
+//	ppabench -timing-driven tables   # timing/routability-driven A/B on the Table-3/4 protocols
+//	ppabench -timing-driven 10k -workers-sweep   # flat A/B smoke with the W=1/2/4/8 identity gate
 //	ppabench -scale 100k -memstats   # one size, with Go heap counters
 //	ppabench -cpuprofile cpu.out -memprofile mem.out   # pprof profiles
 package main
@@ -60,7 +62,10 @@ func main() {
 		"run the per-stage flow sweep (gen/cluster/place/sta/route/cts) over a size list")
 	scaleFlowOut := flag.String("scale-flow-out", "BENCH_scale_flow.json", "flow sweep output path")
 	workersSweep := flag.Bool("workers-sweep", false,
-		"with -scale-flow: run each size at workers=1,2,4,8, check quality fields bit-identical, record per-stage speedups")
+		"with -scale-flow: run each size at workers=1,2,4,8, check quality fields bit-identical, record per-stage speedups; with -timing-driven: re-run the A/B at workers=1,2,4,8 and check the rows bit-identical")
+	timingDriven := flag.String("timing-driven", "",
+		"run the timing/routability-driven placement A/B: \"tables\" for the Table-3/4 protocols, or a size list like \"10k\" for flat scale designs")
+	tdOut := flag.String("td-out", "BENCH_timing_driven.json", "timing-driven A/B output path")
 	memstats := flag.Bool("memstats", false, "print Go heap counters after each scale row")
 	out := flag.String("o", "EXPERIMENTS.md", "report output path (full runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -81,6 +86,8 @@ func main() {
 
 	s := experiments.NewSuite(*fast, *seed, *workers)
 	switch {
+	case *timingDriven != "":
+		runTimingDriven(*timingDriven, *fast, *seed, *workers, *workersSweep, *tdOut)
 	case *scaleFlow != "":
 		runScaleFlow(check(parseScaleSizes(*scaleFlow)), *seed, *workers, *workersSweep, *scaleFlowOut)
 	case *scale != "":

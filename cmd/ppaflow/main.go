@@ -49,6 +49,8 @@ func main() {
 	runDefault := flag.Bool("default", false, "run the flat default flow instead")
 	skipRoute := flag.Bool("skip-route", false, "stop after placement (HPWL only)")
 	repair := flag.Bool("repair", false, "insert buffers on long/high-fanout nets after placement")
+	timingDriven := flag.Bool("timing-driven", false, "reweight critical nets from STA feedback at placement overflow checkpoints")
+	routabilityDriven := flag.Bool("routability-driven", false, "inflate congested cells from router feedback at placement overflow checkpoints")
 	writeDEF := flag.String("write-def", "", "write the final placement to this DEF file")
 	writeSVG := flag.String("svg", "", "write a placement visualization to this SVG file")
 	report := flag.Int("report", 0, "print a report_checks-style timing report for the N worst paths")
@@ -90,7 +92,8 @@ func main() {
 	fmt.Printf("  %d instances, %d nets, %d ports, TCP %.2f ns\n",
 		st.Insts, st.Nets, st.Ports, b.Cons.ClockPeriod*1e9)
 
-	opt := flow.Options{Seed: *seed, SkipRoute: *skipRoute, RepairBuffers: *repair}
+	opt := flow.Options{Seed: *seed, SkipRoute: *skipRoute, RepairBuffers: *repair,
+		TimingDriven: *timingDriven, RoutabilityDriven: *routabilityDriven}
 	switch strings.ToLower(*tool) {
 	case "innovus":
 		opt.Tool = flow.ToolInnovus
@@ -148,6 +151,7 @@ func main() {
 		fmt.Printf("  power           %.4f W (switching %.4f, internal %.4f, leakage %.4g)\n",
 			res.Power, res.PowerRep.Switching, res.PowerRep.Internal, res.PowerRep.Leakage)
 		fmt.Printf("  route overflow  %d\n", res.Overflow)
+		fmt.Printf("  max congestion  %.3f\n", res.MaxCongestion)
 		fmt.Printf("  DRV             %d max-cap, %d max-slew\n", res.DRVCap, res.DRVSlew)
 	}
 	if *report > 0 {

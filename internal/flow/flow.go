@@ -124,6 +124,16 @@ type Options struct {
 	// high-fanout nets before evaluation (the opt_design analogue). Applied
 	// identically by Run and RunDefault so comparisons stay fair.
 	RepairBuffers bool
+	// TimingDriven enables STA-feedback net reweighting at the flat
+	// placement's overflow checkpoints (place.Options.TimingDriven), using
+	// the benchmark's constraints. Applied identically by Run and
+	// RunDefault.
+	TimingDriven bool
+	// RoutabilityDriven enables congestion-feedback cell inflation at the
+	// flat placement's overflow checkpoints
+	// (place.Options.RoutabilityDriven). Applied identically by Run and
+	// RunDefault.
+	RoutabilityDriven bool
 	// Workers bounds the goroutines used by the STA, clustering, placement,
 	// routing and CTS kernels: 0 = auto (PPACLUST_WORKERS, else GOMAXPROCS),
 	// 1 = sequential. Results are bit-identical for every worker count.
@@ -169,6 +179,9 @@ type Result struct {
 	PowerRep power.Report
 	ClockWL  float64
 	Overflow int
+	// MaxCongestion is the routing grid's worst edge utilization
+	// (use/capacity) from the evaluation route.
+	MaxCongestion float64
 
 	Clusters   int
 	Singletons int
@@ -240,9 +253,13 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 		inst.Y = ci.CenterY() - inst.Master.Height/2
 		inst.Placed = true
 	}
-	// Incremental flat placement.
+	// Incremental flat placement. The timing/routability feedback runs here,
+	// on the flat design — the clustered seed placement's synthetic masters
+	// have no timing arcs to analyze.
 	popt := place.Options{Seed: opt.Seed, Incremental: true, Legalize: true, AnchorWeight: 0.1,
-		Workers: opt.Workers}
+		Workers: opt.Workers,
+		TimingDriven: opt.TimingDriven, RoutabilityDriven: opt.RoutabilityDriven,
+		TimingCons: b.Cons}
 	if opt.Tool == ToolInnovus {
 		// Region constraints guide the incremental placement and are then
 		// removed (Algorithm 1 lines 18-20): soft regions.
@@ -286,7 +303,9 @@ func RunDefault(b *designs.Benchmark, opt Options) (*Result, error) {
 	d := b.Design.Clone()
 	res := &Result{}
 	t0 := time.Now()
-	place.Global(d, place.Options{Seed: opt.Seed, Legalize: true, Workers: opt.Workers})
+	place.Global(d, place.Options{Seed: opt.Seed, Legalize: true, Workers: opt.Workers,
+		TimingDriven: opt.TimingDriven, RoutabilityDriven: opt.RoutabilityDriven,
+		TimingCons: b.Cons})
 	place.Detailed(d, place.DetailedOptions{Seed: opt.Seed})
 	res.IncrPlaceTime = time.Since(t0)
 	res.PlaceTime = res.IncrPlaceTime
@@ -521,6 +540,7 @@ func evaluate(d *netlist.Design, cons sta.Constraints, opt Options, res *Result,
 	rres := route.GlobalRoute(d, route.Options{Workers: opt.Workers})
 	res.RouteTime = time.Since(t0)
 	res.Overflow = rres.Overflow
+	res.MaxCongestion = rres.MaxCongestion
 
 	// CTS on the clock net (if any), then propagated-clock STA.
 	if an == nil || opt.RepairBuffers {

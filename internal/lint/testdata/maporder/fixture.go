@@ -101,3 +101,38 @@ func ShardedOrderedMerge(m map[int]float64, workers int) float64 {
 	}
 	return total
 }
+
+// CriticalBySlackMap mimics a broken version of the placer's timing
+// checkpoint: collecting reweight candidates by ranging a slack map bakes
+// the random iteration order into the candidate list, so a later
+// tie-breaking sort cannot restore determinism for equal slacks. Flagged.
+func CriticalBySlackMap(slack map[int32]float64) []float64 {
+	var crit []float64
+	for _, s := range slack { // want `maporder: .*appends a non-key value to a slice`
+		if s < 0 {
+			crit = append(crit, s)
+		}
+	}
+	return crit
+}
+
+// CriticalBySortedNets is the shape the checkpoint actually uses: walk a
+// deterministic net-index slice, read the map (or slice) by key, and sort
+// with an explicit tie-break afterwards. The only map access is a keyed
+// lookup, so nothing is flagged.
+func CriticalBySortedNets(active []int32, slack map[int32]float64) []int32 {
+	crit := make([]int32, 0, len(active))
+	for _, ni := range active {
+		if slack[ni] < 0 {
+			crit = append(crit, ni)
+		}
+	}
+	sort.Slice(crit, func(a, b int) bool {
+		sa, sb := slack[crit[a]], slack[crit[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return crit[a] < crit[b]
+	})
+	return crit
+}

@@ -97,3 +97,24 @@ func WorkerPartials(nets [][]int, workers int) []int {
 	}
 	return out
 }
+
+// ckptScratch mirrors the placer's checkpoint state: a scratch slice owned
+// by the struct and re-pointed at its own [:0] every checkpoint.
+type ckptScratch struct {
+	critBuf []int32
+}
+
+// Candidates is the checkpoint candidate-collection idiom: append into the
+// struct-owned scratch re-sliced to zero length, then re-anchor the field to
+// the grown slice. The [:0] reuse makes the bound unknowable and amortizes
+// the growth across checkpoints: not flagged.
+func (s *ckptScratch) Candidates(active []int32, slack []float64) []int32 {
+	cand := s.critBuf[:0]
+	for _, ni := range active {
+		if slack[ni] < 0 {
+			cand = append(cand, ni)
+		}
+	}
+	s.critBuf = cand
+	return cand
+}

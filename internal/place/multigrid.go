@@ -43,6 +43,16 @@ func (p *placer) useCoarseInit() bool {
 		len(p.movable) >= coarseInitMinCells
 }
 
+// keepResolved forwards an already-resolved option value into a child solve:
+// a resolved 0 means "explicitly disabled", which the child's withDefaults
+// expresses as a negative value (0 would flip back to the default).
+func keepResolved(v float64) float64 {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
 // coarseInit overwrites the initial positions (and first-round spreading
 // anchors) with the interpolated coarse placement. On any degenerate input
 // (clustering collapses, contraction fails) it leaves the center-seeded
@@ -163,8 +173,8 @@ func (p *placer) coarseInit() {
 		Iterations:    p.opt.Iterations,
 		CGIterations:  p.opt.CGIterations,
 		TargetDensity: p.opt.TargetDensity,
-		SpreadWeight:  p.opt.SpreadWeight,
-		OverflowStop:  p.opt.OverflowStop,
+		SpreadWeight:  keepResolved(p.opt.SpreadWeight),
+		OverflowStop:  keepResolved(p.opt.OverflowStop),
 		Seed:          p.opt.Seed,
 		Workers:       p.opt.Workers,
 		CoarseInit:    -1,

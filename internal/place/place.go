@@ -24,6 +24,7 @@ import (
 	"ppaclust/internal/netlist"
 	"ppaclust/internal/par"
 	"ppaclust/internal/sortx"
+	"ppaclust/internal/sta"
 )
 
 // Options configures a placement run.
@@ -83,6 +84,49 @@ type Options struct {
 	// MultilevelFC cluster hierarchy, interpolates positions down to the
 	// cells, and then refines — deterministic for every worker count.
 	CoarseInit int
+	// TimingDriven enables STA feedback at the overflow checkpoints: the
+	// incremental analyzer runs on the current coordinates, nets are ranked
+	// by worst slack, and the most critical TimingNetsPercent get their B2B
+	// weights multiplied (capped at NetWeightMax times the original weight).
+	// Off by default. See driven.go.
+	TimingDriven bool
+	// TimingCons are the constraints the checkpoint STA runs under. Only
+	// read when TimingDriven is set.
+	TimingCons sta.Constraints
+	// RoutabilityDriven enables congestion feedback at the overflow
+	// checkpoints: the GCell router runs on a coarse grid and movable cells
+	// in congested GCells have their spreading areas inflated so the next
+	// rounds push them apart. Off by default. See driven.go.
+	RoutabilityDriven bool
+	// CheckpointOverflows are the descending bin-overflow thresholds at
+	// which the timing/routability feedback fires, one checkpoint per
+	// threshold, at most one per round (mirrors OpenROAD's
+	// -timing_driven_net_reweight_overflow). nil = default {0.5, 0.3, 0.2};
+	// an empty non-nil slice disables all checkpoints.
+	CheckpointOverflows []float64
+	// TimingNetsPercent is the share of rankable nets reweighted per timing
+	// checkpoint. Default 10; negative = reweight nothing.
+	TimingNetsPercent float64
+	// TimingNetReweight is the weight multiplier applied to the single most
+	// critical net; the boost ramps linearly down to 1 across the selected
+	// set. Default 1.9; negative = 1 (no boost).
+	TimingNetReweight float64
+	// NetWeightMax caps a net's accumulated weight at this multiple of its
+	// original weight. Default 5; negative = uncapped.
+	NetWeightMax float64
+	// InflationRatioCoef scales a congested cell's area inflation:
+	// ratio = 1 + InflationRatioCoef*(congestion-1). Default 2.5;
+	// negative = no inflation.
+	InflationRatioCoef float64
+	// MaxInflationRatio caps a cell's accumulated area inflation relative to
+	// its physical area. Default 1.25 — a deliberately tight cap: with the
+	// hotspot-selective threshold, modest inflation flattens congestion peaks
+	// while keeping the HPWL cost of the extra spreading small. Negative =
+	// uncapped.
+	MaxInflationRatio float64
+	// MaxInflationIters bounds how many checkpoints run the router and
+	// inflate. Default 3; negative = 0 (no inflation rounds).
+	MaxInflationIters int
 	// noStall disables the overflow-stagnation stop. Only the coarse
 	// warm-start recursion sets it: the coarse model's huge cluster-cells
 	// floor its quantized overflow immediately, yet the later rounds keep
@@ -90,6 +134,26 @@ type Options struct {
 	// coarse solve is too cheap for early exit to matter.
 	noStall bool
 }
+
+// Option resolution convention: for every tunable scalar, zero selects the
+// default and a negative value means "explicitly disabled" — resolved to the
+// value that makes the knob a no-op (0 for additive weights and thresholds,
+// 1 for the density ceiling and multipliers, +Inf for caps). Positive values
+// pass through unchanged. Iterations and CGIterations have no meaningful
+// disabled state, so for them any value <= 0 selects the default.
+func resolveOpt(v, def, disabled float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return disabled
+	}
+	return v
+}
+
+// defaultCheckpoints are the overflow thresholds used when
+// Options.CheckpointOverflows is nil. Read-only.
+var defaultCheckpoints = []float64{0.5, 0.3, 0.2}
 
 func (o Options) withDefaults(d *netlist.Design) Options {
 	if o.Iterations <= 0 {
@@ -102,7 +166,7 @@ func (o Options) withDefaults(d *netlist.Design) Options {
 	if o.CGIterations <= 0 {
 		o.CGIterations = 50
 	}
-	if o.TargetDensity <= 0 {
+	if o.TargetDensity == 0 {
 		u := d.Utilization() * 1.15
 		if u < 0.75 {
 			u = 0.75
@@ -111,15 +175,24 @@ func (o Options) withDefaults(d *netlist.Design) Options {
 			u = 1
 		}
 		o.TargetDensity = u
+	} else if o.TargetDensity < 0 {
+		o.TargetDensity = 1 // disabled headroom: bins fill to 100%
 	}
-	if o.AnchorWeight <= 0 {
-		o.AnchorWeight = 0.03
+	o.AnchorWeight = resolveOpt(o.AnchorWeight, 0.03, 0)
+	o.SpreadWeight = resolveOpt(o.SpreadWeight, 0.18, 0)
+	o.OverflowStop = resolveOpt(o.OverflowStop, 0.12, 0) // overflow is never < 0
+	if o.CheckpointOverflows == nil {
+		o.CheckpointOverflows = defaultCheckpoints
 	}
-	if o.SpreadWeight <= 0 {
-		o.SpreadWeight = 0.18
-	}
-	if o.OverflowStop <= 0 {
-		o.OverflowStop = 0.12
+	o.TimingNetsPercent = resolveOpt(o.TimingNetsPercent, 10, 0)
+	o.TimingNetReweight = resolveOpt(o.TimingNetReweight, 1.9, 1)
+	o.NetWeightMax = resolveOpt(o.NetWeightMax, 5, math.Inf(1))
+	o.InflationRatioCoef = resolveOpt(o.InflationRatioCoef, 2.5, 0)
+	o.MaxInflationRatio = resolveOpt(o.MaxInflationRatio, 1.25, math.Inf(1))
+	if o.MaxInflationIters == 0 {
+		o.MaxInflationIters = 3
+	} else if o.MaxInflationIters < 0 {
+		o.MaxInflationIters = 0
 	}
 	return o
 }
@@ -148,10 +221,18 @@ const (
 type Result struct {
 	HPWL       float64
 	Iterations int
-	Overflow   float64 // final bin overflow fraction
+	// Overflow is the bin overflow fraction of the placement the caller
+	// actually gets: re-measured from the committed instance positions and
+	// physical cell areas after legalization (and after any inflation), not
+	// the last loop iterate.
+	Overflow float64
 	// CGIterations is the total conjugate-gradient iterations spent across
 	// all axis solves (including the coarse warm-start solve, if any).
 	CGIterations int
+	// TimingReweights and RouteInflations count the feedback checkpoints
+	// that actually changed net weights / cell areas (see driven.go).
+	TimingReweights int
+	RouteInflations int
 }
 
 type placer struct {
@@ -164,6 +245,7 @@ type placer struct {
 	varOf   []int // instance ID -> variable index, -1 if fixed
 	x, y    []float64
 	w, h    []float64 // cell dims per variable
+	area    []float64 // spreading area per variable: w*h, scaled by inflation
 
 	// Flat connectivity snapshot for system assembly, derived from the
 	// design's Compact view at collect time. Fixed instances and ports do
@@ -207,6 +289,15 @@ type placer struct {
 
 	netActs [][]springAction // per-net spring actions (parallel assembly)
 	binIdx  []int32          // per-cell bin index (parallel density pass)
+
+	// timing/routability feedback state (driven.go)
+	ckptNext   int           // next CheckpointOverflows index to fire
+	an         *sta.Analyzer // built lazily at the first timing checkpoint
+	slackBuf   []float64     // NetSlackInto scratch
+	netW0      []float64     // pre-reweight net weights (NetWeightMax base)
+	critBuf    []int32       // candidate net scratch for criticality ranking
+	reweights  int
+	inflations int
 }
 
 // maxNetPins is the pin-count ceiling above which a net is excluded from the
@@ -257,6 +348,15 @@ func Global(d *netlist.Design, opt Options) Result {
 		p.solveAxis(false, spreadW)
 		p.clampAll()
 		overflow = p.computeSpreadTargets()
+		if p.checkpoint(overflow) {
+			// A feedback checkpoint changed net weights or cell areas; give
+			// the loop fresh rounds to absorb it before any stagnation cut
+			// or early exit. The reset is a pure function of the overflow
+			// sequence, so it is bit-identical across worker counts.
+			best = math.Inf(1)
+			stall = 0
+			continue
+		}
 		if overflow < opt.OverflowStop && iter >= 2 {
 			iter++
 			break
@@ -281,7 +381,46 @@ func Global(d *netlist.Design, opt Options) Result {
 	if opt.Legalize {
 		Legalize(d)
 	}
-	return Result{HPWL: d.HPWLWorkers(p.workers), Iterations: iter, Overflow: overflow, CGIterations: p.cgIters}
+	return Result{
+		HPWL:            d.HPWLWorkers(p.workers),
+		Iterations:      iter,
+		Overflow:        p.finalOverflow(),
+		CGIterations:    p.cgIters,
+		TimingReweights: p.reweights,
+		RouteInflations: p.inflations,
+	}
+}
+
+// finalOverflow re-measures bin overflow from the committed instance
+// positions and physical master areas. The loop-iterate overflow describes
+// pre-legalization coordinates and inflation-scaled areas; Result.Overflow
+// must describe the placement the caller actually gets. The bin lookups fan
+// out into per-cell slots and the deposits accumulate sequentially in
+// movable order, so the measurement is bit-identical at any worker count.
+func (p *placer) finalOverflow() float64 {
+	g := p.bins
+	g.clear()
+	d := p.d
+	if p.workers > 1 {
+		if p.binIdx == nil {
+			p.binIdx = make([]int32, len(p.movable))
+		}
+		par.ForEach(p.workers, len(p.movable), func(k int) {
+			inst := d.Insts[p.movable[k]]
+			i, j := g.index(inst.CenterX(), inst.CenterY())
+			p.binIdx[k] = int32(j*g.nx + i)
+		})
+		for k, id := range p.movable {
+			m := d.Insts[id].Master
+			g.area[p.binIdx[k]] += m.Width * m.Height
+		}
+	} else {
+		for _, id := range p.movable {
+			inst := d.Insts[id]
+			g.deposit(inst.CenterX(), inst.CenterY(), inst.Master.Width*inst.Master.Height)
+		}
+	}
+	return g.overflow()
 }
 
 func (p *placer) collect() {
@@ -306,10 +445,12 @@ func (p *placer) collect() {
 	p.anchY = make([]float64, n)
 	p.seedX = make([]float64, n)
 	p.seedY = make([]float64, n)
+	p.area = make([]float64, n)
 	for vi, id := range p.movable {
 		m := d.Insts[id].Master
 		p.w[vi] = m.Width
 		p.h[vi] = m.Height
+		p.area[vi] = m.Width * m.Height
 	}
 	p.diag = make([]float64, n)
 	p.rhs = make([]float64, n)
@@ -744,11 +885,11 @@ func (p *placer) computeSpreadTargets() float64 {
 			p.binIdx[vi] = int32(j*g.nx + i)
 		})
 		for vi := range p.movable {
-			g.area[p.binIdx[vi]] += p.w[vi] * p.h[vi]
+			g.area[p.binIdx[vi]] += p.area[vi]
 		}
 	} else {
 		for vi := range p.movable {
-			g.deposit(p.x[vi], p.y[vi], p.w[vi]*p.h[vi])
+			g.deposit(p.x[vi], p.y[vi], p.area[vi])
 		}
 	}
 	of := g.overflow()
@@ -846,13 +987,13 @@ func (p *placer) bisect(r netlist.Rect, act, oth, buf []int32, xAxis bool, worke
 	}
 	var totalArea float64
 	for _, vi := range act {
-		totalArea += p.w[vi] * p.h[vi]
+		totalArea += p.area[vi]
 	}
 	wantLo := totalArea * capLo / (capLo + capHi)
 	var acc float64
 	cut := 0
 	for cut < n-1 {
-		a := p.w[act[cut]] * p.h[act[cut]]
+		a := p.area[act[cut]]
 		if acc+a > wantLo && cut > 0 {
 			break
 		}

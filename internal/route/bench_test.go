@@ -1,10 +1,14 @@
-package route
+// External test package: the placer now consumes this package for its
+// routability-driven checkpoints, so an in-package test importing place
+// would be an import cycle.
+package route_test
 
 import (
 	"testing"
 
 	"ppaclust/internal/designs"
 	"ppaclust/internal/place"
+	"ppaclust/internal/route"
 )
 
 // BenchmarkGlobalRoute measures routing a placed ariane.
@@ -14,6 +18,6 @@ func BenchmarkGlobalRoute(b *testing.B) {
 	place.Global(bench.Design, place.Options{Seed: 1, Legalize: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GlobalRoute(bench.Design, Options{})
+		route.GlobalRoute(bench.Design, route.Options{})
 	}
 }

@@ -2,10 +2,34 @@ package route
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
+	"ppaclust/internal/designs"
 	"ppaclust/internal/netlist"
 )
+
+// scatterTiny generates the tiny benchmark and scatters its movable cells
+// deterministically across the core. The placer cannot be used here — it
+// imports this package for its routability-driven checkpoints, so an
+// in-package import would be a cycle — and routing equivalence only needs a
+// placed design, not a good placement.
+func scatterTiny(t *testing.T, seed int64) *netlist.Design {
+	t.Helper()
+	b := designs.Generate(designs.TinySpec(seed))
+	d := b.Design
+	rng := rand.New(rand.NewSource(seed))
+	core := d.Core
+	for _, inst := range d.Insts {
+		if inst.Fixed {
+			continue
+		}
+		inst.X = core.X0 + rng.Float64()*(core.W()-inst.Master.Width)
+		inst.Y = core.Y0 + rng.Float64()*(core.H()-inst.Master.Height)
+		inst.Placed = true
+	}
+	return d
+}
 
 // TestGlobalRouteWorkersEquivalent checks the router's bit-identity
 // contract: every worker count must produce exactly the same routed
@@ -13,9 +37,9 @@ import (
 // The parallel phases only ever price candidates against frozen grid
 // snapshots and merge integer partial grids, so nothing may drift.
 func TestGlobalRouteWorkersEquivalent(t *testing.T) {
-	ref := GlobalRoute(placedTiny(t, 41), Options{Workers: 1})
+	ref := GlobalRoute(scatterTiny(t, 41), Options{Workers: 1})
 	for _, w := range []int{2, 8} {
-		got := GlobalRoute(placedTiny(t, 41), Options{Workers: w})
+		got := GlobalRoute(scatterTiny(t, 41), Options{Workers: w})
 		if math.Float64bits(got.WirelengthUM) != math.Float64bits(ref.WirelengthUM) {
 			t.Fatalf("W=%d wirelength %v != %v", w, got.WirelengthUM, ref.WirelengthUM)
 		}

@@ -4,17 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"ppaclust/internal/designs"
 	"ppaclust/internal/netlist"
-	"ppaclust/internal/place"
 )
-
-func placedTiny(t *testing.T, seed int64) *netlist.Design {
-	t.Helper()
-	b := designs.Generate(designs.TinySpec(seed))
-	place.Global(b.Design, place.Options{Seed: seed})
-	return b.Design
-}
 
 func TestGridBasics(t *testing.T) {
 	core := netlist.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}
@@ -115,33 +106,6 @@ func TestDecomposeHugeNetChains(t *testing.T) {
 	}
 }
 
-func TestGlobalRouteOnPlacedDesign(t *testing.T) {
-	d := placedTiny(t, 31)
-	res := GlobalRoute(d, Options{})
-	if res.WirelengthUM <= 0 {
-		t.Fatal("no wirelength")
-	}
-	// Routed WL should be at least comparable to HPWL (usually larger).
-	if res.WirelengthUM < 0.4*d.HPWL() {
-		t.Fatalf("rWL %v suspiciously below HPWL %v", res.WirelengthUM, d.HPWL())
-	}
-	if res.MaxCongestion < 0 {
-		t.Fatal("bad congestion")
-	}
-	if res.Grid == nil {
-		t.Fatal("missing grid")
-	}
-}
-
-func TestRipUpReducesOverflow(t *testing.T) {
-	d := placedTiny(t, 32)
-	r1 := GlobalRoute(d, Options{Passes: 1, CapacityH: 3, CapacityV: 3})
-	r2 := GlobalRoute(d, Options{Passes: 3, CapacityH: 3, CapacityV: 3})
-	if r2.Overflow > r1.Overflow {
-		t.Fatalf("rip-up increased overflow: %d -> %d", r1.Overflow, r2.Overflow)
-	}
-}
-
 func TestTopPercentAvg(t *testing.T) {
 	core := netlist.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}
 	g := NewGrid(core, 10, 10, 10)
@@ -172,15 +136,5 @@ func TestCellCongestionShape(t *testing.T) {
 	c = g.CellCongestion()
 	if c[3*g.nx+2] != 0.5 {
 		t.Fatalf("congestion=%v want 0.5", c[3*g.nx+2])
-	}
-}
-
-func TestDeterministicRouting(t *testing.T) {
-	d1 := placedTiny(t, 33)
-	d2 := placedTiny(t, 33)
-	r1 := GlobalRoute(d1, Options{})
-	r2 := GlobalRoute(d2, Options{})
-	if r1.WirelengthUM != r2.WirelengthUM || r1.Overflow != r2.Overflow {
-		t.Fatal("routing not deterministic")
 	}
 }

@@ -924,12 +924,23 @@ func (a *Analyzer) NetLoad(netID int) float64 { return a.netLoad[netID] }
 
 // NetSlack returns for each net the worst slack over the pins of the net
 // (+Inf for unconstrained nets). This is the per-net timing criticality the
-// clustering consumes.
-func (a *Analyzer) NetSlack() []float64 {
+// clustering consumes. Callers on a hot path should use NetSlackInto with a
+// reused buffer instead.
+func (a *Analyzer) NetSlack() []float64 { return a.NetSlackInto(nil) }
+
+// NetSlackInto fills dst (grown if needed) with the per-net worst slack and
+// returns it. The placer's timing-driven checkpoints call this repeatedly at
+// full-design scale, so the buffer is caller-owned and the fill allocates
+// nothing once dst has capacity for len(Nets).
+func (a *Analyzer) NetSlackInto(dst []float64) []float64 {
 	a.Run()
-	out := make([]float64, len(a.d.Nets))
-	for i := range out {
-		out[i] = math.Inf(1)
+	n := len(a.d.Nets)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Inf(1)
 	}
 	for i := 0; i < a.numNodes(); i++ {
 		netID := a.net[i]
@@ -937,11 +948,11 @@ func (a *Analyzer) NetSlack() []float64 {
 			continue
 		}
 		slack := a.rat[i] - a.at[i]
-		if slack < out[netID] {
-			out[netID] = slack
+		if slack < dst[netID] {
+			dst[netID] = slack
 		}
 	}
-	return out
+	return dst
 }
 
 // Path is one extracted timing path.

@@ -45,7 +45,7 @@ PPACLUST_WORKERS=4 go test -race \
 # perturbs testing.AllocsPerRun counts).
 echo "==> steady-state allocation assertions"
 go test -run 'AllocFree' ./internal/netlist/ ./internal/hypergraph/ \
-    ./internal/route/ ./internal/cts/
+    ./internal/route/ ./internal/cts/ ./internal/sta/
 
 if [[ "${1:-}" != "quick" ]]; then
     # Scale smoke: one 10k-cell generate+place row through the sweep harness,
@@ -61,6 +61,15 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "==> flow-scale smoke row (10k cells)"
     go run ./cmd/ppabench -scale-flow 10k -scale-flow-out /tmp/ppaclust_flow_smoke.json
     rm -f /tmp/ppaclust_flow_smoke.json
+
+    # Timing-driven smoke: one 10k baseline-vs-driven A/B row with the
+    # built-in workers sweep, which re-runs the protocol at W=1/2/4/8 and
+    # fails unless every quality field is bit-identical. Keeps the feedback
+    # checkpoints, the A/B schema, and the determinism contract exercised.
+    echo "==> timing-driven smoke row (10k cells)"
+    go run ./cmd/ppabench -timing-driven 10k -workers-sweep \
+        -td-out /tmp/ppaclust_td_smoke.json
+    rm -f /tmp/ppaclust_td_smoke.json
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
