@@ -2,16 +2,27 @@
 // deterministic map iteration in the parallel kernels (maporder), no panics
 // in library packages (nopanic), bounds-checked token access in the format
 // readers (rawindex), no discarded parser/flow errors (errdrop), no
-// stdout writes from libraries (printlib), and no unpreallocated append
-// loops in the hot-path packages (prealloc).
+// stdout writes from libraries (printlib), no unpreallocated append
+// loops in the hot-path packages (prealloc), no unpartitioned writes through
+// captures in par closures (parshare), no unguarded int32/uint32 narrowing
+// of counts on the CSR build paths (i32trunc), and no stray nondeterminism
+// sources (ndsource).
 //
 // Usage:
 //
 //	ppalint [-json] [-checks maporder,nopanic,...] [packages]
+//	ppalint -suppressions [-json] [-checks ...] [packages]
+//	ppalint -describe <check>
 //
 // Packages are directory patterns like ./... or ./internal/sta (default
 // ./...). Exit status: 0 clean, 1 findings, 2 load/usage failure. Findings
 // are suppressed per line with `//ppalint:ignore <check> <reason>`.
+//
+// -suppressions audits every suppression directive instead of printing
+// findings: each is listed with its reason, stale directives (no finding of
+// the named check left to silence) are marked STALE, and any stale or
+// malformed directive fails the run. -describe prints one check's contract
+// and approved idioms.
 package main
 
 import (
@@ -29,15 +40,63 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	checkSpec := flag.String("checks", "", "comma-separated checks to run (default: all of "+
 		strings.Join(lint.CheckNames(), ",")+")")
+	audit := flag.Bool("suppressions", false, "audit //ppalint:ignore directives; fail on stale or malformed ones")
+	describe := flag.String("describe", "", "print a check's contract and approved idioms, then exit")
 	flag.Parse()
 
-	if err := run(*jsonOut, *checkSpec, flag.Args()); err != nil {
+	if *describe != "" {
+		if err := runDescribe(*describe); err != nil {
+			fmt.Fprintln(os.Stderr, "ppalint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if err := run(*jsonOut, *audit, *checkSpec, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ppalint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(jsonOut bool, checkSpec string, patterns []string) error {
+// runDescribe prints one check's documentation from the shared catalog — the
+// same table the README section is generated from.
+func runDescribe(name string) error {
+	c, err := lint.Describe(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s\n\n", c.Name, c.Doc)
+	fmt.Printf("Contract:\n  %s\n", wrap(c.Contract, 76, "  "))
+	if len(c.Approved) > 0 {
+		fmt.Println("\nApproved idioms:")
+		for _, a := range c.Approved {
+			fmt.Printf("  - %s\n", a)
+		}
+	}
+	return nil
+}
+
+// wrap reflows s to roughly width columns, continuing lines with indent.
+func wrap(s string, width int, indent string) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	col := 0
+	for i, w := range words {
+		if i > 0 {
+			if col+1+len(w) > width {
+				b.WriteString("\n" + indent)
+				col = 0
+			} else {
+				b.WriteByte(' ')
+				col++
+			}
+		}
+		b.WriteString(w)
+		col += len(w)
+	}
+	return b.String()
+}
+
+func run(jsonOut, audit bool, checkSpec string, patterns []string) error {
 	checks, err := lint.Select(checkSpec)
 	if err != nil {
 		return err
@@ -65,11 +124,21 @@ func run(jsonOut bool, checkSpec string, patterns []string) error {
 		}
 		pkgs = append(pkgs, p)
 	}
+	relify := func(file string) string {
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return file
+	}
+
+	if audit {
+		diags, sups := lint.Audit(pkgs, checks)
+		return reportAudit(jsonOut, relify, diags, sups)
+	}
+
 	diags := lint.Run(pkgs, checks)
 	for i := range diags {
-		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = rel
-		}
+		diags[i].File = relify(diags[i].File)
 	}
 	if jsonOut {
 		if diags == nil {
@@ -89,6 +158,62 @@ func run(jsonOut bool, checkSpec string, patterns []string) error {
 		if !jsonOut {
 			fmt.Printf("ppalint: %d finding(s)\n", len(diags))
 		}
+		os.Exit(1)
+	}
+	return nil
+}
+
+// reportAudit prints the suppression inventory. Stale directives and
+// malformed ones (surfaced by the run as "suppress" diagnostics) fail the
+// audit; ordinary findings are the plain mode's business and do not.
+func reportAudit(jsonOut bool, relify func(string) string, diags []lint.Diagnostic, sups []lint.Suppression) error {
+	var malformed []lint.Diagnostic
+	for _, d := range diags {
+		if d.Check == "suppress" {
+			d.File = relify(d.File)
+			malformed = append(malformed, d)
+		}
+	}
+	for i := range sups {
+		sups[i].File = relify(sups[i].File)
+	}
+	stale := 0
+	for _, s := range sups {
+		if s.Stale {
+			stale++
+		}
+	}
+	if jsonOut {
+		if sups == nil {
+			sups = []lint.Suppression{}
+		}
+		out := struct {
+			Suppressions []lint.Suppression `json:"suppressions"`
+			Malformed    []lint.Diagnostic  `json:"malformed"`
+			Stale        int                `json:"stale"`
+		}{sups, malformed, stale}
+		if out.Malformed == nil {
+			out.Malformed = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, s := range sups {
+			mark := ""
+			if s.Stale {
+				mark = " [STALE]"
+			}
+			fmt.Printf("%s:%d: %s — %s%s\n", s.File, s.Line, s.Check, s.Reason, mark)
+		}
+		for _, d := range malformed {
+			fmt.Println(d)
+		}
+		fmt.Printf("ppalint: %d suppression(s), %d stale, %d malformed\n", len(sups), stale, len(malformed))
+	}
+	if stale > 0 || len(malformed) > 0 {
 		os.Exit(1)
 	}
 	return nil

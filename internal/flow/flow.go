@@ -207,6 +207,12 @@ func Run(b *designs.Benchmark, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	d := b.Design.Clone()
 	res := &Result{}
+	// Validate the int32 compact-CSR capacity here at the boundary, so an
+	// oversized design fails with an error instead of tripping the
+	// must-style Compact panic deep inside a stage.
+	if _, err := d.CompactChecked(); err != nil {
+		return nil, err
+	}
 
 	// ---- Clustering (Algorithm 1 lines 2-10) ----
 	t0 := time.Now()
@@ -302,6 +308,9 @@ func RunDefault(b *designs.Benchmark, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	d := b.Design.Clone()
 	res := &Result{}
+	if _, err := d.CompactChecked(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	place.Global(d, place.Options{Seed: opt.Seed, Legalize: true, Workers: opt.Workers,
 		TimingDriven: opt.TimingDriven, RoutabilityDriven: opt.RoutabilityDriven,

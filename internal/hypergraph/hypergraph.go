@@ -114,6 +114,11 @@ func (h *Hypergraph) AddEdge(vertices []int, w float64) int {
 	h.edgePins = h.edgePins[:base+m]
 	id := len(h.edgeWeight)
 	h.edgeWeight = append(h.edgeWeight, w)
+	if len(h.edgePins) > math.MaxInt32 {
+		// Same contract as the vertex-bounds assertion above: the int32 pin
+		// CSR caps total pins, and exceeding it silently wraps offsets.
+		panic(fmt.Sprintf("hypergraph: %d total pins, beyond the %d the int32 pin CSR can index", len(h.edgePins), math.MaxInt32)) //ppalint:ignore nopanic capacity assertion matching the vertex-bounds idiom; AddEdge's signature has no error return
+	}
 	h.edgeStart = append(h.edgeStart, int32(len(h.edgePins)))
 	h.inc.Store(nil)
 	return id
@@ -320,7 +325,7 @@ func (h *Hypergraph) ContractWorkers(clusterOf []int, workers int) (*Contraction
 	par.ForEach(workers, m, func(e int) {
 		base := h.edgeStart[e]
 		pins := h.edgePins[base:h.edgeStart[e+1]]
-		out := outPins[base : base+int32(len(pins))]
+		out := outPins[base : base+int32(len(pins))] //ppalint:ignore i32trunc pins is a sub-slice between two int32 CSR offsets, its length fits int32
 		for i, v := range pins {
 			out[i] = vmap[v]
 		}

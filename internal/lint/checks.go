@@ -1,4 +1,5 @@
-// The six project-contract checks. Each is a pure function over one
+// The original six project-contract checks (the dataflow trio lives in
+// parshare.go, i32trunc.go, ndsource.go). Each is a pure function over one
 // type-checked package; path-sensitive checks decide applicability from the
 // package's import path, so testdata fixtures loaded under a faked path get
 // identical treatment to the real tree.
@@ -71,6 +72,17 @@ var mapOrderCheck = &Check{
 	Doc: "for-range over a map whose body accumulates floats, appends, or dispatches to internal/par " +
 		"in a determinism-critical package (sta, cluster, place, hypergraph, netlist, flow, designs, " +
 		"route, cts); collect keys, sort, then iterate the sorted slice",
+	Contract: "Map iteration order is randomized per run, so in a determinism-critical " +
+		"package (sta, cluster, place, hypergraph, netlist, flow, designs, route, cts) a " +
+		"for-range over a map may not feed an order-sensitive sink: float accumulation " +
+		"(addition does not commute bit-exactly), appends that fix an output order, or " +
+		"dispatch into internal/par. Collect the keys, sort them, then iterate the " +
+		"sorted slice. Order-insensitive bodies — integer counting, set membership, " +
+		"max/min over exact values — are not flagged.",
+	Approved: []string{
+		"keys := make([]K, 0, len(m)); for k := range m { keys = append(keys, k) }; sort; for _, k := range keys { ... }",
+		"for _, v := range m { count++ } — integer accumulation commutes exactly",
+	},
 	Run: runMapOrder,
 }
 
@@ -204,6 +216,16 @@ var noPanicCheck = &Check{
 	Doc: "panic, log.Fatal*, or os.Exit in a library package under internal/ " +
 		"(internal/par's documented worker-panic propagation path is exempt); " +
 		"return an error and let cmd/ decide how to die",
+	Contract: "Library packages under internal/ must not unilaterally kill the process: " +
+		"panic, log.Fatal*, and os.Exit are findings. Return an error and let cmd/ " +
+		"decide how to die. internal/par's documented worker-panic propagation path is " +
+		"exempt; invariant assertions whose failure is by construction a programming " +
+		"bug (not bad input) carry a reasoned suppression, as does re-raising a " +
+		"captured child-goroutine panic.",
+	Approved: []string{
+		"return fmt.Errorf(...) from the library, os.Exit in cmd/",
+		"panic(err) //ppalint:ignore nopanic invariant assertion: ... — table/construction bugs, never input",
+	},
 	Run: runNoPanic,
 }
 
@@ -251,6 +273,17 @@ var rawIndexCheck = &Check{
 		"into a freshly made slice and reads through other struct fields " +
 		"(domain data such as port lists, with their own invariants) are not " +
 		"token access and stay exempt.",
+	Contract: "The format readers (def, lef, liberty, sdc, verilog) parse whitespace-split " +
+		"token lines, and a raw f[i] read past the token count panics on malformed " +
+		"input. Token access goes through scan.Line — Require to establish the arity, " +
+		"then Tok/Str/Float/Int, which return errors instead of panicking. Flagged " +
+		"bases are bare []string variables and .Fields selectors (raw line tokens); " +
+		"freshly made slices and other struct fields hold domain data with their own " +
+		"invariants and are exempt.",
+	Approved: []string{
+		"if err := ln.Require(3); err != nil { return err }; v, err := ln.Float(2)",
+		"ports := make([]string, 0, n); ports[i] — domain data, not raw tokens",
+	},
 	Run: runRawIndex,
 }
 
@@ -322,6 +355,15 @@ var errDropCheck = &Check{
 	Name: "errdrop",
 	Doc: "error result of a scan/parser/flow API call discarded (call used as a " +
 		"bare statement, or its error assigned to _)",
+	Contract: "Errors from the scan/parser/flow APIs carry file:line provenance for " +
+		"malformed input; discarding one (calling as a bare statement, or assigning " +
+		"the error result to _) turns a diagnosable input bug into silent garbage. " +
+		"Check the error or propagate it. An intentionally unused probe call carries " +
+		"a reasoned suppression.",
+	Approved: []string{
+		"v, err := ln.Float(2); if err != nil { return err }",
+		"ln.Str(0) //ppalint:ignore errdrop probe call, the result is intentionally unused",
+	},
 	Run: runErrDrop,
 }
 
@@ -401,6 +443,17 @@ var preallocCheck = &Check{
 		"place, designs, route, cts); pre-size with make(..., 0, n). A slice later " +
 		"reassigned from make, a slicing expression (s = buf[:0] reuse), or " +
 		"any other non-append source is treated as sized and not flagged.",
+	Contract: "In the hot-path packages (netlist, hypergraph, cluster, place, designs, " +
+		"route, cts) an append loop into a slice declared nil or empty (var s []T, " +
+		"s := []T{}) regrows and recopies O(log n) times at million-element scale. " +
+		"Pre-size with make(T, 0, n) when a bound is known. Slices reassigned from " +
+		"make, from a slicing expression (s = buf[:0] reuse), or from any other " +
+		"non-append source are treated as sized; genuinely unknowable survivor counts " +
+		"carry a reasoned suppression.",
+	Approved: []string{
+		"out := make([]int32, 0, nPins); for ... { out = append(out, v) }",
+		"s = buf[:0] — arena reuse counts as sized",
+	},
 	Run: runPrealloc,
 }
 
@@ -551,6 +604,15 @@ var printLibCheck = &Check{
 	Name: "printlib",
 	Doc: "fmt.Print/Printf/Println or builtin print/println writing to stdout " +
 		"from a package under internal/; output belongs to cmd/ (or an io.Writer parameter)",
+	Contract: "Library packages under internal/ must not write to stdout: fmt.Print, " +
+		"fmt.Printf, fmt.Println, and the builtin print/println are findings. Output " +
+		"belongs to cmd/, or goes through an io.Writer parameter the caller controls. " +
+		"fmt.Fprintf to an explicit writer is fine anywhere; a helper whose documented " +
+		"contract is progress output carries a reasoned suppression.",
+	Approved: []string{
+		"fmt.Fprintf(w, ...) with w an io.Writer parameter",
+		"fmt.Println in cmd/ — the CLI owns stdout",
+	},
 	Run: runPrintLib,
 }
 

@@ -1,9 +1,12 @@
 // Package lint is ppalint's analyzer framework: a stdlib-only package
 // loader/type-checker driver (loader.go), a diagnostic model with file:line
-// provenance, per-line suppressions, and the six project-contract checks
-// (maporder, nopanic, rawindex, errdrop, printlib, prealloc) that
-// mechanically enforce the repo's determinism, no-panic,
-// bounds-checked-parsing, and hot-loop preallocation invariants.
+// provenance, per-line suppressions with a staleness audit, and the nine
+// project-contract checks (maporder, nopanic, rawindex, errdrop, printlib,
+// prealloc, parshare, i32trunc, ndsource) that mechanically enforce the
+// repo's determinism, no-panic, bounds-checked-parsing, hot-loop
+// preallocation, partitioned-parallel-write, and guarded-int32-narrowing
+// invariants. The dataflow trio (parshare, i32trunc, ndsource) builds on a
+// lightweight capture/derived-value layer in dataflow.go.
 //
 // The framework deliberately uses nothing outside the standard library
 // (go/parser, go/ast, go/types, go/importer) so the pure-Go constraint of
@@ -39,16 +42,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Msg)
 }
 
-// Check is one named analysis over a type-checked package.
+// Check is one named analysis over a type-checked package. Doc is the
+// one-line summary; Contract and Approved are the long-form description and
+// approved-idiom list behind `ppalint -describe` — the single source the
+// README section is kept in sync with.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(p *Package, report func(pos token.Pos, format string, args ...any))
+	Name     string
+	Doc      string
+	Contract string
+	Approved []string
+	Run      func(p *Package, report func(pos token.Pos, format string, args ...any))
 }
 
 // Checks returns the full project check catalog in a fixed order.
 func Checks() []*Check {
-	return []*Check{mapOrderCheck, noPanicCheck, rawIndexCheck, errDropCheck, printLibCheck, preallocCheck}
+	return []*Check{
+		mapOrderCheck, noPanicCheck, rawIndexCheck, errDropCheck, printLibCheck, preallocCheck,
+		parShareCheck, i32TruncCheck, ndSourceCheck,
+	}
+}
+
+// Describe resolves one check by name for `ppalint -describe`.
+func Describe(name string) (*Check, error) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
 }
 
 // CheckNames returns the catalog's names, in catalog order.
@@ -120,10 +141,36 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
 	return out
 }
 
+// Suppression is one valid //ppalint:ignore directive as the audit sees it.
+// Stale means no finding of the named check landed on the directive's line
+// or the line below during the run — the directive outlived the code it
+// excused and must be deleted.
+type Suppression struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	Stale  bool   `json:"stale"`
+}
+
 // Run applies checks to pkgs and returns the surviving diagnostics sorted by
 // file, line, column, check. Suppression directives are honored here;
 // malformed directives surface as "suppress" diagnostics.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	diags, _ := runChecks(pkgs, checks)
+	return diags
+}
+
+// Audit runs like Run but additionally accounts for every valid suppression
+// directive: a directive is live when it silenced at least one finding of
+// its check, stale otherwise. Staleness is only judged for directives whose
+// check was actually selected. Suppressions are returned sorted by file,
+// line, check.
+func Audit(pkgs []*Package, checks []*Check) ([]Diagnostic, []Suppression) {
+	return runChecks(pkgs, checks)
+}
+
+func runChecks(pkgs []*Package, checks []*Check) ([]Diagnostic, []Suppression) {
 	var diags []Diagnostic
 	type suppressKey struct {
 		file  string
@@ -131,11 +178,17 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		check string
 	}
 	suppressed := map[suppressKey]bool{}
+	used := map[suppressKey]bool{}
 	known := map[string]bool{}
 	for _, c := range Checks() {
 		known[c.Name] = true
 	}
+	selected := map[string]bool{}
+	for _, c := range checks {
+		selected[c.Name] = true
+	}
 
+	var directives []ignoreDirective
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			for _, d := range parseIgnores(p.Fset, f) {
@@ -151,6 +204,7 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 						Msg: fmt.Sprintf("ppalint:ignore %s needs a written reason", d.check)})
 				default:
 					suppressed[suppressKey{d.file, d.line, d.check}] = true
+					directives = append(directives, d)
 				}
 			}
 		}
@@ -162,9 +216,12 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 				where := p.Fset.Position(pos)
 				// A valid directive on the finding's own line or the line
 				// directly above silences it.
-				if suppressed[suppressKey{where.Filename, where.Line, c.Name}] ||
-					suppressed[suppressKey{where.Filename, where.Line - 1, c.Name}] {
-					return
+				for _, line := range [2]int{where.Line, where.Line - 1} {
+					k := suppressKey{where.Filename, line, c.Name}
+					if suppressed[k] {
+						used[k] = true
+						return
+					}
 				}
 				diags = append(diags, Diagnostic{
 					Check: c.Name, File: where.Filename, Line: where.Line, Col: where.Column,
@@ -173,6 +230,24 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 			})
 		}
 	}
+
+	var sups []Suppression
+	for _, d := range directives {
+		sups = append(sups, Suppression{
+			File: d.file, Line: d.line, Check: d.check, Reason: d.reason,
+			Stale: selected[d.check] && !used[suppressKey{d.file, d.line, d.check}],
+		})
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
 
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -190,7 +265,7 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		}
 		return a.Msg < b.Msg
 	})
-	return diags
+	return diags, sups
 }
 
 // internalPkg reports whether path is a library package under the module's

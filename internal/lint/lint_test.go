@@ -1,6 +1,8 @@
 package lint_test
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"ppaclust/internal/lint"
@@ -36,10 +38,103 @@ func TestPreallocFixture(t *testing.T) {
 	linttest.RunDir(t, "testdata/prealloc", "ppaclust/internal/place", "prealloc")
 }
 
+func TestParShareFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/parshare", "ppaclust/internal/fixturepar", "parshare")
+}
+
+func TestI32TruncFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/i32trunc", "ppaclust/internal/netlist", "i32trunc")
+}
+
+func TestNDSourceFixture(t *testing.T) {
+	linttest.RunDir(t, "testdata/ndsource", "ppaclust/internal/fixturend", "ndsource")
+}
+
+// TestNDSourceAllowedPackages pins the allowed side: the same time.Now call
+// that fires in a library package is silent under flow's import path. The
+// fixture carries no want annotations, so RunDir asserts zero findings.
+func TestNDSourceAllowedPackages(t *testing.T) {
+	linttest.RunDir(t, "testdata/ndsource_allowed", "ppaclust/internal/flow", "ndsource")
+}
+
 // TestSuppressContract covers malformed directives: they are reported under
 // the "suppress" check and silence nothing.
 func TestSuppressContract(t *testing.T) {
 	linttest.RunDir(t, "testdata/suppress", "ppaclust/internal/fixturesup", "nopanic")
+}
+
+// TestSuppressionAudit pins the -suppressions contract on a fixture with one
+// live directive, one stale one, and one for an unselected check.
+func TestSuppressionAudit(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadAs("testdata/suppressaudit", "ppaclust/internal/fixturesa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := lint.Select("nopanic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, sups := lint.Audit([]*lint.Package{pkg}, checks)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if len(sups) != 3 {
+		t.Fatalf("got %d suppressions, want 3: %v", len(sups), sups)
+	}
+	byCheckReason := map[string]bool{}
+	for _, s := range sups {
+		byCheckReason[s.Check+"|"+s.Reason] = s.Stale
+	}
+	assertStale := func(check, wantSub string, want bool) {
+		t.Helper()
+		for k, stale := range byCheckReason {
+			if strings.HasPrefix(k, check+"|") && strings.Contains(k, wantSub) {
+				if stale != want {
+					t.Errorf("directive %q: stale = %v, want %v", k, stale, want)
+				}
+				return
+			}
+		}
+		t.Errorf("no %s directive containing %q in %v", check, wantSub, sups)
+	}
+	assertStale("nopanic", "live directive", false)
+	assertStale("nopanic", "stale directive", true)
+	assertStale("maporder", "unselected check", false)
+}
+
+// TestDescribe pins the -describe contract: every catalog entry resolves and
+// carries a contract and at least one approved idiom; unknown names error.
+func TestDescribe(t *testing.T) {
+	for _, name := range lint.CheckNames() {
+		c, err := lint.Describe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Contract == "" || len(c.Approved) == 0 {
+			t.Errorf("check %s is missing Contract or Approved idioms", name)
+		}
+	}
+	if _, err := lint.Describe("nosuchcheck"); err == nil {
+		t.Fatal("Describe must reject unknown check names")
+	}
+}
+
+// TestReadmeListsAllChecks keeps the README's ppalint section in sync with
+// the catalog: every check name must appear in README.md.
+func TestReadmeListsAllChecks(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range lint.CheckNames() {
+		if !strings.Contains(string(data), name) {
+			t.Errorf("README.md does not mention check %q", name)
+		}
+	}
 }
 
 func TestSelect(t *testing.T) {
@@ -57,8 +152,9 @@ func TestSelect(t *testing.T) {
 }
 
 // TestRepoIsLintClean is the self-lint gate: the tree at HEAD must produce
-// zero findings, so any new contract violation fails the ordinary test
-// suite even before scripts/check.sh runs the CLI.
+// zero findings under all nine checks and zero stale suppressions, so any
+// new contract violation (or a directive that outlived its finding) fails
+// the ordinary test suite even before scripts/check.sh runs the CLI.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-repo type-check is slow; run without -short")
@@ -79,7 +175,13 @@ func TestRepoIsLintClean(t *testing.T) {
 		}
 		pkgs = append(pkgs, p)
 	}
-	for _, d := range lint.Run(pkgs, lint.Checks()) {
+	diags, sups := lint.Audit(pkgs, lint.Checks())
+	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+	for _, s := range sups {
+		if s.Stale {
+			t.Errorf("%s:%d: stale //ppalint:ignore %s directive (%s)", s.File, s.Line, s.Check, s.Reason)
+		}
 	}
 }

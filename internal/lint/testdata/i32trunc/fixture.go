@@ -1,0 +1,75 @@
+// Package netlist is an i32trunc fixture; the harness loads it under the
+// faked import path ppaclust/internal/netlist so the check treats it as a
+// CSR/SoA builder package. The firing half narrows len()-derived and
+// accumulated counts unguarded; the approved half guards first, packs with
+// out-of-model counters, or carries a reasoned suppression.
+package netlist
+
+import (
+	"fmt"
+	"math"
+)
+
+// BuildOffsets narrows per-row lengths with no bound check: flagged.
+func BuildOffsets(rows [][]int) []int32 {
+	out := make([]int32, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, int32(len(r))) // want `i32trunc: int32\(len\(\.\.\.\)\) narrows a len\(\)-derived count`
+	}
+	return out
+}
+
+// TotalPins narrows a += accumulated total with no bound check: flagged.
+func TotalPins(rows [][]int) int32 {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	return int32(total) // want `i32trunc: int32\(total\) narrows an accumulated count`
+}
+
+// BuildOffsetsChecked guards the total before the narrowing conversions:
+// approved.
+func BuildOffsetsChecked(rows [][]int) ([]int32, error) {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("netlist: %d pins exceed the int32 CSR capacity", total)
+	}
+	start := make([]int32, len(rows)+1)
+	var off int32
+	for i, r := range rows {
+		start[i] = off
+		off += int32(len(r))
+	}
+	start[len(rows)] = int32(total)
+	return start, nil
+}
+
+// PackDense converts a plain k++ packing counter: out of model (bounded by
+// the container it fills), silent.
+func PackDense(keep []bool) []int32 {
+	out := make([]int32, 0, len(keep))
+	k := 0
+	for i := range keep {
+		if keep[i] {
+			out = append(out, int32(k))
+			k++
+		}
+	}
+	return out
+}
+
+// Widen converts values already 32 bits or narrower: silent.
+func Widen(v int32, u uint16) (int32, uint32) {
+	return int32(v), uint32(u)
+}
+
+// SuppressedSubSlice demonstrates the reasoned-suppression idiom for a
+// sub-slice length bounded by int32 CSR offsets: silent.
+func SuppressedSubSlice(pins []int, start []int32, e int) int32 {
+	sub := pins[start[e]:start[e+1]]
+	return int32(len(sub)) //ppalint:ignore i32trunc fixture: sub sits between two int32 CSR offsets, its length fits int32
+}

@@ -1,0 +1,15 @@
+// Package flow is an ndsource fixture for the allowed side; the harness
+// loads it under the faked import path ppaclust/internal/flow, where
+// time.Now is part of the contract (stage-runtime measurement) and must not
+// fire. The fixture carries no want annotations: the whole package must be
+// clean.
+package flow
+
+import "time"
+
+// StageTime measures a stage runtime, the allowed time.Now use.
+func StageTime(stage func()) time.Duration {
+	t0 := time.Now()
+	stage()
+	return time.Since(t0)
+}

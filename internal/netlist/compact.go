@@ -1,6 +1,11 @@
 package netlist
 
-import "ppaclust/internal/par"
+import (
+	"fmt"
+	"math"
+
+	"ppaclust/internal/par"
+)
 
 // Compact is the flat struct-of-arrays/CSR view of a design's connectivity,
 // built once per topology and consumed by the hot paths (HPWL, WirelenCache,
@@ -68,15 +73,33 @@ func (c *Compact) NumNetPins(n int) int {
 
 // Compact returns the design's flat connectivity view, building it on first
 // use and after every topology mutation. The build is O(pins) and the result
-// is cached, so repeated calls between mutations are free.
+// is cached, so repeated calls between mutations are free. A design whose
+// total pin count exceeds math.MaxInt32 cannot be represented and panics;
+// size-checked callers (the flow boundary) use CompactChecked instead.
 func (d *Design) Compact() *Compact {
+	c, err := d.CompactChecked()
+	if err != nil {
+		panic(err) //ppalint:ignore nopanic must-style wrapper over CompactChecked for pre-sized callers, matching designs' must/mustAdd idiom
+	}
+	return c
+}
+
+// CompactChecked is Compact with the pin-count capacity check surfaced as an
+// error instead of a panic: the int32 CSR cannot index more than
+// math.MaxInt32 pins, and past that bound truncation would silently corrupt
+// connectivity.
+func (d *Design) CompactChecked() (*Compact, error) {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
 	if d.compact != nil && d.compact.gen == d.topoGen {
-		return d.compact
+		return d.compact, nil
 	}
-	d.compact = buildCompact(d, d.topoGen)
-	return d.compact
+	c, err := buildCompact(d, d.topoGen)
+	if err != nil {
+		return nil, err
+	}
+	d.compact = c
+	return c, nil
 }
 
 // InvalidateConnectivity retires the cached Compact view and lazy
@@ -88,11 +111,17 @@ func (d *Design) InvalidateConnectivity() {
 	d.netsOfInst = nil
 }
 
-func buildCompact(d *Design, gen uint64) *Compact {
+func buildCompact(d *Design, gen uint64) (*Compact, error) {
 	c := &Compact{d: d, gen: gen}
 	nPins := 0
 	for _, n := range d.Nets {
 		nPins += len(n.Pins)
+	}
+	// Every int32 below — pin slots, net ids, instance ids — is bounded by
+	// nPins or by a count it dominates, so this single check covers the
+	// build's conversions.
+	if nPins > math.MaxInt32 {
+		return nil, fmt.Errorf("netlist: design has %d pins, beyond the %d the int32 compact CSR can index", nPins, math.MaxInt32)
 	}
 	c.NetStart = make([]int32, len(d.Nets)+1)
 	c.PinInst = make([]int32, 0, nPins)
@@ -187,7 +216,7 @@ func buildCompact(d *Design, gen uint64) *Compact {
 			}
 		}
 	}
-	return c
+	return c, nil
 }
 
 // gatherPositions snapshots instance origins and port coordinates into the

@@ -299,7 +299,7 @@ func (a *aggPre) contract(A *csrMat, t *aggT, agg []int32, C *csrMat) {
 		}
 		a.touched = a.touched[:0]
 		C.diag[c] = d
-		C.start[c+1] = int32(len(C.col))
+		C.start[c+1] = int32(len(C.col)) //ppalint:ignore i32trunc coarse matrix entries never exceed the fine system's, whose int32 CSR the caller built
 		if d > 0 {
 			C.invDiag[c] = 1 / d
 		} else {

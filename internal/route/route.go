@@ -535,7 +535,7 @@ func GlobalRoute(d *netlist.Design, opt Options) *Result {
 			}
 			pre := len(arena)
 			arena = sc.dec.steiner(cells, opt.MaxNetPins, arena)
-			segStart[ni+1] = int32(len(arena) - pre)
+			segStart[ni+1] = int32(len(arena) - pre) //ppalint:ignore i32trunc per-net segment count, bounded by the MaxNetPins-capped Steiner decomposition
 		}
 		arenas[w] = arena
 	})

@@ -62,6 +62,9 @@ func (a *Analyzer) ensureSched() bool {
 	if a.cyclic {
 		return false
 	}
+	if len(a.eFrom) > math.MaxInt32 {
+		return false // pull-order offsets are int32; fall back to the sequential passes
+	}
 	n := a.numNodes()
 	rank := make([]int32, n)
 	for i, v := range a.topo {

@@ -198,7 +198,7 @@ func (a *Analyzer) nodeOfPin(id PinID) (int, bool) {
 }
 
 func (a *Analyzer) addNode(inst, mpIdx int32, k nodeKind) int32 {
-	idx := int32(len(a.nodeInst))
+	idx := int32(len(a.nodeInst)) //ppalint:ignore i32trunc node count <= ports + pin slots, bounded by build's MaxInt32 slot guard
 	a.nodeInst = append(a.nodeInst, inst)
 	a.nodeMP = append(a.nodeMP, mpIdx)
 	a.kind = append(a.kind, k)
@@ -231,7 +231,16 @@ func (a *Analyzer) build() {
 		clockPorts[p] = true
 	}
 
-	// Dense (instance, master-pin-index) -> node table.
+	// Dense (instance, master-pin-index) -> node table. Count slots in int
+	// first: the per-instance prefix sums below narrow to int32, and past
+	// 2^31 pin slots that narrowing would wrap instead of failing.
+	slots := 0
+	for _, inst := range d.Insts {
+		slots += len(inst.Master.Pins)
+	}
+	if slots > math.MaxInt32 {
+		panic(fmt.Sprintf("sta: design has %d instance pin slots, beyond the %d the int32 node table can index", slots, math.MaxInt32)) //ppalint:ignore nopanic capacity assertion behind flow's CompactChecked boundary; New has no error return
+	}
 	a.instPinStart = make([]int32, len(d.Insts)+1)
 	var totalSlots int32
 	for i, inst := range d.Insts {
@@ -484,7 +493,7 @@ func (a *Analyzer) buildSetupIndex() {
 	a.setupArc = a.setupArc[:0]
 	a.setupClk = a.setupClk[:0]
 	for v := 0; v < n; v++ {
-		a.setupOff[v] = int32(len(a.setupArc))
+		a.setupOff[v] = int32(len(a.setupArc)) //ppalint:ignore i32trunc setup arcs are a subset of the cell arcs already indexed by the int32 edge arrays
 		if a.kind[v] != nodeInput {
 			continue
 		}
@@ -504,7 +513,7 @@ func (a *Analyzer) buildSetupIndex() {
 			a.setupClk = append(a.setupClk, clkNode)
 		}
 	}
-	a.setupOff[n] = int32(len(a.setupArc))
+	a.setupOff[n] = int32(len(a.setupArc)) //ppalint:ignore i32trunc setup arcs are a subset of the cell arcs already indexed by the int32 edge arrays
 }
 
 func (a *Analyzer) initValueArrays() {

@@ -14,13 +14,19 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-# Project-contract lint: determinism (maporder), no-panic (nopanic),
-# bounds-checked parsing (rawindex), no dropped parser errors (errdrop), no
-# stdout writes from libraries (printlib), no unpreallocated append loops in
-# hot-path packages (prealloc). Runs in both modes, ahead of the test sweep,
-# so a contract violation fails fast with file:line provenance.
+# Project-contract lint: determinism (maporder, ndsource), no-panic
+# (nopanic), bounds-checked parsing (rawindex), no dropped parser errors
+# (errdrop), no stdout writes from libraries (printlib), no unpreallocated
+# append loops in hot-path packages (prealloc), partitioned parallel writes
+# (parshare), guarded int32 narrowing on CSR build paths (i32trunc). Runs in
+# both modes, ahead of the test sweep, so a contract violation fails fast
+# with file:line provenance. The suppression audit then fails on any
+# directive that no longer silences a finding.
 echo "==> ppalint ./..."
 go run ./cmd/ppalint ./...
+
+echo "==> ppalint -suppressions ./..."
+go run ./cmd/ppalint -suppressions ./...
 
 if [[ "${1:-}" != "quick" ]]; then
     # The race detector slows the experiment/GNN suites ~10x; on small CPU
